@@ -1,0 +1,239 @@
+// Command heteromap is the interactive front end of the reproduction:
+//
+//	heteromap characterize -bench BFS -input FB
+//	    print the (B, I) characterization and measured work profile
+//	heteromap predict -bench BFS -input FB [-predictor tree|deep]
+//	    print the predicted machine choices
+//	heteromap run -bench BFS -input FB [-predictor tree|deep] [-energy]
+//	    schedule the combination and report time/energy/utilization
+//	    against the GPU-only, multicore-only and ideal baselines
+//	heteromap sweep -bench BFS -input FB
+//	    print the per-accelerator tuning sweep (Fig 1 style)
+//	heteromap phased -bench SSSP-Delta -input CA
+//	    plan phase-level temporal scheduling (the paper's future work)
+//	heteromap run -bench SSSP-BF -edgelist my_graph.txt
+//	    schedule a user-supplied edge-list graph
+//	heteromap explain -bench BFS -input FB
+//	    show where the simulated time of the predicted deployment goes
+//	heteromap list
+//	    list benchmarks and datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heteromap"
+	"heteromap/internal/config"
+	"heteromap/internal/core"
+	"heteromap/internal/train"
+	"heteromap/internal/tune"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	bench := fs.String("bench", "BFS", "benchmark name (see `heteromap list`)")
+	input := fs.String("input", "FB", "dataset short name (see `heteromap list`)")
+	predictor := fs.String("predictor", "tree", "predictor: tree, deep, or db")
+	dbPath := fs.String("db", "", "profiler database file for -predictor db (written by hmtrain -out)")
+	energy := fs.Bool("energy", false, "optimize energy instead of performance")
+	large := fs.Bool("large", false, "use the larger generated analogs")
+	edgeList := fs.String("edgelist", "", "characterize a user edge-list file instead of a catalog dataset")
+	directed := fs.Bool("directed", false, "treat the -edgelist file as directed (default: mirror edges)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	switch cmd {
+	case "list":
+		fmt.Println("benchmarks:")
+		for _, b := range heteromap.Benchmarks() {
+			fmt.Printf("  %-12s weights=%v undirected=%v\n", b.Name, b.NeedsWeights, b.NeedsUndirected)
+		}
+		fmt.Println("datasets:")
+		for _, d := range heteromap.Datasets(*large) {
+			fmt.Printf("  %-5s %s\n", d.Short, d)
+		}
+		return
+	case "characterize", "predict", "run", "sweep", "phased", "explain":
+	default:
+		usage()
+		os.Exit(2)
+	}
+
+	sys, workload, err := buildSystem(systemOptions{
+		predictor: *predictor, dbPath: *dbPath, energy: *energy,
+		large: *large, bench: *bench, input: *input,
+		edgeList: *edgeList, directed: *directed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch cmd {
+	case "characterize":
+		fmt.Printf("features: %s\n", workload.Features)
+		fmt.Printf("derived B (from instrumentation): %s\n", workload.DerivedB)
+		fmt.Println(workload.Work)
+		fmt.Printf("result checksum=%.6g iterations=%d visited=%d\n",
+			workload.Result.Checksum, workload.Result.Iterations, workload.Result.Visited)
+
+	case "predict":
+		m := sys.Predictor().Predict(workload.Features)
+		fmt.Printf("predicted M: %s\n\n", m)
+		for _, line := range m.Describe(sys.Pair().Limits()) {
+			fmt.Println(line)
+		}
+
+	case "run":
+		rep := sys.Run(workload)
+		bl := sys.Baselines(workload)
+		fmt.Printf("combination     : %s\n", workload.Name())
+		fmt.Printf("chosen          : %s (%s)\n", rep.Chosen.Accelerator, rep.Chosen)
+		fmt.Printf("completion time : %.6gs (+%.3gms predictor overhead)\n",
+			rep.Machine.Seconds, float64(rep.PredictOverhead.Microseconds())/1000)
+		fmt.Printf("energy          : %.6g J\n", rep.Machine.EnergyJ)
+		fmt.Printf("utilization     : %.1f%%\n", rep.Machine.Utilization*100)
+		fmt.Printf("GPU-only        : %.6gs (%s)\n", bl.GPUOnly.Seconds, bl.GPUOnlyM)
+		fmt.Printf("multicore-only  : %.6gs (%s)\n", bl.MulticoreOnly.Seconds, bl.MulticoreM)
+		fmt.Printf("ideal           : %.6gs (%s)\n", bl.Ideal.Seconds, bl.IdealM)
+
+	case "phased":
+		plan := sys.PlanPhased(workload)
+		fmt.Printf("combination : %s\n", workload.Name())
+		fmt.Printf("phased plan : %s\n", plan)
+		if plan.Split() {
+			fmt.Printf("transfers   : %d per iteration, %.4gs total\n",
+				plan.Transfers, plan.TransferSeconds)
+		} else {
+			fmt.Println("(the planner collapsed to a single accelerator: migration does not pay)")
+		}
+
+	case "explain":
+		m := sys.Predictor().Predict(workload.Features)
+		rep := sys.Pair().Select(m.Accelerator).Evaluate(workload.Job, m)
+		bd := rep.Breakdown
+		fmt.Printf("combination : %s\n", workload.Name())
+		fmt.Printf("deployed    : %s\n", m)
+		fmt.Printf("total       : %.6gs on %s (threads=%d, util %.1f%%)\n",
+			rep.Seconds, rep.Accel, rep.Threads, rep.Utilization*100)
+		fmt.Println("time breakdown:")
+		for _, term := range []struct {
+			name string
+			sec  float64
+		}{
+			{"dependency chains", bd.Chain},
+			{"scalar compute", bd.Compute},
+			{"floating point", bd.FP},
+			{"memory (exposed)", bd.Memory},
+			{"atomics", bd.Atomics},
+			{"barriers", bd.Barriers},
+			{"push/pop queues", bd.PushPop},
+		} {
+			fmt.Printf("  %-18s %10.4gs\n", term.name, term.sec)
+		}
+		fmt.Printf("  %-18s %10.3fx\n", "soft-knob factor", bd.KnobFactor)
+		fmt.Printf("  %-18s %10d (x%.2f streaming)\n", "memory chunks", bd.Chunks, bd.ChunkFactor)
+
+	case "sweep":
+		pair := sys.Pair()
+		limits := pair.Limits()
+		for _, accel := range []config.Accel{config.GPU, config.Multicore} {
+			cands := config.EnumerateFor(accel, limits)
+			scores := tune.EvaluateAll(cands, func(m config.M) float64 {
+				return pair.Select(m.Accelerator).Evaluate(workload.Job, m).Seconds
+			})
+			best := 0
+			for i := range scores {
+				if scores[i] < scores[best] {
+					best = i
+				}
+			}
+			fmt.Printf("%-10s best %.6gs with %s (%d candidates)\n",
+				accel, scores[best], cands[best], len(cands))
+		}
+	}
+}
+
+// systemOptions collects the flags that shape the scheduled run.
+type systemOptions struct {
+	predictor, dbPath string
+	energy, large     bool
+	bench, input      string
+	edgeList          string
+	directed          bool
+}
+
+func buildSystem(o systemOptions) (*heteromap.System, *heteromap.Workload, error) {
+	predictor, dbPath, energy := o.predictor, o.dbPath, o.energy
+	pair := heteromap.PrimaryPair()
+	obj := heteromap.Performance
+	if energy {
+		obj = heteromap.Energy
+	}
+	var pred heteromap.Predictor
+	switch predictor {
+	case "tree":
+		pred = heteromap.NewDecisionTree(pair)
+	case "db":
+		if dbPath == "" {
+			return nil, nil, fmt.Errorf("-predictor db requires -db <file> (write one with hmtrain -out)")
+		}
+		f, err := os.Open(dbPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		db, err := train.LoadDB(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		pred = train.NewLookupPredictor(db)
+	case "deep":
+		deep := heteromap.NewDeepPredictor(pair, 128)
+		cfg := heteromap.FastTraining()
+		cfg.Objective = core.Energy
+		if !energy {
+			cfg.Objective = core.Performance
+		}
+		db := heteromap.BuildTrainingDB(pair, cfg)
+		if err := deep.Train(db.Samples); err != nil {
+			return nil, nil, err
+		}
+		pred = deep
+	default:
+		return nil, nil, fmt.Errorf("unknown predictor %q (want tree, deep, or db)", predictor)
+	}
+	sys := heteromap.NewSystem(pair, pred, obj)
+
+	b, err := heteromap.BenchmarkByName(o.bench)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ds *heteromap.Dataset
+	if o.edgeList != "" {
+		ds, err = heteromap.LoadEdgeListFile(o.edgeList, !o.directed)
+	} else {
+		ds, err = heteromap.DatasetByName(heteromap.Datasets(o.large), o.input)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := sys.Characterize(b, ds)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, w, nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: heteromap <characterize|predict|run|sweep|phased|explain|list> [flags]
+run "heteromap <cmd> -h" for flags`)
+}

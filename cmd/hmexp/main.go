@@ -1,0 +1,110 @@
+// Command hmexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hmexp -exp tab1|tab2|tab3|tab4|fig1|fig5|fig7|fig11|fig12|fig13|fig14|fig15|fig16|all
+//	      [-fast] [-samples N] [-size small|medium]
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"heteromap/internal/experiments"
+	"heteromap/internal/gen"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (tab1..tab4, fig1..fig16, all)")
+	fast := flag.Bool("fast", false, "use the reduced test-scale configuration")
+	samples := flag.Int("samples", 0, "override training sample count")
+	size := flag.String("size", "", "dataset scale: small or medium")
+	csvDir := flag.String("csv", "", "also write <dir>/<exp>.csv for exportable experiments")
+	flag.Parse()
+
+	ctx := experiments.NewContext()
+	if *fast {
+		ctx = experiments.NewFastContext()
+	}
+	if *samples > 0 {
+		ctx.TrainCfg.Samples = *samples
+	}
+	switch strings.ToLower(*size) {
+	case "small":
+		ctx.Size = gen.Small
+	case "medium":
+		ctx.Size = gen.Medium
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown size %q\n", *size)
+		os.Exit(2)
+	}
+
+	runners := map[string]func() (fmt.Stringer, error){
+		"tab1":  func() (fmt.Stringer, error) { return experiments.Table1(ctx), nil },
+		"tab2":  func() (fmt.Stringer, error) { return experiments.Table2(), nil },
+		"tab3":  func() (fmt.Stringer, error) { return experiments.Table3(ctx), nil },
+		"tab4":  func() (fmt.Stringer, error) { return experiments.Table4(ctx) },
+		"fig1":  func() (fmt.Stringer, error) { return experiments.Fig1(ctx) },
+		"fig5":  func() (fmt.Stringer, error) { return experiments.Fig5(ctx) },
+		"fig7":  func() (fmt.Stringer, error) { return experiments.Fig7(ctx) },
+		"fig11": func() (fmt.Stringer, error) { return experiments.Fig11(ctx) },
+		"fig12": func() (fmt.Stringer, error) { return experiments.Fig12(ctx) },
+		"fig13": func() (fmt.Stringer, error) { return experiments.Fig13(ctx) },
+		"fig14": func() (fmt.Stringer, error) { return experiments.Fig14(ctx) },
+		"fig15": func() (fmt.Stringer, error) { return experiments.Fig15(ctx) },
+		"fig16": func() (fmt.Stringer, error) { return experiments.Fig16(ctx) },
+	}
+
+	order := []string{"tab1", "tab2", "tab3", "fig1", "fig5", "fig7", "tab4",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
+
+	names := []string{strings.ToLower(*exp)}
+	if names[0] == "all" {
+		names = order
+	}
+	for _, name := range names {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %s, all)\n",
+				name, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		res, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (%.1fs) ==\n%s\n", name, time.Since(start).Seconds(), res)
+		if *csvDir != "" {
+			if tab, ok := res.(experiments.Tabular); ok {
+				if err := writeCSVFile(*csvDir, name, tab); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: csv: %v\n", name, err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+func writeCSVFile(dir, name string, tab experiments.Tabular) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(dir + "/" + name + ".csv")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteCSV(f, tab); err != nil {
+		return err
+	}
+	return f.Close()
+}

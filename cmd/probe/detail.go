@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"heteromap/internal/algo"
+	"heteromap/internal/core"
+	"heteromap/internal/gen"
+	"heteromap/internal/machine"
+)
+
+// detail prints the per-term breakdown of both accelerators' best configs
+// for one combination. Run: probe detail <bench> <short>
+func detail(benchName, short string) {
+	pair := machine.PrimaryPair()
+	b, err := algo.ByName(benchName)
+	if err != nil {
+		fmt.Println(err)
+		os.Exit(1)
+	}
+	d := gen.ByShort(gen.TableICached(gen.Small), short)
+	w, err := core.Characterize(b, d)
+	if err != nil {
+		fmt.Println(err)
+		os.Exit(1)
+	}
+	fmt.Println(w.Work)
+	bl := core.ComputeBaselines(pair, w, core.Performance)
+	for _, c := range []struct {
+		acc *machine.Accel
+		rep machine.Report
+		m   string
+	}{
+		{pair.GPU, bl.GPUOnly, bl.GPUOnlyM.String()},
+		{pair.Multicore, bl.MulticoreOnly, bl.MulticoreM.String()},
+	} {
+		bd := c.rep.Breakdown
+		fmt.Printf("%-16s %s total=%.5gs threads=%d util=%.2f\n", c.acc.Name, c.m, c.rep.Seconds, c.rep.Threads, c.rep.Utilization)
+		fmt.Printf("  chain=%.4g compute=%.4g fp=%.4g mem=%.4g atomics=%.4g barriers=%.4g pushpop=%.4g knob=%.3f chunks=%d\n",
+			bd.Chain, bd.Compute, bd.FP, bd.Memory, bd.Atomics, bd.Barriers, bd.PushPop, bd.KnobFactor, bd.Chunks)
+	}
+}

@@ -1,0 +1,64 @@
+// Command probe is a development aid that prints, for every
+// benchmark-input combination, which accelerator the exhaustively tuned
+// baseline prefers and by what factor, plus the decision tree's pick.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"heteromap/internal/algo"
+	"heteromap/internal/config"
+	"heteromap/internal/core"
+	"heteromap/internal/gen"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict/dtree"
+)
+
+func main() {
+	if len(os.Args) == 4 && os.Args[1] == "detail" {
+		detail(os.Args[2], os.Args[3])
+		return
+	}
+	pair := machine.PrimaryPair()
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "970":
+			pair = machine.StrongGPUPair()
+		case "cpu40":
+			pair = machine.CPU40Pair()
+		case "970cpu40":
+			pair = machine.StrongCPU40Pair()
+		}
+	}
+	tree := dtree.New(pair.Limits())
+	datasets := gen.TableICached(gen.Small)
+	start := time.Now()
+	for _, b := range algo.All() {
+		for _, d := range datasets {
+			w, err := core.Characterize(b, d)
+			if err != nil {
+				fmt.Println("ERR", err)
+				continue
+			}
+			bl := core.ComputeBaselines(pair, w, core.Performance)
+			winner := "GPU"
+			ratio := bl.MulticoreOnly.Seconds / bl.GPUOnly.Seconds
+			if bl.MulticoreOnly.Seconds < bl.GPUOnly.Seconds {
+				winner = "MC "
+				ratio = bl.GPUOnly.Seconds / bl.MulticoreOnly.Seconds
+			}
+			pick := tree.SelectAccelerator(w.Features)
+			mark := " "
+			if (pick == config.GPU) != (winner == "GPU") {
+				mark = "X"
+			}
+			fmt.Printf("%-12s %-5s win=%s by %6.2fx tree=%-9s %s  gpu=%.4gs mc=%.4gs util(g/m)=%.2f/%.2f\n",
+				b.Name, d.Short, winner, ratio, pick, mark,
+				bl.GPUOnly.Seconds, bl.MulticoreOnly.Seconds,
+				bl.GPUOnly.Utilization, bl.MulticoreOnly.Utilization)
+		}
+	}
+	fmt.Println("elapsed:", time.Since(start))
+}

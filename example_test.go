@@ -1,0 +1,78 @@
+package heteromap_test
+
+import (
+	"fmt"
+
+	"heteromap"
+)
+
+// Characterize a benchmark-input combination and walk the Section IV
+// decision tree: SSSP-Delta on the USA road network selects the
+// multicore (the paper's Fig 7 worked example).
+func Example() {
+	pair := heteromap.PrimaryPair()
+	sys := heteromap.NewSystem(pair, heteromap.NewDecisionTree(pair), heteromap.Performance)
+
+	rep, err := sys.Schedule(heteromap.BenchmarkSSSPDelta, heteromap.DatasetCA)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(rep.Workload.Name())
+	fmt.Println(rep.Chosen.Accelerator)
+	// Output:
+	// SSSP-Delta-CA
+	// Multicore
+}
+
+// The 17-dimensional characterization combines the thirteen benchmark
+// variables (Fig 5/6) with the four input variables (Fig 4); SSSP-BF on
+// USA-Cal reproduces the paper's worked discretizations exactly.
+func ExampleSystem_Characterize() {
+	pair := heteromap.PrimaryPair()
+	sys := heteromap.NewSystem(pair, heteromap.NewDecisionTree(pair), heteromap.Performance)
+
+	bench, _ := heteromap.BenchmarkByName(heteromap.BenchmarkSSSPBF)
+	ds, _ := heteromap.DatasetByName(heteromap.Datasets(false), heteromap.DatasetCA)
+	w, err := sys.Characterize(bench, ds)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(w.Features.B())
+	fmt.Println(w.Features.I())
+	// Output:
+	// B1=1.0 B2=0.0 B3=0.0 B4=0.0 B5=0.0 B6=0.0 B7=0.8 B8=0.0 B9=0.5 B10=0.5 B11=0.2 B12=0.2 B13=0.2
+	// I1=0.1 I2=0.1 I3=0.0 I4=0.8
+}
+
+// Every accelerator of Table II is available as a preset; pairs combine
+// one GPU with one multicore.
+func ExamplePrimaryPair() {
+	p := heteromap.PrimaryPair()
+	fmt.Println(p.GPU.Name)
+	fmt.Println(p.Multicore.Name)
+	// Output:
+	// GTX-750Ti
+	// Xeon-Phi-7120P
+}
+
+// Baselines reproduce the paper's evaluation protocol: exhaustively
+// tuned GPU-only and multicore-only runs, and the cross-accelerator
+// ideal the predictors are judged against.
+func ExampleSystem_Baselines() {
+	pair := heteromap.PrimaryPair()
+	sys := heteromap.NewSystem(pair, heteromap.NewDecisionTree(pair), heteromap.Performance)
+	rep, err := sys.Schedule(heteromap.BenchmarkSSSPDelta, heteromap.DatasetCA)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	bl := sys.Baselines(rep.Workload)
+	fmt.Println("multicore wins:", bl.MulticoreOnly.Seconds < bl.GPUOnly.Seconds)
+	fmt.Println("ideal is the better single:", bl.Ideal.Seconds <= bl.GPUOnly.Seconds &&
+		bl.Ideal.Seconds <= bl.MulticoreOnly.Seconds)
+	// Output:
+	// multicore wins: true
+	// ideal is the better single: true
+}

@@ -1,0 +1,72 @@
+// Deploy example: the full Fig 8 loop with a *real* execution at the
+// end. The system characterizes BFS on the LiveJournal analog, predicts
+// machine choices with the decision tree, and — when the multicore is
+// chosen — deploys the kernel on the host through the OpenMP-like
+// parallel runtime (internal/exec), honoring the predicted scheduling
+// kind, chunk size and thread count. The parallel result is verified
+// against the sequential reference and wall-clock times are reported for
+// a worker-count sweep, a live miniature of the paper's Fig 1.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"heteromap"
+	"heteromap/internal/algo"
+	"heteromap/internal/config"
+	"heteromap/internal/exec"
+)
+
+func main() {
+	pair := heteromap.PrimaryPair()
+	sys := heteromap.NewSystem(pair, heteromap.NewDecisionTree(pair), heteromap.Performance)
+
+	bench, err := heteromap.BenchmarkByName(heteromap.BenchmarkBFS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := heteromap.DatasetByName(heteromap.Datasets(true), heteromap.DatasetLJ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := sys.Characterize(bench, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := sys.Predictor().Predict(w.Features)
+	fmt.Printf("combination %s -> predicted %s\n", w.Name(), m)
+
+	g := ds.Graph
+	src := algo.SourceVertex(g)
+	want, _, _ := algo.BFS(g, src)
+
+	// Deploy with the predicted multicore knobs (or defaults if the
+	// predictor chose the GPU — the host stands in for the multicore).
+	deployM := m
+	if deployM.Accelerator != config.Multicore {
+		deployM = config.DefaultMulticore(pair.Limits())
+		fmt.Println("(predictor chose the GPU; deploying host run with multicore defaults)")
+	}
+	pool := exec.NewPool(deployM)
+	start := time.Now()
+	got := exec.BFS(pool, g, src)
+	elapsed := time.Since(start)
+	for v := range want {
+		if got[v] != want[v] {
+			log.Fatalf("parallel BFS diverged at vertex %d", v)
+		}
+	}
+	fmt.Printf("parallel BFS on %d workers (%v schedule): %v, verified against the sequential reference\n",
+		pool.Workers(), deployM.Schedule, elapsed)
+
+	// Worker sweep: the live miniature of Fig 1's thread curves.
+	fmt.Printf("\n%-8s %12s\n", "workers", "wall time")
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := exec.NewPoolN(workers, deployM.Schedule, deployM.ChunkSize)
+		t0 := time.Now()
+		exec.BFS(p, g, src)
+		fmt.Printf("%-8d %12v\n", p.Workers(), time.Since(t0))
+	}
+}

@@ -1,0 +1,67 @@
+// Energy-aware scheduling example (the Fig 12 workflow): train the same
+// deep predictor once for the performance objective and once for the
+// energy objective, then show how the two schedules diverge — the Xeon
+// Phi's higher power rating makes the energy-trained predictor lean
+// harder on the GPU, while the performance-trained one happily burns
+// watts for speed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heteromap"
+)
+
+func main() {
+	pair := heteromap.PrimaryPair()
+
+	build := func(obj heteromap.Objective) *heteromap.System {
+		deep := heteromap.NewDeepPredictor(pair, 128)
+		cfg := heteromap.FastTraining()
+		cfg.Objective = obj
+		db := heteromap.BuildTrainingDB(pair, cfg)
+		if err := deep.Train(db.Samples); err != nil {
+			log.Fatal(err)
+		}
+		return heteromap.NewSystem(pair, deep, obj)
+	}
+	perfSys := build(heteromap.Performance)
+	energySys := build(heteromap.Energy)
+
+	fmt.Printf("%-18s | %-9s %11s %9s | %-9s %11s %9s\n",
+		"combination", "perf-pick", "time(s)", "J",
+		"engy-pick", "time(s)", "J")
+
+	datasets := heteromap.Datasets(false)
+	var perfJ, energyJ float64
+	for _, benchName := range []string{
+		heteromap.BenchmarkSSSPBF, heteromap.BenchmarkSSSPDelta,
+		heteromap.BenchmarkPageRank, heteromap.BenchmarkCommunity,
+	} {
+		for _, short := range []string{heteromap.DatasetCA, heteromap.DatasetFB, heteromap.DatasetTwtr} {
+			bench, err := heteromap.BenchmarkByName(benchName)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ds, err := heteromap.DatasetByName(datasets, short)
+			if err != nil {
+				log.Fatal(err)
+			}
+			w, err := perfSys.Characterize(bench, ds)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p := perfSys.Run(w)
+			e := energySys.Run(w)
+			perfJ += p.Machine.EnergyJ
+			energyJ += e.Machine.EnergyJ
+			fmt.Printf("%-18s | %-9s %11.4g %9.3g | %-9s %11.4g %9.3g\n",
+				w.Name(),
+				p.Chosen.Accelerator, p.Machine.Seconds, p.Machine.EnergyJ,
+				e.Chosen.Accelerator, e.Machine.Seconds, e.Machine.EnergyJ)
+		}
+	}
+	fmt.Printf("\ntotal energy: performance-trained %.4g J, energy-trained %.4g J (%.2fx reduction)\n",
+		perfJ, energyJ, perfJ/energyJ)
+}

@@ -1,0 +1,37 @@
+// Quickstart: build the default HeteroMap system (primary GTX-750Ti +
+// Xeon Phi pair, deep predictor trained on a fast synthetic database) and
+// schedule one benchmark-input combination, comparing the prediction
+// against the tuned single-accelerator baselines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heteromap"
+)
+
+func main() {
+	sys, err := heteromap.NewDefaultSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := sys.Schedule(heteromap.BenchmarkBFS, heteromap.DatasetTwtr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("combination: %s\n", rep.Workload.Name())
+	fmt.Printf("characterization: %s\n", rep.Workload.Features)
+	fmt.Printf("predicted machine choices: %s\n", rep.Chosen)
+	fmt.Printf("completion: %.6gs on %s (util %.0f%%, %.3g J)\n",
+		rep.Machine.Seconds, rep.Machine.Accel,
+		rep.Machine.Utilization*100, rep.Machine.EnergyJ)
+
+	bl := sys.Baselines(rep.Workload)
+	fmt.Printf("GPU-only baseline: %.6gs, multicore-only: %.6gs, ideal: %.6gs\n",
+		bl.GPUOnly.Seconds, bl.MulticoreOnly.Seconds, bl.Ideal.Seconds)
+	fmt.Printf("HeteroMap vs ideal: %+.1f%%\n",
+		(rep.TotalSeconds/bl.Ideal.Seconds-1)*100)
+}

@@ -1,0 +1,71 @@
+// Scheduler example: the Fig 11 workflow on a subset of combinations —
+// compare GPU-only, multicore-only, the decision tree and a trained deep
+// predictor per combination, normalized to the GPU-only baseline.
+//
+// This is the paper's motivating scenario: neither accelerator wins
+// everywhere, and the predictor captures most of the best-of-both
+// potential at negligible overhead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heteromap"
+)
+
+func main() {
+	pair := heteromap.PrimaryPair()
+
+	// The decision tree needs no training; the deep model trains on a
+	// fast synthetic database.
+	tree := heteromap.NewDecisionTree(pair)
+	deep := heteromap.NewDeepPredictor(pair, 128)
+	db := heteromap.BuildTrainingDB(pair, heteromap.FastTraining())
+	if err := deep.Train(db.Samples); err != nil {
+		log.Fatal(err)
+	}
+
+	treeSys := heteromap.NewSystem(pair, tree, heteromap.Performance)
+	deepSys := heteromap.NewSystem(pair, deep, heteromap.Performance)
+
+	combos := []struct{ bench, input string }{
+		{heteromap.BenchmarkSSSPBF, heteromap.DatasetCA},
+		{heteromap.BenchmarkSSSPDelta, heteromap.DatasetCA},
+		{heteromap.BenchmarkSSSPDelta, heteromap.DatasetCAGE},
+		{heteromap.BenchmarkBFS, heteromap.DatasetTwtr},
+		{heteromap.BenchmarkDFS, heteromap.DatasetCO},
+		{heteromap.BenchmarkPageRank, heteromap.DatasetFB},
+		{heteromap.BenchmarkTriangle, heteromap.DatasetLJ},
+		{heteromap.BenchmarkConnComp, heteromap.DatasetKron},
+	}
+
+	fmt.Printf("%-18s %9s %9s %9s %9s  %s\n",
+		"combination", "GPU-only", "MC-only", "tree", "deep", "tree/deep choices")
+	datasets := heteromap.Datasets(false)
+	for _, combo := range combos {
+		bench, err := heteromap.BenchmarkByName(combo.bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := heteromap.DatasetByName(datasets, combo.input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := treeSys.Characterize(bench, ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bl := treeSys.Baselines(w)
+		treeRep := treeSys.Run(w)
+		deepRep := deepSys.Run(w)
+		gpu := bl.GPUOnly.Seconds
+		fmt.Printf("%-18s %9.2f %9.2f %9.2f %9.2f  %s / %s\n",
+			w.Name(), 1.0,
+			bl.MulticoreOnly.Seconds/gpu,
+			treeRep.TotalSeconds/gpu,
+			deepRep.TotalSeconds/gpu,
+			treeRep.Chosen.Accelerator, deepRep.Chosen.Accelerator)
+	}
+	fmt.Println("\n(normalized completion time; lower is better, 1.00 = tuned GPU-only)")
+}

@@ -1,0 +1,3 @@
+module heteromap
+
+go 1.22

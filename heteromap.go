@@ -1,0 +1,299 @@
+// Package heteromap is a Go reproduction of "HeteroMap: A Runtime
+// Performance Predictor for Efficient Processing of Graph Analytics on
+// Heterogeneous Multi-Accelerators" (Ahmad, Dogan, Michael, Khan —
+// ISPASS 2019).
+//
+// HeteroMap schedules graph benchmark-input combinations onto a
+// heterogeneous pair of accelerators (a GPU and a multicore): it
+// characterizes the benchmark into thirteen B variables and the input
+// graph into four I variables, feeds the 17-dimensional characterization
+// to a predictor (a hand-built decision tree, regressions, or feed-
+// forward neural networks trained offline on synthetic combinations),
+// and deploys the predicted machine-choice vector M (accelerator plus
+// nineteen concurrency knobs). Because Go has no GPU substrate, the
+// accelerators are calibrated analytical simulators driven by
+// instrumented executions of the real graph algorithms (see DESIGN.md).
+//
+// Quick start:
+//
+//	sys, _ := heteromap.NewDefaultSystem()
+//	report, _ := sys.Schedule(heteromap.BenchmarkBFS, heteromap.DatasetFB)
+//	fmt.Println(report.Chosen, report.TotalSeconds)
+//
+// The subpackages under internal/ implement the substrates; everything a
+// downstream user needs is re-exported here: systems (NewSystem,
+// NewDefaultSystem), predictors (NewDecisionTree, TrainDeepPredictor,
+// ...), the Table I dataset catalog, the nine benchmarks, and the
+// characterization primitives.
+package heteromap
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"heteromap/internal/algo"
+	"heteromap/internal/config"
+	"heteromap/internal/core"
+	"heteromap/internal/feature"
+	"heteromap/internal/gen"
+	"heteromap/internal/graph"
+	"heteromap/internal/machine"
+	"heteromap/internal/phased"
+	"heteromap/internal/predict"
+	"heteromap/internal/predict/dtree"
+	"heteromap/internal/predict/nn"
+	"heteromap/internal/predict/regress"
+	"heteromap/internal/train"
+)
+
+// Re-exported core types. The type aliases keep the public API a single
+// import while the implementation stays modular under internal/.
+type (
+	// Graph is the CSR graph representation.
+	Graph = graph.Graph
+	// Dataset couples a generated input graph with its declared
+	// paper-scale metadata (Table I).
+	Dataset = gen.Dataset
+	// Benchmark is one of the nine graph benchmarks.
+	Benchmark = algo.Benchmark
+	// Workload is a characterized benchmark-input combination.
+	Workload = core.Workload
+	// M is the machine-choice vector (M1-M20).
+	M = config.M
+	// Accelerator describes one simulated accelerator.
+	Accelerator = machine.Accel
+	// Pair is a GPU+multicore system.
+	Pair = machine.Pair
+	// Predictor maps characterizations to machine choices.
+	Predictor = predict.Predictor
+	// TrainablePredictor is a predictor fitted on the offline database.
+	TrainablePredictor = predict.Trainable
+	// FeatureVector is the 17-dimensional (B, I) characterization.
+	FeatureVector = feature.Vector
+	// RunReport is the outcome of one scheduled execution.
+	RunReport = core.RunReport
+	// Baselines holds the GPU-only / multicore-only / ideal references.
+	Baselines = core.Baselines
+	// TrainingConfig sizes offline training.
+	TrainingConfig = train.Config
+	// TrainingDB is the offline (B,I) -> M database.
+	TrainingDB = train.DB
+	// Objective selects performance or energy optimization.
+	Objective = core.Objective
+)
+
+// Objectives.
+const (
+	// Performance minimizes completion time.
+	Performance = core.Performance
+	// Energy minimizes energy.
+	Energy = core.Energy
+)
+
+// Benchmark names (paper Section VI-B).
+const (
+	BenchmarkSSSPBF     = algo.NameSSSPBF
+	BenchmarkSSSPDelta  = algo.NameSSSPDelta
+	BenchmarkBFS        = algo.NameBFS
+	BenchmarkDFS        = algo.NameDFS
+	BenchmarkPageRank   = algo.NamePageRank
+	BenchmarkPageRankDP = algo.NamePageRankDP
+	BenchmarkTriangle   = algo.NameTriangle
+	BenchmarkCommunity  = algo.NameCommunity
+	BenchmarkConnComp   = algo.NameConnComp
+)
+
+// Dataset short names (paper Table I).
+const (
+	DatasetCA   = "CA"
+	DatasetFB   = "FB"
+	DatasetLJ   = "LJ"
+	DatasetTwtr = "Twtr"
+	DatasetFrnd = "Frnd"
+	DatasetCO   = "CO"
+	DatasetCAGE = "CAGE"
+	DatasetRgg  = "Rgg"
+	DatasetKron = "Kron"
+)
+
+// Benchmarks returns the nine paper benchmarks.
+func Benchmarks() []Benchmark { return algo.All() }
+
+// BenchmarkByName looks a benchmark up by its paper name.
+func BenchmarkByName(name string) (Benchmark, error) { return algo.ByName(name) }
+
+// Datasets returns the Table I evaluation catalog. Small analogs keep
+// everything fast; pass large=true for the bigger structural analogs used
+// by the experiment harness.
+func Datasets(large bool) []*Dataset {
+	if large {
+		return gen.TableICached(gen.Medium)
+	}
+	return gen.TableICached(gen.Small)
+}
+
+// DatasetByName finds a dataset by its Table I abbreviation (e.g. "CA").
+func DatasetByName(datasets []*Dataset, short string) (*Dataset, error) {
+	if d := gen.ByShort(datasets, short); d != nil {
+		return d, nil
+	}
+	return nil, fmt.Errorf("heteromap: unknown dataset %q", short)
+}
+
+// LoadEdgeListFile reads a whitespace-separated edge-list file ("src dst
+// [weight]" per line, '#'/'%' comments) into a schedulable Dataset: the
+// graph's structure is measured directly (including a diameter
+// approximation), so user graphs flow through exactly the same
+// characterize -> predict -> deploy path as the Table I catalog.
+func LoadEdgeListFile(path string, undirected bool) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := filepath.Base(path)
+	g, err := graph.ReadEdgeList(f, strings.TrimSuffix(name, filepath.Ext(name)), 0, undirected)
+	if err != nil {
+		return nil, err
+	}
+	return feature.DatasetFromGraph(g), nil
+}
+
+// DatasetFromGraph wraps an in-memory graph as a schedulable Dataset
+// with measured characteristics.
+func DatasetFromGraph(g *Graph) *Dataset { return feature.DatasetFromGraph(g) }
+
+// Accelerator constructors (Table II).
+var (
+	GTX750Ti     = machine.GTX750Ti
+	GTX970       = machine.GTX970
+	XeonPhi7120P = machine.XeonPhi7120P
+	CPU40        = machine.CPU40
+)
+
+// PrimaryPair returns the paper's primary system: GTX-750Ti + Xeon Phi.
+func PrimaryPair() Pair { return machine.PrimaryPair() }
+
+// Pairs returns the four accelerator combinations of Section VI-A.
+func Pairs() []Pair { return machine.AllPairs() }
+
+// NewDecisionTree builds the Section IV analytical predictor for a pair.
+func NewDecisionTree(p Pair) Predictor { return dtree.New(p.Limits()) }
+
+// NewDeepPredictor builds an untrained feed-forward network with the
+// given hidden width (paper: 16/32/64/128; 128 is the selected model).
+func NewDeepPredictor(p Pair, hidden int) TrainablePredictor {
+	return nn.New(p.Limits(), nn.Options{Hidden: hidden})
+}
+
+// NewLinearRegression builds the Table IV linear baseline.
+func NewLinearRegression(p Pair) TrainablePredictor { return regress.NewLinear(p.Limits()) }
+
+// NewMultiRegression builds the 7th-order multiple regression.
+func NewMultiRegression(p Pair) TrainablePredictor { return regress.NewMulti(p.Limits()) }
+
+// BuildTrainingDB generates the offline database of Section V for a pair:
+// synthetic benchmark-input combinations auto-tuned to their best M.
+func BuildTrainingDB(p Pair, cfg TrainingConfig) *TrainingDB {
+	return train.BuildDatabase(p, cfg)
+}
+
+// FastTraining returns a training configuration sized for interactive
+// use; DefaultTraining matches the experiment harness.
+func FastTraining() TrainingConfig    { return train.FastConfig() }
+func DefaultTraining() TrainingConfig { return train.DefaultConfig() }
+
+// System is the HeteroMap runtime: characterize -> predict -> deploy.
+type System struct {
+	inner    *core.System
+	datasets []*Dataset
+}
+
+// NewSystem assembles a runtime from a pair and a (trained) predictor.
+func NewSystem(p Pair, pred Predictor, obj Objective) *System {
+	return &System{
+		inner:    core.NewSystem(p, pred, obj),
+		datasets: Datasets(false),
+	}
+}
+
+// NewDefaultSystem builds the primary pair with a freshly trained deep
+// predictor (fast training configuration) optimizing performance.
+func NewDefaultSystem() (*System, error) {
+	pair := PrimaryPair()
+	deep := NewDeepPredictor(pair, 128)
+	db := BuildTrainingDB(pair, FastTraining())
+	if err := deep.Train(db.Samples); err != nil {
+		return nil, err
+	}
+	return NewSystem(pair, deep, Performance), nil
+}
+
+// Pair returns the system's accelerator pair.
+func (s *System) Pair() Pair { return s.inner.Pair }
+
+// Predictor returns the system's predictor.
+func (s *System) Predictor() Predictor { return s.inner.Predictor }
+
+// Characterize runs a benchmark on a dataset's generated graph and
+// packages the measured profile with the (B, I) characterization.
+func (s *System) Characterize(bench Benchmark, ds *Dataset) (*Workload, error) {
+	return core.Characterize(bench, ds)
+}
+
+// Run deploys an already characterized workload.
+func (s *System) Run(w *Workload) RunReport { return s.inner.Run(w) }
+
+// Schedule characterizes and deploys a benchmark on a named Table I
+// dataset in one call.
+func (s *System) Schedule(benchName, datasetShort string) (RunReport, error) {
+	bench, err := BenchmarkByName(benchName)
+	if err != nil {
+		return RunReport{}, err
+	}
+	ds, err := DatasetByName(s.datasets, datasetShort)
+	if err != nil {
+		return RunReport{}, err
+	}
+	w, err := s.Characterize(bench, ds)
+	if err != nil {
+		return RunReport{}, err
+	}
+	return s.Run(w), nil
+}
+
+// Baselines computes the GPU-only, multicore-only and ideal references
+// for a workload on this system's pair.
+func (s *System) Baselines(w *Workload) Baselines {
+	return core.ComputeBaselines(s.inner.Pair, w, s.inner.Objective)
+}
+
+// PhasedSchedule is a phase-level execution plan (the temporal extension
+// the paper leaves as future work — see internal/phased).
+type PhasedSchedule = phased.Schedule
+
+// PlanPhased assigns each phase of an already characterized workload to
+// its best accelerator, charging per-iteration PCIe migration costs, and
+// returns the plan together with the single-accelerator baseline it must
+// beat. The per-accelerator configurations come from this system's
+// predictor (forced onto each accelerator in turn).
+func (s *System) PlanPhased(w *Workload) PhasedSchedule {
+	pair := s.inner.Pair
+	limits := pair.Limits()
+	m := s.inner.Predictor.Predict(w.Features)
+	gpuM, mcM := m, m
+	gpuM.Accelerator = config.GPU
+	mcM.Accelerator = config.Multicore
+	// Fill the side the predictor did not configure with deployable
+	// defaults.
+	if m.Accelerator == config.GPU {
+		d := config.DefaultMulticore(limits)
+		mcM.Cores, mcM.ThreadsPerCore, mcM.SIMDWidth = d.Cores, d.ThreadsPerCore, d.SIMDWidth
+	} else {
+		d := config.DefaultGPU(limits)
+		gpuM.GlobalThreads, gpuM.LocalThreads = d.GlobalThreads, d.LocalThreads
+	}
+	return phased.Plan(pair, w.Job, gpuM.Clamp(limits), mcM.Clamp(limits))
+}

@@ -1,0 +1,231 @@
+package heteromap
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"heteromap/internal/config"
+)
+
+var (
+	sysOnce sync.Once
+	sysErr  error
+	sys     *System
+)
+
+func defaultSystem(t *testing.T) *System {
+	t.Helper()
+	sysOnce.Do(func() { sys, sysErr = NewDefaultSystem() })
+	if sysErr != nil {
+		t.Fatal(sysErr)
+	}
+	return sys
+}
+
+func TestPublicCatalogs(t *testing.T) {
+	if len(Benchmarks()) != 9 {
+		t.Fatal("nine benchmarks")
+	}
+	if len(Datasets(false)) != 9 {
+		t.Fatal("nine datasets")
+	}
+	if len(Pairs()) != 4 {
+		t.Fatal("four pairs")
+	}
+	if _, err := BenchmarkByName(BenchmarkSSSPDelta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BenchmarkByName("missing"); err == nil {
+		t.Fatal("expected benchmark error")
+	}
+	if _, err := DatasetByName(Datasets(false), DatasetCA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DatasetByName(Datasets(false), "missing"); err == nil {
+		t.Fatal("expected dataset error")
+	}
+}
+
+func TestAcceleratorConstructors(t *testing.T) {
+	if GTX750Ti().Name != "GTX-750Ti" || XeonPhi7120P().Name != "Xeon-Phi-7120P" {
+		t.Fatal("accelerator constructors")
+	}
+	p := PrimaryPair()
+	if p.GPU.Name != "GTX-750Ti" {
+		t.Fatal("primary pair")
+	}
+}
+
+func TestDecisionTreeSystemEndToEnd(t *testing.T) {
+	pair := PrimaryPair()
+	s := NewSystem(pair, NewDecisionTree(pair), Performance)
+	rep, err := s.Schedule(BenchmarkSSSPDelta, DatasetCA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 7: SSSP-Delta on CA selects the multicore.
+	if rep.Chosen.Accelerator != config.Multicore {
+		t.Fatalf("SSSP-Delta-CA chose %v", rep.Chosen.Accelerator)
+	}
+	if rep.TotalSeconds <= 0 {
+		t.Fatal("no simulated time")
+	}
+	bl := s.Baselines(rep.Workload)
+	if bl.Ideal.Seconds <= 0 {
+		t.Fatal("baselines")
+	}
+	// The prediction must land in the ideal's neighbourhood.
+	if rep.TotalSeconds > bl.Ideal.Seconds*2 {
+		t.Fatalf("prediction %v far from ideal %v", rep.TotalSeconds, bl.Ideal.Seconds)
+	}
+}
+
+func TestDefaultSystemQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a deep model")
+	}
+	s := defaultSystem(t)
+	rep, err := s.Schedule(BenchmarkBFS, DatasetTwtr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workload.Name() != "BFS-Twtr" {
+		t.Fatal("workload identity")
+	}
+	if rep.Machine.Utilization <= 0 || rep.Machine.EnergyJ <= 0 {
+		t.Fatal("degenerate report")
+	}
+}
+
+func TestTrainablePredictorsThroughPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	pair := PrimaryPair()
+	db := BuildTrainingDB(pair, TrainingConfig{Samples: 120, Seed: 3})
+	if len(db.Samples) != 120 {
+		t.Fatal("db size")
+	}
+	for _, p := range []TrainablePredictor{
+		NewDeepPredictor(pair, 16),
+		NewLinearRegression(pair),
+		NewMultiRegression(pair),
+	} {
+		if err := p.Train(db.Samples); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		s := NewSystem(pair, p, Performance)
+		rep, err := s.Schedule(BenchmarkPageRank, DatasetFB)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if rep.TotalSeconds <= 0 {
+			t.Fatalf("%s: no time", p.Name())
+		}
+	}
+}
+
+func TestCharacterizeExposesDerivedB(t *testing.T) {
+	pair := PrimaryPair()
+	s := NewSystem(pair, NewDecisionTree(pair), Performance)
+	b, _ := BenchmarkByName(BenchmarkDFS)
+	ds, _ := DatasetByName(Datasets(false), DatasetCO)
+	w, err := s.Characterize(b, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.DerivedB.PhaseSum() == 0 {
+		t.Fatal("derived B missing")
+	}
+	if w.Work.TotalOps() == 0 {
+		t.Fatal("profile missing")
+	}
+}
+
+func TestLoadEdgeListFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/mini.el"
+	content := "# test graph\n0 1 2\n1 2 3\n2 3 1\n3 0 4\n0 2 2\n"
+	if err := writeFile(path, content); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadEdgeListFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "mini" {
+		t.Fatalf("dataset name %q", ds.Name)
+	}
+	if ds.Graph.NumVertices() != 4 || ds.Graph.NumEdges() != 10 {
+		t.Fatalf("V=%d E=%d", ds.Graph.NumVertices(), ds.Graph.NumEdges())
+	}
+	// User graphs flow through the normal scheduling path.
+	pair := PrimaryPair()
+	s := NewSystem(pair, NewDecisionTree(pair), Performance)
+	b, _ := BenchmarkByName(BenchmarkSSSPBF)
+	w, err := s.Characterize(b, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Run(w)
+	if rep.TotalSeconds <= 0 {
+		t.Fatal("no simulated time for user graph")
+	}
+	// Missing files error.
+	if _, err := LoadEdgeListFile(dir+"/missing.el", true); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func writeFile(path, content string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(content); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func TestPlanPhasedPublicAPI(t *testing.T) {
+	pair := PrimaryPair()
+	s := NewSystem(pair, NewDecisionTree(pair), Performance)
+	b, _ := BenchmarkByName(BenchmarkSSSPDelta)
+	ds, _ := DatasetByName(Datasets(false), DatasetCA)
+	w, err := s.Characterize(b, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := s.PlanPhased(w)
+	if len(plan.Assignments) != len(w.Work.Phases) {
+		t.Fatalf("plan covers %d phases, work has %d",
+			len(plan.Assignments), len(w.Work.Phases))
+	}
+	if plan.TotalSeconds <= 0 || plan.SingleSeconds <= 0 {
+		t.Fatal("degenerate phased plan")
+	}
+	if plan.TotalSeconds > plan.SingleSeconds*1.0000001 {
+		t.Fatal("phased plan must never lose to its own single baseline")
+	}
+}
+
+func TestEnergyObjectiveSystem(t *testing.T) {
+	pair := PrimaryPair()
+	s := NewSystem(pair, NewDecisionTree(pair), Energy)
+	rep, err := s.Schedule(BenchmarkCommunity, DatasetFB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl := s.Baselines(rep.Workload)
+	// Energy baselines must minimize energy, not time.
+	minE := bl.GPUOnly.EnergyJ
+	if bl.MulticoreOnly.EnergyJ < minE {
+		minE = bl.MulticoreOnly.EnergyJ
+	}
+	if bl.Ideal.EnergyJ != minE {
+		t.Fatal("energy ideal selection")
+	}
+}

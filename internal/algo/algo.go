@@ -1,0 +1,176 @@
+// Package algo implements the nine graph benchmarks of the HeteroMap paper
+// (Section VI-B): SSSP-Bellman-Ford, SSSP-Delta-stepping, BFS, DFS,
+// PageRank, PageRank-DP, Triangle Counting, Community Detection and
+// Connected Components.
+//
+// Every benchmark actually computes its result (tests validate against
+// reference implementations) while recording an instruction/access-level
+// work profile (internal/profile). The profile is what the accelerator
+// simulator consumes; the result is what correctness tests consume. The
+// phase structure of each implementation matches the paper's B-variable
+// classification in Fig 5/6 — e.g. SSSP-BF is pure vertex division,
+// BFS is pareto-division, DFS is push-pop, SSSP-Delta mixes push-pop with
+// a GAP-style bucket reduction.
+package algo
+
+import (
+	"fmt"
+
+	"heteromap/internal/graph"
+	"heteromap/internal/profile"
+)
+
+// Result summarizes a benchmark execution for validation purposes.
+type Result struct {
+	// Checksum is an algorithm-specific scalar (sum of distances,
+	// triangle count, ...) compared against reference implementations.
+	Checksum float64
+	// Iterations is the number of outer iterations until convergence.
+	Iterations int64
+	// Visited counts vertices touched, where meaningful.
+	Visited int64
+}
+
+// RunFunc executes a benchmark on a graph and returns its result and
+// measured work profile.
+type RunFunc func(g *graph.Graph) (Result, *profile.Work)
+
+// Benchmark describes one registered graph benchmark.
+type Benchmark struct {
+	// Name is the paper's benchmark name, e.g. "SSSP-BF".
+	Name string
+	// NeedsWeights marks benchmarks that read edge weights (unweighted
+	// graphs are treated as unit-weight).
+	NeedsWeights bool
+	// NeedsUndirected marks benchmarks whose semantics assume symmetric
+	// adjacency (triangle counting, community detection, components).
+	NeedsUndirected bool
+	// Run executes the benchmark.
+	Run RunFunc
+}
+
+// Benchmark names in the paper's order (Fig 5 / Fig 11).
+const (
+	NameSSSPBF     = "SSSP-BF"
+	NameSSSPDelta  = "SSSP-Delta"
+	NameBFS        = "BFS"
+	NameDFS        = "DFS"
+	NamePageRank   = "PageRank"
+	NamePageRankDP = "PageRank-DP"
+	NameTriangle   = "Tri.Cnt"
+	NameCommunity  = "Comm"
+	NameConnComp   = "Conn.Comp"
+)
+
+// All returns the nine paper benchmarks in Fig 5 order.
+func All() []Benchmark {
+	return []Benchmark{
+		{Name: NameSSSPBF, NeedsWeights: true, Run: runSSSPBF},
+		{Name: NameSSSPDelta, NeedsWeights: true, Run: runSSSPDelta},
+		{Name: NameBFS, Run: runBFS},
+		{Name: NameDFS, Run: runDFS},
+		{Name: NamePageRankDP, Run: runPageRankDP},
+		{Name: NamePageRank, Run: runPageRank},
+		{Name: NameTriangle, NeedsUndirected: true, Run: runTriangle},
+		{Name: NameCommunity, NeedsUndirected: true, Run: runCommunity},
+		{Name: NameConnComp, NeedsUndirected: true, Run: runConnComp},
+	}
+}
+
+// ByName returns the benchmark with the given paper name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("algo: unknown benchmark %q", name)
+}
+
+// Names returns the nine benchmark names in paper order.
+func Names() []string {
+	bs := All()
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// SourceVertex picks the deterministic traversal source used by all
+// traversal benchmarks: the highest-degree vertex (ties to the lowest id).
+// High-degree sources sit inside the giant component of every catalog
+// graph, so traversals exercise the whole structure.
+func SourceVertex(g *graph.Graph) int {
+	best, bestDeg := 0, -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > bestDeg {
+			best, bestDeg = v, d
+		}
+	}
+	return best
+}
+
+// recorder accumulates a profile.Work during an instrumented run.
+type recorder struct {
+	work   profile.Work
+	index  map[string]int
+	gStats graph.DegreeStats
+}
+
+func newRecorder(bench string, g *graph.Graph) *recorder {
+	r := &recorder{index: make(map[string]int)}
+	// Preallocate so phase() pointers stay valid: appends must never
+	// reallocate the backing array while callers hold phase pointers.
+	r.work.Phases = make([]profile.Phase, 0, 8)
+	r.work.Benchmark = bench
+	r.work.Graph = g.Name
+	r.work.Locality = graph.LocalityScore(g)
+	r.gStats = graph.ComputeDegreeStats(g)
+	r.work.Skew = r.gStats.Skew
+	return r
+}
+
+// phase returns the accumulator for a named phase, creating it on first
+// use. All iterations of a benchmark accumulate into the same phase
+// entry. Callers hold the returned pointer for the whole run, so the
+// phase slice must never reallocate (see newRecorder).
+func (r *recorder) phase(name string, kind profile.PhaseKind) *profile.Phase {
+	if i, ok := r.index[name]; ok {
+		return &r.work.Phases[i]
+	}
+	if len(r.work.Phases) == cap(r.work.Phases) {
+		panic("algo: too many phases; raise the recorder preallocation")
+	}
+	r.index[name] = len(r.work.Phases)
+	r.work.Phases = append(r.work.Phases, profile.Phase{Kind: kind, Name: name})
+	return &r.work.Phases[len(r.work.Phases)-1]
+}
+
+// barrier records global barriers (B13).
+func (r *recorder) barrier(n int64) { r.work.Barriers += n }
+
+// markDiameterBound flags profiles whose iteration count tracks the
+// input diameter (see profile.Work.DiameterBound).
+func (r *recorder) markDiameterBound() { r.work.DiameterBound = true }
+
+// finish stamps iteration counts and returns the completed profile.
+func (r *recorder) finish(iterations int64) *profile.Work {
+	r.work.Iterations = iterations
+	return &r.work
+}
+
+// edgeWeight returns the weight of edge index i of vertex v, treating
+// unweighted graphs as unit weight.
+func edgeWeight(ws []float32, i int) float32 {
+	if ws == nil {
+		return 1
+	}
+	return ws[i]
+}
+
+const (
+	bytesPerEdge   = 4
+	bytesPerVertex = 4
+	bytesPerRank   = 8
+)

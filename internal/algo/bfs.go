@@ -1,0 +1,74 @@
+package algo
+
+import (
+	"heteromap/internal/graph"
+	"heteromap/internal/profile"
+)
+
+// BFS computes breadth-first distances with the level-synchronous frontier
+// algorithm. The paper classifies BFS as pure pareto-division (B3): the
+// frontier is a dynamically growing vertex front, one global barrier
+// separates levels, and visited-marking is the only contended update.
+func BFS(g *graph.Graph, src int) ([]int32, Result, *profile.Work) {
+	n := g.NumVertices()
+	rec := newRecorder(NameBFS, g)
+	rec.markDiameterBound()
+	ph := rec.phase("frontier-expand", profile.ParetoDynamic)
+
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	if n == 0 {
+		return depth, Result{}, rec.finish(0)
+	}
+	depth[src] = 0
+
+	frontier := []int32{int32(src)}
+	var levels int64
+	var visited int64 = 1
+	var maxFrontier int64 = 1
+	for len(frontier) > 0 {
+		levels++
+		var next []int32
+		for _, v := range frontier {
+			ph.VertexOps++
+			dv := depth[v]
+			for _, u := range g.Neighbors(int(v)) {
+				ph.EdgeOps++
+				ph.IndexedAccesses += 2 // depth[u] read + frontier append
+				if depth[u] < 0 {
+					ph.Atomics++ // CAS-style visited marking
+					depth[u] = dv + 1
+					next = append(next, u)
+					visited++
+				}
+			}
+		}
+		if int64(len(next)) > maxFrontier {
+			maxFrontier = int64(len(next))
+		}
+		rec.barrier(1)
+		frontier = next
+	}
+
+	ph.ReadOnlyBytes = g.FootprintBytes()
+	ph.ReadWriteBytes = 2 * int64(n) * bytesPerVertex // depth + frontier arrays
+	ph.LocalBytes = maxFrontier * bytesPerVertex
+	ph.ChainLength = levels
+	ph.ParallelItems = maxFrontier
+
+	var sum float64
+	for _, d := range depth {
+		if d >= 0 {
+			sum += float64(d)
+		}
+	}
+	res := Result{Checksum: sum, Iterations: levels, Visited: visited}
+	return depth, res, rec.finish(levels)
+}
+
+func runBFS(g *graph.Graph) (Result, *profile.Work) {
+	_, res, w := BFS(g, SourceVertex(g))
+	return res, w
+}

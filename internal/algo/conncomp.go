@@ -1,0 +1,92 @@
+package algo
+
+import (
+	"heteromap/internal/graph"
+	"heteromap/internal/profile"
+)
+
+// ConnectedComponents labels weakly connected components with a
+// Shiloach-Vishkin style hook-and-compress algorithm: every edge hooks the
+// larger parent onto the smaller (an indirect, data-dependent write —
+// exactly the B8 "double pointer" pattern the paper flags for
+// Conn.Comp.), then pointer-jumping compresses parent chains until a fixed
+// point. The graph should be undirected for component semantics.
+//
+// It returns the representative (component root) per vertex.
+func ConnectedComponents(g *graph.Graph) ([]int32, Result, *profile.Work) {
+	n := g.NumVertices()
+	rec := newRecorder(NameConnComp, g)
+	rec.markDiameterBound()
+	hook := rec.phase("hook", profile.VertexDivision)
+	jump := rec.phase("compress", profile.Reduction)
+
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	if n == 0 {
+		return parent, Result{}, rec.finish(0)
+	}
+
+	var iterations int64
+	for {
+		iterations++
+		changed := false
+		// Hook: parent[parent[v]] = min over neighbors (indirect writes).
+		for v := 0; v < n; v++ {
+			hook.VertexOps++
+			pv := parent[v]
+			hook.IndexedAccesses++
+			for _, u := range g.Neighbors(v) {
+				hook.EdgeOps++
+				hook.IntOps++
+				hook.IndirectAccesses += 2 // parent[u] and parent[parent[..]] chase
+				pu := parent[u]
+				if pu < pv {
+					// Hook the tree root, not just the vertex — the
+					// indirect double-pointer write.
+					parent[pv] = pu
+					hook.Atomics++ // contended min-update
+					pv = pu
+					changed = true
+				}
+			}
+		}
+		rec.barrier(1)
+		// Compress: pointer jumping until every vertex points at a root.
+		for v := 0; v < n; v++ {
+			jump.VertexOps++
+			for parent[v] != parent[parent[v]] {
+				jump.IndirectAccesses += 2
+				jump.IntOps++
+				parent[v] = parent[parent[v]]
+			}
+			jump.IndexedAccesses++
+		}
+		rec.barrier(1)
+		if !changed {
+			break
+		}
+	}
+
+	hook.ReadOnlyBytes = g.FootprintBytes()
+	hook.ReadWriteBytes = int64(n) * bytesPerVertex
+	hook.LocalBytes = int64(n) * bytesPerVertex / 8
+	hook.ChainLength = iterations
+	hook.ParallelItems = int64(n)
+	jump.ReadWriteBytes = int64(n) * bytesPerVertex
+	jump.ChainLength = iterations
+	jump.ParallelItems = int64(n)
+
+	seen := make(map[int32]struct{}, 64)
+	for _, p := range parent {
+		seen[p] = struct{}{}
+	}
+	res := Result{Checksum: float64(len(seen)), Iterations: iterations, Visited: int64(n)}
+	return parent, res, rec.finish(iterations)
+}
+
+func runConnComp(g *graph.Graph) (Result, *profile.Work) {
+	_, res, w := ConnectedComponents(g)
+	return res, w
+}

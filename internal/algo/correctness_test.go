@@ -1,0 +1,328 @@
+package algo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteromap/internal/gen"
+	"heteromap/internal/graph"
+)
+
+func TestSSSPBellmanFordMatchesDijkstra(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := smallRandom(t, seed)
+		src := SourceVertex(g)
+		got, _, _ := SSSPBellmanFord(g, src)
+		want := refDijkstra(g, src)
+		for v := range want {
+			if math.Abs(float64(got[v]-want[v])) > 1e-3 {
+				t.Fatalf("seed %d: dist[%d]=%v want %v", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestSSSPDeltaMatchesDijkstra(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := smallRandom(t, seed)
+		src := SourceVertex(g)
+		got, _, _ := SSSPDelta(g, src, 0)
+		want := refDijkstra(g, src)
+		for v := range want {
+			if math.Abs(float64(got[v]-want[v])) > 1e-3 {
+				t.Fatalf("seed %d: dist[%d]=%v want %v", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestSSSPDeltaVariousBucketWidths(t *testing.T) {
+	g := smallRandom(t, 9)
+	src := SourceVertex(g)
+	want := refDijkstra(g, src)
+	for _, delta := range []float32{0.5, 1, 4, 16, 1000} {
+		got, _, _ := SSSPDelta(g, src, delta)
+		for v := range want {
+			if math.Abs(float64(got[v]-want[v])) > 1e-3 {
+				t.Fatalf("delta=%v: dist[%d]=%v want %v", delta, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestSSSPUnweightedGraphUsesUnitWeights(t *testing.T) {
+	b := graph.NewBuilder("unweighted", 4).Undirected()
+	b.Add(0, 1, 0)
+	b.Add(1, 2, 0)
+	b.Add(2, 3, 0)
+	g := b.MustBuild()
+	dist, _, _ := SSSPBellmanFord(g, 0)
+	for v, want := range []float32{0, 1, 2, 3} {
+		if dist[v] != want {
+			t.Fatalf("dist[%d]=%v want %v", v, dist[v], want)
+		}
+	}
+}
+
+func TestSSSPUnreachableStaysInfinite(t *testing.T) {
+	b := graph.NewBuilder("dc", 4).Undirected().Weighted()
+	b.Add(0, 1, 1)
+	// 2, 3 disconnected.
+	g := b.MustBuild()
+	dist, res, _ := SSSPBellmanFord(g, 0)
+	if !math.IsInf(float64(dist[2]), 1) || !math.IsInf(float64(dist[3]), 1) {
+		t.Fatalf("unreachable distances %v %v", dist[2], dist[3])
+	}
+	if res.Visited != 2 {
+		t.Fatalf("visited=%d want 2", res.Visited)
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := smallRandom(t, seed)
+		src := SourceVertex(g)
+		got, _, _ := BFS(g, src)
+		want := refBFSDepths(g, src)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("seed %d: depth[%d]=%d want %d", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBFSLevelsEqualLineLength(t *testing.T) {
+	g := lineGraph(t, 12)
+	_, res, w := BFS(g, 0)
+	if res.Iterations != 12 { // 11 levels of expansion + final empty check loop runs 11 times... levels counted per non-empty frontier
+		// levels = 12 frontiers processed (vertex 0 .. 11)
+		t.Fatalf("levels=%d want 12", res.Iterations)
+	}
+	if w.Phases[0].ChainLength != res.Iterations {
+		t.Fatalf("chain %d != levels %d", w.Phases[0].ChainLength, res.Iterations)
+	}
+}
+
+func TestDFSVisitsExactlyReachable(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := smallRandom(t, seed)
+		src := SourceVertex(g)
+		order, res, _ := DFS(g, src)
+		want := refBFSDepths(g, src) // reachability reference
+		for v := range want {
+			reached := order[v] >= 0
+			if reached != (want[v] >= 0) {
+				t.Fatalf("seed %d: vertex %d reachability mismatch", seed, v)
+			}
+		}
+		// Discovery order is a permutation 0..visited-1.
+		seen := map[int32]bool{}
+		for _, o := range order {
+			if o < 0 {
+				continue
+			}
+			if seen[o] {
+				t.Fatalf("duplicate discovery index %d", o)
+			}
+			seen[o] = true
+		}
+		if int64(len(seen)) != res.Visited {
+			t.Fatalf("order indices %d != visited %d", len(seen), res.Visited)
+		}
+	}
+}
+
+func TestDFSDeterministicOrder(t *testing.T) {
+	g := smallRandom(t, 7)
+	src := SourceVertex(g)
+	a, _, _ := DFS(g, src)
+	b, _, _ := DFS(g, src)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("DFS order not deterministic")
+		}
+	}
+	if a[src] != 0 {
+		t.Fatalf("source discovery index %d want 0", a[src])
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	g := smallRandom(t, 11)
+	got, _, _ := PageRank(g, 0)
+	want := refPageRank(g, prMaxIters)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("rank[%d]=%v want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	// On graphs without dangling vertices (undirected connected), rank
+	// mass is conserved.
+	g := lineGraph(t, 20)
+	ranks, res, _ := PageRank(g, 0)
+	var sum float64
+	for _, r := range ranks {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("iterations=%d suspiciously low", res.Iterations)
+	}
+}
+
+func TestPageRankDPMatchesPull(t *testing.T) {
+	// Push and pull formulations agree on symmetric graphs without
+	// dangling vertices.
+	g := lineGraph(t, 15)
+	pull, _, _ := PageRank(g, 5)
+	push, _, _ := PageRankDP(g, 5)
+	for v := range pull {
+		if math.Abs(pull[v]-push[v]) > 1e-9 {
+			t.Fatalf("rank[%d]: pull %v push %v", v, pull[v], push[v])
+		}
+	}
+}
+
+func TestPageRankHubRanksHigher(t *testing.T) {
+	// Star graph: the hub must out-rank every leaf.
+	b := graph.NewBuilder("star", 10).Undirected()
+	for i := 1; i < 10; i++ {
+		b.Add(0, int32(i), 0)
+	}
+	g := b.MustBuild()
+	ranks, _, _ := PageRank(g, 0)
+	for v := 1; v < 10; v++ {
+		if ranks[0] <= ranks[v] {
+			t.Fatalf("hub rank %v <= leaf rank %v", ranks[0], ranks[v])
+		}
+	}
+}
+
+func TestTriangleCountMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := gen.UniformUndirected("t", 30, 90, 0, seed)
+		got, _, _ := TriangleCount(g)
+		want := refTriangles(g)
+		if got != want {
+			t.Fatalf("seed %d: triangles=%d want %d", seed, got, want)
+		}
+	}
+}
+
+func TestTriangleCountKnownShapes(t *testing.T) {
+	// A 4-clique has exactly 4 triangles.
+	b := graph.NewBuilder("k4", 4).Undirected()
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.Add(int32(i), int32(j), 0)
+		}
+	}
+	if got, _, _ := TriangleCount(b.MustBuild()); got != 4 {
+		t.Fatalf("K4 triangles=%d want 4", got)
+	}
+	// A tree has none.
+	if got, _, _ := TriangleCount(lineGraph(t, 10)); got != 0 {
+		t.Fatalf("line triangles=%d want 0", got)
+	}
+}
+
+func TestConnectedComponentsMatchesUnionFind(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := gen.UniformUndirected("cc", 50, 60, 0, seed)
+		labels, res, _ := ConnectedComponents(g)
+		want := refComponents(g)
+		if int(res.Checksum) != want {
+			t.Fatalf("seed %d: components=%v want %d", seed, res.Checksum, want)
+		}
+		// Same-component vertices share labels; edges never cross labels.
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, u := range g.Neighbors(v) {
+				if labels[v] != labels[u] {
+					t.Fatalf("edge (%d,%d) crosses labels %d/%d", v, u, labels[v], labels[u])
+				}
+			}
+		}
+	}
+}
+
+func TestCommunityDetectConverges(t *testing.T) {
+	// Two dense cliques joined by one weak edge must split into (at
+	// most) two communities containing each clique wholly.
+	b := graph.NewBuilder("2clique", 12).Undirected().Weighted()
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.Add(int32(i), int32(j), 10)
+			b.Add(int32(i+6), int32(j+6), 10)
+		}
+	}
+	b.Add(0, 6, 0.1)
+	g := b.MustBuild()
+	labels, res, _ := CommunityDetect(g, 0)
+	if res.Checksum > 4 {
+		t.Fatalf("found %v communities in two cliques", res.Checksum)
+	}
+	for i := 1; i < 6; i++ {
+		if labels[i] != labels[0] {
+			t.Fatalf("clique A split: label[%d]=%d label[0]=%d", i, labels[i], labels[0])
+		}
+		if labels[i+6] != labels[6] {
+			t.Fatalf("clique B split")
+		}
+	}
+}
+
+func TestCommunityDeterministic(t *testing.T) {
+	g := smallRandom(t, 13)
+	a, _, _ := CommunityDetect(g, 0)
+	b, _, _ := CommunityDetect(g, 0)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("community detection not deterministic")
+		}
+	}
+}
+
+func TestAlgorithmsAgreeProperty(t *testing.T) {
+	// Property over random graphs: BFS reachable count == DFS visited ==
+	// SSSP visited (same source, same connectivity).
+	f := func(seed int64) bool {
+		g := gen.UniformUndirected("p", 40, 100, 8, seed)
+		src := SourceVertex(g)
+		_, bfsRes, _ := BFS(g, src)
+		_, dfsRes, _ := DFS(g, src)
+		_, ssspRes, _ := SSSPBellmanFord(g, src)
+		return bfsRes.Visited == dfsRes.Visited && bfsRes.Visited == ssspRes.Visited
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaAndBFMatchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.UniformUndirected("p", 35, 90, 16, seed)
+		src := SourceVertex(g)
+		bf, _, _ := SSSPBellmanFord(g, src)
+		dl, _, _ := SSSPDelta(g, src, 0)
+		for v := range bf {
+			bi, di := math.IsInf(float64(bf[v]), 1), math.IsInf(float64(dl[v]), 1)
+			if bi != di {
+				return false
+			}
+			if !bi && math.Abs(float64(bf[v]-dl[v])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

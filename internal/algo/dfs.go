@@ -1,0 +1,88 @@
+package algo
+
+import (
+	"heteromap/internal/graph"
+	"heteromap/internal/profile"
+)
+
+// DFS performs an iterative depth-first traversal from src. The paper
+// classifies DFS as pure push-pop (B4) with complex indirect accesses
+// (B8): stack discipline orders vertex processing, the stack addressing is
+// data-manipulated, and available parallelism is limited to the inner
+// neighbor loops — the structure that makes DFS favour the multicore for
+// dense inputs (DFS-CO in Fig 11).
+//
+// It returns the discovery order index per vertex (-1 for unreached).
+func DFS(g *graph.Graph, src int) ([]int32, Result, *profile.Work) {
+	n := g.NumVertices()
+	rec := newRecorder(NameDFS, g)
+	rec.markDiameterBound()
+	ph := rec.phase("stack-walk", profile.PushPop)
+
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = -1
+	}
+	if n == 0 {
+		return order, Result{}, rec.finish(0)
+	}
+
+	stack := make([]int32, 0, 64)
+	stack = append(stack, int32(src))
+	ph.PushPops++
+	var counter int32
+	var maxDepth int64 = 1
+	var avgFanout int64
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ph.PushPops++ // pop
+		ph.VertexOps++
+		ph.IndirectAccesses++ // stack top is data-dependent
+		if order[v] >= 0 {
+			continue
+		}
+		order[v] = counter
+		counter++
+		nb := g.Neighbors(int(v))
+		// Push in reverse so the numerically smallest neighbor is
+		// visited first, keeping traversal order deterministic.
+		for i := len(nb) - 1; i >= 0; i-- {
+			u := nb[i]
+			ph.EdgeOps++
+			ph.IndirectAccesses += 2 // visited check + stack slot
+			if order[u] < 0 {
+				stack = append(stack, u)
+				ph.PushPops++
+				avgFanout++
+			}
+		}
+		if d := int64(len(stack)); d > maxDepth {
+			maxDepth = d
+		}
+	}
+
+	ph.ReadOnlyBytes = g.FootprintBytes()
+	ph.ReadWriteBytes = 2 * int64(n) * bytesPerVertex // order + stack
+	ph.LocalBytes = maxDepth * bytesPerVertex
+	ph.ChainLength = int64(counter) // strictly ordered visitation
+	// Parallelism is limited to concurrently pushable neighbors.
+	if counter > 0 {
+		ph.ParallelItems = maxInt64(1, avgFanout/int64(counter))
+	} else {
+		ph.ParallelItems = 1
+	}
+	rec.barrier(1)
+
+	res := Result{
+		Checksum:   float64(counter),
+		Iterations: int64(counter),
+		Visited:    int64(counter),
+	}
+	return order, res, rec.finish(int64(counter))
+}
+
+func runDFS(g *graph.Graph) (Result, *profile.Work) {
+	_, res, w := DFS(g, SourceVertex(g))
+	return res, w
+}

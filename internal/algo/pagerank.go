@@ -1,0 +1,196 @@
+package algo
+
+import (
+	"math"
+
+	"heteromap/internal/graph"
+	"heteromap/internal/profile"
+)
+
+// PageRank iteration parameters shared by both variants.
+const (
+	prDamping   = 0.85
+	prTolerance = 1e-4
+	prMaxIters  = 20
+)
+
+// PageRank computes ranks with the classic pull-based power iteration:
+// each vertex gathers contributions from its in-neighbors (here: CSR
+// neighbors, so run it on symmetrized graphs for the textbook semantics),
+// applies damping (floating-point heavy, B6), and a reduction phase
+// accumulates the L1 error that decides convergence (B5). Rank arrays are
+// read-write shared data (B10), which is what biases PageRank to the
+// multicore in the paper for large inputs.
+func PageRank(g *graph.Graph, maxIters int) ([]float64, Result, *profile.Work) {
+	n := g.NumVertices()
+	rec := newRecorder(NamePageRank, g)
+	gather := rec.phase("rank-gather", profile.VertexDivision)
+	errRed := rec.phase("error-reduce", profile.Reduction)
+
+	ranks := make([]float64, n)
+	next := make([]float64, n)
+	if n == 0 {
+		return ranks, Result{}, rec.finish(0)
+	}
+	if maxIters <= 0 {
+		maxIters = prMaxIters
+	}
+	inv := 1 / float64(n)
+	for i := range ranks {
+		ranks[i] = inv
+	}
+	// Out-degree contribution denominators.
+	contrib := make([]float64, n)
+
+	var iterations int64
+	for iter := 0; iter < maxIters; iter++ {
+		iterations++
+		for v := 0; v < n; v++ {
+			gather.VertexOps++
+			d := g.Degree(v)
+			if d > 0 {
+				contrib[v] = ranks[v] / float64(d)
+				gather.FPOps++
+			} else {
+				contrib[v] = 0
+			}
+			gather.IndexedAccesses += 2
+		}
+		rec.barrier(1)
+		for v := 0; v < n; v++ {
+			gather.VertexOps++
+			var sum float64
+			for _, u := range g.Neighbors(v) {
+				gather.EdgeOps++
+				gather.FPOps++ // add
+				gather.IndexedAccesses += 2
+				sum += contrib[u]
+			}
+			next[v] = (1-prDamping)*inv + prDamping*sum
+			gather.FPOps += 2 // damping multiply-add
+		}
+		rec.barrier(1)
+		// Reduction: L1 delta across all vertices.
+		var delta float64
+		for v := 0; v < n; v++ {
+			errRed.VertexOps++
+			errRed.FPOps += 2 // abs diff + accumulate
+			errRed.IndexedAccesses += 2
+			delta += math.Abs(next[v] - ranks[v])
+		}
+		errRed.Atomics += int64(n) / 64 // per-chunk reduction combines
+		rec.barrier(1)
+		ranks, next = next, ranks
+		if delta < prTolerance {
+			break
+		}
+	}
+
+	gather.ReadOnlyBytes = g.FootprintBytes()
+	gather.ReadWriteBytes = 2 * int64(n) * bytesPerRank
+	gather.LocalBytes = int64(n) * bytesPerRank / 4
+	gather.ChainLength = iterations
+	gather.ParallelItems = int64(n)
+	errRed.ReadWriteBytes = int64(n) * bytesPerRank
+	errRed.ChainLength = iterations
+	errRed.ParallelItems = int64(n)
+
+	var sum float64
+	for _, r := range ranks {
+		sum += r
+	}
+	res := Result{Checksum: sum, Iterations: iterations, Visited: int64(n)}
+	return ranks, res, rec.finish(iterations)
+}
+
+// PageRankDP computes ranks with the push-based "data-parallel" variant
+// (PageRank-DP in the paper): every edge atomically accumulates its
+// contribution into the destination's next rank. The atomic
+// floating-point adds per edge make the contention profile (B12) much
+// heavier than pull-based PageRank, which is exactly the distinction the
+// paper's B classification draws between the two.
+func PageRankDP(g *graph.Graph, maxIters int) ([]float64, Result, *profile.Work) {
+	n := g.NumVertices()
+	rec := newRecorder(NamePageRankDP, g)
+	scatter := rec.phase("rank-scatter", profile.VertexDivision)
+	errRed := rec.phase("error-reduce", profile.Reduction)
+
+	ranks := make([]float64, n)
+	next := make([]float64, n)
+	if n == 0 {
+		return ranks, Result{}, rec.finish(0)
+	}
+	if maxIters <= 0 {
+		maxIters = prMaxIters
+	}
+	inv := 1 / float64(n)
+	for i := range ranks {
+		ranks[i] = inv
+	}
+
+	var iterations int64
+	for iter := 0; iter < maxIters; iter++ {
+		iterations++
+		base := (1 - prDamping) * inv
+		for v := 0; v < n; v++ {
+			next[v] = base
+		}
+		rec.barrier(1)
+		for v := 0; v < n; v++ {
+			scatter.VertexOps++
+			d := g.Degree(v)
+			if d == 0 {
+				continue
+			}
+			share := prDamping * ranks[v] / float64(d)
+			scatter.FPOps += 2
+			for _, u := range g.Neighbors(v) {
+				scatter.EdgeOps++
+				scatter.FPOps++
+				scatter.Atomics++ // atomic FP add into next[u]
+				scatter.IndexedAccesses += 2
+				next[u] += share
+			}
+		}
+		rec.barrier(1)
+		var delta float64
+		for v := 0; v < n; v++ {
+			errRed.VertexOps++
+			errRed.FPOps += 2
+			errRed.IndexedAccesses += 2
+			delta += math.Abs(next[v] - ranks[v])
+		}
+		errRed.Atomics += int64(n) / 64
+		rec.barrier(1)
+		ranks, next = next, ranks
+		if delta < prTolerance {
+			break
+		}
+	}
+
+	scatter.ReadOnlyBytes = g.FootprintBytes()
+	scatter.ReadWriteBytes = 2 * int64(n) * bytesPerRank
+	scatter.LocalBytes = int64(n) * bytesPerRank / 8
+	scatter.ChainLength = iterations
+	scatter.ParallelItems = int64(n)
+	errRed.ReadWriteBytes = int64(n) * bytesPerRank
+	errRed.ChainLength = iterations
+	errRed.ParallelItems = int64(n)
+
+	var sum float64
+	for _, r := range ranks {
+		sum += r
+	}
+	res := Result{Checksum: sum, Iterations: iterations, Visited: int64(n)}
+	return ranks, res, rec.finish(iterations)
+}
+
+func runPageRank(g *graph.Graph) (Result, *profile.Work) {
+	_, res, w := PageRank(g, 0)
+	return res, w
+}
+
+func runPageRankDP(g *graph.Graph) (Result, *profile.Work) {
+	_, res, w := PageRankDP(g, 0)
+	return res, w
+}

@@ -1,0 +1,177 @@
+package algo
+
+// Reference implementations used to validate the instrumented benchmarks.
+
+import (
+	"container/heap"
+	"math"
+
+	"heteromap/internal/graph"
+)
+
+// refDijkstra computes exact shortest paths with a binary heap.
+func refDijkstra(g *graph.Graph, src int) []float32 {
+	n := g.NumVertices()
+	dist := make([]float32, n)
+	inf := float32(math.Inf(1))
+	for i := range dist {
+		dist[i] = inf
+	}
+	if n == 0 {
+		return dist
+	}
+	dist[src] = 0
+	pq := &vertexHeap{{v: int32(src), d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(heapItem)
+		if item.d > dist[item.v] {
+			continue
+		}
+		nb := g.Neighbors(int(item.v))
+		ws := g.NeighborWeights(int(item.v))
+		for i, u := range nb {
+			w := float32(1)
+			if ws != nil {
+				w = ws[i]
+			}
+			if cand := item.d + w; cand < dist[u] {
+				dist[u] = cand
+				heap.Push(pq, heapItem{v: u, d: cand})
+			}
+		}
+	}
+	return dist
+}
+
+type heapItem struct {
+	v int32
+	d float32
+}
+
+type vertexHeap []heapItem
+
+func (h vertexHeap) Len() int            { return len(h) }
+func (h vertexHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h vertexHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *vertexHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *vertexHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// refBFSDepths computes exact BFS levels with a simple queue.
+func refBFSDepths(g *graph.Graph, src int) []int32 {
+	n := g.NumVertices()
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	if n == 0 {
+		return depth
+	}
+	depth[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(int(v)) {
+			if depth[u] < 0 {
+				depth[u] = depth[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return depth
+}
+
+// refTriangles counts triangles by brute force over vertex triples.
+func refTriangles(g *graph.Graph) int64 {
+	n := g.NumVertices()
+	adj := make([]map[int32]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[int32]bool, g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			adj[v][u] = true
+		}
+	}
+	var count int64
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !adj[a][int32(b)] {
+				continue
+			}
+			for c := b + 1; c < n; c++ {
+				if adj[a][int32(c)] && adj[b][int32(c)] {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// refComponents labels weakly connected components with union-find.
+func refComponents(g *graph.Graph) int {
+	n := g.NumVertices()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			a, b := find(v), find(int(u))
+			if a != b {
+				parent[a] = b
+			}
+		}
+	}
+	seen := map[int]bool{}
+	for v := 0; v < n; v++ {
+		seen[find(v)] = true
+	}
+	return len(seen)
+}
+
+// refPageRank is a straightforward pull-based power iteration matching
+// the production kernel's convergence rule.
+func refPageRank(g *graph.Graph, maxIters int) []float64 {
+	n := g.NumVertices()
+	ranks := make([]float64, n)
+	if n == 0 {
+		return ranks
+	}
+	inv := 1 / float64(n)
+	for i := range ranks {
+		ranks[i] = inv
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < maxIters; iter++ {
+		var delta float64
+		for v := 0; v < n; v++ {
+			var sum float64
+			for _, u := range g.Neighbors(v) {
+				if d := g.Degree(int(u)); d > 0 {
+					sum += ranks[u] / float64(d)
+				}
+			}
+			next[v] = (1-prDamping)*inv + prDamping*sum
+			delta += math.Abs(next[v] - ranks[v])
+		}
+		ranks, next = next, ranks
+		if delta < prTolerance {
+			break
+		}
+	}
+	return ranks
+}

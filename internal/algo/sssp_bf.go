@@ -1,0 +1,105 @@
+package algo
+
+import (
+	"math"
+
+	"heteromap/internal/graph"
+	"heteromap/internal/profile"
+)
+
+// SSSPBellmanFord computes single-source shortest paths with the iterative
+// data-parallel Bellman-Ford variant described in the paper's Fig 6
+// pseudocode: every iteration relaxes all edges through a temporary
+// distance array (D_tmp), commits updates to the global array (D) under a
+// lock, and two global barriers separate the relax and commit phases. The
+// whole program is vertex division (B1=1), distance arithmetic is
+// fixed-point (B6=0), accesses are loop-indexed (B7), the graph is
+// read-only shared (B9) and the distance arrays read-write shared (B10).
+//
+// It returns the distance array, the result summary and the measured work
+// profile.
+func SSSPBellmanFord(g *graph.Graph, src int) ([]float32, Result, *profile.Work) {
+	n := g.NumVertices()
+	rec := newRecorder(NameSSSPBF, g)
+	rec.markDiameterBound()
+	relax := rec.phase("relax", profile.VertexDivision)
+
+	dist := make([]float32, n)
+	dtmp := make([]float32, n)
+	inf := float32(math.Inf(1))
+	for i := range dist {
+		dist[i] = inf
+		dtmp[i] = inf
+	}
+	if n == 0 {
+		return dist, Result{}, rec.finish(0)
+	}
+	dist[src] = 0
+	dtmp[src] = 0
+
+	var iterations int64
+	for iter := 0; iter < n; iter++ {
+		iterations++
+		changed := false
+		// Relax phase: D_tmp[u] = min(D_tmp[u], D[v] + W[v,u]).
+		for v := 0; v < n; v++ {
+			relax.VertexOps++
+			dv := dist[v]
+			if math.IsInf(float64(dv), 1) {
+				relax.IndexedAccesses++
+				continue
+			}
+			nb := g.Neighbors(v)
+			ws := g.NeighborWeights(v)
+			for i, u := range nb {
+				relax.EdgeOps++
+				relax.IntOps++             // fixed-point add
+				relax.IndexedAccesses += 2 // W[v,i] and D_tmp[u]; D[v] stays in a register
+				cand := dv + edgeWeight(ws, i)
+				if cand < dtmp[u] {
+					dtmp[u] = cand
+					changed = true
+				}
+			}
+		}
+		rec.barrier(1)
+		// Commit phase: D[u] = D_tmp[u] under the paper's per-element
+		// lock on the D array.
+		for u := 0; u < n; u++ {
+			relax.IndexedAccesses += 2
+			if dtmp[u] < dist[u] {
+				dist[u] = dtmp[u]
+				relax.Atomics++ // lock-protected write to D
+			}
+		}
+		rec.barrier(1)
+		if !changed {
+			break
+		}
+	}
+
+	// Footprints: graph structure is read-only shared, distance arrays
+	// read-write shared, D_tmp additionally acts as the thread-local
+	// scratch the paper assigns ~20% of program data to.
+	relax.ReadOnlyBytes = g.FootprintBytes()
+	relax.ReadWriteBytes = 2 * int64(n) * bytesPerVertex
+	relax.LocalBytes = int64(n) * bytesPerVertex
+	relax.ChainLength = iterations
+	relax.ParallelItems = int64(n)
+
+	var sum float64
+	var visited int64
+	for _, d := range dist {
+		if !math.IsInf(float64(d), 1) {
+			sum += float64(d)
+			visited++
+		}
+	}
+	res := Result{Checksum: sum, Iterations: iterations, Visited: visited}
+	return dist, res, rec.finish(iterations)
+}
+
+func runSSSPBF(g *graph.Graph) (Result, *profile.Work) {
+	_, res, w := SSSPBellmanFord(g, SourceVertex(g))
+	return res, w
+}

@@ -1,0 +1,160 @@
+package algo
+
+import (
+	"math"
+
+	"heteromap/internal/graph"
+	"heteromap/internal/profile"
+)
+
+// DefaultDelta picks the bucket width for delta-stepping from the graph's
+// weight range: a quarter of the maximum edge weight, minimum 1. The GAP
+// suite uses a similar heuristic.
+func DefaultDelta(g *graph.Graph) float32 {
+	var maxW float32 = 1
+	for _, w := range g.Weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	d := maxW / 4
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// SSSPDelta computes single-source shortest paths with Δ-stepping (GAP
+// benchmark variant). Vertices live in distance buckets of width delta;
+// the algorithm repeatedly pops the lowest non-empty bucket (push-pop
+// phase, B4), relaxes the popped vertices' edges with locked distance
+// updates, and then runs a reduction (B5) over the bucket index space to
+// select the next bucket — the structure that biases this benchmark
+// toward the multicore in the paper.
+func SSSPDelta(g *graph.Graph, src int, delta float32) ([]float32, Result, *profile.Work) {
+	n := g.NumVertices()
+	rec := newRecorder(NameSSSPDelta, g)
+	rec.markDiameterBound()
+	pp := rec.phase("bucket-process", profile.PushPop)
+	red := rec.phase("bucket-select", profile.Reduction)
+
+	dist := make([]float32, n)
+	inf := float32(math.Inf(1))
+	for i := range dist {
+		dist[i] = inf
+	}
+	if n == 0 {
+		return dist, Result{}, rec.finish(0)
+	}
+	if delta <= 0 {
+		delta = DefaultDelta(g)
+	}
+	dist[src] = 0
+
+	buckets := map[int][]int32{0: {int32(src)}}
+	inBucket := make([]int32, n) // bucket index + 1; 0 = none
+	inBucket[src] = 1
+	maxBucket := 0
+
+	bucketOf := func(d float32) int { return int(d / delta) }
+
+	var iterations int64
+	var maxChain int64
+	cur := 0
+	for {
+		// Reduction: scan bucket indices for the next non-empty bucket.
+		next := -1
+		for b := cur; b <= maxBucket; b++ {
+			red.VertexOps++
+			red.IndexedAccesses++
+			if len(buckets[b]) > 0 {
+				next = b
+				break
+			}
+		}
+		red.Atomics++ // shared "current bucket" update
+		rec.barrier(1)
+		if next < 0 {
+			break
+		}
+		cur = next
+		iterations++
+
+		// Push-pop: drain the current bucket; re-insertions into the same
+		// bucket are processed in the same outer iteration.
+		var chain int64
+		for len(buckets[cur]) > 0 {
+			chain++
+			frontier := buckets[cur]
+			buckets[cur] = nil
+			for _, v := range frontier {
+				pp.PushPops++ // pop
+				pp.VertexOps++
+				inBucket[v] = 0
+				dv := dist[v]
+				if bucketOf(dv) != cur {
+					continue // stale entry
+				}
+				nb := g.Neighbors(int(v))
+				ws := g.NeighborWeights(int(v))
+				for i, u := range nb {
+					pp.EdgeOps++
+					pp.IntOps++
+					pp.IndexedAccesses += 2 // dist[u], W
+					cand := dv + edgeWeight(ws, i)
+					if cand < dist[u] {
+						dist[u] = cand
+						pp.Atomics++          // locked distance update
+						pp.IndirectAccesses++ // bucket insert is data-driven
+						nbkt := bucketOf(cand)
+						if nbkt > maxBucket {
+							maxBucket = nbkt
+						}
+						if int(inBucket[u])-1 != nbkt {
+							buckets[nbkt] = append(buckets[nbkt], u)
+							inBucket[u] = int32(nbkt + 1)
+							pp.PushPops++ // push
+						}
+					}
+				}
+			}
+			rec.barrier(1)
+		}
+		if chain > maxChain {
+			maxChain = chain
+		}
+		cur++
+	}
+
+	pp.ReadOnlyBytes = g.FootprintBytes()
+	pp.ReadWriteBytes = 2 * int64(n) * bytesPerVertex // dist + bucket membership
+	pp.LocalBytes = int64(n) / 4 * bytesPerVertex
+	pp.ChainLength = iterations + maxChain
+	pp.ParallelItems = int64(n) / maxInt64(1, iterations)
+	red.ReadWriteBytes = int64(maxBucket+1) * bytesPerVertex
+	red.ChainLength = iterations
+	red.ParallelItems = int64(maxBucket + 1)
+
+	var sum float64
+	var visited int64
+	for _, d := range dist {
+		if !math.IsInf(float64(d), 1) {
+			sum += float64(d)
+			visited++
+		}
+	}
+	res := Result{Checksum: sum, Iterations: iterations, Visited: visited}
+	return dist, res, rec.finish(iterations)
+}
+
+func runSSSPDelta(g *graph.Graph) (Result, *profile.Work) {
+	_, res, w := SSSPDelta(g, SourceVertex(g), 0)
+	return res, w
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,92 @@
+package config
+
+import "fmt"
+
+// VariableInfo documents one machine-choice variable with the paper's
+// numbering (Fig 3). The CLI and reports use it to render full M vectors
+// with their meanings.
+type VariableInfo struct {
+	// Number is the paper's variable index, 1-20.
+	Number int
+	// Name is the paper's label.
+	Name string
+	// Description explains the deployment semantics.
+	Description string
+	// GPUOnly / MulticoreOnly mark variables that only deploy on one
+	// accelerator family.
+	GPUOnly, MulticoreOnly bool
+}
+
+// Variables returns the twenty machine-choice variables in paper order.
+func Variables() []VariableInfo {
+	return []VariableInfo{
+		{1, "Accelerator", "inter-accelerator selection: GPU or multicore", false, false},
+		{2, "Cores", "multicore cores used", false, true},
+		{3, "Threads/core", "hardware threads per multicore core", false, true},
+		{4, "KMP blocktime", "ms a thread waits before sleeping on contended data", false, true},
+		{5, "Place core-ids", "thread placement looseness across core ids", false, true},
+		{6, "Place thread-ids", "thread placement looseness across thread ids", false, true},
+		{7, "Place offsets", "thread placement offset looseness", false, true},
+		{8, "KMP affinity", "pinning strength: movable (0) to strictly compact (1)", false, true},
+		{9, "OMP wait policy", "active spinning vs passive waiting", false, true},
+		{10, "SIMD width", "#pragma simd lanes per core", false, true},
+		{11, "OMP schedule", "static / dynamic / guided / auto work distribution", false, true},
+		{12, "Chunk size", "schedule chunk (tile) size", false, true},
+		{13, "OMP nested", "nested parallelism within loops", false, true},
+		{14, "Max active levels", "how many parallelism levels may nest", false, true},
+		{15, "GOMP spincount", "how long threads actively wait for OpenMP calls", false, true},
+		{16, "Proc bind", "bind OpenMP threads to places", false, true},
+		{17, "OMP dynamic", "let the runtime adjust team sizes", false, true},
+		{18, "Work stealing", "runtime task/work stealing", false, true},
+		{19, "Global threads", "total GPU work items", true, false},
+		{20, "Local threads", "GPU work-group size (CL_KERNEL_WORK_GROUP_SIZE)", true, false},
+	}
+}
+
+// Describe renders the configuration variable by variable with the
+// paper's numbering; variables that do not deploy on the selected
+// accelerator are marked inactive.
+func (m M) Describe(l Limits) []string {
+	l = l.withDefaults()
+	vals := []string{
+		m.Accelerator.String(),
+		fmt.Sprintf("%d / %d", m.Cores, l.MaxCores),
+		fmt.Sprintf("%d / %d", m.ThreadsPerCore, l.MaxThreadsPerCore),
+		fmt.Sprintf("%d ms", m.BlocktimeMS),
+		fmt.Sprintf("%.2f", m.PlaceCore),
+		fmt.Sprintf("%.2f", m.PlaceThread),
+		fmt.Sprintf("%.2f", m.PlaceOffset),
+		fmt.Sprintf("%.2f", m.Affinity),
+		onOff(m.ActiveWait, "active", "passive"),
+		fmt.Sprintf("%d / %d", m.SIMDWidth, l.MaxSIMD),
+		m.Schedule.String(),
+		fmt.Sprintf("%d", m.ChunkSize),
+		onOff(m.Nested, "on", "off"),
+		fmt.Sprintf("%d", m.MaxActiveLevels),
+		fmt.Sprintf("%d", m.SpinCount),
+		onOff(m.ProcBind, "on", "off"),
+		onOff(m.DynamicAdjust, "on", "off"),
+		onOff(m.WorkStealing, "on", "off"),
+		fmt.Sprintf("%d / %d", m.GlobalThreads, l.MaxGlobalThreads),
+		fmt.Sprintf("%d / %d", m.LocalThreads, l.MaxLocalThreads),
+	}
+	infos := Variables()
+	out := make([]string, len(infos))
+	for i, info := range infos {
+		inactive := ""
+		if (m.Accelerator == GPU && info.MulticoreOnly) ||
+			(m.Accelerator == Multicore && info.GPUOnly) {
+			inactive = "  (inactive on " + m.Accelerator.String() + ")"
+		}
+		out[i] = fmt.Sprintf("M%-2d %-18s %-14s %s%s",
+			info.Number, info.Name, vals[i], info.Description, inactive)
+	}
+	return out
+}
+
+func onOff(b bool, yes, no string) string {
+	if b {
+		return yes
+	}
+	return no
+}

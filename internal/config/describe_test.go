@@ -1,0 +1,63 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVariablesCoverM1ToM20(t *testing.T) {
+	vars := Variables()
+	if len(vars) != NumVariables {
+		t.Fatalf("got %d variables, want %d", len(vars), NumVariables)
+	}
+	for i, v := range vars {
+		if v.Number != i+1 {
+			t.Fatalf("variable %d numbered %d", i, v.Number)
+		}
+		if v.Name == "" || v.Description == "" {
+			t.Fatalf("M%d undocumented", v.Number)
+		}
+		if v.GPUOnly && v.MulticoreOnly {
+			t.Fatalf("M%d cannot be exclusive to both families", v.Number)
+		}
+	}
+	// The paper's Fig 3 split: M19/M20 are GPU hardware choices, M2-M18
+	// multicore/OpenMP choices, M1 neither.
+	if !vars[18].GPUOnly || !vars[19].GPUOnly {
+		t.Fatal("M19/M20 must be GPU-only")
+	}
+	if vars[0].GPUOnly || vars[0].MulticoreOnly {
+		t.Fatal("M1 deploys on both")
+	}
+	for i := 1; i <= 17; i++ {
+		if !vars[i].MulticoreOnly {
+			t.Fatalf("M%d must be multicore-only", i+1)
+		}
+	}
+}
+
+func TestDescribeRendersEveryVariable(t *testing.T) {
+	l := testLimits()
+	lines := DefaultMulticore(l).Describe(l)
+	if len(lines) != NumVariables {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"M1 ", "M20", "Multicore", "static", "work-group"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("describe missing %q:\n%s", want, joined)
+		}
+	}
+	// GPU-only variables are flagged inactive on the multicore.
+	if !strings.Contains(lines[18], "inactive on Multicore") {
+		t.Fatalf("M19 not flagged inactive: %s", lines[18])
+	}
+	// And vice versa.
+	gpuLines := DefaultGPU(l).Describe(l)
+	if !strings.Contains(gpuLines[1], "inactive on GPU") {
+		t.Fatalf("M2 not flagged inactive on GPU: %s", gpuLines[1])
+	}
+	if strings.Contains(gpuLines[18], "inactive") {
+		t.Fatalf("M19 wrongly inactive on GPU: %s", gpuLines[18])
+	}
+}

@@ -1,0 +1,252 @@
+// Package core is the HeteroMap runtime (the paper's primary
+// contribution): it characterizes a graph benchmark-input combination
+// into (B, I) variables, asks a predictor for the machine-choice vector
+// M, deploys the combination on the chosen accelerator of the
+// multi-accelerator system, and reports completion time (with the
+// predictor's own overhead added, as in Section V-A), energy and core
+// utilization. It also provides the paper's baselines: GPU-only,
+// multicore-only and the exhaustively tuned ideal.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"heteromap/internal/algo"
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/gen"
+	"heteromap/internal/graph"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict"
+	"heteromap/internal/profile"
+	"heteromap/internal/train"
+	"heteromap/internal/tune"
+)
+
+// Workload is one characterized benchmark-input combination, ready to be
+// deployed under any M configuration. Characterize builds it once; every
+// scheduler and baseline then reuses it.
+type Workload struct {
+	Benchmark algo.Benchmark
+	Dataset   *gen.Dataset
+
+	// Features is the (B, I) characterization the predictors consume
+	// (static B catalog + declared I metadata, the paper's
+	// programmer-specified path).
+	Features feature.Vector
+
+	// Work is the instrumented profile measured by actually running the
+	// benchmark on the generated analog, scaled to declared paper-scale
+	// magnitudes.
+	Work *profile.Work
+
+	// DerivedB is the automation path: B variables extracted from the
+	// measured profile rather than the static catalog.
+	DerivedB feature.BVector
+
+	// Result is the benchmark's computed answer (checksums for tests).
+	Result algo.Result
+
+	// Job is the machine-model input (profile + dataset footprint).
+	Job machine.Job
+}
+
+// Name renders the paper's combination label, e.g. "SSSP-BF-CA".
+func (w *Workload) Name() string {
+	return w.Benchmark.Name + "-" + w.Dataset.Short
+}
+
+// Characterize runs the benchmark on the dataset's generated analog,
+// measures its work profile, scales the profile to the declared
+// paper-scale magnitudes and packages the characterization.
+func Characterize(b algo.Benchmark, ds *gen.Dataset) (*Workload, error) {
+	bvec, err := feature.Catalog(b.Name)
+	if err != nil {
+		return nil, err
+	}
+	res, work := b.Run(ds.Graph)
+	if err := work.Validate(); err != nil {
+		return nil, fmt.Errorf("core: characterize %s on %s: %w", b.Name, ds.Short, err)
+	}
+
+	chainScale := 1.0
+	if measured := graph.EstimateDiameter(ds.Graph, 1, 2); measured > 0 {
+		chainScale = float64(ds.Declared.Diameter) / float64(measured)
+		if chainScale < 1 {
+			chainScale = 1
+		}
+	}
+	scaled := work.Scaled(ds.VertexScale(), ds.EdgeScale(), chainScale)
+
+	return &Workload{
+		Benchmark: b,
+		Dataset:   ds,
+		Features:  feature.Combine(bvec, feature.IFromDataset(ds)),
+		Work:      scaled,
+		DerivedB:  feature.DeriveB(work),
+		Result:    res,
+		Job:       machine.Job{Work: scaled, FootprintBytes: ds.Declared.FootprintBytes()},
+	}, nil
+}
+
+// Objective re-exports the training objective for runtime selection.
+type Objective = train.Objective
+
+// Objective values.
+const (
+	Performance = train.Performance
+	Energy      = train.Energy
+)
+
+// System is a configured HeteroMap deployment: an accelerator pair plus a
+// predictor.
+type System struct {
+	Pair      machine.Pair
+	Predictor predict.Predictor
+	Objective Objective
+
+	// overheadOnce caches the measured predictor inference overhead.
+	overheadOnce sync.Once
+	overhead     time.Duration
+}
+
+// NewSystem assembles a runtime.
+func NewSystem(pair machine.Pair, p predict.Predictor, obj Objective) *System {
+	return &System{Pair: pair, Predictor: p, Objective: obj}
+}
+
+// RunReport is the outcome of one scheduled execution.
+type RunReport struct {
+	Workload *Workload
+	Chosen   config.M
+	Machine  machine.Report
+	// PredictOverhead is the measured wall-clock inference cost of the
+	// predictor, which the paper adds to completion time.
+	PredictOverhead time.Duration
+	// TotalSeconds is simulated completion time plus predictor overhead.
+	TotalSeconds float64
+}
+
+// Metric returns the report's value under an objective.
+func (r RunReport) Metric(obj Objective) float64 {
+	if obj == Energy {
+		return r.Machine.EnergyJ
+	}
+	return r.TotalSeconds
+}
+
+// Run characterizes nothing — it deploys an already characterized
+// workload: predict M, simulate on the chosen accelerator, add overhead.
+func (s *System) Run(w *Workload) RunReport {
+	start := time.Now()
+	m := s.Predictor.Predict(w.Features)
+	elapsed := time.Since(start)
+	ov := s.PredictorOverhead()
+	if elapsed > ov {
+		ov = elapsed
+	}
+	rep := s.Pair.Select(m.Accelerator).Evaluate(w.Job, m)
+	return RunReport{
+		Workload:        w,
+		Chosen:          m,
+		Machine:         rep,
+		PredictOverhead: ov,
+		TotalSeconds:    rep.Seconds + ov.Seconds(),
+	}
+}
+
+// PredictorOverhead measures (once) the predictor's steady-state
+// inference latency on a representative feature vector.
+func (s *System) PredictorOverhead() time.Duration {
+	s.overheadOnce.Do(func() {
+		s.overhead = MeasureOverhead(s.Predictor)
+	})
+	return s.overhead
+}
+
+// MeasureOverhead times repeated Predict calls and returns the mean.
+func MeasureOverhead(p predict.Predictor) time.Duration {
+	f := feature.Combine(feature.MustCatalog(algo.NameSSSPBF),
+		feature.IVector{0.5, 0.5, 0.5, 0.5})
+	const reps = 200
+	// Warm up.
+	for i := 0; i < 10; i++ {
+		p.Predict(f)
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		p.Predict(f)
+	}
+	return time.Since(start) / reps
+}
+
+// FixedChoice is a degenerate predictor that always returns one M vector;
+// the single-accelerator baselines use it.
+type FixedChoice struct {
+	Label string
+	M     config.M
+}
+
+// Name implements predict.Predictor.
+func (f FixedChoice) Name() string { return f.Label }
+
+// Predict implements predict.Predictor.
+func (f FixedChoice) Predict(feature.Vector) config.M { return f.M }
+
+// Baselines computes the paper's reference points for one workload:
+//
+//   - GPUOnly: the best configuration restricted to the GPU (the paper
+//     manually tunes single-accelerator baselines with OpenTuner).
+//   - MulticoreOnly: likewise restricted to the multicore.
+//   - Ideal: the best configuration across both accelerators with no
+//     predictor overhead.
+type Baselines struct {
+	GPUOnly       machine.Report
+	GPUOnlyM      config.M
+	MulticoreOnly machine.Report
+	MulticoreM    config.M
+	Ideal         machine.Report
+	IdealM        config.M
+}
+
+// ComputeBaselines exhaustively tunes the workload on each accelerator.
+func ComputeBaselines(pair machine.Pair, w *Workload, obj Objective) Baselines {
+	limits := pair.Limits()
+	eval := func(m config.M) float64 {
+		return train.Metric(pair, obj, w.Job, m)
+	}
+	gpu := tune.Exhaustive(config.EnumerateFor(config.GPU, limits), eval)
+	mc := tune.Exhaustive(config.EnumerateFor(config.Multicore, limits), eval)
+
+	gpuRep := pair.GPU.Evaluate(w.Job, gpu.Best)
+	mcRep := pair.Multicore.Evaluate(w.Job, mc.Best)
+	b := Baselines{
+		GPUOnly: gpuRep, GPUOnlyM: gpu.Best,
+		MulticoreOnly: mcRep, MulticoreM: mc.Best,
+	}
+	if gpu.Score <= mc.Score {
+		b.Ideal, b.IdealM = gpuRep, gpu.Best
+	} else {
+		b.Ideal, b.IdealM = mcRep, mc.Best
+	}
+	return b
+}
+
+// CharacterizeAll builds workloads for every (benchmark, dataset)
+// combination, skipping benchmarks whose requirements a dataset cannot
+// meet (none of the Table I analogs skip in practice).
+func CharacterizeAll(benchmarks []algo.Benchmark, datasets []*gen.Dataset) ([]*Workload, error) {
+	var out []*Workload
+	for _, b := range benchmarks {
+		for _, d := range datasets {
+			w, err := Characterize(b, d)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"heteromap/internal/algo"
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/gen"
+	"heteromap/internal/graph"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict/dtree"
+	"heteromap/internal/profile"
+)
+
+func testDataset(t testing.TB, short string) *gen.Dataset {
+	t.Helper()
+	d := gen.ByShort(gen.TableICached(gen.Small), short)
+	if d == nil {
+		t.Fatalf("missing dataset %s", short)
+	}
+	return d
+}
+
+func TestCharacterizePopulatesWorkload(t *testing.T) {
+	b, err := algo.ByName(algo.NameBFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Characterize(b, testDataset(t, "FB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "BFS-FB" {
+		t.Fatalf("name %q", w.Name())
+	}
+	if err := w.Work.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Job.FootprintBytes != w.Dataset.Declared.FootprintBytes() {
+		t.Fatal("job footprint must be the declared paper-scale footprint")
+	}
+	// Scaled work must be paper-scale: edge ops >= declared edge count.
+	if w.Work.TotalEdgeOps() < w.Dataset.Declared.E {
+		t.Fatalf("scaled edge ops %d below declared %d",
+			w.Work.TotalEdgeOps(), w.Dataset.Declared.E)
+	}
+	// Features combine the static catalog with declared I.
+	if w.Features.B() != feature.MustCatalog(algo.NameBFS) {
+		t.Fatal("features must use the catalog B")
+	}
+	if w.Features.I() != feature.IFromDataset(w.Dataset) {
+		t.Fatal("features must use the declared I")
+	}
+	if w.Result.Visited == 0 {
+		t.Fatal("benchmark did not execute")
+	}
+}
+
+func TestCharacterizeScalesDiameterBoundOnly(t *testing.T) {
+	ca := testDataset(t, "CA")
+	bfs, _ := algo.ByName(algo.NameBFS)
+	pr, _ := algo.ByName(algo.NamePageRank)
+	wBFS, err := Characterize(bfs, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wPR, err := Characterize(pr, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS levels must be scaled toward the declared 850 diameter.
+	if wBFS.Work.Iterations < 400 {
+		t.Fatalf("BFS-CA scaled iterations %d want near declared diameter 850",
+			wBFS.Work.Iterations)
+	}
+	// PageRank iterations must stay at its convergence count (~20).
+	if wPR.Work.Iterations > 25 {
+		t.Fatalf("PageRank iterations %d must not be diameter-scaled", wPR.Work.Iterations)
+	}
+}
+
+func TestCharacterizeAllCount(t *testing.T) {
+	ws, err := CharacterizeAll(algo.All(), gen.TableICached(gen.Small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 81 {
+		t.Fatalf("workloads=%d want 9x9", len(ws))
+	}
+}
+
+func TestSystemRun(t *testing.T) {
+	pair := machine.PrimaryPair()
+	sys := NewSystem(pair, dtree.New(pair.Limits()), Performance)
+	b, _ := algo.ByName(algo.NameSSSPBF)
+	w, err := Characterize(b, testDataset(t, "CA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(w)
+	if rep.Machine.Seconds <= 0 {
+		t.Fatal("no simulated time")
+	}
+	if rep.PredictOverhead <= 0 {
+		t.Fatal("predictor overhead not measured")
+	}
+	if rep.TotalSeconds < rep.Machine.Seconds {
+		t.Fatal("total must include the predictor overhead")
+	}
+	if rep.Metric(Performance) != rep.TotalSeconds {
+		t.Fatal("performance metric")
+	}
+	if rep.Metric(Energy) != rep.Machine.EnergyJ {
+		t.Fatal("energy metric")
+	}
+}
+
+func TestComputeBaselines(t *testing.T) {
+	pair := machine.PrimaryPair()
+	b, _ := algo.ByName(algo.NameSSSPDelta)
+	w, err := Characterize(b, testDataset(t, "CA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl := ComputeBaselines(pair, w, Performance)
+	if bl.GPUOnlyM.Accelerator != config.GPU {
+		t.Fatal("GPU baseline on wrong accelerator")
+	}
+	if bl.MulticoreM.Accelerator != config.Multicore {
+		t.Fatal("multicore baseline on wrong accelerator")
+	}
+	minSingle := bl.GPUOnly.Seconds
+	if bl.MulticoreOnly.Seconds < minSingle {
+		minSingle = bl.MulticoreOnly.Seconds
+	}
+	if bl.Ideal.Seconds != minSingle {
+		t.Fatalf("ideal %v must equal the better single baseline %v",
+			bl.Ideal.Seconds, minSingle)
+	}
+	// Fig 1/7 anchor: the multicore wins SSSP-Delta on the road network.
+	if bl.MulticoreOnly.Seconds >= bl.GPUOnly.Seconds {
+		t.Fatalf("SSSP-Delta-CA: multicore (%v) must beat GPU (%v)",
+			bl.MulticoreOnly.Seconds, bl.GPUOnly.Seconds)
+	}
+}
+
+func TestEnergyObjectiveBaselines(t *testing.T) {
+	pair := machine.PrimaryPair()
+	b, _ := algo.ByName(algo.NamePageRank)
+	w, err := Characterize(b, testDataset(t, "FB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl := ComputeBaselines(pair, w, Energy)
+	minSingle := bl.GPUOnly.EnergyJ
+	if bl.MulticoreOnly.EnergyJ < minSingle {
+		minSingle = bl.MulticoreOnly.EnergyJ
+	}
+	if bl.Ideal.EnergyJ != minSingle {
+		t.Fatal("energy ideal must minimize energy")
+	}
+}
+
+func TestCharacterizeRejectsInvalidProfiles(t *testing.T) {
+	// Failure injection: a benchmark that emits a corrupt work profile
+	// must be rejected at characterization time, not blow up inside the
+	// simulator.
+	bad := algo.Benchmark{
+		Name: algo.NameBFS, // valid catalog entry, broken instrumentation
+		Run: func(g *graph.Graph) (algo.Result, *profile.Work) {
+			return algo.Result{}, &profile.Work{
+				Benchmark: "broken", Graph: g.Name,
+				Phases: []profile.Phase{{Kind: profile.PhaseKind(99), Name: "bad"}},
+			}
+		},
+	}
+	if _, err := Characterize(bad, testDataset(t, "FB")); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+
+	negative := algo.Benchmark{
+		Name: algo.NameBFS,
+		Run: func(g *graph.Graph) (algo.Result, *profile.Work) {
+			return algo.Result{}, &profile.Work{
+				Benchmark: "broken", Graph: g.Name,
+				Phases: []profile.Phase{{Kind: profile.VertexDivision, Name: "neg", EdgeOps: -5}},
+			}
+		},
+	}
+	if _, err := Characterize(negative, testDataset(t, "FB")); err == nil {
+		t.Fatal("negative counters accepted")
+	}
+}
+
+func TestCharacterizeUnknownBenchmarkName(t *testing.T) {
+	// A benchmark whose name has no B catalog entry cannot be
+	// characterized (the predictors would have no features).
+	unknown := algo.Benchmark{
+		Name: "NotInCatalog",
+		Run: func(g *graph.Graph) (algo.Result, *profile.Work) {
+			return algo.Result{}, &profile.Work{}
+		},
+	}
+	if _, err := Characterize(unknown, testDataset(t, "FB")); err == nil {
+		t.Fatal("uncatalogued benchmark accepted")
+	}
+}
+
+func TestFixedChoice(t *testing.T) {
+	m := config.M{Accelerator: config.GPU, GlobalThreads: 7, LocalThreads: 3}
+	fc := FixedChoice{Label: "fixed", M: m}
+	if fc.Name() != "fixed" {
+		t.Fatal("name")
+	}
+	if fc.Predict(feature.Vector{}) != m {
+		t.Fatal("fixed choice must echo its M")
+	}
+}
+
+func TestMeasureOverheadPositiveAndCached(t *testing.T) {
+	pair := machine.PrimaryPair()
+	sys := NewSystem(pair, dtree.New(pair.Limits()), Performance)
+	a := sys.PredictorOverhead()
+	if a <= 0 {
+		t.Fatal("overhead must be positive")
+	}
+	b := sys.PredictorOverhead()
+	if a != b {
+		t.Fatal("overhead must be measured once and cached")
+	}
+	if d := MeasureOverhead(FixedChoice{}); d < 0 {
+		t.Fatal("negative duration")
+	}
+	if MeasureOverhead(dtree.New(pair.Limits())) > time.Millisecond {
+		t.Fatal("decision tree overhead suspiciously high")
+	}
+}
+
+func TestSlowPredictorOverheadDominatesMeasurement(t *testing.T) {
+	pair := machine.PrimaryPair()
+	slow := slowPredictor{inner: dtree.New(pair.Limits())}
+	sys := NewSystem(pair, slow, Performance)
+	if sys.PredictorOverhead() < 100*time.Microsecond {
+		t.Fatalf("slow predictor overhead %v not captured", sys.PredictorOverhead())
+	}
+}
+
+type slowPredictor struct{ inner *dtree.Tree }
+
+func (s slowPredictor) Name() string { return "slow" }
+func (s slowPredictor) Predict(f feature.Vector) config.M {
+	time.Sleep(150 * time.Microsecond)
+	return s.inner.Predict(f)
+}

@@ -1,0 +1,208 @@
+package exec
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"heteromap/internal/algo"
+	"heteromap/internal/config"
+	"heteromap/internal/gen"
+)
+
+var allSchedules = []config.Schedule{
+	config.ScheduleStatic, config.ScheduleDynamic,
+	config.ScheduleGuided, config.ScheduleAuto,
+}
+
+func TestNewPoolMapsM(t *testing.T) {
+	m := config.M{Cores: 2, ThreadsPerCore: 2, Schedule: config.ScheduleDynamic, ChunkSize: 8}
+	p := NewPool(m)
+	if p.Workers() < 1 || p.Workers() > 4 {
+		t.Fatalf("workers=%d", p.Workers())
+	}
+	if NewPool(config.M{}).Workers() != 1 {
+		t.Fatal("zero config must fall back to one worker")
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, sched := range allSchedules {
+		for _, workers := range []int{1, 2, 4, 7} {
+			p := NewPoolN(workers, sched, 3)
+			n := 1000
+			counts := make([]atomic.Int32, n)
+			p.For(n, func(start, end int) {
+				for i := start; i < end; i++ {
+					counts[i].Add(1)
+				}
+			})
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("sched=%v workers=%d: index %d visited %d times",
+						sched, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEmptyAndTiny(t *testing.T) {
+	p := NewPoolN(4, config.ScheduleDynamic, 16)
+	p.For(0, func(int, int) { t.Fatal("body called for n=0") })
+	ran := false
+	p.For(1, func(s, e int) {
+		if s != 0 || e != 1 {
+			t.Fatalf("range [%d,%d)", s, e)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("body not called for n=1")
+	}
+}
+
+func TestReduceFloat64(t *testing.T) {
+	for _, sched := range allSchedules {
+		p := NewPoolN(4, sched, 7)
+		sum := p.ReduceFloat64(100, func(start, end int) float64 {
+			var s float64
+			for i := start; i < end; i++ {
+				s += float64(i)
+			}
+			return s
+		})
+		if sum != 4950 {
+			t.Fatalf("sched=%v: sum=%v", sched, sum)
+		}
+	}
+	if got := NewPoolN(2, config.ScheduleStatic, 1).ReduceFloat64(0, nil); got != 0 {
+		t.Fatal("empty reduce")
+	}
+}
+
+func TestReduceInt64(t *testing.T) {
+	p := NewPoolN(8, config.ScheduleGuided, 4)
+	sum := p.ReduceInt64(257, func(start, end int) int64 {
+		return int64(end - start)
+	})
+	if sum != 257 {
+		t.Fatalf("sum=%d", sum)
+	}
+}
+
+func TestParallelBFSMatchesSequential(t *testing.T) {
+	for _, sched := range allSchedules {
+		g := gen.ByShort(gen.TableICached(gen.Small), "FB").Graph
+		src := algo.SourceVertex(g)
+		want, _, _ := algo.BFS(g, src)
+		p := NewPoolN(4, sched, 32)
+		got := BFS(p, g, src)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("sched=%v: depth[%d]=%d want %d", sched, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestParallelBellmanFordMatchesSequential(t *testing.T) {
+	g := gen.ByShort(gen.TableICached(gen.Small), "CA").Graph
+	src := algo.SourceVertex(g)
+	want, _, _ := algo.SSSPBellmanFord(g, src)
+	p := NewPoolN(8, config.ScheduleDynamic, 64)
+	got := BellmanFord(p, g, src)
+	for v := range want {
+		wi, gi := math.IsInf(float64(want[v]), 1), math.IsInf(float64(got[v]), 1)
+		if wi != gi {
+			t.Fatalf("reachability mismatch at %d", v)
+		}
+		if !wi && math.Abs(float64(want[v]-got[v])) > 1e-3 {
+			t.Fatalf("dist[%d]=%v want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestParallelPageRankMatchesSequential(t *testing.T) {
+	g := gen.ByShort(gen.TableICached(gen.Small), "CAGE").Graph
+	want, _, _ := algo.PageRank(g, 10)
+	p := NewPoolN(4, config.ScheduleStatic, 16)
+	got := PageRank(p, g, 10)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("rank[%d]=%v want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestParallelTriangleMatchesSequential(t *testing.T) {
+	g := gen.ByShort(gen.TableICached(gen.Small), "CO").Graph
+	want, _, _ := algo.TriangleCount(g)
+	for _, workers := range []int{1, 3, 8} {
+		p := NewPoolN(workers, config.ScheduleDynamic, 8)
+		if got := TriangleCount(p, g); got != want {
+			t.Fatalf("workers=%d: triangles=%d want %d", workers, got, want)
+		}
+	}
+}
+
+func TestParallelComponentsMatchSequential(t *testing.T) {
+	g := gen.ByShort(gen.TableICached(gen.Small), "Rgg").Graph
+	_, res, _ := algo.ConnectedComponents(g)
+	p := NewPoolN(6, config.ScheduleGuided, 16)
+	labels := ConnectedComponents(p, g)
+	seen := map[int32]bool{}
+	for v := 0; v < g.NumVertices(); v++ {
+		seen[labels[v]] = true
+		for _, u := range g.Neighbors(v) {
+			if labels[v] != labels[u] {
+				t.Fatalf("edge (%d,%d) crosses labels", v, u)
+			}
+		}
+	}
+	if len(seen) != int(res.Checksum) {
+		t.Fatalf("components=%d want %v", len(seen), res.Checksum)
+	}
+}
+
+func TestParallelKernelsDeterministicProperty(t *testing.T) {
+	// BFS depths and BF distances are deterministic across runs and
+	// worker counts on random graphs.
+	f := func(seed int64) bool {
+		g := gen.UniformUndirected("p", 50, 150, 8, seed)
+		src := algo.SourceVertex(g)
+		d1 := BFS(NewPoolN(2, config.ScheduleDynamic, 4), g, src)
+		d2 := BFS(NewPoolN(7, config.ScheduleGuided, 2), g, src)
+		for v := range d1 {
+			if d1[v] != d2[v] {
+				return false
+			}
+		}
+		b1 := BellmanFord(NewPoolN(3, config.ScheduleStatic, 1), g, src)
+		b2 := BellmanFord(NewPoolN(5, config.ScheduleDynamic, 16), g, src)
+		for v := range b1 {
+			if math.Float32bits(b1[v]) != math.Float32bits(b2[v]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleVertexKernels(t *testing.T) {
+	single := gen.Uniform("single", 1, 0, 0, 1)
+	p := NewPoolN(2, config.ScheduleDynamic, 4)
+	if d := BFS(p, single, 0); d[0] != 0 {
+		t.Fatal("single vertex BFS")
+	}
+	if l := ConnectedComponents(p, single); l[0] != 0 {
+		t.Fatal("single vertex CC")
+	}
+	if d := BellmanFord(p, single, 0); d[0] != 0 {
+		t.Fatal("single vertex BF")
+	}
+}

@@ -1,0 +1,281 @@
+package exec
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"heteromap/internal/graph"
+)
+
+// Parallel graph kernels deployed through the pool. Each kernel computes
+// exactly the same answer as its instrumented sequential counterpart in
+// internal/algo (tests enforce the equivalence); the concurrency
+// discipline mirrors what the paper's OpenMP benchmarks do on the
+// multicore: level-synchronous frontiers with CAS visited-marking,
+// atomic-min distance relaxation, double-buffered rank updates.
+
+// BFS computes breadth-first levels in parallel: each level's frontier
+// expands concurrently, visited marking uses compare-and-swap, and the
+// per-worker next-frontier fragments are concatenated at the barrier.
+// Levels are deterministic regardless of interleaving.
+func BFS(p *Pool, g *graph.Graph, src int) []int32 {
+	n := g.NumVertices()
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	if n == 0 {
+		return depth
+	}
+	adepth := make([]atomic.Int32, n)
+	for i := range adepth {
+		adepth[i].Store(-1)
+	}
+	adepth[src].Store(0)
+
+	frontier := []int32{int32(src)}
+	var level int32
+	for len(frontier) > 0 {
+		level++
+		var mu sync.Mutex
+		var next []int32
+		p.For(len(frontier), func(start, end int) {
+			var local []int32
+			for _, v := range frontier[start:end] {
+				for _, u := range g.Neighbors(int(v)) {
+					if adepth[u].CompareAndSwap(-1, level) {
+						local = append(local, u)
+					}
+				}
+			}
+			if len(local) > 0 {
+				mu.Lock()
+				next = append(next, local...)
+				mu.Unlock()
+			}
+		})
+		frontier = next
+	}
+	for i := range depth {
+		depth[i] = adepth[i].Load()
+	}
+	return depth
+}
+
+// BellmanFord relaxes all edges per round in parallel with atomic-min
+// distance updates (CAS on the float bit pattern; non-negative IEEE 754
+// floats order like their unsigned bit patterns), iterating to the fixed
+// point. Distances are deterministic.
+func BellmanFord(p *Pool, g *graph.Graph, src int) []float32 {
+	n := g.NumVertices()
+	dist := make([]atomic.Uint32, n)
+	inf := math.Float32bits(float32(math.Inf(1)))
+	for i := range dist {
+		dist[i].Store(inf)
+	}
+	out := make([]float32, n)
+	if n == 0 {
+		return out
+	}
+	dist[src].Store(math.Float32bits(0))
+
+	atomicMin := func(a *atomic.Uint32, v float32) bool {
+		bits := math.Float32bits(v)
+		for {
+			cur := a.Load()
+			if bits >= cur {
+				return false
+			}
+			if a.CompareAndSwap(cur, bits) {
+				return true
+			}
+		}
+	}
+
+	for round := 0; round < n; round++ {
+		var changed atomic.Bool
+		p.For(n, func(start, end int) {
+			for v := start; v < end; v++ {
+				dv := math.Float32frombits(dist[v].Load())
+				if math.IsInf(float64(dv), 1) {
+					continue
+				}
+				nb := g.Neighbors(v)
+				ws := g.NeighborWeights(v)
+				for i, u := range nb {
+					w := float32(1)
+					if ws != nil {
+						w = ws[i]
+					}
+					if atomicMin(&dist[u], dv+w) {
+						changed.Store(true)
+					}
+				}
+			}
+		})
+		if !changed.Load() {
+			break
+		}
+	}
+	for i := range out {
+		out[i] = math.Float32frombits(dist[i].Load())
+	}
+	return out
+}
+
+// PageRank runs the pull-based power iteration in parallel with double
+// buffering; the per-sweep L1 error reduces across workers. Matching
+// internal/algo's convergence rule keeps results bit-stable enough for
+// the equivalence tests (same damping, tolerance, iteration cap).
+func PageRank(p *Pool, g *graph.Graph, maxIters int) []float64 {
+	const (
+		damping   = 0.85
+		tolerance = 1e-4
+	)
+	n := g.NumVertices()
+	ranks := make([]float64, n)
+	if n == 0 {
+		return ranks
+	}
+	if maxIters <= 0 {
+		maxIters = 20
+	}
+	inv := 1 / float64(n)
+	for i := range ranks {
+		ranks[i] = inv
+	}
+	next := make([]float64, n)
+	contrib := make([]float64, n)
+
+	for iter := 0; iter < maxIters; iter++ {
+		p.For(n, func(start, end int) {
+			for v := start; v < end; v++ {
+				if d := g.Degree(v); d > 0 {
+					contrib[v] = ranks[v] / float64(d)
+				} else {
+					contrib[v] = 0
+				}
+			}
+		})
+		p.For(n, func(start, end int) {
+			for v := start; v < end; v++ {
+				var sum float64
+				for _, u := range g.Neighbors(v) {
+					sum += contrib[u]
+				}
+				next[v] = (1-damping)*inv + damping*sum
+			}
+		})
+		delta := p.ReduceFloat64(n, func(start, end int) float64 {
+			var d float64
+			for v := start; v < end; v++ {
+				d += math.Abs(next[v] - ranks[v])
+			}
+			return d
+		})
+		ranks, next = next, ranks
+		if delta < tolerance {
+			break
+		}
+	}
+	return ranks
+}
+
+// TriangleCount counts triangles in parallel over vertices with
+// per-worker partial counters (same oriented merge-intersection as the
+// sequential kernel).
+func TriangleCount(p *Pool, g *graph.Graph) int64 {
+	n := g.NumVertices()
+	return p.ReduceInt64(n, func(start, end int) int64 {
+		var local int64
+		for v := start; v < end; v++ {
+			nv := g.Neighbors(v)
+			for _, u := range nv {
+				if int(u) <= v {
+					continue
+				}
+				nu := g.Neighbors(int(u))
+				i, j := 0, 0
+				for i < len(nv) && j < len(nu) {
+					a, b := nv[i], nu[j]
+					if a <= u {
+						i++
+						continue
+					}
+					if b <= u {
+						j++
+						continue
+					}
+					switch {
+					case a == b:
+						local++
+						i++
+						j++
+					case a < b:
+						i++
+					default:
+						j++
+					}
+				}
+			}
+		}
+		return local
+	})
+}
+
+// ConnectedComponents labels components in parallel: rounds of
+// atomic-min label propagation over edges until a fixed point. The
+// converged labels (the minimum vertex id of each component) are
+// deterministic.
+func ConnectedComponents(p *Pool, g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	labels := make([]atomic.Int32, n)
+	for i := range labels {
+		labels[i].Store(int32(i))
+	}
+	out := make([]int32, n)
+	if n == 0 {
+		return out
+	}
+	atomicMin := func(a *atomic.Int32, v int32) bool {
+		for {
+			cur := a.Load()
+			if v >= cur {
+				return false
+			}
+			if a.CompareAndSwap(cur, v) {
+				return true
+			}
+		}
+	}
+	for {
+		var changed atomic.Bool
+		p.For(n, func(start, end int) {
+			for v := start; v < end; v++ {
+				lv := labels[v].Load()
+				for _, u := range g.Neighbors(v) {
+					lu := labels[u].Load()
+					switch {
+					case lu < lv:
+						if atomicMin(&labels[v], lu) {
+							changed.Store(true)
+						}
+						lv = labels[v].Load()
+					case lv < lu:
+						if atomicMin(&labels[u], lv) {
+							changed.Store(true)
+						}
+					}
+				}
+			}
+		})
+		if !changed.Load() {
+			break
+		}
+	}
+	for i := range out {
+		out[i] = labels[i].Load()
+	}
+	return out
+}

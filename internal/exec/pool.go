@@ -1,0 +1,205 @@
+// Package exec deploys machine choices on the host: an OpenMP-like
+// parallel runtime whose scheduling kind, chunk size and worker count
+// come from the M vector, plus parallel implementations of the
+// data-parallel graph kernels. The simulator (internal/machine) prices
+// configurations; this package is the part of deployment that can run
+// for real on the host CPU — the reproduction's stand-in for launching
+// the tuned OpenMP binary of the paper's Fig 8 step 3.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"heteromap/internal/config"
+)
+
+// Pool is a reusable team of workers honoring an M configuration's
+// multicore choices. The zero value is not usable; construct with
+// NewPool.
+type Pool struct {
+	workers  int
+	schedule config.Schedule
+	chunk    int
+}
+
+// NewPool maps a multicore M configuration onto the host: worker count
+// is the configured thread total capped by the host's parallelism, the
+// scheduling kind and chunk size transfer directly.
+func NewPool(m config.M) *Pool {
+	workers := m.MulticoreThreads()
+	if maxP := runtime.GOMAXPROCS(0); workers > maxP {
+		workers = maxP
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := m.ChunkSize
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &Pool{workers: workers, schedule: m.Schedule, chunk: chunk}
+}
+
+// NewPoolN builds a pool with an explicit worker count and schedule.
+// Unlike NewPool it takes the count literally — tests and sweeps may
+// deliberately oversubscribe the host.
+func NewPoolN(workers int, schedule config.Schedule, chunk int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &Pool{workers: workers, schedule: schedule, chunk: chunk}
+}
+
+// Workers returns the deployed worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// For executes body(start, end) over disjoint sub-ranges covering
+// [0, n), in parallel across the pool's workers, using the configured
+// scheduling discipline:
+//
+//   - static: contiguous near-equal ranges, one per worker
+//   - dynamic: workers grab fixed-size chunks from a shared counter
+//   - guided: like dynamic with geometrically shrinking chunks
+//   - auto: dynamic
+//
+// For returns when every index has been processed. Bodies run
+// concurrently and must synchronize any shared writes themselves.
+func (p *Pool) For(n int, body func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 {
+		body(0, n)
+		return
+	}
+	switch p.schedule {
+	case config.ScheduleStatic:
+		p.forStatic(n, body)
+	case config.ScheduleGuided:
+		p.forGuided(n, body)
+	default: // dynamic, auto
+		p.forDynamic(n, p.chunk, body)
+	}
+}
+
+func (p *Pool) forStatic(n int, body func(start, end int)) {
+	var wg sync.WaitGroup
+	per := (n + p.workers - 1) / p.workers
+	for w := 0; w < p.workers; w++ {
+		start := w * per
+		if start >= n {
+			break
+		}
+		end := start + per
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			body(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+func (p *Pool) forDynamic(n, chunk int, body func(start, end int)) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				body(start, end)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func (p *Pool) forGuided(n int, body func(start, end int)) {
+	// Guided scheduling: each grab takes remaining/(2*workers), floored
+	// at the configured chunk size.
+	var mu sync.Mutex
+	cursor := 0
+	grab := func() (int, int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if cursor >= n {
+			return -1, -1
+		}
+		remaining := n - cursor
+		size := remaining / (2 * p.workers)
+		if size < p.chunk {
+			size = p.chunk
+		}
+		if size > remaining {
+			size = remaining
+		}
+		start := cursor
+		cursor += size
+		return start, start + size
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s, e := grab()
+				if s < 0 {
+					return
+				}
+				body(s, e)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ReduceFloat64 runs body over [0, n) like For, collecting one float64
+// partial per invocation and summing them — the parallel-reduction
+// primitive the benchmarks' error/count phases use.
+func (p *Pool) ReduceFloat64(n int, body func(start, end int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	var mu sync.Mutex
+	total := 0.0
+	p.For(n, func(start, end int) {
+		partial := body(start, end)
+		mu.Lock()
+		total += partial
+		mu.Unlock()
+	})
+	return total
+}
+
+// ReduceInt64 is ReduceFloat64 for integer counters, lock-free.
+func (p *Pool) ReduceInt64(n int, body func(start, end int) int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	var total atomic.Int64
+	p.For(n, func(start, end int) {
+		total.Add(body(start, end))
+	})
+	return total.Load()
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV export so experiment outputs can feed external plotting (the
+// paper's figures are bar/line charts; cmd/hmexp -csv writes one file
+// per experiment).
+
+// Tabular is implemented by experiment results that export rows.
+type Tabular interface {
+	CSV() (header []string, rows [][]string)
+}
+
+// WriteCSV emits any Tabular result.
+func WriteCSV(w io.Writer, t Tabular) error {
+	cw := csv.NewWriter(w)
+	header, rows := t.CSV()
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSV implements Tabular.
+func (r Table1Result) CSV() ([]string, [][]string) {
+	header := []string{"dataset", "short", "V", "E", "maxdeg", "diameter",
+		"genV", "genE", "I1", "I2", "I3", "I4"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name, row.Short,
+			fmt.Sprint(row.V), fmt.Sprint(row.E),
+			fmt.Sprint(row.MaxDeg), fmt.Sprint(row.Diameter),
+			fmt.Sprint(row.GeneratedV), fmt.Sprint(row.GeneratedE),
+			f1(row.I[0]), f1(row.I[1]), f1(row.I[2]), f1(row.I[3]),
+		})
+	}
+	return header, rows
+}
+
+// CSV implements Tabular.
+func (r Table4Result) CSV() ([]string, [][]string) {
+	header := []string{"learner", "speedup_pct", "accuracy_pct", "overhead_ns"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Learner, f1(row.SpeedupPct), f1(row.AccuracyPct),
+			fmt.Sprint(row.Overhead.Nanoseconds()),
+		})
+	}
+	return header, rows
+}
+
+// CSV implements Tabular.
+func (r SchedulerResult) CSV() ([]string, [][]string) {
+	header := []string{"combo", "gpu_only", "mc_only", "heteromap", "ideal", "chosen"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Combo, f3(row.GPUOnly), f3(row.MCOnly), f3(row.HeteroMap),
+			f3(row.Ideal), row.ChosenAccel.String(),
+		})
+	}
+	return header, rows
+}
+
+// CSV implements Tabular.
+func (r Fig1Result) CSV() ([]string, [][]string) {
+	header := []string{"input", "accel", "threads", "thread_frac", "seconds"}
+	var rows [][]string
+	for _, g := range r.Graphs {
+		for _, s := range []Fig1Series{g.GPU, g.MC} {
+			for _, p := range s.Points {
+				rows = append(rows, []string{
+					g.Input, s.Accel, fmt.Sprint(p.Threads),
+					f3(p.ThreadFrac), fmt.Sprintf("%.6g", p.Seconds),
+				})
+			}
+		}
+	}
+	return header, rows
+}
+
+// CSV implements Tabular.
+func (r Fig12Result) CSV() ([]string, [][]string) {
+	header := []string{"benchmark", "gpu_only", "mc_only", "heteromap", "ideal"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Benchmark, f3(row.GPUOnly), f3(row.MCOnly),
+			f3(row.HeteroMap), f3(row.Ideal),
+		})
+	}
+	return header, rows
+}
+
+// CSV implements Tabular.
+func (r Fig13Result) CSV() ([]string, [][]string) {
+	header := []string{"benchmark", "gpu_only_pct", "mc_only_pct", "heteromap_pct"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Benchmark, f1(row.GPUOnly), f1(row.MCOnly), f1(row.HeteroMap),
+		})
+	}
+	return header, rows
+}
+
+// CSV implements Tabular.
+func (r Fig16Result) CSV() ([]string, [][]string) {
+	header := []string{"pair", "gpu_mem_gb", "mc_mem_gb", "gpu_only", "mc_only", "best_of_pair"}
+	var rows [][]string
+	for _, sweep := range r.Sweeps {
+		for _, p := range sweep.Points {
+			rows = append(rows, []string{
+				sweep.Pair, fmt.Sprint(p.GPUMemGB), fmt.Sprint(p.MCMemGB),
+				f3(p.GPUOnly), f3(p.MCOnly), f3(p.BestOfPair),
+			})
+		}
+	}
+	return header, rows
+}
+
+// CSV implements Tabular.
+func (r Fig15Result) CSV() ([]string, [][]string) {
+	header := []string{"pair", "benchmark", "gpu_only", "cpu_only", "heteromap"}
+	var rows [][]string
+	for _, p := range r.Pairs {
+		for _, row := range p.Rows {
+			rows = append(rows, []string{
+				p.Pair, row.Benchmark, f2(row.GPUOnly), f2(row.CPUOnly), f2(row.HeteroMap),
+			})
+		}
+	}
+	return header, rows
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTable1CSV(t *testing.T) {
+	res := Table1(fastCtx())
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 10 { // header + 9 datasets
+		t.Fatalf("lines=%d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "dataset,short,") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "USA-Cal,CA,1900000") {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+func TestFig1CSV(t *testing.T) {
+	res, err := Fig1(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"CA", "CAGE", "GTX-750Ti", "Xeon-Phi-7120P"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("csv missing %q", want)
+		}
+	}
+}
+
+func TestFig16CSV(t *testing.T) {
+	res, err := Fig16(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	wantRows := 0
+	for _, s := range res.Sweeps {
+		wantRows += len(s.Points)
+	}
+	if len(lines) != wantRows+1 {
+		t.Fatalf("lines=%d want %d", len(lines), wantRows+1)
+	}
+}
+
+func TestAllTabularResultsExport(t *testing.T) {
+	// Every Tabular implementation must emit a header and consistent
+	// column counts.
+	check := func(name string, tab Tabular) {
+		header, rows := tab.CSV()
+		if len(header) == 0 {
+			t.Fatalf("%s: empty header", name)
+		}
+		for i, row := range rows {
+			if len(row) != len(header) {
+				t.Fatalf("%s row %d: %d cells, header has %d", name, i, len(row), len(header))
+			}
+		}
+	}
+	check("table1", Table1(fastCtx()))
+	if res, err := Fig1(fastCtx()); err == nil {
+		check("fig1", res)
+	}
+	if res, err := Fig16(fastCtx()); err == nil {
+		check("fig16", res)
+	}
+	// Typed zero values cover the remaining implementations' shapes.
+	check("table4", Table4Result{Rows: []Table4Row{{Learner: "x"}}})
+	check("scheduler", SchedulerResult{Rows: []SchedulerRow{{Combo: "x"}}})
+	check("fig12", Fig12Result{Rows: []Fig12Row{{Benchmark: "x"}}})
+	check("fig13", Fig13Result{Rows: []Fig13Row{{Benchmark: "x"}}})
+	check("fig15", Fig15Result{Pairs: []Fig15Pair{{Pair: "p", Rows: []Fig15Row{{Benchmark: "x"}}}}})
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"heteromap/internal/algo"
+	"heteromap/internal/config"
+	"heteromap/internal/core"
+	"heteromap/internal/gen"
+	"heteromap/internal/machine"
+	"heteromap/internal/stats"
+)
+
+// Fig1Point is one (thread fraction, completion time) sample of a sweep.
+type Fig1Point struct {
+	// ThreadFrac is the deployed thread count normalized to the
+	// accelerator's maximum (the paper's normalized x-axis).
+	ThreadFrac float64
+	Threads    int
+	Seconds    float64
+}
+
+// Fig1Series is a sweep for one accelerator on one input.
+type Fig1Series struct {
+	Accel  string
+	Points []Fig1Point
+}
+
+// Best returns the minimum completion time and its thread fraction.
+func (s Fig1Series) Best() (frac, seconds float64) {
+	best := -1
+	for i, p := range s.Points {
+		if best < 0 || p.Seconds < s.Points[best].Seconds {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, 0
+	}
+	return s.Points[best].ThreadFrac, s.Points[best].Seconds
+}
+
+// Fig1Graph holds both accelerators' sweeps on one input.
+type Fig1Graph struct {
+	Input  string
+	GPU    Fig1Series
+	MC     Fig1Series
+	Winner string
+	Factor float64 // winner advantage at each side's best threading
+}
+
+// Fig1Result reproduces Fig 1: OpenTuner-style thread sweeps of
+// delta-stepping SSSP on a sparse road network (CA) and a dense matrix
+// graph (CAGE) on both accelerators of the primary pair.
+type Fig1Result struct {
+	Graphs []Fig1Graph
+}
+
+// Fig1 runs the sweep with the primary (GTX-750Ti, Xeon Phi) pair.
+func Fig1(c *Context) (Fig1Result, error) {
+	pair := machine.PrimaryPair()
+	limits := pair.Limits()
+	bench, err := algo.ByName(algo.NameSSSPDelta)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+
+	var res Fig1Result
+	for _, short := range []string{"CA", "CAGE"} {
+		ds := gen.ByShort(c.Datasets(), short)
+		w, err := core.Characterize(bench, ds)
+		if err != nil {
+			return res, err
+		}
+		g := Fig1Graph{Input: short}
+
+		// GPU sweep: global threads from 1 to max, best local threading
+		// per point (the paper tunes remaining knobs with OpenTuner).
+		base := config.DefaultGPU(limits)
+		for _, gt := range sweepLevels(limits.MaxGlobalThreads) {
+			bestSec := -1.0
+			for _, lt := range sweepLevels(limits.MaxLocalThreads) {
+				m := base
+				m.GlobalThreads = gt
+				m.LocalThreads = lt
+				sec := pair.GPU.Evaluate(w.Job, m.Clamp(limits)).Seconds
+				if bestSec < 0 || sec < bestSec {
+					bestSec = sec
+				}
+			}
+			g.GPU.Accel = pair.GPU.Name
+			g.GPU.Points = append(g.GPU.Points, Fig1Point{
+				ThreadFrac: float64(gt) / float64(limits.MaxGlobalThreads),
+				Threads:    gt,
+				Seconds:    bestSec,
+			})
+		}
+
+		// Multicore sweep: total threads from 1 to max; schedule and
+		// SIMD tuned per point.
+		mcBase := config.DefaultMulticore(limits)
+		maxThreads := limits.MaxCores * limits.MaxThreadsPerCore
+		for _, tc := range sweepLevels(maxThreads) {
+			bestSec := -1.0
+			for _, sched := range []config.Schedule{config.ScheduleStatic, config.ScheduleDynamic} {
+				for _, simd := range []int{1, limits.MaxSIMD} {
+					m := mcBase
+					m.Cores = stats.ClampInt(tc, 1, limits.MaxCores)
+					m.ThreadsPerCore = stats.ClampInt((tc+m.Cores-1)/m.Cores, 1, limits.MaxThreadsPerCore)
+					m.Schedule = sched
+					m.SIMDWidth = simd
+					sec := pair.Multicore.Evaluate(w.Job, m.Clamp(limits)).Seconds
+					if bestSec < 0 || sec < bestSec {
+						bestSec = sec
+					}
+				}
+			}
+			g.MC.Accel = pair.Multicore.Name
+			g.MC.Points = append(g.MC.Points, Fig1Point{
+				ThreadFrac: float64(tc) / float64(maxThreads),
+				Threads:    tc,
+				Seconds:    bestSec,
+			})
+		}
+
+		_, gpuBest := g.GPU.Best()
+		_, mcBest := g.MC.Best()
+		if gpuBest <= mcBest {
+			g.Winner, g.Factor = pair.GPU.Name, mcBest/gpuBest
+		} else {
+			g.Winner, g.Factor = pair.Multicore.Name, gpuBest/mcBest
+		}
+		res.Graphs = append(res.Graphs, g)
+	}
+	return res, nil
+}
+
+// sweepLevels returns ~12 geometrically spaced thread counts in [1, max].
+func sweepLevels(maxV int) []int {
+	if maxV <= 1 {
+		return []int{1}
+	}
+	out := []int{1}
+	cur := 1.0
+	for cur < float64(maxV) {
+		cur *= 2.2
+		v := int(cur)
+		if v >= maxV {
+			break
+		}
+		if v > out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return append(out, maxV)
+}
+
+// String renders both sweeps as aligned series with an ASCII miniature
+// of the paper's completion-time curves.
+func (r Fig1Result) String() string {
+	out := ""
+	for _, g := range r.Graphs {
+		t := newTable(fmt.Sprintf("Fig 1: SSSP-Delta thread sweep on %s", g.Input),
+			"Accel", "threads", "frac", "seconds", "curve (log scale)")
+		maxSec := 0.0
+		minSec := -1.0
+		for _, s := range []Fig1Series{g.GPU, g.MC} {
+			for _, p := range s.Points {
+				if p.Seconds > maxSec {
+					maxSec = p.Seconds
+				}
+				if minSec < 0 || p.Seconds < minSec {
+					minSec = p.Seconds
+				}
+			}
+		}
+		for _, s := range []Fig1Series{g.GPU, g.MC} {
+			for _, p := range s.Points {
+				t.add(s.Accel, fmt.Sprint(p.Threads), f2(p.ThreadFrac),
+					fmt.Sprintf("%.3g", p.Seconds), bar(p.Seconds, minSec, maxSec, 34))
+			}
+		}
+		t.addf("winner on %s: %s by %.2fx", g.Input, g.Winner, g.Factor)
+		out += t.String() + "\n"
+	}
+	return out
+}
+
+// bar renders v on a log scale between lo and hi as a fixed-width ASCII
+// bar — enough to see the U-shapes and crossovers in terminal output.
+func bar(v, lo, hi float64, width int) string {
+	if v <= 0 || hi <= lo || lo <= 0 {
+		return ""
+	}
+	frac := math.Log(v/lo) / math.Log(hi/lo)
+	n := int(frac*float64(width-1)) + 1
+	if n < 1 {
+		n = 1
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}

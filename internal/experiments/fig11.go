@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"heteromap/internal/config"
+	"heteromap/internal/core"
+	"heteromap/internal/machine"
+	"heteromap/internal/stats"
+)
+
+// SchedulerRow is one benchmark-input combination's comparison: all times
+// normalized to the GPU-only baseline (the paper's Fig 11/14 axis,
+// "higher is worse").
+type SchedulerRow struct {
+	Combo       string
+	GPUOnly     float64 // always 1.0 by construction
+	MCOnly      float64
+	HeteroMap   float64
+	Ideal       float64
+	ChosenAccel config.Accel
+}
+
+// SchedulerResult reproduces Fig 11 (primary pair) and Fig 14 (GTX-970
+// pair): per-combination scheduler comparisons with the deep learning
+// model.
+type SchedulerResult struct {
+	Pair    string
+	Learner string
+	Rows    []SchedulerRow
+
+	// Geomean summary: the paper's headline numbers ("the framework is
+	// 31% better than a GPU-only and 75% better than a Xeon-Phi-only
+	// setup"; 14% and 3.8x for the GTX-970 pair).
+	GainOverGPUPct float64
+	GainOverMCx    float64
+	// VsIdealPct is how far HeteroMap lands from the no-overhead ideal
+	// (paper: within 10%).
+	VsIdealPct float64
+}
+
+// Scheduler runs the per-combination comparison for a pair.
+func Scheduler(c *Context, pair machine.Pair, learner string) (SchedulerResult, error) {
+	ws, err := c.Workloads()
+	if err != nil {
+		return SchedulerResult{}, err
+	}
+	sys, err := c.System(pair, core.Performance, learner)
+	if err != nil {
+		return SchedulerResult{}, err
+	}
+
+	res := SchedulerResult{Pair: pair.Name(), Learner: learner}
+	var gpuT, mcT, hmT, idT []float64
+	for _, w := range ws {
+		bl := c.Baselines(pair, w, core.Performance)
+		rep := sys.Run(w)
+		gpu := bl.GPUOnly.Seconds
+		row := SchedulerRow{
+			Combo:       w.Name(),
+			GPUOnly:     1,
+			MCOnly:      bl.MulticoreOnly.Seconds / gpu,
+			HeteroMap:   rep.TotalSeconds / gpu,
+			Ideal:       bl.Ideal.Seconds / gpu,
+			ChosenAccel: rep.Chosen.Accelerator,
+		}
+		res.Rows = append(res.Rows, row)
+		gpuT = append(gpuT, gpu)
+		mcT = append(mcT, bl.MulticoreOnly.Seconds)
+		hmT = append(hmT, rep.TotalSeconds)
+		idT = append(idT, bl.Ideal.Seconds)
+	}
+	hmGeo := stats.MustGeomean(hmT)
+	res.GainOverGPUPct = (stats.MustGeomean(gpuT)/hmGeo - 1) * 100
+	res.GainOverMCx = stats.MustGeomean(mcT) / hmGeo
+	res.VsIdealPct = (hmGeo/stats.MustGeomean(idT) - 1) * 100
+	return res, nil
+}
+
+// Fig11 is the primary-pair scheduler comparison.
+func Fig11(c *Context) (SchedulerResult, error) {
+	return Scheduler(c, machine.PrimaryPair(), LearnerDeep128)
+}
+
+// Fig14 swaps in the stronger GTX-970 ("machine learning models are
+// re-learned for this architectural change" — the context trains a fresh
+// database for the pair).
+func Fig14(c *Context) (SchedulerResult, error) {
+	return Scheduler(c, machine.StrongGPUPair(), LearnerDeep128)
+}
+
+// BenchmarkSummary aggregates the per-combination rows to per-benchmark
+// geomeans (the bar heights of the paper's Fig 11/14 when read
+// benchmark-wise).
+type BenchmarkSummary struct {
+	Benchmark string
+	MCOnly    float64
+	HeteroMap float64
+	Ideal     float64
+}
+
+// PerBenchmark computes geomean rows per benchmark (combination labels
+// are "<benchmark>-<input>").
+func (r SchedulerResult) PerBenchmark() []BenchmarkSummary {
+	order := []string{}
+	groups := map[string][]SchedulerRow{}
+	for _, row := range r.Rows {
+		idx := strings.LastIndex(row.Combo, "-")
+		if idx < 0 {
+			continue
+		}
+		name := row.Combo[:idx]
+		if _, ok := groups[name]; !ok {
+			order = append(order, name)
+		}
+		groups[name] = append(groups[name], row)
+	}
+	var out []BenchmarkSummary
+	for _, name := range order {
+		var mc, hm, id []float64
+		for _, row := range groups[name] {
+			mc = append(mc, row.MCOnly)
+			hm = append(hm, row.HeteroMap)
+			id = append(id, row.Ideal)
+		}
+		out = append(out, BenchmarkSummary{
+			Benchmark: name,
+			MCOnly:    stats.MustGeomean(mc),
+			HeteroMap: stats.MustGeomean(hm),
+			Ideal:     stats.MustGeomean(id),
+		})
+	}
+	return out
+}
+
+// String renders the per-combination comparison.
+func (r SchedulerResult) String() string {
+	t := newTable(
+		fmt.Sprintf("Scheduler comparison on %s with %s (normalized to GPU-only; higher is worse)",
+			r.Pair, r.Learner),
+		"Combo", "GPU-only", "MC-only", "HeteroMap", "Ideal", "chosen")
+	for _, row := range r.Rows {
+		t.add(row.Combo, f2(row.GPUOnly), f2(row.MCOnly), f2(row.HeteroMap),
+			f2(row.Ideal), row.ChosenAccel.String())
+	}
+	t.addf("HeteroMap vs GPU-only: +%.1f%%  vs MC-only: %.2fx  vs ideal: +%.1f%%",
+		r.GainOverGPUPct, r.GainOverMCx, r.VsIdealPct)
+	out := t.String()
+
+	bt := newTable("per-benchmark geomeans (normalized to GPU-only)",
+		"Benchmark", "MC-only", "HeteroMap", "Ideal")
+	for _, row := range r.PerBenchmark() {
+		bt.add(row.Benchmark, f2(row.MCOnly), f2(row.HeteroMap), f2(row.Ideal))
+	}
+	return out + "\n" + bt.String()
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"heteromap/internal/algo"
+	"heteromap/internal/core"
+	"heteromap/internal/machine"
+	"heteromap/internal/stats"
+)
+
+// Fig12Row is one benchmark's energy comparison, geomeaned across inputs
+// and normalized to the maximum energy of any combination (the paper's
+// Fig 12 axis).
+type Fig12Row struct {
+	Benchmark string
+	GPUOnly   float64
+	MCOnly    float64
+	HeteroMap float64
+	Ideal     float64
+}
+
+// Fig12Result reproduces Fig 12: energy benefits with the
+// energy-objective-trained HeteroMap on the primary pair.
+type Fig12Result struct {
+	Rows []Fig12Row
+	// Headline factors: paper reports HeteroMap reduces energy from
+	// (0.15, 0.16) to 0.06, ~2.4x, vs ideal 0.03.
+	GPUOnlyMean, MCOnlyMean, HeteroMapMean, IdealMean float64
+	ReductionX                                        float64
+}
+
+// Fig12 evaluates the energy objective per benchmark.
+func Fig12(c *Context) (Fig12Result, error) {
+	pair := machine.PrimaryPair()
+	ws, err := c.Workloads()
+	if err != nil {
+		return Fig12Result{}, err
+	}
+	sys, err := c.System(pair, core.Energy, LearnerDeep128)
+	if err != nil {
+		return Fig12Result{}, err
+	}
+
+	// Normalize per combination to the worse single-accelerator energy
+	// (the paper normalizes "to the maximal energy used for any B-I
+	// combination"; per-combination normalization keeps the geomeans
+	// readable when simulated energies span orders of magnitude between
+	// the tiny and the billion-edge inputs).
+	type cell struct{ gpu, mc, hm, ideal float64 }
+	cells := map[string][]cell{}
+	for _, w := range ws {
+		bl := c.Baselines(pair, w, core.Energy)
+		rep := sys.Run(w)
+		maxE := bl.GPUOnly.EnergyJ
+		if bl.MulticoreOnly.EnergyJ > maxE {
+			maxE = bl.MulticoreOnly.EnergyJ
+		}
+		if maxE <= 0 {
+			maxE = 1
+		}
+		cells[w.Benchmark.Name] = append(cells[w.Benchmark.Name], cell{
+			gpu:   bl.GPUOnly.EnergyJ / maxE,
+			mc:    bl.MulticoreOnly.EnergyJ / maxE,
+			hm:    rep.Machine.EnergyJ / maxE,
+			ideal: bl.Ideal.EnergyJ / maxE,
+		})
+	}
+
+	var res Fig12Result
+	var gAll, mAll, hAll, iAll []float64
+	for _, name := range algo.Names() {
+		cs := cells[name]
+		var g, m, h, id []float64
+		for _, cl := range cs {
+			g = append(g, cl.gpu)
+			m = append(m, cl.mc)
+			h = append(h, cl.hm)
+			id = append(id, cl.ideal)
+		}
+		res.Rows = append(res.Rows, Fig12Row{
+			Benchmark: name,
+			GPUOnly:   stats.MustGeomean(g),
+			MCOnly:    stats.MustGeomean(m),
+			HeteroMap: stats.MustGeomean(h),
+			Ideal:     stats.MustGeomean(id),
+		})
+		gAll = append(gAll, g...)
+		mAll = append(mAll, m...)
+		hAll = append(hAll, h...)
+		iAll = append(iAll, id...)
+	}
+	res.GPUOnlyMean = stats.MustGeomean(gAll)
+	res.MCOnlyMean = stats.MustGeomean(mAll)
+	res.HeteroMapMean = stats.MustGeomean(hAll)
+	res.IdealMean = stats.MustGeomean(iAll)
+	if res.HeteroMapMean > 0 {
+		res.ReductionX = stats.Min([]float64{res.GPUOnlyMean, res.MCOnlyMean}) /
+			res.HeteroMapMean
+	}
+	return res, nil
+}
+
+// String renders the energy comparison.
+func (r Fig12Result) String() string {
+	t := newTable("Fig 12: normalized energy per benchmark (geomean across inputs)",
+		"Benchmark", "GPU-only", "MC-only", "HeteroMap", "Ideal")
+	for _, row := range r.Rows {
+		t.add(row.Benchmark, f3(row.GPUOnly), f3(row.MCOnly), f3(row.HeteroMap),
+			f3(row.Ideal))
+	}
+	t.addf("geomeans: GPU=%.3f MC=%.3f HeteroMap=%.3f Ideal=%.3f (reduction %.2fx)",
+		r.GPUOnlyMean, r.MCOnlyMean, r.HeteroMapMean, r.IdealMean, r.ReductionX)
+	return t.String()
+}

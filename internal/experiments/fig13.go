@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"heteromap/internal/algo"
+	"heteromap/internal/core"
+	"heteromap/internal/machine"
+	"heteromap/internal/stats"
+)
+
+// Fig13Row is one benchmark's raw core utilization (%), averaged across
+// inputs (the paper's Fig 13).
+type Fig13Row struct {
+	Benchmark string
+	GPUOnly   float64
+	MCOnly    float64
+	HeteroMap float64
+}
+
+// Fig13Result reproduces Fig 13: core utilization benefits. The paper
+// reports HeteroMap improving the geomean by ~20% over both machines.
+type Fig13Result struct {
+	Rows []Fig13Row
+
+	GPUGeo, MCGeo, HeteroMapGeo float64
+	// ImprovementPct is HeteroMap's geomean gain over the better
+	// single-accelerator geomean.
+	ImprovementPct float64
+}
+
+// Fig13 measures utilization under the performance-trained scheduler.
+func Fig13(c *Context) (Fig13Result, error) {
+	pair := machine.PrimaryPair()
+	ws, err := c.Workloads()
+	if err != nil {
+		return Fig13Result{}, err
+	}
+	sys, err := c.System(pair, core.Performance, LearnerDeep128)
+	if err != nil {
+		return Fig13Result{}, err
+	}
+
+	type cell struct{ gpu, mc, hm float64 }
+	cells := map[string][]cell{}
+	for _, w := range ws {
+		bl := c.Baselines(pair, w, core.Performance)
+		rep := sys.Run(w)
+		cells[w.Benchmark.Name] = append(cells[w.Benchmark.Name], cell{
+			gpu: bl.GPUOnly.Utilization * 100,
+			mc:  bl.MulticoreOnly.Utilization * 100,
+			hm:  rep.Machine.Utilization * 100,
+		})
+	}
+
+	var res Fig13Result
+	var gAll, mAll, hAll []float64
+	for _, name := range algo.Names() {
+		var g, m, h float64
+		for _, cl := range cells[name] {
+			g += cl.gpu
+			m += cl.mc
+			h += cl.hm
+		}
+		n := float64(len(cells[name]))
+		row := Fig13Row{Benchmark: name, GPUOnly: g / n, MCOnly: m / n, HeteroMap: h / n}
+		res.Rows = append(res.Rows, row)
+		gAll = append(gAll, row.GPUOnly)
+		mAll = append(mAll, row.MCOnly)
+		hAll = append(hAll, row.HeteroMap)
+	}
+	res.GPUGeo = stats.MustGeomean(gAll)
+	res.MCGeo = stats.MustGeomean(mAll)
+	res.HeteroMapGeo = stats.MustGeomean(hAll)
+	better := stats.Max([]float64{res.GPUGeo, res.MCGeo})
+	res.ImprovementPct = (res.HeteroMapGeo/better - 1) * 100
+	return res, nil
+}
+
+// String renders the utilization comparison.
+func (r Fig13Result) String() string {
+	t := newTable("Fig 13: raw core utilization (%) averaged across inputs",
+		"Benchmark", "GPU-only", "MC-only", "HeteroMap")
+	for _, row := range r.Rows {
+		t.add(row.Benchmark, f1(row.GPUOnly), f1(row.MCOnly), f1(row.HeteroMap))
+	}
+	t.addf("geomeans: GPU=%.1f%% MC=%.1f%% HeteroMap=%.1f%% (improvement %.1f%%)",
+		r.GPUGeo, r.MCGeo, r.HeteroMapGeo, r.ImprovementPct)
+	return t.String()
+}

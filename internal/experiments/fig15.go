@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteromap/internal/algo"
+	"heteromap/internal/core"
+	"heteromap/internal/machine"
+	"heteromap/internal/stats"
+)
+
+// Fig15Row is one benchmark's geomean (across inputs) comparison for a
+// 40-core-CPU pair, normalized to the pair's GPU.
+type Fig15Row struct {
+	Benchmark string
+	GPUOnly   float64 // 1 by construction
+	CPUOnly   float64
+	HeteroMap float64
+}
+
+// Fig15Pair is the comparison for one GPU + CPU-40 pairing.
+type Fig15Pair struct {
+	Pair string
+	Rows []Fig15Row
+	// HeteroMap's geomean gain over the GPU (paper: 22% for GTX-750Ti,
+	// 5% for GTX-970).
+	GainOverGPUPct float64
+	// CPUvsGPUPct is the CPU-only geomean gain over the GPU-only
+	// baseline (paper: CPU 3% better than GTX-750, 10% worse than 970).
+	CPUvsGPUPct float64
+}
+
+// Fig15Result reproduces Fig 15: the 40-core CPU against both GPUs.
+type Fig15Result struct {
+	Pairs []Fig15Pair
+}
+
+// Fig15 evaluates both CPU-40 pairings.
+func Fig15(c *Context) (Fig15Result, error) {
+	var res Fig15Result
+	for _, pair := range []machine.Pair{machine.CPU40Pair(), machine.StrongCPU40Pair()} {
+		sys, err := c.System(pair, core.Performance, LearnerDeep128)
+		if err != nil {
+			return res, err
+		}
+		ws, err := c.Workloads()
+		if err != nil {
+			return res, err
+		}
+		p := Fig15Pair{Pair: pair.Name()}
+		var gAll, cAll, hAll []float64
+		for _, name := range algo.Names() {
+			var g, cpu, hm []float64
+			for _, w := range workloadsFor(ws, name) {
+				bl := c.Baselines(pair, w, core.Performance)
+				rep := sys.Run(w)
+				g = append(g, bl.GPUOnly.Seconds)
+				cpu = append(cpu, bl.MulticoreOnly.Seconds)
+				hm = append(hm, rep.TotalSeconds)
+			}
+			gGeo := stats.MustGeomean(g)
+			p.Rows = append(p.Rows, Fig15Row{
+				Benchmark: name,
+				GPUOnly:   1,
+				CPUOnly:   stats.MustGeomean(cpu) / gGeo,
+				HeteroMap: stats.MustGeomean(hm) / gGeo,
+			})
+			gAll = append(gAll, g...)
+			cAll = append(cAll, cpu...)
+			hAll = append(hAll, hm...)
+		}
+		gGeo := stats.MustGeomean(gAll)
+		p.GainOverGPUPct = (gGeo/stats.MustGeomean(hAll) - 1) * 100
+		p.CPUvsGPUPct = (gGeo/stats.MustGeomean(cAll) - 1) * 100
+		res.Pairs = append(res.Pairs, p)
+	}
+	return res, nil
+}
+
+// String renders both pairings.
+func (r Fig15Result) String() string {
+	out := ""
+	for _, p := range r.Pairs {
+		t := newTable(
+			fmt.Sprintf("Fig 15: 40-core CPU vs GPU (%s), normalized to GPU (higher is worse)", p.Pair),
+			"Benchmark", "GPU-only", "CPU-only", "HeteroMap")
+		for _, row := range p.Rows {
+			t.add(row.Benchmark, f2(row.GPUOnly), f2(row.CPUOnly), f2(row.HeteroMap))
+		}
+		t.addf("HeteroMap gain over GPU: %.1f%%; CPU-only vs GPU-only: %.1f%%",
+			p.GainOverGPUPct, p.CPUvsGPUPct)
+		out += t.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteromap/internal/algo"
+	"heteromap/internal/config"
+	"heteromap/internal/core"
+	"heteromap/internal/gen"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict/dtree"
+)
+
+// Fig7Row is one decision-tree walk: the tree's selected accelerator and
+// M choices for a benchmark on USA-Cal, with the selected performance
+// compared against the exhaustively tuned optimum.
+type Fig7Row struct {
+	Benchmark     string
+	SelectedAccel config.Accel
+	SelectedM     config.M
+	// SelectedSeconds is the simulated time under the tree's choices.
+	SelectedSeconds float64
+	// OptimalSeconds is the exhaustive-sweep optimum across both
+	// accelerators.
+	OptimalSeconds float64
+	OptimalM       config.M
+	// GapPct is how far the selection is from optimal (paper: ~15%).
+	GapPct float64
+}
+
+// Fig7Result reproduces Fig 7: the decision-tree heuristic flow for
+// SSSP-BF and SSSP-Delta with the USA-Cal input.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// Fig7 walks the decision tree for both SSSP variants on CA.
+func Fig7(c *Context) (Fig7Result, error) {
+	pair := machine.PrimaryPair()
+	tree := dtree.New(pair.Limits())
+	ds := gen.ByShort(c.Datasets(), "CA")
+
+	var res Fig7Result
+	for _, name := range []string{algo.NameSSSPBF, algo.NameSSSPDelta} {
+		bench, err := algo.ByName(name)
+		if err != nil {
+			return res, err
+		}
+		w, err := core.Characterize(bench, ds)
+		if err != nil {
+			return res, err
+		}
+		m := tree.Predict(w.Features)
+		sel := pair.Select(m.Accelerator).Evaluate(w.Job, m)
+		bl := c.Baselines(pair, w, core.Performance)
+		row := Fig7Row{
+			Benchmark:       name,
+			SelectedAccel:   m.Accelerator,
+			SelectedM:       m,
+			SelectedSeconds: sel.Seconds,
+			OptimalSeconds:  bl.Ideal.Seconds,
+			OptimalM:        bl.IdealM,
+		}
+		row.GapPct = (sel.Seconds/bl.Ideal.Seconds - 1) * 100
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the selection flow.
+func (r Fig7Result) String() string {
+	t := newTable("Fig 7: decision-tree flow on USA-Cal (CA)",
+		"Benchmark", "Selected", "Selected M", "t_sel(s)", "t_opt(s)", "gap%")
+	for _, row := range r.Rows {
+		t.add(row.Benchmark, row.SelectedAccel.String(), row.SelectedM.String(),
+			fmt.Sprintf("%.4g", row.SelectedSeconds),
+			fmt.Sprintf("%.4g", row.OptimalSeconds), f1(row.GapPct))
+	}
+	return t.String()
+}

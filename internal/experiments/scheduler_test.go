@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"heteromap/internal/machine"
+)
+
+// These tests train learners on the fast database (a few seconds each);
+// `go test -short` skips them.
+
+func TestTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains learners")
+	}
+	res, err := Table4(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows=%d want 9", len(res.Rows))
+	}
+	tree := res.Row(LearnerDecisionTree)
+	// The hand-built tree needs no training and must deliver a solid
+	// speedup over the tuned GPU baseline (paper: 28%).
+	if tree.SpeedupPct < 10 {
+		t.Fatalf("decision tree speedup %v%% too low", tree.SpeedupPct)
+	}
+	if tree.Overhead <= 0 {
+		t.Fatal("overhead not measured")
+	}
+	for _, row := range res.Rows {
+		if row.AccuracyPct < 30 || row.AccuracyPct > 100 {
+			t.Fatalf("%s accuracy %v%%", row.Learner, row.AccuracyPct)
+		}
+	}
+	// The cheap models must be cheaper than the deep/polynomial ones
+	// (Table IV's overhead column ordering).
+	if tree.Overhead >= res.Row(LearnerMulti).Overhead {
+		t.Fatal("decision tree should be cheaper than multi regression")
+	}
+	if res.Row(LearnerLinear).Overhead >= res.Row(LearnerDeep128).Overhead {
+		t.Fatal("linear regression should be cheaper than Deep.128")
+	}
+	if !strings.Contains(res.String(), "Decision Tree") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestTable4ForOtherPair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains learners")
+	}
+	res, err := Table4For(fastCtx(), machine.StrongGPUPair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	// With a re-learned database the per-pair comparison still has a
+	// positive best learner.
+	best := res.Row(res.BestLearner)
+	if best.SpeedupPct <= 0 {
+		t.Fatalf("best learner %s speedup %v%%", best.Learner, best.SpeedupPct)
+	}
+}
+
+func TestFig11SchedulerGains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains learners")
+	}
+	res, err := Scheduler(fastCtx(), machine.PrimaryPair(), LearnerDecisionTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 81 {
+		t.Fatalf("rows=%d want 81", len(res.Rows))
+	}
+	// HeteroMap must beat both single-accelerator geomeans (the paper's
+	// headline: +31% over GPU-only, +75% over Phi-only).
+	if res.GainOverGPUPct <= 0 {
+		t.Fatalf("no gain over GPU-only: %v%%", res.GainOverGPUPct)
+	}
+	if res.GainOverMCx <= 1 {
+		t.Fatalf("no gain over multicore-only: %vx", res.GainOverMCx)
+	}
+	// And stay in the ideal's neighbourhood (paper: within 10%).
+	if res.VsIdealPct < 0 || res.VsIdealPct > 40 {
+		t.Fatalf("vs ideal %v%% out of regime", res.VsIdealPct)
+	}
+	for _, row := range res.Rows {
+		if row.Ideal > 1+1e-9 && row.Ideal > row.MCOnly+1e-9 {
+			t.Fatalf("%s: ideal worse than both baselines", row.Combo)
+		}
+		// The "ideal" is the exhaustive sweep over the coarse grid; a
+		// predictor's off-grid configuration may edge it out slightly,
+		// but never by a wide margin.
+		if row.HeteroMap < row.Ideal*0.9 {
+			t.Fatalf("%s: HeteroMap (%v) far below the exhaustive ideal (%v)",
+				row.Combo, row.HeteroMap, row.Ideal)
+		}
+	}
+	if !strings.Contains(res.String(), "HeteroMap") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestFig12Energy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains learners")
+	}
+	res, err := Fig12(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for _, v := range []float64{row.GPUOnly, row.MCOnly, row.HeteroMap, row.Ideal} {
+			if v <= 0 || v > 1+1e-9 {
+				t.Fatalf("%s: normalized energy %v outside (0,1]", row.Benchmark, v)
+			}
+		}
+		if row.Ideal > row.GPUOnly+1e-9 || row.Ideal > row.MCOnly+1e-9 {
+			t.Fatalf("%s: ideal energy above a baseline", row.Benchmark)
+		}
+	}
+	// The energy-trained scheduler must clearly beat the worse
+	// single-accelerator setup and stay competitive with the better one.
+	// (The paper reports a 2.4x reduction against *both* baselines; in
+	// this reproduction the GPU's 60 W keep it close to energy-optimal
+	// on most combinations, so the headroom over the better baseline is
+	// smaller — see EXPERIMENTS.md.)
+	worse := res.GPUOnlyMean
+	if res.MCOnlyMean > worse {
+		worse = res.MCOnlyMean
+	}
+	if res.HeteroMapMean >= worse {
+		t.Fatalf("HeteroMap energy %v not below the worse baseline %v",
+			res.HeteroMapMean, worse)
+	}
+	better := res.GPUOnlyMean
+	if res.MCOnlyMean < better {
+		better = res.MCOnlyMean
+	}
+	// 25% tolerance at the fast training scale.
+	if res.HeteroMapMean > better*1.25 {
+		t.Fatalf("HeteroMap energy %v not competitive with the better baseline %v",
+			res.HeteroMapMean, better)
+	}
+	if res.IdealMean > res.HeteroMapMean*1.001 {
+		t.Fatal("ideal energy above HeteroMap")
+	}
+}
+
+func TestFig13Utilization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains learners")
+	}
+	res, err := Fig13(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for _, v := range []float64{row.GPUOnly, row.MCOnly, row.HeteroMap} {
+			if v < 0 || v > 100 {
+				t.Fatalf("%s: utilization %v%%", row.Benchmark, v)
+			}
+		}
+	}
+	// Paper Fig 13: SSSP utilization is low on the Phi ("cores spend
+	// most of their time waiting"), the GPU hides latency better.
+	for _, row := range res.Rows {
+		if row.Benchmark == "SSSP-BF" && row.MCOnly >= row.GPUOnly {
+			t.Fatalf("SSSP-BF: Phi utilization %v%% should trail GPU %v%%",
+				row.MCOnly, row.GPUOnly)
+		}
+	}
+}
+
+func TestFig14StrongGPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains learners")
+	}
+	// The paper re-learns the ML models for the architectural change, so
+	// the Fig 14 comparison uses the (re-trained) deep model rather than
+	// the static hand-built tree.
+	res, err := Fig14(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "HeteroMap outperforms a GPU-only case by 14% and a Xeon-Phi-only
+	// case by 3.8x ... the magnitude by which the GPU outperforms Xeon
+	// Phi in some cases is higher compared to the GTX-750": the gain
+	// over the multicore must grow with the stronger GPU.
+	primary, err := Scheduler(fastCtx(), machine.PrimaryPair(), LearnerDeep128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GainOverMCx <= primary.GainOverMCx {
+		t.Fatalf("GTX-970 pair gain over MC (%vx) should exceed primary (%vx)",
+			res.GainOverMCx, primary.GainOverMCx)
+	}
+	if res.GainOverGPUPct <= -5 {
+		t.Fatalf("substantially negative gain over the GTX-970: %v%%", res.GainOverGPUPct)
+	}
+}
+
+func TestFig15CPU40(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains learners")
+	}
+	res, err := Fig15(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 2 {
+		t.Fatal("Fig 15 compares two CPU-40 pairings")
+	}
+	for _, p := range res.Pairs {
+		if len(p.Rows) != 9 {
+			t.Fatalf("%s: rows=%d", p.Pair, len(p.Rows))
+		}
+		if p.GainOverGPUPct <= 0 {
+			t.Fatalf("%s: HeteroMap gain %v%%", p.Pair, p.GainOverGPUPct)
+		}
+	}
+	// "The 40-core multicore outperforms the GTX750 ... for the case
+	// with the GTX-970, the GPU performs better": the CPU's relative
+	// standing must degrade against the stronger GPU.
+	if res.Pairs[1].CPUvsGPUPct >= res.Pairs[0].CPUvsGPUPct {
+		t.Fatalf("CPU standing vs GTX-970 (%v%%) should trail vs GTX-750Ti (%v%%)",
+			res.Pairs[1].CPUvsGPUPct, res.Pairs[0].CPUvsGPUPct)
+	}
+	if !strings.Contains(res.String(), "CPU-only") {
+		t.Fatal("rendering")
+	}
+}

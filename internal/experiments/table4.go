@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"time"
+
+	"heteromap/internal/config"
+	"heteromap/internal/core"
+	"heteromap/internal/machine"
+	"heteromap/internal/stats"
+)
+
+// Table4Row is one learner's evaluation: speedup over the GPU-only
+// baseline, choice-selection accuracy against the ideal, and inference
+// overhead.
+type Table4Row struct {
+	Learner     string
+	SpeedupPct  float64
+	AccuracyPct float64
+	Overhead    time.Duration
+}
+
+// Table4Result reproduces Table IV: learning model strategies on the
+// primary (GTX-750Ti, Xeon Phi) pair.
+type Table4Result struct {
+	Rows []Table4Row
+	// BestLearner is the row with the highest speedup (the paper selects
+	// Deep.128).
+	BestLearner string
+}
+
+// Row returns the row for a learner name, or a zero row.
+func (r Table4Result) Row(name string) Table4Row {
+	for _, row := range r.Rows {
+		if row.Learner == name {
+			return row
+		}
+	}
+	return Table4Row{}
+}
+
+// Table4 trains and evaluates every Table IV learner on all
+// benchmark-input combinations of the primary pair.
+func Table4(c *Context) (Table4Result, error) {
+	return Table4For(c, machine.PrimaryPair())
+}
+
+// Table4For runs the learner comparison on any accelerator pair — the
+// paper re-learns its models per setup (Section VII-D), so the learner
+// ordering can be checked beyond the primary system.
+func Table4For(c *Context, pair machine.Pair) (Table4Result, error) {
+	ws, err := c.Workloads()
+	if err != nil {
+		return Table4Result{}, err
+	}
+
+	// Reference times per workload.
+	gpuTimes := make([]float64, len(ws))
+	idealM := make([]config.M, len(ws))
+	for i, w := range ws {
+		bl := c.Baselines(pair, w, core.Performance)
+		gpuTimes[i] = bl.GPUOnly.Seconds
+		idealM[i] = bl.IdealM
+	}
+	gpuGeo := stats.MustGeomean(gpuTimes)
+	limits := pair.Limits()
+
+	var res Table4Result
+	bestSpeedup := -1e18
+	for _, name := range TableIVLearners() {
+		sys, err := c.System(pair, core.Performance, name)
+		if err != nil {
+			return res, err
+		}
+		times := make([]float64, len(ws))
+		var accSum float64
+		for i, w := range ws {
+			rep := sys.Run(w)
+			times[i] = rep.TotalSeconds
+			accSum += config.ChoiceAccuracy(rep.Chosen, idealM[i], limits)
+		}
+		row := Table4Row{
+			Learner:     name,
+			SpeedupPct:  (gpuGeo/stats.MustGeomean(times) - 1) * 100,
+			AccuracyPct: accSum / float64(len(ws)) * 100,
+			Overhead:    sys.PredictorOverhead(),
+		}
+		res.Rows = append(res.Rows, row)
+		if row.SpeedupPct > bestSpeedup {
+			bestSpeedup = row.SpeedupPct
+			res.BestLearner = row.Learner
+		}
+	}
+	return res, nil
+}
+
+// String renders Table IV.
+func (r Table4Result) String() string {
+	t := newTable("Table IV: learning model strategies (speedup over GTX-750Ti-only)",
+		"Learner", "SpeedUp(%)", "Accuracy(%)", "Overhead")
+	for _, row := range r.Rows {
+		t.add(row.Learner, f1(row.SpeedupPct), f1(row.AccuracyPct),
+			row.Overhead.String())
+	}
+	t.addf("selected learner: %s", r.BestLearner)
+	return t.String()
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteromap/internal/algo"
+	"heteromap/internal/feature"
+	"heteromap/internal/gen"
+	"heteromap/internal/machine"
+)
+
+// Table1Row is one input dataset with its declared characteristics
+// (Table I) and discretized I variables (Fig 4).
+type Table1Row struct {
+	Name, Short      string
+	V, E             int64
+	MaxDeg, Diameter int64
+	GeneratedV       int
+	GeneratedE       int64
+	I                feature.IVector
+}
+
+// Table1Result reproduces Table I and Fig 4 together.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 characterizes the nine evaluation datasets.
+func Table1(c *Context) Table1Result {
+	var res Table1Result
+	for _, d := range c.Datasets() {
+		res.Rows = append(res.Rows, Table1Row{
+			Name: d.Name, Short: d.Short,
+			V: d.Declared.V, E: d.Declared.E,
+			MaxDeg: d.Declared.MaxDeg, Diameter: d.Declared.Diameter,
+			GeneratedV: d.Graph.NumVertices(), GeneratedE: d.Graph.NumEdges(),
+			I: feature.IFromDataset(d),
+		})
+	}
+	return res
+}
+
+// String renders the Table I / Fig 4 reproduction.
+func (r Table1Result) String() string {
+	t := newTable("Table I + Fig 4: input datasets and I variables",
+		"Dataset", "Short", "#V", "#E", "Max.Deg", "Diameter", "genV", "genE",
+		"I1", "I2", "I3", "I4")
+	for _, row := range r.Rows {
+		t.add(row.Name, row.Short, si(row.V), si(row.E), si(row.MaxDeg),
+			si(row.Diameter), si(int64(row.GeneratedV)), si(row.GeneratedE),
+			f1(row.I[0]), f1(row.I[1]), f1(row.I[2]), f1(row.I[3]))
+	}
+	return t.String()
+}
+
+// Table2Result reproduces Table II: the accelerator configurations.
+type Table2Result struct {
+	Accels []*machine.Accel
+}
+
+// Table2 lists the four accelerators.
+func Table2() Table2Result {
+	return Table2Result{Accels: []*machine.Accel{
+		machine.GTX750Ti(), machine.GTX970(),
+		machine.XeonPhi7120P(), machine.CPU40(),
+	}}
+}
+
+// String renders Table II.
+func (r Table2Result) String() string {
+	t := newTable("Table II: accelerator configurations",
+		"Accelerator", "Kind", "Cores", "Threads", "Cache", "Coh", "Mem(GB)",
+		"BW(GB/s)", "SP(TF)", "DP(TF)", "Freq(GHz)", "TDP(W)")
+	for _, a := range r.Accels {
+		t.add(a.Name, a.Kind.String(), fmt.Sprint(a.Cores),
+			fmt.Sprint(a.HWThreads()), fmt.Sprintf("%dMB", a.CacheBytes>>20),
+			fmt.Sprint(a.Coherent), fmt.Sprint(a.MemBytes>>30),
+			f1(a.MemBWGBs), f1(a.SPTflops), f2(a.DPTflops), f2(a.FreqGHz),
+			f1(a.TDPWatts))
+	}
+	return t.String()
+}
+
+// Table3Result reproduces Table III: the synthetic training inputs.
+type Table3Result struct {
+	Samples int
+	Seed    int64
+	Rows    []Table3Row
+}
+
+// Table3Row describes one synthetic generator family.
+type Table3Row struct {
+	Family   string
+	VRange   string
+	ERange   string
+	DegRange string
+	SizeGB   string
+}
+
+// Table3 describes the training sweep.
+func Table3(c *Context) Table3Result {
+	return Table3Result{
+		Samples: c.TrainCfg.Samples,
+		Seed:    c.TrainCfg.Seed,
+		Rows: []Table3Row{
+			{Family: "Unif. Rand.", VRange: "16-65M", ERange: "16-2B", DegRange: "1-32K", SizeGB: "0.01-32"},
+			{Family: "Kronecker", VRange: "16-65M", ERange: "16-2B", DegRange: "1-32K", SizeGB: "0.01-32"},
+		},
+	}
+}
+
+// String renders Table III.
+func (r Table3Result) String() string {
+	t := newTable("Table III: synthetic training inputs",
+		"Training Data", "#Vertices", "#Edges", "Avg.Deg.", "Size(GB)")
+	for _, row := range r.Rows {
+		t.add(row.Family, row.VRange, row.ERange, row.DegRange, row.SizeGB)
+	}
+	t.addf("training combinations sampled per pair: %d (seed %d)", r.Samples, r.Seed)
+	return t.String()
+}
+
+// Fig5Row pairs the catalog (programmer-specified) and derived
+// (instrumentation-extracted) B variables for one benchmark.
+type Fig5Row struct {
+	Benchmark string
+	Catalog   feature.BVector
+	Derived   feature.BVector
+}
+
+// Fig5Result reproduces Fig 5 (and the Fig 6 worked example row for
+// SSSP-BF), cross-checked against the measured profiles.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// Fig5 classifies all nine benchmarks, deriving B from a run on the FB
+// analog (any mid-sized input produces the same classification).
+func Fig5(c *Context) (Fig5Result, error) {
+	var res Fig5Result
+	ds := gen.ByShort(c.Datasets(), "FB")
+	for _, b := range algo.All() {
+		cat, err := feature.Catalog(b.Name)
+		if err != nil {
+			return res, err
+		}
+		_, work := b.Run(ds.Graph)
+		res.Rows = append(res.Rows, Fig5Row{
+			Benchmark: b.Name,
+			Catalog:   cat,
+			Derived:   feature.DeriveB(work),
+		})
+	}
+	return res, nil
+}
+
+// String renders the B matrix with catalog values and check marks.
+func (r Fig5Result) String() string {
+	header := []string{"Benchmark"}
+	for i := 1; i <= feature.NumB; i++ {
+		header = append(header, fmt.Sprintf("B%d", i))
+	}
+	t := newTable("Fig 5/6: benchmark (B) variables — catalog value (✓ = used)", header...)
+	for _, row := range r.Rows {
+		cells := []string{row.Benchmark}
+		for _, v := range row.Catalog {
+			if v > 0 {
+				cells = append(cells, fmt.Sprintf("%.1f✓", v))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.add(cells...)
+	}
+	return t.String()
+}

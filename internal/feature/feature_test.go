@@ -1,0 +1,314 @@
+package feature
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"heteromap/internal/algo"
+	"heteromap/internal/gen"
+)
+
+func TestIFromDeclaredReproducesPaperExamples(t *testing.T) {
+	// Section III-B's worked examples: "I1,2 are set to 0.1 for USA-Cal,
+	// but 0.8 for Friendster ... I3 is set as 0 [for USA-Cal] ... we set
+	// I4 as 0.8 for USA-Cal", Twitter's 3M max degree is the I3=1
+	// anchor, Rgg's 2622 diameter the I4=1 anchor.
+	tests := []struct {
+		short string
+		want  IVector
+	}{
+		{"CA", IVector{0.1, 0.1, 0.0, 0.8}},
+		{"Frnd", IVector{0.8, 0.8, 0.5, 0.2}},
+		{"Twtr", IVector{0.7, 0.8, 1.0, 0.0}},
+		{"Rgg", IVector{0.5, 0.6, 0.1, 1.0}},
+		{"CO", IVector{0.0, 0.0, 0.4, 0.0}},
+	}
+	ds := gen.TableICached(gen.Small)
+	for _, tc := range tests {
+		d := gen.ByShort(ds, tc.short)
+		got := IFromDataset(d)
+		for i := range got {
+			if math.Abs(got[i]-tc.want[i]) > 0.051 {
+				t.Errorf("%s I%d = %.2f want %.1f", tc.short, i+1, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestIVectorDiscretized(t *testing.T) {
+	iv := IFromCounts(3_000_000, 50_000_000, 1000, 100)
+	for i, v := range iv {
+		if math.Abs(v*10-math.Round(v*10)) > 1e-9 {
+			t.Errorf("I%d=%v not on the 0.1 grid", i+1, v)
+		}
+	}
+}
+
+func TestIFromCountsMonotone(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := a%int64(1e9), b%int64(1e9)
+		if x < 0 {
+			x = -x
+		}
+		if y < 0 {
+			y = -y
+		}
+		if x > y {
+			x, y = y, x
+		}
+		ix := IFromCounts(x, 1, 1, 1)
+		iy := IFromCounts(y, 1, 1, 1)
+		return ix[0] <= iy[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvertIRoundTrip(t *testing.T) {
+	for _, iv := range []IVector{
+		{0.1, 0.1, 0, 0.8},
+		{0.5, 0.5, 0.5, 0.5},
+		{0.8, 0.8, 0.5, 0.2},
+		{1, 1, 1, 1},
+		{0, 0, 0, 0},
+	} {
+		v, e, d, dia := InvertI(iv)
+		back := IFromCounts(v, e, d, dia)
+		for i := range back {
+			if math.Abs(back[i]-iv[i]) > 0.1001 {
+				t.Errorf("round trip I%d: %v -> (%d,%d,%d,%d) -> %v",
+					i+1, iv, v, e, d, dia, back)
+			}
+		}
+		if dia < 1 {
+			t.Error("inverted diameter must be >= 1")
+		}
+	}
+}
+
+func TestAvgDegPaperFormula(t *testing.T) {
+	// Avg.Deg = |I3 - (I2/I1)|, clamped to [0,1].
+	iv := IVector{0.5, 0.25, 0.8, 0}
+	if got := iv.AvgDeg(); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("AvgDeg=%v want 0.3", got)
+	}
+	// Small I1 is floored to one discretization step, not divided by 0.
+	zero := IVector{0, 0.5, 0.2, 0}
+	if got := zero.AvgDeg(); got != 1 {
+		t.Fatalf("AvgDeg with I1=0: %v want clamped 1", got)
+	}
+}
+
+func TestAvgDegDia(t *testing.T) {
+	iv := IVector{0.5, 0.25, 0.8, 0.6}
+	want := (0.6 + iv.AvgDeg()) / 2
+	if got := iv.AvgDegDia(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("AvgDegDia=%v want %v", got, want)
+	}
+}
+
+func TestCatalogCoversAllBenchmarks(t *testing.T) {
+	for _, name := range algo.Names() {
+		b, err := Catalog(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// "values for B1-5 variables for phases add to 1 for all
+		// benchmarks".
+		if math.Abs(b.PhaseSum()-1) > 1e-9 {
+			t.Errorf("%s phase sum %v != 1", name, b.PhaseSum())
+		}
+		for i, v := range b {
+			if v < 0 || v > 1 {
+				t.Errorf("%s B%d=%v outside [0,1]", name, i+1, v)
+			}
+			if math.Abs(v*10-math.Round(v*10)) > 1e-9 {
+				t.Errorf("%s B%d=%v not on the 0.1 grid", name, i+1, v)
+			}
+		}
+	}
+	if _, err := Catalog("nope"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestCatalogSSSPBFMatchesFig6(t *testing.T) {
+	// Fig 6's worked discretization, value by value.
+	want := BVector{1, 0, 0, 0, 0, 0, 0.8, 0, 0.5, 0.5, 0.2, 0.2, 0.2}
+	got := MustCatalog(algo.NameSSSPBF)
+	if got != want {
+		t.Fatalf("SSSP-BF catalog %v want Fig 6 values %v", got, want)
+	}
+}
+
+func TestCatalogCheckmarksMatchFig5(t *testing.T) {
+	// The ✓ pattern of Fig 5: which B variables are used per benchmark.
+	used := func(name string, idx int) bool { return MustCatalog(name)[idx] > 0 }
+	// "BFS uses only Pareto-division B3".
+	if !used(algo.NameBFS, BParetoDynamic) || used(algo.NameBFS, BVertexDivision) ||
+		used(algo.NameBFS, BPushPop) {
+		t.Error("BFS phase checkmarks deviate from Fig 5")
+	}
+	// "DFS uses only Push-Pop B4" with indirect accesses B8.
+	if !used(algo.NameDFS, BPushPop) || used(algo.NameDFS, BParetoDynamic) ||
+		!used(algo.NameDFS, BIndirect) {
+		t.Error("DFS checkmarks deviate from Fig 5")
+	}
+	// "DFS and Conn. Comp. have complex indirect data accesses".
+	if !used(algo.NameConnComp, BIndirect) {
+		t.Error("Conn.Comp must use B8")
+	}
+	// SSSP-Delta uses push-pop and reduction (GAP bucket selection).
+	if !used(algo.NameSSSPDelta, BPushPop) || !used(algo.NameSSSPDelta, BReduction) {
+		t.Error("SSSP-Delta checkmarks deviate from Fig 5")
+	}
+	// FP-heavy benchmarks carry B6.
+	for _, name := range []string{algo.NamePageRank, algo.NamePageRankDP, algo.NameCommunity} {
+		if !used(name, BFloatingPoint) {
+			t.Errorf("%s must use B6", name)
+		}
+	}
+	// "All workloads have data-driven accesses B7 and read-write shared
+	// data B10" (DFS trades most of B7 for B8 but keeps some).
+	for _, name := range algo.Names() {
+		if !used(name, BDataAddressing) || !used(name, BReadWrite) {
+			t.Errorf("%s must use B7 and B10", name)
+		}
+	}
+}
+
+func TestDeriveBConsistentWithCatalog(t *testing.T) {
+	// The automated derivation must agree with the programmer catalog on
+	// the dominant phase kind and the presence of FP/indirect/contention
+	// signals.
+	ds := gen.ByShort(gen.TableICached(gen.Small), "FB")
+	for _, b := range algo.All() {
+		_, w := b.Run(ds.Graph)
+		derived := DeriveB(w)
+		cat := MustCatalog(b.Name)
+		if math.Abs(derived.PhaseSum()-1) > 0.15 {
+			t.Errorf("%s derived phase sum %v", b.Name, derived.PhaseSum())
+		}
+		// Dominant phase kind must match.
+		argmax := func(v BVector) int {
+			best := 0
+			for i := 1; i < BReduction+1; i++ {
+				if v[i] > v[best] {
+					best = i
+				}
+			}
+			return best
+		}
+		if argmax(derived) != argmax(cat) {
+			t.Errorf("%s dominant phase: derived B%d, catalog B%d",
+				b.Name, argmax(derived)+1, argmax(cat)+1)
+		}
+		// FP presence must agree.
+		if (derived[BFloatingPoint] > 0.2) != (cat[BFloatingPoint] > 0.2) {
+			t.Errorf("%s FP signal: derived %v catalog %v",
+				b.Name, derived[BFloatingPoint], cat[BFloatingPoint])
+		}
+	}
+}
+
+func TestDeriveBSSSPBFCloseToFig6(t *testing.T) {
+	ds := gen.ByShort(gen.TableICached(gen.Small), "FB")
+	b, _ := algo.ByName(algo.NameSSSPBF)
+	_, w := b.Run(ds.Graph)
+	derived := DeriveB(w)
+	want := MustCatalog(algo.NameSSSPBF)
+	// B1 (pure vertex division) must be exact; data-movement classes
+	// within a loose tolerance.
+	if derived[BVertexDivision] != 1 {
+		t.Fatalf("derived B1=%v want 1", derived[BVertexDivision])
+	}
+	for _, idx := range []int{BReadOnly, BReadWrite} {
+		if math.Abs(derived[idx]-want[idx]) > 0.4 {
+			t.Errorf("derived B%d=%v far from Fig 6 %v", idx+1, derived[idx], want[idx])
+		}
+	}
+}
+
+func TestVectorCombineRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		var b BVector
+		var iv IVector
+		x := seed
+		for i := range b {
+			x = x*6364136223846793005 + 1442695040888963407
+			b[i] = float64((x>>33)%11) / 10
+		}
+		for i := range iv {
+			x = x*6364136223846793005 + 1442695040888963407
+			iv[i] = float64((x>>33)%11) / 10
+		}
+		v := Combine(b, iv)
+		return v.B() == b && v.I() == iv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	v := Combine(MustCatalog(algo.NameSSSPBF), IVector{0.1, 0.1, 0, 0.8})
+	if !strings.Contains(v.String(), "B1=1.0") || !strings.Contains(v.String(), "I4=0.8") {
+		t.Fatalf("vector string %q", v.String())
+	}
+}
+
+func TestIFromGraphMeasuresStructure(t *testing.T) {
+	// A generated analog characterized by direct measurement must land
+	// in the same region as its measured counts imply.
+	d := gen.ByShort(gen.TableICached(gen.Small), "FB")
+	g := d.Graph
+	iv := IFromGraph(g)
+	want := IFromCounts(int64(g.NumVertices()), g.NumEdges(),
+		int64(g.MaxDegree()), 6 /* approximate small-world diameter */)
+	// I1-I3 are exact measurements; I4 within one bin of the BFS
+	// double-sweep estimate.
+	for i := 0; i < 3; i++ {
+		if iv[i] != want[i] {
+			t.Fatalf("I%d=%v want %v", i+1, iv[i], want[i])
+		}
+	}
+	if math.Abs(iv[3]-want[3]) > 0.15 {
+		t.Fatalf("I4=%v want ~%v", iv[3], want[3])
+	}
+}
+
+func TestDatasetFromGraph(t *testing.T) {
+	d := gen.ByShort(gen.TableICached(gen.Small), "CAGE")
+	wrapped := DatasetFromGraph(d.Graph)
+	if wrapped.Graph != d.Graph {
+		t.Fatal("graph identity lost")
+	}
+	if wrapped.Declared.V != int64(d.Graph.NumVertices()) ||
+		wrapped.Declared.E != d.Graph.NumEdges() {
+		t.Fatalf("declared counts %+v", wrapped.Declared)
+	}
+	if wrapped.Declared.Diameter < 1 {
+		t.Fatal("declared diameter must be measured")
+	}
+	if !wrapped.Declared.Weighted {
+		t.Fatal("weighted flag lost")
+	}
+	// Scales are 1 for measured datasets: the graph IS the workload.
+	if wrapped.VertexScale() != 1 || wrapped.EdgeScale() != 1 {
+		t.Fatalf("scales %v/%v want 1/1", wrapped.VertexScale(), wrapped.EdgeScale())
+	}
+}
+
+func TestDiscretizationStepOverride(t *testing.T) {
+	// Finer increments ("may be applied" per the paper) change the snap.
+	v := IFromCountsStep(3_000_000, 50_000_000, 1000, 100, 0.05)
+	coarse := IFromCounts(3_000_000, 50_000_000, 1000, 100)
+	for i := range v {
+		if math.Abs(v[i]-coarse[i]) > 0.05+1e-9 {
+			t.Errorf("fine vs coarse I%d: %v vs %v", i+1, v[i], coarse[i])
+		}
+	}
+}

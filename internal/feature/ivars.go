@@ -1,0 +1,145 @@
+// Package feature implements the paper's program characterization: the
+// four input variables I1-I4 (Section III-B), the thirteen benchmark
+// variables B1-B13 (Section III-C), their 0.1-step discretization, and
+// the 17-dimensional feature vector the predictors consume.
+package feature
+
+import (
+	"fmt"
+	"math"
+
+	"heteromap/internal/gen"
+	"heteromap/internal/graph"
+	"heteromap/internal/stats"
+)
+
+// IVector holds the discretized input variables:
+//
+//	I[0] = I1 graph size (vertex count)
+//	I[1] = I2 edge density (edge count)
+//	I[2] = I3 maximum degree
+//	I[3] = I4 diameter
+type IVector [4]float64
+
+// Log-normalization anchors. The paper normalizes each characteristic
+// against "the maximum values available in literature" with a logarithmic
+// smoothing; these anchors reproduce the worked examples of Section III-B:
+// USA-Cal gets I1=I2=0.1, I3=0, I4=0.8; Friendster gets I1=0.8; Twitter
+// gets I3=1; rgg-n-24 (the largest catalogued diameter, 2622) gets I4=1.
+const (
+	vertexLo, vertexHi     = 1e6, 2e8
+	edgeLo, edgeHi         = 2e6, 1e10
+	degreeLo, degreeHi     = 10, 3e6
+	diameterLo, diameterHi = 9.4, 2622
+)
+
+// DiscretizationStep is the paper's default increment for B and I values.
+const DiscretizationStep = 0.1
+
+// IFromCounts characterizes a graph from its raw structural counts.
+func IFromCounts(vertices, edges, maxDegree, diameter int64) IVector {
+	return IFromCountsStep(vertices, edges, maxDegree, diameter, DiscretizationStep)
+}
+
+// IFromCountsStep is IFromCounts with a configurable discretization step
+// (the paper notes "finer increments may be applied"; the ablation bench
+// sweeps this).
+func IFromCountsStep(vertices, edges, maxDegree, diameter int64, step float64) IVector {
+	return IVector{
+		stats.Discretize(stats.LogNormalize(float64(vertices), vertexLo, vertexHi), step),
+		stats.Discretize(stats.LogNormalize(float64(edges), edgeLo, edgeHi), step),
+		stats.Discretize(stats.LogNormalize(float64(maxDegree), degreeLo, degreeHi), step),
+		stats.Discretize(stats.LogNormalize(float64(diameter), diameterLo, diameterHi), step),
+	}
+}
+
+// IFromDeclared characterizes a Table I dataset from its declared
+// paper-scale metadata — the numbers the paper's predictor saw.
+func IFromDeclared(d gen.Declared) IVector {
+	return IFromCounts(d.V, d.E, d.MaxDeg, d.Diameter)
+}
+
+// IFromDataset characterizes a catalog dataset (declared metadata).
+func IFromDataset(d *gen.Dataset) IVector { return IFromDeclared(d.Declared) }
+
+// IFromGraph characterizes an arbitrary in-memory graph by measuring its
+// structure directly: counts from the CSR arrays, the maximum degree by
+// scan, and the diameter by the double-sweep approximation (the paper:
+// I4 "is obtained alongside input graphs or using runtime
+// approximations"). This is the path for user-supplied graphs that carry
+// no declared metadata.
+func IFromGraph(g *graph.Graph) IVector {
+	return IFromCounts(
+		int64(g.NumVertices()),
+		g.NumEdges(),
+		int64(g.MaxDegree()),
+		int64(graph.EstimateDiameter(g, 1, 4)),
+	)
+}
+
+// DatasetFromGraph wraps a user graph as a Dataset whose declared
+// metadata is its measured structure, making it schedulable through the
+// same runtime path as the Table I catalog.
+func DatasetFromGraph(g *graph.Graph) *gen.Dataset {
+	return &gen.Dataset{
+		Name:  g.Name,
+		Short: g.Name,
+		Declared: gen.Declared{
+			V:        int64(g.NumVertices()),
+			E:        g.NumEdges(),
+			MaxDeg:   int64(g.MaxDegree()),
+			Diameter: int64(graph.EstimateDiameter(g, 1, 4)),
+			Weighted: g.Weighted(),
+		},
+		Graph: g,
+	}
+}
+
+// InvertI maps a discretized I vector back to representative structural
+// counts (the geometric midpoint of each bin). The synthetic training
+// generator uses it to materialize workload magnitudes for sampled
+// characterizations.
+func InvertI(iv IVector) (vertices, edges, maxDegree, diameter int64) {
+	inv := func(x, lo, hi float64) int64 {
+		if x <= 0 {
+			return int64(lo)
+		}
+		if x >= 1 {
+			return int64(hi)
+		}
+		return int64(lo * math.Pow(hi/lo, x))
+	}
+	vertices = inv(iv[0], vertexLo, vertexHi)
+	edges = inv(iv[1], edgeLo, edgeHi)
+	maxDegree = inv(iv[2], degreeLo, degreeHi)
+	diameter = inv(iv[3], diameterLo, diameterHi)
+	if diameter < 1 {
+		diameter = 1
+	}
+	return vertices, edges, maxDegree, diameter
+}
+
+// AvgDeg implements the paper's average-degree proxy used by the intra-
+// accelerator equations: Avg.Deg = |I3 - (I2/I1)|, clamped to [0,1].
+func (iv IVector) AvgDeg() float64 {
+	i1 := iv[0]
+	if i1 <= 0 {
+		i1 = DiscretizationStep // avoid division blowup on tiny graphs
+	}
+	v := iv[2] - iv[1]/i1
+	if v < 0 {
+		v = -v
+	}
+	return stats.Clamp(v, 0, 1)
+}
+
+// AvgDegDia implements the paper's Avg.Deg.Dia = |(I4 + Avg.Deg)/2| used
+// for thread placement (M5-M7).
+func (iv IVector) AvgDegDia() float64 {
+	return stats.Clamp((iv[3]+iv.AvgDeg())/2, 0, 1)
+}
+
+// String renders the vector in the paper's Fig 4 style.
+func (iv IVector) String() string {
+	return fmt.Sprintf("I1=%.1f I2=%.1f I3=%.1f I4=%.1f", iv[0], iv[1], iv[2], iv[3])
+}

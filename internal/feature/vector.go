@@ -1,0 +1,38 @@
+package feature
+
+import "fmt"
+
+// NumFeatures is the predictor input dimensionality: 13 B variables plus
+// 4 I variables — the paper's "benchmark-input characteristics are
+// characterized as 17 input neurons".
+const NumFeatures = NumB + 4
+
+// Vector is the combined predictor input: B1-B13 followed by I1-I4.
+type Vector [NumFeatures]float64
+
+// Combine packs a B and an I characterization into one feature vector.
+func Combine(b BVector, iv IVector) Vector {
+	var v Vector
+	copy(v[:NumB], b[:])
+	copy(v[NumB:], iv[:])
+	return v
+}
+
+// B returns the benchmark part of the vector.
+func (v Vector) B() BVector {
+	var b BVector
+	copy(b[:], v[:NumB])
+	return b
+}
+
+// I returns the input part of the vector.
+func (v Vector) I() IVector {
+	var iv IVector
+	copy(iv[:], v[NumB:])
+	return iv
+}
+
+// String renders both halves.
+func (v Vector) String() string {
+	return fmt.Sprintf("%s | %s", v.B(), v.I())
+}

@@ -1,0 +1,271 @@
+package gen
+
+import (
+	"fmt"
+	"sync"
+
+	"heteromap/internal/graph"
+)
+
+// Declared carries the paper-scale structural metadata of a Table I
+// dataset. The generated analog is much smaller; characterization (the I
+// variables) and workload-magnitude scaling use these declared values so
+// the predictor sees the same inputs the paper's predictor saw.
+type Declared struct {
+	V        int64 // vertex count
+	E        int64 // edge count
+	MaxDeg   int64 // maximum degree
+	Diameter int64 // graph diameter
+	Weighted bool  // whether the workload treats the graph as weighted
+}
+
+// AvgDeg returns the declared average degree.
+func (d Declared) AvgDeg() float64 {
+	if d.V == 0 {
+		return 0
+	}
+	return float64(d.E) / float64(d.V)
+}
+
+// FootprintBytes estimates the paper-scale in-memory size of the dataset
+// in CSR form (8 B per vertex offset, 4 B per edge id, 4 B per weight).
+// The streaming layer divides it by accelerator memory to derive chunking.
+func (d Declared) FootprintBytes() int64 {
+	b := d.V*8 + d.E*4
+	if d.Weighted {
+		b += d.E * 4
+	}
+	return b
+}
+
+// Dataset couples a generated structural analog with its declared
+// paper-scale metadata.
+type Dataset struct {
+	// Name is the full Table I name, Short the paper's abbreviation.
+	Name, Short string
+
+	// Declared holds the paper-scale characteristics from Table I.
+	Declared Declared
+
+	// Graph is the generated scaled analog on which benchmarks actually
+	// execute.
+	Graph *graph.Graph
+}
+
+// VertexScale returns declared vertices per generated vertex.
+func (d *Dataset) VertexScale() float64 {
+	n := d.Graph.NumVertices()
+	if n == 0 {
+		return 1
+	}
+	return float64(d.Declared.V) / float64(n)
+}
+
+// EdgeScale returns declared edges per generated edge.
+func (d *Dataset) EdgeScale() float64 {
+	m := d.Graph.NumEdges()
+	if m == 0 {
+		return 1
+	}
+	return float64(d.Declared.E) / float64(m)
+}
+
+// String implements fmt.Stringer.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("%s (%s): declared V=%d E=%d maxdeg=%d dia=%d; generated %s",
+		d.Name, d.Short, d.Declared.V, d.Declared.E, d.Declared.MaxDeg, d.Declared.Diameter, d.Graph)
+}
+
+// Size selects how large the generated analogs are. Small keeps unit tests
+// fast; Medium is the default for experiments and benchmarks.
+type Size int
+
+const (
+	// Small targets ~1-20k generated vertices per dataset.
+	Small Size = iota
+	// Medium targets ~10-130k generated vertices per dataset.
+	Medium
+)
+
+func (s Size) divisor() int {
+	if s == Small {
+		return 10
+	}
+	return 1
+}
+
+// catalogSeed fixes generation so every run of the reproduction sees
+// identical graphs.
+const catalogSeed int64 = 0x48654d61 // "HeMa"
+
+// The nine Table I datasets. Each constructor documents the structural
+// analog choice.
+
+// CA generates the USA-Cal road network analog: a 2-D grid (near-constant
+// degree 2-4, huge diameter, strong locality), weighted like road segment
+// lengths. Table I: V=1.9M, E=4.7M, MaxDeg=12, Dia=850.
+func CA(size Size) *Dataset {
+	div := size.divisor()
+	rows, cols := 120/intSqrtDiv(div), 160/intSqrtDiv(div)
+	return &Dataset{
+		Name: "USA-Cal", Short: "CA",
+		Declared: Declared{V: 1_900_000, E: 4_700_000, MaxDeg: 12, Diameter: 850, Weighted: true},
+		Graph:    Grid("CA", rows, cols, 64, catalogSeed+1),
+	}
+}
+
+// FB generates the Facebook analog: power-law social network with strong
+// hubs. Table I: V=2.9M, E=41.9M, MaxDeg=90K, Dia=12.
+func FB(size Size) *Dataset {
+	div := size.divisor()
+	n := 29_000 / div
+	return &Dataset{
+		Name: "Facebook", Short: "FB",
+		Declared: Declared{V: 2_900_000, E: 41_900_000, MaxDeg: 90_000, Diameter: 12, Weighted: true},
+		Graph:    PowerLaw("FB", n, 14.4, 2.2, 40, 64, catalogSeed+2),
+	}
+}
+
+// LJ generates the LiveJournal analog. Table I: V=4.8M, E=85.7M,
+// MaxDeg=20K, Dia=16.
+func LJ(size Size) *Dataset {
+	div := size.divisor()
+	n := 48_000 / div
+	return &Dataset{
+		Name: "Livejournal", Short: "LJ",
+		Declared: Declared{V: 4_800_000, E: 85_700_000, MaxDeg: 20_000, Diameter: 16, Weighted: true},
+		Graph:    PowerLaw("LJ", n, 17.8, 2.3, 20, 64, catalogSeed+3),
+	}
+}
+
+// Twtr generates the Twitter analog: extreme hubs (declared max degree 3M)
+// and tiny diameter. Table I: V=41.7M, E=1.47B, MaxDeg=3M, Dia=5.
+func Twtr(size Size) *Dataset {
+	div := size.divisor()
+	n := 41_000 / div
+	return &Dataset{
+		Name: "Twitter", Short: "Twtr",
+		Declared: Declared{V: 41_700_000, E: 1_470_000_000, MaxDeg: 3_000_000, Diameter: 5, Weighted: true},
+		Graph:    PowerLaw("Twtr", n, 35, 2.0, 120, 64, catalogSeed+4),
+	}
+}
+
+// Frnd generates the Friendster analog. Table I: V=65.6M, E=1.81B,
+// MaxDeg=5.2K, Dia=32.
+func Frnd(size Size) *Dataset {
+	div := size.divisor()
+	n := 65_000 / div
+	return &Dataset{
+		Name: "Friendster", Short: "Frnd",
+		Declared: Declared{V: 65_600_000, E: 1_810_000_000, MaxDeg: 5_200, Diameter: 32, Weighted: true},
+		Graph:    PowerLaw("Frnd", n, 27.6, 2.5, 6, 64, catalogSeed+5),
+	}
+}
+
+// CO generates the mouse retina connectome analog: 562 vertices at
+// near-clique density. Generated at full declared scale (it is tiny).
+// Table I: V=562, E=0.57M, MaxDeg=1027, Dia=1.
+func CO(size Size) *Dataset {
+	_ = size // CO is always generated at full scale
+	return &Dataset{
+		Name: "M. Ret. 3", Short: "CO",
+		Declared: Declared{V: 562, E: 570_000, MaxDeg: 1027, Diameter: 1, Weighted: true},
+		Graph:    DenseBlob("CO", 562, 0.9, 64, catalogSeed+6),
+	}
+}
+
+// CAGE generates the Cage14 analog: a banded mesh with uniform moderate
+// degree and strong locality (DNA electrophoresis matrix). Table I:
+// V=1.5M, E=25.6M, MaxDeg=80, Dia=8.
+func CAGE(size Size) *Dataset {
+	div := size.divisor()
+	n := 15_000 / div
+	return &Dataset{
+		Name: "Cage14", Short: "CAGE",
+		Declared: Declared{V: 1_500_000, E: 25_600_000, MaxDeg: 80, Diameter: 8, Weighted: true},
+		Graph:    BandedMesh("CAGE", n, 9, 40, 64, catalogSeed+7),
+	}
+}
+
+// Rgg generates the rgg-n-24 analog: random geometric graph, the largest
+// declared diameter of the catalog (2622). Table I: V=16.8M, E=387M,
+// MaxDeg=40, Dia=2622.
+func Rgg(size Size) *Dataset {
+	div := size.divisor()
+	n := 16_800 / div
+	// radius chosen so average degree ~ n*pi*r^2 ~ 23.
+	radius := 0.021
+	if size == Small {
+		radius = 0.066
+	}
+	return &Dataset{
+		Name: "rgg-n-24", Short: "Rgg",
+		Declared: Declared{V: 16_800_000, E: 387_000_000, MaxDeg: 40, Diameter: 2622, Weighted: true},
+		Graph:    RandomGeometric("Rgg", n, radius, 64, catalogSeed+8),
+	}
+}
+
+// Kron generates the KronLarge analog: a stochastic Kronecker graph.
+// Table I: V=134M, E=2.15B, MaxDeg(avg. deg listed)=16, Dia=12.
+func Kron(size Size) *Dataset {
+	scale := 17
+	if size == Small {
+		scale = 13
+	}
+	return &Dataset{
+		Name: "KronLarge", Short: "Kron",
+		Declared: Declared{V: 134_000_000, E: 2_150_000_000, MaxDeg: 430_000, Diameter: 12, Weighted: true},
+		Graph:    KroneckerUndirected("Kron", scale, 8, Graph500Initiator, 64, catalogSeed+9),
+	}
+}
+
+// TableI returns the nine evaluation datasets in the paper's order.
+func TableI(size Size) []*Dataset {
+	return []*Dataset{
+		CA(size), FB(size), LJ(size), Twtr(size), Frnd(size),
+		CO(size), CAGE(size), Rgg(size), Kron(size),
+	}
+}
+
+var (
+	tableOnce  [2]sync.Once
+	tableCache [2][]*Dataset
+)
+
+// TableICached returns a process-wide shared catalog, generating each size
+// at most once. Experiments and tests that only read graphs should prefer
+// it over TableI to avoid regenerating identical graphs.
+func TableICached(size Size) []*Dataset {
+	i := 0
+	if size == Medium {
+		i = 1
+	}
+	tableOnce[i].Do(func() { tableCache[i] = TableI(size) })
+	return tableCache[i]
+}
+
+// ByShort finds a dataset by its paper abbreviation (case sensitive, e.g.
+// "CA"). It returns nil when absent.
+func ByShort(datasets []*Dataset, short string) *Dataset {
+	for _, d := range datasets {
+		if d.Short == short {
+			return d
+		}
+	}
+	return nil
+}
+
+// intSqrtDiv maps a divisor on vertex counts to a divisor on grid side
+// lengths so grid datasets scale area-proportionally.
+func intSqrtDiv(div int) int {
+	switch {
+	case div >= 100:
+		return 10
+	case div >= 9:
+		return 3
+	case div >= 4:
+		return 2
+	default:
+		return 1
+	}
+}

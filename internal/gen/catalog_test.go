@@ -1,0 +1,182 @@
+package gen
+
+import (
+	"testing"
+
+	"heteromap/internal/graph"
+)
+
+func TestTableIHasNineDatasets(t *testing.T) {
+	ds := TableI(Small)
+	if len(ds) != 9 {
+		t.Fatalf("got %d datasets, want 9", len(ds))
+	}
+	shorts := []string{"CA", "FB", "LJ", "Twtr", "Frnd", "CO", "CAGE", "Rgg", "Kron"}
+	for i, want := range shorts {
+		if ds[i].Short != want {
+			t.Fatalf("dataset %d short %q want %q (paper order)", i, ds[i].Short, want)
+		}
+	}
+}
+
+func TestDeclaredMatchesPaperTableI(t *testing.T) {
+	tests := []struct {
+		short    string
+		v, e     int64
+		diameter int64
+	}{
+		{"CA", 1_900_000, 4_700_000, 850},
+		{"FB", 2_900_000, 41_900_000, 12},
+		{"LJ", 4_800_000, 85_700_000, 16},
+		{"Twtr", 41_700_000, 1_470_000_000, 5},
+		{"Frnd", 65_600_000, 1_810_000_000, 32},
+		{"CO", 562, 570_000, 1},
+		{"CAGE", 1_500_000, 25_600_000, 8},
+		{"Rgg", 16_800_000, 387_000_000, 2622},
+		{"Kron", 134_000_000, 2_150_000_000, 12},
+	}
+	ds := TableI(Small)
+	for _, tc := range tests {
+		d := ByShort(ds, tc.short)
+		if d == nil {
+			t.Fatalf("missing dataset %s", tc.short)
+		}
+		if d.Declared.V != tc.v || d.Declared.E != tc.e || d.Declared.Diameter != tc.diameter {
+			t.Fatalf("%s declared %+v, want V=%d E=%d dia=%d",
+				tc.short, d.Declared, tc.v, tc.e, tc.diameter)
+		}
+	}
+}
+
+func TestGeneratedAnalogsValidate(t *testing.T) {
+	for _, d := range TableI(Small) {
+		if err := d.Graph.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Short, err)
+		}
+		if d.Graph.NumVertices() == 0 || d.Graph.NumEdges() == 0 {
+			t.Errorf("%s: degenerate analog %s", d.Short, d.Graph)
+		}
+		if !d.Graph.Weighted() {
+			t.Errorf("%s: analogs must carry weights for SSSP", d.Short)
+		}
+	}
+}
+
+func TestAnalogStructuralSignatures(t *testing.T) {
+	ds := TableI(Small)
+	locality := func(short string) float64 {
+		return graph.LocalityScore(ByShort(ds, short).Graph)
+	}
+	skew := func(short string) float64 {
+		return graph.ComputeDegreeStats(ByShort(ds, short).Graph).Skew
+	}
+	// Road network: regular and local; social networks: skewed.
+	if locality("CA") < 0.8 {
+		t.Errorf("CA locality %v want high", locality("CA"))
+	}
+	if skew("CA") > 0.5 {
+		t.Errorf("CA skew %v want low", skew("CA"))
+	}
+	if skew("Twtr") < 1.5 {
+		t.Errorf("Twtr skew %v want heavy-tailed", skew("Twtr"))
+	}
+	if skew("FB") < 1 {
+		t.Errorf("FB skew %v want > 1", skew("FB"))
+	}
+	// Dense connectome is near-complete.
+	co := ByShort(ds, "CO")
+	if co.Graph.AvgDegree() < float64(co.Graph.NumVertices())/2 {
+		t.Errorf("CO avg degree %.0f want near-clique", co.Graph.AvgDegree())
+	}
+	// Road analog has by far the largest generated diameter per vertex.
+	caDia := graph.EstimateDiameter(ByShort(ds, "CA").Graph, 1, 2)
+	fbDia := graph.EstimateDiameter(ByShort(ds, "FB").Graph, 1, 2)
+	if caDia <= 3*fbDia {
+		t.Errorf("CA diameter %d should dwarf FB diameter %d", caDia, fbDia)
+	}
+}
+
+func TestScales(t *testing.T) {
+	for _, d := range TableI(Small) {
+		if d.VertexScale() < 1 {
+			t.Errorf("%s vertex scale %v < 1", d.Short, d.VertexScale())
+		}
+		if d.EdgeScale() < 1 {
+			t.Errorf("%s edge scale %v < 1", d.Short, d.EdgeScale())
+		}
+	}
+	// CO is generated at full declared vertex count.
+	co := CO(Small)
+	if co.Graph.NumVertices() != 562 {
+		t.Fatalf("CO generated V=%d want 562", co.Graph.NumVertices())
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	d := Declared{V: 100, E: 1000, Weighted: false}
+	if got := d.FootprintBytes(); got != 100*8+1000*4 {
+		t.Fatalf("footprint %d", got)
+	}
+	d.Weighted = true
+	if got := d.FootprintBytes(); got != 100*8+1000*8 {
+		t.Fatalf("weighted footprint %d", got)
+	}
+	if d.AvgDeg() != 10 {
+		t.Fatalf("avg deg %v", d.AvgDeg())
+	}
+	if (Declared{}).AvgDeg() != 0 {
+		t.Fatal("zero-vertex avg deg")
+	}
+	// Twitter's declared footprint must exceed a 2 GB GPU memory — the
+	// premise of the streaming experiments.
+	tw := Twtr(Small)
+	if tw.Declared.FootprintBytes() < 2<<30 {
+		t.Fatal("Twtr footprint should exceed 2 GB")
+	}
+}
+
+func TestMediumLargerThanSmall(t *testing.T) {
+	small := CA(Small)
+	medium := CA(Medium)
+	if medium.Graph.NumVertices() <= small.Graph.NumVertices() {
+		t.Fatalf("medium CA (%d) not larger than small (%d)",
+			medium.Graph.NumVertices(), small.Graph.NumVertices())
+	}
+}
+
+func TestTableICachedReturnsSameInstance(t *testing.T) {
+	a := TableICached(Small)
+	b := TableICached(Small)
+	if len(a) != len(b) {
+		t.Fatal("cache size mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("cache returned different instances")
+		}
+	}
+}
+
+func TestByShortMissing(t *testing.T) {
+	if ByShort(TableICached(Small), "nope") != nil {
+		t.Fatal("expected nil for unknown short name")
+	}
+}
+
+func TestDatasetString(t *testing.T) {
+	if s := CA(Small).String(); s == "" {
+		t.Fatal("empty dataset string")
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	a, b := FB(Small), FB(Small)
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("catalog generation not deterministic")
+	}
+	for i := range a.Graph.Edges {
+		if a.Graph.Edges[i] != b.Graph.Edges[i] {
+			t.Fatal("catalog edges differ between constructions")
+		}
+	}
+}

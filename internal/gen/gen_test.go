@@ -1,0 +1,188 @@
+package gen
+
+import (
+	"testing"
+
+	"heteromap/internal/graph"
+)
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform("u", 100, 400, 64, 7)
+	b := Uniform("u", 100, 400, 64, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("same seed, different edge at %d", i)
+		}
+	}
+	c := Uniform("u", 100, 400, 64, 8)
+	if c.NumEdges() == a.NumEdges() {
+		same := true
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestUniformShape(t *testing.T) {
+	g := Uniform("u", 200, 1000, 64, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 200 {
+		t.Fatalf("V=%d", g.NumVertices())
+	}
+	// Dedupe + self-loop removal can only shrink.
+	if g.NumEdges() > 1000 || g.NumEdges() < 700 {
+		t.Fatalf("E=%d want within (700,1000]", g.NumEdges())
+	}
+	if !g.Weighted() {
+		t.Fatal("weights requested but missing")
+	}
+	for _, w := range g.Weights {
+		if w < 1 || w > 64 {
+			t.Fatalf("weight %v outside [1,64]", w)
+		}
+	}
+	unweighted := Uniform("u", 50, 100, 0, 1)
+	if unweighted.Weighted() {
+		t.Fatal("maxWeight<=0 must be unweighted")
+	}
+}
+
+func TestUniformUndirected(t *testing.T) {
+	g := UniformUndirected("uu", 100, 300, 0, 3)
+	if !g.Undirected {
+		t.Fatal("undirected flag")
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			found := false
+			for _, w := range g.Neighbors(int(u)) {
+				if int(w) == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) not mirrored", v, u)
+			}
+		}
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	g := Grid("g", 5, 7, 16, 1)
+	if g.NumVertices() != 35 {
+		t.Fatalf("V=%d", g.NumVertices())
+	}
+	// Interior degree 4, corner degree 2.
+	ds := graph.ComputeDegreeStats(g)
+	if ds.Max != 4 || ds.Min != 2 {
+		t.Fatalf("grid degrees %+v", ds)
+	}
+	if graph.ConnectedComponentsCount(g) != 1 {
+		t.Fatal("grid must be connected")
+	}
+	// Diameter = manhattan distance corner to corner.
+	if d := graph.EstimateDiameter(g, 1, 4); d != 4+6 {
+		t.Fatalf("grid diameter %d want 10", d)
+	}
+}
+
+func TestPowerLawHubs(t *testing.T) {
+	g := PowerLaw("pl", 2000, 10, 2.1, 20, 0, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ds := graph.ComputeDegreeStats(g)
+	if float64(ds.Max) < 5*ds.Mean {
+		t.Fatalf("power law lacks hubs: max=%d mean=%.1f", ds.Max, ds.Mean)
+	}
+	if ds.Skew < 0.8 {
+		t.Fatalf("power law skew %v too low", ds.Skew)
+	}
+}
+
+func TestDenseBlobDensity(t *testing.T) {
+	g := DenseBlob("db", 60, 0.9, 0, 2)
+	ds := graph.ComputeDegreeStats(g)
+	if ds.Mean < 45 {
+		t.Fatalf("dense blob mean degree %.1f want ~53", ds.Mean)
+	}
+	if d := graph.EstimateDiameter(g, 1, 2); d > 2 {
+		t.Fatalf("dense blob diameter %d want <= 2", d)
+	}
+}
+
+func TestBandedMeshLocality(t *testing.T) {
+	g := BandedMesh("bm", 500, 6, 30, 0, 4)
+	if l := graph.LocalityScore(g); l < 0.8 {
+		t.Fatalf("banded mesh locality %v want >= 0.8", l)
+	}
+	ds := graph.ComputeDegreeStats(g)
+	if ds.Skew > 0.6 {
+		t.Fatalf("banded mesh skew %v want small", ds.Skew)
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	g := RandomGeometric("rg", 800, 0.08, 0, 6)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ds := graph.ComputeDegreeStats(g)
+	// Expected degree ~ n*pi*r^2 ~ 16.
+	if ds.Mean < 6 || ds.Mean > 32 {
+		t.Fatalf("rgg mean degree %.1f want ~16", ds.Mean)
+	}
+	// Geometric graphs have meaningful diameter.
+	if d := graph.EstimateDiameter(g, 1, 4); d < 8 {
+		t.Fatalf("rgg diameter %d want >= 8", d)
+	}
+}
+
+func TestKroneckerShape(t *testing.T) {
+	g := Kronecker("k", 10, 8, Graph500Initiator, 64, 9)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("V=%d want 1024", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ds := graph.ComputeDegreeStats(g)
+	if ds.Skew < 1 {
+		t.Fatalf("kronecker skew %v want >= 1 (heavy tail)", ds.Skew)
+	}
+	// Zero-probability initiator falls back to defaults.
+	g2 := Kronecker("k0", 8, 4, KroneckerParams{}, 0, 9)
+	if g2.NumVertices() != 256 || g2.NumEdges() == 0 {
+		t.Fatal("fallback initiator failed")
+	}
+}
+
+func TestKroneckerUndirected(t *testing.T) {
+	g := KroneckerUndirected("ku", 9, 6, Graph500Initiator, 64, 11)
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			found := false
+			for _, w := range g.Neighbors(int(u)) {
+				if int(w) == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) not mirrored", v, u)
+			}
+		}
+	}
+}

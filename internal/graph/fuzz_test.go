@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the text loader never panics and that every
+// successfully parsed graph satisfies the CSR invariants.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# c\n0 1 2.5\n")
+	f.Add("")
+	f.Add("0 0\n0 1\n0 1\n")
+	f.Add("5 5 5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input), "fuzz", 0, true)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("loader produced invalid graph: %v", err)
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary loader rejects arbitrary bytes without
+// panicking, and that anything it accepts validates.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a genuine serialized graph plus mutations.
+	b := NewBuilder("seed", 4).Weighted()
+	b.Add(0, 1, 1)
+	b.Add(2, 3, 2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, b.MustBuild()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("HMG1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("loader accepted invalid graph: %v", err)
+		}
+	})
+}

@@ -1,0 +1,148 @@
+// Package graph provides the compressed-sparse-row (CSR) graph
+// representation shared by every benchmark, generator and simulator module
+// in the HeteroMap reproduction, together with the structural statistics
+// (degree distribution, diameter estimates, memory footprint) that feed the
+// paper's I-variable characterization.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Graph is an immutable directed graph in CSR form. Vertex v's outgoing
+// edges are Edges[Offsets[v]:Offsets[v+1]]; Weights, when non-nil, runs
+// parallel to Edges. Undirected graphs are stored with both edge
+// directions present.
+type Graph struct {
+	// Name identifies the graph in reports and experiment rows.
+	Name string
+
+	// Offsets has length NumVertices()+1; Offsets[0] is always 0.
+	Offsets []int64
+
+	// Edges holds destination vertex ids grouped by source vertex.
+	Edges []int32
+
+	// Weights holds per-edge weights parallel to Edges, or nil for an
+	// unweighted graph.
+	Weights []float32
+
+	// Undirected records that every edge appears in both directions.
+	Undirected bool
+}
+
+// Errors returned by Validate.
+var (
+	ErrNoOffsets     = errors.New("graph: missing offsets (need at least [0])")
+	ErrOffsetStart   = errors.New("graph: offsets must start at 0")
+	ErrOffsetOrder   = errors.New("graph: offsets must be non-decreasing")
+	ErrOffsetEnd     = errors.New("graph: last offset must equal len(edges)")
+	ErrEdgeRange     = errors.New("graph: edge destination out of range")
+	ErrWeightLen     = errors.New("graph: weights length must match edges")
+	ErrTooManyVerts  = errors.New("graph: vertex count exceeds int32 range")
+	ErrNegativeCount = errors.New("graph: negative vertex count")
+)
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int {
+	if len(g.Offsets) == 0 {
+		return 0
+	}
+	return len(g.Offsets) - 1
+}
+
+// NumEdges returns the number of stored directed edges. For an undirected
+// graph this counts each underlying edge twice (once per direction).
+func (g *Graph) NumEdges() int64 { return int64(len(g.Edges)) }
+
+// Degree returns the out-degree of vertex v.
+func (g *Graph) Degree(v int) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns the adjacency slice of vertex v. The slice aliases the
+// graph's storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.Edges[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// NeighborWeights returns the weight slice parallel to Neighbors(v).
+// It returns nil for unweighted graphs.
+func (g *Graph) NeighborWeights(v int) []float32 {
+	if g.Weights == nil {
+		return nil
+	}
+	return g.Weights[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// Weighted reports whether the graph carries edge weights.
+func (g *Graph) Weighted() bool { return g.Weights != nil }
+
+// AvgDegree returns the mean out-degree, or 0 for an empty graph.
+func (g *Graph) AvgDegree() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(n)
+}
+
+// MaxDegree returns the largest out-degree in the graph.
+func (g *Graph) MaxDegree() int {
+	maxDeg := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}
+
+// FootprintBytes estimates the in-memory size of the CSR structure: offsets
+// (8 B each), edges (4 B each) and weights (4 B each when present). The
+// streaming layer uses it to decide how many chunks a graph needs on an
+// accelerator with a given memory size.
+func (g *Graph) FootprintBytes() int64 {
+	b := int64(len(g.Offsets))*8 + int64(len(g.Edges))*4
+	if g.Weights != nil {
+		b += int64(len(g.Weights)) * 4
+	}
+	return b
+}
+
+// Validate checks structural invariants of the CSR arrays. A Graph built
+// through Builder or the generators always validates; Validate exists for
+// graphs constructed by hand or loaded from external data.
+func (g *Graph) Validate() error {
+	if len(g.Offsets) == 0 {
+		return ErrNoOffsets
+	}
+	if g.Offsets[0] != 0 {
+		return ErrOffsetStart
+	}
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		if g.Offsets[v+1] < g.Offsets[v] {
+			return fmt.Errorf("%w: vertex %d", ErrOffsetOrder, v)
+		}
+	}
+	if g.Offsets[n] != int64(len(g.Edges)) {
+		return ErrOffsetEnd
+	}
+	for i, e := range g.Edges {
+		if int(e) < 0 || int(e) >= n {
+			return fmt.Errorf("%w: edge %d -> %d (n=%d)", ErrEdgeRange, i, e, n)
+		}
+	}
+	if g.Weights != nil && len(g.Weights) != len(g.Edges) {
+		return ErrWeightLen
+	}
+	return nil
+}
+
+// String implements fmt.Stringer with a short structural summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph %q: V=%d E=%d avgdeg=%.2f weighted=%v undirected=%v",
+		g.Name, g.NumVertices(), g.NumEdges(), g.AvgDegree(), g.Weighted(), g.Undirected)
+}

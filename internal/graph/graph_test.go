@@ -1,0 +1,256 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// path builds 0-1-2-...-(n-1) as a directed chain.
+func path(t *testing.T, n int) *Graph {
+	t.Helper()
+	b := NewBuilder("path", n)
+	for i := 0; i < n-1; i++ {
+		b.Add(int32(i), int32(i+1), 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := NewBuilder("empty", 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph has V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.AvgDegree() != 0 {
+		t.Fatalf("avg degree of empty graph: %v", g.AvgDegree())
+	}
+	if g.MaxDegree() != 0 {
+		t.Fatalf("max degree of empty graph: %v", g.MaxDegree())
+	}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder("tri", 3).Weighted()
+	b.Add(0, 1, 1.5)
+	b.Add(0, 2, 2.5)
+	b.Add(1, 2, 3.5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Fatalf("degrees %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("neighbors(0)=%v (must be sorted)", nb)
+	}
+	ws := g.NeighborWeights(0)
+	if ws[0] != 1.5 || ws[1] != 2.5 {
+		t.Fatalf("weights misaligned after sort: %v", ws)
+	}
+	if !g.Weighted() {
+		t.Fatal("weighted flag lost")
+	}
+}
+
+func TestBuilderUndirectedMirrors(t *testing.T) {
+	b := NewBuilder("u", 3).Undirected()
+	b.Add(0, 1, 0)
+	b.Add(1, 2, 0)
+	g := b.MustBuild()
+	if g.NumEdges() != 4 {
+		t.Fatalf("undirected edge count %d want 4", g.NumEdges())
+	}
+	if g.Degree(1) != 2 {
+		t.Fatalf("degree(1)=%d want 2", g.Degree(1))
+	}
+	if !g.Undirected {
+		t.Fatal("undirected flag lost")
+	}
+}
+
+func TestBuilderDedupe(t *testing.T) {
+	b := NewBuilder("d", 2).Dedupe()
+	b.Add(0, 1, 0)
+	b.Add(0, 1, 0)
+	b.Add(0, 1, 0)
+	g := b.MustBuild()
+	if g.NumEdges() != 1 {
+		t.Fatalf("dedupe left %d edges", g.NumEdges())
+	}
+}
+
+func TestBuilderNoSelfLoops(t *testing.T) {
+	b := NewBuilder("s", 2).NoSelfLoops()
+	b.Add(0, 0, 0)
+	b.Add(0, 1, 0)
+	b.Add(1, 1, 0)
+	g := b.MustBuild()
+	if g.NumEdges() != 1 {
+		t.Fatalf("self loops kept: %d edges", g.NumEdges())
+	}
+}
+
+func TestBuilderUndirectedSelfLoopNotDoubled(t *testing.T) {
+	b := NewBuilder("sl", 2).Undirected()
+	b.Add(0, 0, 0)
+	g := b.MustBuild()
+	if g.NumEdges() != 1 {
+		t.Fatalf("self loop mirrored: %d edges", g.NumEdges())
+	}
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	b := NewBuilder("bad", 2)
+	b.Add(0, 5, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	b2 := NewBuilder("bad2", 2)
+	b2.Add(-1, 0, 0)
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("expected negative-source error")
+	}
+}
+
+func TestBuilderNegativeCount(t *testing.T) {
+	if _, err := NewBuilder("neg", -1).Build(); !errors.Is(err, ErrNegativeCount) {
+		t.Fatalf("want ErrNegativeCount, got %v", err)
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g, err := FromEdges("fe", 4, []Edge{{0, 1, 2}, {1, 1, 1}, {0, 1, 2}, {2, 3, 1}}, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// self loop dropped, duplicate dropped, rest mirrored: (0,1),(2,3) -> 4.
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges=%d want 4", g.NumEdges())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Graph)
+		want   error
+	}{
+		{"no offsets", func(g *Graph) { g.Offsets = nil }, ErrNoOffsets},
+		{"offset start", func(g *Graph) { g.Offsets[0] = 1 }, ErrOffsetStart},
+		{"offset order", func(g *Graph) { g.Offsets[1] = 99; g.Offsets[2] = 1 }, ErrOffsetOrder},
+		{"offset end", func(g *Graph) { g.Offsets[len(g.Offsets)-1]++ }, ErrOffsetEnd},
+		{"edge range", func(g *Graph) { g.Edges[0] = 99 }, ErrEdgeRange},
+		{"weight len", func(g *Graph) { g.Weights = []float32{1} }, ErrWeightLen},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g := path(t, 5)
+			g.Weights = make([]float32, len(g.Edges))
+			tc.mutate(g)
+			if err := g.Validate(); !errors.Is(err, tc.want) {
+				t.Fatalf("want %v, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestFootprintBytes(t *testing.T) {
+	g := path(t, 5) // 5 vertices, 4 edges, unweighted
+	want := int64(6*8 + 4*4)
+	if got := g.FootprintBytes(); got != want {
+		t.Fatalf("footprint=%d want %d", got, want)
+	}
+	g.Weights = make([]float32, 4)
+	if got := g.FootprintBytes(); got != want+16 {
+		t.Fatalf("weighted footprint=%d want %d", got, want+16)
+	}
+}
+
+func TestBuildProducesValidCSRProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		b := NewBuilder("rand", n).Dedupe().NoSelfLoops()
+		if rng.Intn(2) == 0 {
+			b.Undirected()
+		}
+		m := rng.Intn(120)
+		for i := 0; i < m; i++ {
+			b.Add(int32(rng.Intn(n)), int32(rng.Intn(n)), 1)
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		// Adjacency sorted per vertex.
+		for v := 0; v < n; v++ {
+			nb := g.Neighbors(v)
+			for i := 1; i < len(nb); i++ {
+				if nb[i-1] > nb[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndirectedSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := NewBuilder("sym", n).Dedupe().NoSelfLoops().Undirected()
+		for i := 0; i < 60; i++ {
+			b.Add(int32(rng.Intn(n)), int32(rng.Intn(n)), 1)
+		}
+		g := b.MustBuild()
+		// Every edge must have its reverse.
+		for v := 0; v < n; v++ {
+			for _, u := range g.Neighbors(v) {
+				if !hasEdge(g, int(u), int32(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hasEdge(g *Graph, src int, dst int32) bool {
+	for _, u := range g.Neighbors(src) {
+		if u == dst {
+			return true
+		}
+	}
+	return false
+}
+
+func TestString(t *testing.T) {
+	g := path(t, 3)
+	s := g.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,238 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file provides the loaders downstream users need to bring their own
+// graphs: whitespace-separated edge lists (the de-facto interchange format
+// of SNAP / DIMACS-style datasets) and a compact binary CSR format for
+// fast reloads.
+
+// ReadEdgeList parses a whitespace-separated edge list: one "src dst
+// [weight]" triple per line, '#' or '%' comment lines ignored. Vertex ids
+// are 0-based; the vertex count is one past the largest id unless a
+// larger minVertices is given. Set undirected to mirror every edge.
+func ReadEdgeList(r io.Reader, name string, minVertices int, undirected bool) (*Graph, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var edges []Edge
+	weighted := false
+	maxID := int64(-1)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'src dst [weight]', got %q", lineNo, line)
+		}
+		src, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src: %w", lineNo, err)
+		}
+		dst, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst: %w", lineNo, err)
+		}
+		if src < 0 || dst < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		var w float64
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %w", lineNo, err)
+			}
+			weighted = true
+		}
+		if src > maxID {
+			maxID = src
+		}
+		if dst > maxID {
+			maxID = dst
+		}
+		edges = append(edges, Edge{Src: int32(src), Dst: int32(dst), Weight: float32(w)})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+
+	n := int(maxID + 1)
+	if minVertices > n {
+		n = minVertices
+	}
+	b := NewBuilder(name, n).Dedupe().NoSelfLoops()
+	if weighted {
+		b.Weighted()
+	}
+	if undirected {
+		b.Undirected()
+	}
+	for _, e := range edges {
+		b.Add(e.Src, e.Dst, e.Weight)
+	}
+	return b.Build()
+}
+
+// WriteEdgeList emits the graph as a parsable edge list (weights included
+// for weighted graphs). For undirected graphs each underlying edge is
+// written once (low id first).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# graph %s: V=%d E=%d\n", g.Name, g.NumVertices(), g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		nb := g.Neighbors(v)
+		ws := g.NeighborWeights(v)
+		for i, u := range nb {
+			if g.Undirected && int(u) < v {
+				continue
+			}
+			if ws != nil {
+				fmt.Fprintf(bw, "%d %d %g\n", v, u, ws[i])
+			} else {
+				fmt.Fprintf(bw, "%d %d\n", v, u)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Binary CSR format:
+//
+//	magic "HMG1" | flags u32 (bit0 weighted, bit1 undirected)
+//	nameLen u32 | name bytes
+//	numVertices u64 | numEdges u64
+//	offsets (numVertices+1) x u64 | edges numEdges x u32
+//	[weights numEdges x f32]
+const binaryMagic = "HMG1"
+
+// WriteBinary serializes the CSR arrays.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var flags uint32
+	if g.Weighted() {
+		flags |= 1
+	}
+	if g.Undirected {
+		flags |= 2
+	}
+	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := write(flags); err != nil {
+		return err
+	}
+	if err := write(uint32(len(g.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(g.Name); err != nil {
+		return err
+	}
+	if err := write(uint64(g.NumVertices())); err != nil {
+		return err
+	}
+	if err := write(uint64(g.NumEdges())); err != nil {
+		return err
+	}
+	for _, o := range g.Offsets {
+		if err := write(uint64(o)); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges {
+		if err := write(uint32(e)); err != nil {
+			return err
+		}
+	}
+	if g.Weighted() {
+		for _, wt := range g.Weights {
+			if err := write(wt); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary and validates it.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	var flags, nameLen uint32
+	if err := read(&flags); err != nil {
+		return nil, err
+	}
+	if err := read(&nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("graph: implausible name length %d", nameLen)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBytes); err != nil {
+		return nil, err
+	}
+	var nv, ne uint64
+	if err := read(&nv); err != nil {
+		return nil, err
+	}
+	if err := read(&ne); err != nil {
+		return nil, err
+	}
+	// Cap sizes so a corrupted or hostile header cannot trigger a
+	// multi-gigabyte allocation before the arrays fail to parse.
+	const maxPlausible = 1 << 28
+	if nv > maxPlausible || ne > maxPlausible {
+		return nil, fmt.Errorf("graph: implausible sizes V=%d E=%d", nv, ne)
+	}
+	g := &Graph{
+		Name:       string(nameBytes),
+		Offsets:    make([]int64, nv+1),
+		Edges:      make([]int32, ne),
+		Undirected: flags&2 != 0,
+	}
+	for i := range g.Offsets {
+		var o uint64
+		if err := read(&o); err != nil {
+			return nil, err
+		}
+		g.Offsets[i] = int64(o)
+	}
+	for i := range g.Edges {
+		var e uint32
+		if err := read(&e); err != nil {
+			return nil, err
+		}
+		g.Edges[i] = int32(e)
+	}
+	if flags&1 != 0 {
+		g.Weights = make([]float32, ne)
+		for i := range g.Weights {
+			if err := read(&g.Weights[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,209 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# a comment
+% another comment
+0 1 2.5
+1 2 1.0
+
+2 0 3.5
+`
+	g, err := ReadEdgeList(strings.NewReader(in), "tri", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if !g.Weighted() {
+		t.Fatal("weights lost")
+	}
+	if g.NeighborWeights(0)[0] != 2.5 {
+		t.Fatalf("weight %v", g.NeighborWeights(0)[0])
+	}
+}
+
+func TestReadEdgeListUnweighted(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n"), "p", 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Weighted() {
+		t.Fatal("unweighted input produced weights")
+	}
+	if !g.Undirected || g.NumEdges() != 4 {
+		t.Fatalf("mirroring: E=%d", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListMinVertices(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n"), "iso", 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 {
+		t.Fatalf("V=%d want 10 (isolated vertices)", g.NumVertices())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",       // too few fields
+		"a 1\n",     // bad src
+		"0 b\n",     // bad dst
+		"-1 2\n",    // negative id
+		"0 1 zzz\n", // bad weight
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), "bad", 0, false); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	b := NewBuilder("rt", 6).Weighted().Undirected()
+	b.Add(0, 1, 1.5)
+	b.Add(1, 2, 2)
+	b.Add(3, 4, 4.25)
+	g := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf, "rt", g.NumVertices(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip V=%d E=%d want V=%d E=%d",
+			back.NumVertices(), back.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		a, bnb := g.Neighbors(v), back.Neighbors(v)
+		if len(a) != len(bnb) {
+			t.Fatalf("vertex %d degree", v)
+		}
+		for i := range a {
+			if a[i] != bnb[i] {
+				t.Fatalf("vertex %d neighbor %d", v, i)
+			}
+			if g.NeighborWeights(v)[i] != back.NeighborWeights(v)[i] {
+				t.Fatalf("vertex %d weight %d", v, i)
+			}
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRand(seed)
+		n := 1 + rng.next()%30
+		b := NewBuilder("bin", int(n)).Dedupe().NoSelfLoops()
+		weighted := seed%2 == 0
+		if weighted {
+			b.Weighted()
+		}
+		for i := 0; i < 60; i++ {
+			b.Add(int32(rng.next()%n), int32(rng.next()%n), float32(rng.next()%10)+1)
+		}
+		g := b.MustBuild()
+		g.Undirected = seed%3 == 0
+
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Name != g.Name || back.Undirected != g.Undirected ||
+			back.Weighted() != g.Weighted() {
+			return false
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for i := range g.Edges {
+			if g.Edges[i] != back.Edges[i] {
+				return false
+			}
+			if weighted && g.Weights[i] != back.Weights[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTestRand is a tiny deterministic generator for property tests that
+// avoids importing math/rand in two places.
+type testRand struct{ state uint64 }
+
+func newTestRand(seed int64) *testRand {
+	return &testRand{state: uint64(seed)*2862933555777941757 + 3037000493}
+}
+
+func (r *testRand) next() int64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	v := int64(r.state >> 33)
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+func TestReadBinaryRejectsCorruption(t *testing.T) {
+	g := path(t, 5)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte("XXXX"), good[4:]...)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated stream.
+	if _, err := ReadBinary(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	// Empty stream.
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestWriteEdgeListDirectedKeepsAllEdges(t *testing.T) {
+	b := NewBuilder("d", 3)
+	b.Add(0, 1, 0)
+	b.Add(1, 0, 0)
+	g := b.MustBuild()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line != "" && line[0] != '#' {
+			lines++
+		}
+	}
+	if lines != 2 {
+		t.Fatalf("directed writer emitted %d edges, want 2", lines)
+	}
+}

@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DegreeStats summarizes the out-degree distribution. Skew (coefficient of
+// variation) drives the load-imbalance term of the accelerator cost model:
+// the paper's I3 ("maximum edge count of any vertex ... defines ...
+// divergence in work between threads") plays the same role.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	Stddev   float64
+	// Skew is Stddev/Mean (coefficient of variation); 0 for regular graphs.
+	Skew float64
+}
+
+// ComputeDegreeStats scans all vertices once.
+func ComputeDegreeStats(g *Graph) DegreeStats {
+	n := g.NumVertices()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	ds := DegreeStats{Min: g.Degree(0)}
+	var sum, sumSq float64
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		if d < ds.Min {
+			ds.Min = d
+		}
+		if d > ds.Max {
+			ds.Max = d
+		}
+		fd := float64(d)
+		sum += fd
+		sumSq += fd * fd
+	}
+	ds.Mean = sum / float64(n)
+	variance := sumSq/float64(n) - ds.Mean*ds.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	ds.Stddev = math.Sqrt(variance)
+	if ds.Mean > 0 {
+		ds.Skew = ds.Stddev / ds.Mean
+	}
+	return ds
+}
+
+// BFSDepth returns the eccentricity (deepest BFS level) reached from src
+// and the number of vertices visited. Unreachable vertices are ignored.
+func BFSDepth(g *Graph, src int) (depth, visited int) {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0, 0
+	}
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []int32{int32(src)}
+	visited = 1
+	for len(frontier) > 0 {
+		var next []int32
+		for _, u := range frontier {
+			du := dist[u]
+			for _, w := range g.Neighbors(int(u)) {
+				if dist[w] < 0 {
+					dist[w] = du + 1
+					if int(du+1) > depth {
+						depth = int(du + 1)
+					}
+					next = append(next, w)
+					visited++
+				}
+			}
+		}
+		frontier = next
+	}
+	return depth, visited
+}
+
+// EstimateDiameter approximates the graph diameter with the classic
+// double-sweep heuristic plus a few random restarts: BFS from a seed, then
+// BFS again from the deepest vertex found, keeping the maximum depth. The
+// paper obtains I4 "alongside input graphs or using runtime approximations";
+// this is that runtime approximation. restarts <= 0 defaults to 4.
+func EstimateDiameter(g *Graph, seed int64, restarts int) int {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	if restarts <= 0 {
+		restarts = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	best := 0
+	for r := 0; r < restarts; r++ {
+		src := rng.Intn(n)
+		far, depth := farthestFrom(g, src)
+		if depth > best {
+			best = depth
+		}
+		// Second sweep from the farthest vertex of the first.
+		if _, d2 := farthestFrom(g, far); d2 > best {
+			best = d2
+		}
+	}
+	return best
+}
+
+func farthestFrom(g *Graph, src int) (far, depth int) {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []int32{int32(src)}
+	far = src
+	for len(frontier) > 0 {
+		var next []int32
+		for _, u := range frontier {
+			du := dist[u]
+			for _, w := range g.Neighbors(int(u)) {
+				if dist[w] < 0 {
+					dist[w] = du + 1
+					if int(du+1) > depth {
+						depth = int(du + 1)
+						far = int(w)
+					}
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return far, depth
+}
+
+// LocalityScore estimates spatial locality of the edge structure in [0,1]:
+// 1 means neighbors are numerically adjacent to their source (regular,
+// cache/coalescing friendly, e.g. grids), 0 means destinations are spread
+// across the whole id space (random, cache hostile). The accelerator cache
+// model uses it to derive miss rates for data-driven accesses.
+func LocalityScore(g *Graph) float64 {
+	n := g.NumVertices()
+	if n <= 1 || g.NumEdges() == 0 {
+		return 1
+	}
+	var sum float64
+	var count int64
+	// Sample at most ~100k edges for large graphs.
+	stride := 1
+	if g.NumEdges() > 100_000 {
+		stride = int(g.NumEdges() / 100_000)
+	}
+	for v := 0; v < n; v++ {
+		nb := g.Neighbors(v)
+		for i := 0; i < len(nb); i += stride {
+			d := math.Abs(float64(int(nb[i]) - v))
+			sum += d
+			count++
+		}
+	}
+	if count == 0 {
+		return 1
+	}
+	meanSpread := sum / float64(count)
+	// Normalize against the expectation for uniformly random destinations
+	// (~n/3 mean absolute distance).
+	random := float64(n) / 3
+	score := 1 - meanSpread/random
+	if score < 0 {
+		score = 0
+	}
+	if score > 1 {
+		score = 1
+	}
+	return score
+}
+
+// ConnectedComponentsCount returns the number of weakly connected
+// components treating edges as undirected (CSR must already contain both
+// directions for undirected graphs; for directed graphs this is a forward-
+// reachability approximation used only by generator sanity tests).
+func ConnectedComponentsCount(g *Graph) int {
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	count := 0
+	var stack []int32
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		count++
+		seen[s] = true
+		stack = append(stack[:0], int32(s))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(int(u)) {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// grid builds an rows x cols undirected lattice for structural tests.
+func grid(t *testing.T, rows, cols int) *Graph {
+	t.Helper()
+	b := NewBuilder("grid", rows*cols).Undirected()
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.Add(id(r, c), id(r, c+1), 0)
+			}
+			if r+1 < rows {
+				b.Add(id(r, c), id(r+1, c), 0)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestDegreeStatsRegular(t *testing.T) {
+	// A cycle: every vertex has degree exactly 2.
+	n := 10
+	b := NewBuilder("cycle", n).Undirected()
+	for i := 0; i < n; i++ {
+		b.Add(int32(i), int32((i+1)%n), 0)
+	}
+	g := b.MustBuild()
+	ds := ComputeDegreeStats(g)
+	if ds.Min != 2 || ds.Max != 2 || ds.Mean != 2 {
+		t.Fatalf("cycle stats %+v", ds)
+	}
+	if ds.Skew != 0 {
+		t.Fatalf("regular graph skew %v want 0", ds.Skew)
+	}
+}
+
+func TestDegreeStatsStar(t *testing.T) {
+	// A star: hub degree n-1, leaves degree 1 -> high skew.
+	n := 21
+	b := NewBuilder("star", n).Undirected()
+	for i := 1; i < n; i++ {
+		b.Add(0, int32(i), 0)
+	}
+	g := b.MustBuild()
+	ds := ComputeDegreeStats(g)
+	if ds.Max != n-1 || ds.Min != 1 {
+		t.Fatalf("star stats %+v", ds)
+	}
+	if ds.Skew < 1 {
+		t.Fatalf("star skew %v want > 1", ds.Skew)
+	}
+}
+
+func TestDegreeStatsEmpty(t *testing.T) {
+	g := NewBuilder("e", 0).MustBuild()
+	if ds := ComputeDegreeStats(g); ds != (DegreeStats{}) {
+		t.Fatalf("empty stats %+v", ds)
+	}
+}
+
+func TestBFSDepthPath(t *testing.T) {
+	n := 8
+	b := NewBuilder("p", n).Undirected()
+	for i := 0; i < n-1; i++ {
+		b.Add(int32(i), int32(i+1), 0)
+	}
+	g := b.MustBuild()
+	depth, visited := BFSDepth(g, 0)
+	if depth != n-1 {
+		t.Fatalf("path depth from end: %d want %d", depth, n-1)
+	}
+	if visited != n {
+		t.Fatalf("visited %d want %d", visited, n)
+	}
+	depth, _ = BFSDepth(g, n/2)
+	if depth != n/2 {
+		t.Fatalf("path depth from middle: %d want %d", depth, n/2)
+	}
+}
+
+func TestBFSDepthDisconnected(t *testing.T) {
+	b := NewBuilder("dc", 4).Undirected()
+	b.Add(0, 1, 0)
+	b.Add(2, 3, 0)
+	g := b.MustBuild()
+	depth, visited := BFSDepth(g, 0)
+	if depth != 1 || visited != 2 {
+		t.Fatalf("disconnected: depth=%d visited=%d", depth, visited)
+	}
+}
+
+func TestEstimateDiameterPath(t *testing.T) {
+	n := 30
+	b := NewBuilder("p", n).Undirected()
+	for i := 0; i < n-1; i++ {
+		b.Add(int32(i), int32(i+1), 0)
+	}
+	g := b.MustBuild()
+	// The double sweep finds the exact diameter of a path.
+	if d := EstimateDiameter(g, 1, 4); d != n-1 {
+		t.Fatalf("path diameter estimate %d want %d", d, n-1)
+	}
+}
+
+func TestEstimateDiameterGrid(t *testing.T) {
+	g := grid(t, 6, 9)
+	d := EstimateDiameter(g, 1, 4)
+	want := 6 - 1 + 9 - 1 // manhattan corner to corner
+	if d < want*3/4 || d > want {
+		t.Fatalf("grid diameter estimate %d want close to %d", d, want)
+	}
+}
+
+func TestEstimateDiameterEmptyAndDefaults(t *testing.T) {
+	g := NewBuilder("e", 0).MustBuild()
+	if d := EstimateDiameter(g, 1, 0); d != 0 {
+		t.Fatalf("empty diameter %d", d)
+	}
+	single := NewBuilder("one", 1).MustBuild()
+	if d := EstimateDiameter(single, 1, -1); d != 0 {
+		t.Fatalf("single vertex diameter %d", d)
+	}
+}
+
+func TestLocalityGridVsRandom(t *testing.T) {
+	gridG := grid(t, 20, 20)
+	b := NewBuilder("rand", 400).Dedupe().NoSelfLoops()
+	// Deterministic pseudo-random long-range edges.
+	for i := 0; i < 1200; i++ {
+		b.Add(int32(i*37%400), int32((i*211+123)%400), 0)
+	}
+	randG := b.MustBuild()
+	lg, lr := LocalityScore(gridG), LocalityScore(randG)
+	if lg <= lr {
+		t.Fatalf("grid locality %v should exceed random %v", lg, lr)
+	}
+	if lg < 0.8 {
+		t.Fatalf("grid locality %v want >= 0.8", lg)
+	}
+	if lr > 0.4 {
+		t.Fatalf("random locality %v want <= 0.4", lr)
+	}
+}
+
+func TestLocalityBounds(t *testing.T) {
+	g := grid(t, 5, 5)
+	l := LocalityScore(g)
+	if l < 0 || l > 1 {
+		t.Fatalf("locality out of range: %v", l)
+	}
+	empty := NewBuilder("e", 0).MustBuild()
+	if LocalityScore(empty) != 1 {
+		t.Fatal("empty graph locality should default to 1")
+	}
+}
+
+func TestConnectedComponentsCount(t *testing.T) {
+	b := NewBuilder("cc", 7).Undirected()
+	b.Add(0, 1, 0)
+	b.Add(1, 2, 0)
+	b.Add(3, 4, 0)
+	// 5, 6 isolated.
+	g := b.MustBuild()
+	if got := ConnectedComponentsCount(g); got != 4 {
+		t.Fatalf("components=%d want 4", got)
+	}
+	if got := ConnectedComponentsCount(grid(t, 4, 4)); got != 1 {
+		t.Fatalf("grid components=%d want 1", got)
+	}
+}
+
+func TestDiameterMonotoneUnderGrowth(t *testing.T) {
+	// Growing a path can only grow its diameter.
+	prev := 0
+	for _, n := range []int{5, 10, 20, 40} {
+		b := NewBuilder("p", n).Undirected()
+		for i := 0; i < n-1; i++ {
+			b.Add(int32(i), int32(i+1), 0)
+		}
+		d := EstimateDiameter(b.MustBuild(), 7, 3)
+		if d < prev {
+			t.Fatalf("diameter shrank from %d to %d at n=%d", prev, d, n)
+		}
+		prev = d
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	g := grid(t, 3, 3) // 9 vertices, 12 undirected edges -> 24 directed
+	want := 24.0 / 9.0
+	if got := g.AvgDegree(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("avg degree %v want %v", got, want)
+	}
+	if got := g.MaxDegree(); got != 4 {
+		t.Fatalf("max degree %v want 4", got)
+	}
+}

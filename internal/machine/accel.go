@@ -1,0 +1,359 @@
+// Package machine simulates the heterogeneous accelerators of the paper's
+// Table II: it turns a measured work profile (internal/profile) plus a
+// machine configuration (internal/config) into completion time, energy and
+// core utilization.
+//
+// This package is the substitution for the paper's physical GTX-750Ti /
+// GTX-970 GPUs and Xeon Phi 7120P / 40-core Xeon E5 multicores (see
+// DESIGN.md §2). The cost model encodes the paper's causal structure
+// rather than silicon detail: GPUs deliver throughput on regular
+// data-parallel phases but pay heavily for indirect addressing, atomics,
+// divergence-prone push-pop phases and deep dependency chains; multicores
+// pay more per unit of raw throughput but profit from coherent caches on
+// shared read-write data, cheap synchronization and strong double-
+// precision pipelines. Thread-count sweet spots arise from contention and
+// bandwidth-pressure terms that grow with concurrency.
+package machine
+
+import (
+	"fmt"
+
+	"heteromap/internal/config"
+)
+
+// Kind distinguishes the two accelerator families.
+type Kind int
+
+const (
+	// KindGPU is a throughput-oriented accelerator without coherent
+	// caches (OpenCL programming model in the paper).
+	KindGPU Kind = iota
+	// KindMulticore is a cache-coherent many-core (OpenMP/pthreads).
+	KindMulticore
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == KindGPU {
+		return "gpu"
+	}
+	return "multicore"
+}
+
+// Accel describes one accelerator: the Table II hardware parameters plus
+// the cost-model coefficients. All published Table II numbers appear
+// verbatim; coefficients are model calibration (documented per field).
+type Accel struct {
+	Name string
+	Kind Kind
+
+	// Table II hardware parameters.
+	Cores          int     // physical cores (GPU: CUDA cores)
+	ThreadsPerCore int     // hw threads per core (GPU: latency-hiding slots)
+	CacheBytes     int64   // last-level cache
+	Coherent       bool    // hardware cache coherence
+	MemBytes       int64   // attached memory size (sweepable, see WithMemory)
+	MaxMemBytes    int64   // largest supported memory size
+	MemBWGBs       float64 // memory bandwidth GB/s
+	FreqGHz        float64 // core clock
+	SPTflops       float64 // single-precision peak
+	DPTflops       float64 // double-precision peak
+	TDPWatts       float64 // board power at full load
+	IdleWatts      float64 // board power when idle
+
+	// GPU-specific deployment limits.
+	MaxGlobalThreads int // total work items
+	MaxLocalThreads  int // CL_KERNEL_WORK_GROUP_SIZE
+	// Multicore-specific deployment limit.
+	MaxSIMD int // SIMD lanes per core
+
+	Cost CostParams
+}
+
+// CostParams are the calibration coefficients of the analytical model.
+// Defaults come from DefaultGPUCost / DefaultMulticoreCost; they differ
+// between the families exactly along the axes the paper argues about.
+type CostParams struct {
+	// OpCycles is the cycle cost of one scalar inner-loop operation.
+	OpCycles float64
+	// IPC is sustained instructions per cycle per thread context.
+	IPC float64
+	// ChainHopCycles is the latency of one step of a dependency chain
+	// (kernel relaunch / frontier propagation on GPUs, coherent cache
+	// line transfer on multicores).
+	ChainHopCycles float64
+	// AtomicCycles is the uncontended cost of one atomic/locked update.
+	AtomicCycles float64
+	// AtomicSerialize scales how strongly atomics serialize as thread
+	// counts grow.
+	AtomicSerialize float64
+	// BarrierCycles is the base cost of a global barrier.
+	BarrierCycles float64
+	// PushPopCycles is the per-operation cost of queue/stack disciplines
+	// (divergence + replay on GPUs).
+	PushPopCycles float64
+	// IndirectCycles is the extra address-resolution cost of one
+	// indirect access.
+	IndirectCycles float64
+	// CacheReuse in [0,1] is how much of a cache-resident working set is
+	// actually reused across accesses (coherent multicore caches reuse
+	// well; small GPU caches thrash).
+	CacheReuse float64
+	// MemOverlap in [0,1] is how much memory latency overlaps compute
+	// when the accelerator has enough concurrency (GPU latency hiding).
+	MemOverlap float64
+	// BWSaturationThreads is the concurrency needed to reach peak
+	// bandwidth.
+	BWSaturationThreads float64
+	// MissLatencyCycles is the stall cost of one unhidden cache miss.
+	MissLatencyCycles float64
+	// RemoteHitCycles is the stall cost of a cache *hit* that lands in
+	// another core's slice (KNC ring transfers ~250 cycles; a fast
+	// shared L3 is far cheaper). Zero disables the term (GPUs).
+	RemoteHitCycles float64
+	// PrefetchEff in [0,1] is how much of the *sequential* miss stream
+	// hardware prefetching (or GPU coalescing) hides.
+	PrefetchEff float64
+	// MLP is memory-level parallelism per thread context: outstanding
+	// misses a single thread sustains (out-of-order cores > in-order).
+	MLP float64
+	// BWEffBase in [0,1] is the bandwidth fraction reachable on fully
+	// irregular scalar access streams; locality and (on multicores)
+	// SIMD gather raise efficiency from this floor toward StreamCeiling.
+	// This is the term that keeps a Xeon Phi's 352 GB/s out of reach
+	// for pointer-chasing code.
+	BWEffBase float64
+	// StreamCeiling in [0,1] caps achievable bandwidth even on perfect
+	// streams (the Phi never sustains its paper bandwidth on real
+	// kernels; GPUs get close to theirs when coalesced).
+	StreamCeiling float64
+	// PressureCoef scales the slowdown from oversubscribing threads
+	// beyond the memory system's sweet spot.
+	PressureCoef float64
+	// DivergencePenalty multiplies compute in push-pop/reduction phases
+	// (GPU warp divergence).
+	DivergencePenalty float64
+	// ChunkPenalty is the per-extra-chunk slowdown when a dataset
+	// exceeds accelerator memory and must be streamed.
+	ChunkPenalty float64
+	// KnobSensitivity scales how strongly mis-set soft knobs (placement,
+	// blocktime, scheduling, ...) hurt; ~0.3 reproduces the paper's
+	// ~15% selected-vs-optimal gap when a few knobs are off.
+	KnobSensitivity float64
+}
+
+// DefaultGPUCost returns the GPU-family coefficients.
+func DefaultGPUCost() CostParams {
+	return CostParams{
+		OpCycles:            1.0,
+		IPC:                 1.0,
+		ChainHopCycles:      20000, // ~15us kernel-boundary latency per dependent step
+		AtomicCycles:        25,    // hardware atomics at the L2/ROP units
+		AtomicSerialize:     0.02,
+		BarrierCycles:       39000, // ~30us global sync == kernel relaunch (flat)
+		PushPopCycles:       45,
+		IndirectCycles:      10,
+		CacheReuse:          0.35,
+		MemOverlap:          0.85,
+		BWSaturationThreads: 2048,
+		MissLatencyCycles:   600,
+		PrefetchEff:         0.60, // coalescing units
+		MLP:                 1,    // but thousands of contexts
+		BWEffBase:           0.50, // coalescers keep scattered loads efficient
+		StreamCeiling:       0.90,
+		PressureCoef:        0.18,
+		DivergencePenalty:   3.0,
+		ChunkPenalty:        0.22,
+		KnobSensitivity:     0.30,
+	}
+}
+
+// DefaultMulticoreCost returns the multicore-family coefficients
+// (Xeon-Phi-like in-order many-core; the 40-core CPU overrides IPC/MLP in
+// its constructor).
+func DefaultMulticoreCost() CostParams {
+	return CostParams{
+		OpCycles:            1.0,
+		IPC:                 0.5, // in-order Phi pipelines on branchy code
+		ChainHopCycles:      220, // coherent cache-to-cache transfer
+		AtomicCycles:        22,
+		AtomicSerialize:     0.02,
+		BarrierCycles:       2000, // 244-thread OpenMP barrier
+		PushPopCycles:       5,
+		IndirectCycles:      3,
+		CacheReuse:          0.90, // aggregate L2 keeps vertex state resident...
+		RemoteHitCycles:     250,  // ...but remote-slice hits ride the slow ring
+		MemOverlap:          0.35,
+		BWSaturationThreads: 16,
+		MissLatencyCycles:   340,
+		PrefetchEff:         0.75,
+		MLP:                 1.6,
+		BWEffBase:           0.07, // scalar gather cannot stream 352 GB/s
+		StreamCeiling:       0.15, // KNC never sustains its paper bandwidth
+		PressureCoef:        0.20,
+		DivergencePenalty:   1.0,
+		ChunkPenalty:        0.22,
+		KnobSensitivity:     0.30,
+	}
+}
+
+const gb = int64(1) << 30
+
+// GTX750Ti returns the weaker GPU of Table II: 640 cores, 2 MB cache,
+// 2 GB @ 86 GB/s, 1.3 / 0.04 TFLOPs, 1.3 GHz class.
+func GTX750Ti() *Accel {
+	return &Accel{
+		Name: "GTX-750Ti", Kind: KindGPU,
+		Cores: 640, ThreadsPerCore: 16,
+		CacheBytes: 2 << 20, Coherent: false,
+		MemBytes: 2 * gb, MaxMemBytes: 4 * gb, MemBWGBs: 86,
+		FreqGHz: 1.3, SPTflops: 1.3, DPTflops: 0.04,
+		TDPWatts: 60, IdleWatts: 8,
+		MaxGlobalThreads: 8192, MaxLocalThreads: 256,
+		MaxSIMD: 1,
+		Cost:    DefaultGPUCost(),
+	}
+}
+
+// GTX970 returns the stronger GPU (Section VI-A): 1664 cores, 4 GB,
+// 3.5 / 0.1 TFLOPs, 1.7 GHz class, larger cache.
+func GTX970() *Accel {
+	return &Accel{
+		Name: "GTX-970", Kind: KindGPU,
+		Cores: 1664, ThreadsPerCore: 16,
+		CacheBytes: 3584 << 10, Coherent: false,
+		MemBytes: 4 * gb, MaxMemBytes: 4 * gb, MemBWGBs: 224,
+		FreqGHz: 1.7, SPTflops: 3.5, DPTflops: 0.1,
+		TDPWatts: 145, IdleWatts: 12,
+		MaxGlobalThreads: 16384, MaxLocalThreads: 256,
+		MaxSIMD: 1,
+		Cost:    DefaultGPUCost(),
+	}
+}
+
+// XeonPhi7120P returns the primary multicore of Table II: 61 cores / 244
+// threads, 32 MB coherent cache, 352 GB/s, 2.4 / 1.2 TFLOPs.
+func XeonPhi7120P() *Accel {
+	return &Accel{
+		Name: "Xeon-Phi-7120P", Kind: KindMulticore,
+		Cores: 61, ThreadsPerCore: 4,
+		CacheBytes: 32 << 20, Coherent: true,
+		MemBytes: 2 * gb, MaxMemBytes: 16 * gb, MemBWGBs: 352,
+		FreqGHz: 1.238, SPTflops: 2.4, DPTflops: 1.2,
+		TDPWatts: 300, IdleWatts: 95,
+		MaxGlobalThreads: 1, MaxLocalThreads: 1,
+		MaxSIMD: 16,
+		Cost:    DefaultMulticoreCost(),
+	}
+}
+
+// CPU40 returns the 40-core Xeon E5-2650 v3 system (4 sockets x 10
+// hyper-threaded cores @ 2.3 GHz, large coherent LLC, up to 1 TB DDR4).
+// Its out-of-order cores sustain much higher per-core throughput and
+// memory-level parallelism than the Phi's in-order pipelines.
+func CPU40() *Accel {
+	cost := DefaultMulticoreCost()
+	cost.IPC = 1.5 // out-of-order, but graph code stalls even wide cores
+	cost.MLP = 4
+	cost.BWEffBase = 0.12
+	cost.StreamCeiling = 0.65
+	cost.RemoteHitCycles = 140 // shared L3, but half the hits cross sockets
+	cost.MissLatencyCycles = 260
+	cost.ChainHopCycles = 320 // cross-socket coherence per dependent step
+	cost.BarrierCycles = 2500 // four-socket barrier
+	return &Accel{
+		Name: "CPU-40-Core", Kind: KindMulticore,
+		Cores: 40, ThreadsPerCore: 2,
+		// 25 MB LLC per socket; NUMA effects mean only the local socket's
+		// slice is usefully shared.
+		CacheBytes: 32 << 20, Coherent: true,
+		MemBytes: 16 * gb, MaxMemBytes: 1024 * gb, MemBWGBs: 272,
+		FreqGHz: 2.3, SPTflops: 1.47, DPTflops: 0.74,
+		TDPWatts: 420, IdleWatts: 160,
+		MaxGlobalThreads: 1, MaxLocalThreads: 1,
+		MaxSIMD: 8,
+		Cost:    cost,
+	}
+}
+
+// WithMemory returns a copy of the accelerator with a different attached
+// memory size, clamped to [256 MB, MaxMemBytes]; the Fig 16 sensitivity
+// study sweeps this.
+func (a *Accel) WithMemory(bytes int64) *Accel {
+	cp := *a
+	minMem := int64(256) << 20
+	if bytes < minMem {
+		bytes = minMem
+	}
+	if bytes > a.MaxMemBytes {
+		bytes = a.MaxMemBytes
+	}
+	cp.MemBytes = bytes
+	return &cp
+}
+
+// HWThreads returns the accelerator's maximum live thread contexts.
+func (a *Accel) HWThreads() int { return a.Cores * a.ThreadsPerCore }
+
+// FreqHz returns the clock in Hz.
+func (a *Accel) FreqHz() float64 { return a.FreqGHz * 1e9 }
+
+// String implements fmt.Stringer.
+func (a *Accel) String() string {
+	return fmt.Sprintf("%s (%s, %d cores, %.1f GHz, %d MB cache, %d GB mem @ %.0f GB/s)",
+		a.Name, a.Kind, a.Cores, a.FreqGHz, a.CacheBytes>>20, a.MemBytes>>30, a.MemBWGBs)
+}
+
+// Pair couples the two accelerators of a multi-accelerator system.
+type Pair struct {
+	GPU       *Accel
+	Multicore *Accel
+}
+
+// PrimaryPair returns the paper's primary evaluation system:
+// GTX-750Ti + Xeon Phi 7120P.
+func PrimaryPair() Pair { return Pair{GPU: GTX750Ti(), Multicore: XeonPhi7120P()} }
+
+// StrongGPUPair returns GTX-970 + Xeon Phi 7120P (Fig 14).
+func StrongGPUPair() Pair { return Pair{GPU: GTX970(), Multicore: XeonPhi7120P()} }
+
+// CPU40Pair returns GTX-750Ti + 40-core CPU (Fig 15). The paper pins
+// both accelerators to the same memory size in this comparison ("for a
+// 2 GB memory size for each accelerator").
+func CPU40Pair() Pair {
+	return Pair{GPU: GTX750Ti(), Multicore: CPU40().WithMemory(2 * gb)}
+}
+
+// StrongCPU40Pair returns GTX-970 + 40-core CPU at the paper's pinned
+// 4 GB per accelerator (Fig 15).
+func StrongCPU40Pair() Pair {
+	return Pair{GPU: GTX970(), Multicore: CPU40().WithMemory(4 * gb)}
+}
+
+// AllPairs returns the four accelerator combinations analyzed in
+// Section VI-A.
+func AllPairs() []Pair {
+	return []Pair{PrimaryPair(), StrongGPUPair(), CPU40Pair(), StrongCPU40Pair()}
+}
+
+// Select returns the accelerator chosen by an M1 value.
+func (p Pair) Select(a config.Accel) *Accel {
+	if a == config.GPU {
+		return p.GPU
+	}
+	return p.Multicore
+}
+
+// Name renders the pair for experiment headers.
+func (p Pair) Name() string { return p.GPU.Name + "+" + p.Multicore.Name }
+
+// Limits derives the deployable M ranges from the pair's hardware.
+func (p Pair) Limits() config.Limits {
+	return config.Limits{
+		MaxCores:          p.Multicore.Cores,
+		MaxThreadsPerCore: p.Multicore.ThreadsPerCore,
+		MaxSIMD:           p.Multicore.MaxSIMD,
+		MaxGlobalThreads:  p.GPU.MaxGlobalThreads,
+		MaxLocalThreads:   p.GPU.MaxLocalThreads,
+	}
+}

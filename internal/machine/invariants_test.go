@@ -1,0 +1,226 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"heteromap/internal/config"
+	"heteromap/internal/profile"
+)
+
+// Property tests over the cost model: invariants that must hold for any
+// valid work profile and configuration, not just the calibrated
+// workloads. Violations here are model bugs regardless of calibration.
+
+// randomWork draws a structurally valid work profile.
+func randomWork(rng *rand.Rand) *profile.Work {
+	nPhases := 1 + rng.Intn(3)
+	kinds := []profile.PhaseKind{
+		profile.VertexDivision, profile.Pareto, profile.ParetoDynamic,
+		profile.PushPop, profile.Reduction,
+	}
+	w := &profile.Work{
+		Benchmark:  "prop",
+		Graph:      "g",
+		Iterations: int64(1 + rng.Intn(50)),
+		Barriers:   int64(rng.Intn(200)),
+		Locality:   rng.Float64(),
+		Skew:       rng.Float64() * 3,
+	}
+	for i := 0; i < nPhases; i++ {
+		scale := int64(1) << uint(10+rng.Intn(16))
+		w.Phases = append(w.Phases, profile.Phase{
+			Kind:             kinds[rng.Intn(len(kinds))],
+			Name:             "p",
+			VertexOps:        rng.Int63n(scale),
+			EdgeOps:          rng.Int63n(scale * 8),
+			IndexedAccesses:  rng.Int63n(scale * 16),
+			IndirectAccesses: rng.Int63n(scale * 4),
+			ReadOnlyBytes:    rng.Int63n(scale * 64),
+			ReadWriteBytes:   rng.Int63n(scale * 16),
+			LocalBytes:       rng.Int63n(scale * 4),
+			FPOps:            rng.Int63n(scale * 2),
+			IntOps:           rng.Int63n(scale * 4),
+			Atomics:          rng.Int63n(scale / 4),
+			PushPops:         rng.Int63n(scale / 2),
+			ChainLength:      rng.Int63n(1000) + 1,
+			ParallelItems:    rng.Int63n(scale) + 1,
+		})
+	}
+	return w
+}
+
+func randomM(rng *rand.Rand, l config.Limits) config.M {
+	var v [config.NumVariables]float64
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return config.FromNormalized(v, l)
+}
+
+func accels() []*Accel {
+	return []*Accel{GTX750Ti(), GTX970(), XeonPhi7120P(), CPU40()}
+}
+
+func TestEvaluateAlwaysFiniteAndPositive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWork(rng)
+		for _, a := range accels() {
+			m := randomM(rng, a.selfLimits())
+			rep := a.Evaluate(Job{Work: w, FootprintBytes: rng.Int63n(64 << 30)}, m)
+			if !(rep.Seconds > 0) || !(rep.EnergyJ > 0) {
+				return false
+			}
+			if rep.Utilization < 0 || rep.Utilization > 1 {
+				return false
+			}
+			if rep.Seconds > 1e9 { // a simulated run must not exceed ~30 years
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreWorkNeverFaster(t *testing.T) {
+	// Doubling every op counter must not reduce simulated time.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWork(rng)
+		heavy := &profile.Work{
+			Benchmark: w.Benchmark, Graph: w.Graph,
+			Iterations: w.Iterations, Barriers: w.Barriers * 2,
+			Locality: w.Locality, Skew: w.Skew,
+		}
+		for _, p := range w.Phases {
+			p.VertexOps *= 2
+			p.EdgeOps *= 2
+			p.IndexedAccesses *= 2
+			p.IndirectAccesses *= 2
+			p.FPOps *= 2
+			p.IntOps *= 2
+			p.Atomics *= 2
+			p.PushPops *= 2
+			heavy.Phases = append(heavy.Phases, p)
+		}
+		for _, a := range accels() {
+			m := randomM(rng, a.selfLimits())
+			light := a.Evaluate(Job{Work: w}, m).Seconds
+			dbl := a.Evaluate(Job{Work: heavy}, m).Seconds
+			if dbl < light*0.999 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBiggerFootprintNeverFaster(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWork(rng)
+		for _, a := range accels() {
+			m := randomM(rng, a.selfLimits())
+			small := a.Evaluate(Job{Work: w, FootprintBytes: 1 << 30}, m).Seconds
+			large := a.Evaluate(Job{Work: w, FootprintBytes: 40 << 30}, m).Seconds
+			if large < small*0.999 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHigherLocalityNeverSlower(t *testing.T) {
+	// Raising spatial locality (with everything else fixed) must not
+	// slow any accelerator: locality only improves caches, bandwidth
+	// efficiency and SIMD.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWork(rng)
+		w.Locality = 0.1
+		better := *w
+		better.Locality = 0.9
+		for _, a := range accels() {
+			m := randomM(rng, a.selfLimits())
+			lo := a.Evaluate(Job{Work: w}, m).Seconds
+			hi := a.Evaluate(Job{Work: &better}, m).Seconds
+			if hi > lo*1.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerSkewNeverSlowerAtTunedKnobs(t *testing.T) {
+	// Under knob settings aligned with the balanced workload (loose-
+	// placement knobs would legitimately prefer the skewed one), less
+	// degree skew must not slow any accelerator.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWork(rng)
+		w.Skew = 2.5
+		balanced := *w
+		balanced.Skew = 0
+		for _, a := range accels() {
+			var m config.M
+			if a.Kind == KindGPU {
+				m = config.DefaultGPU(a.selfLimits())
+			} else {
+				m = config.DefaultMulticore(a.selfLimits())
+			}
+			skewed := a.Evaluate(Job{Work: w}, m).Seconds
+			flat := a.Evaluate(Job{Work: &balanced}, m).Seconds
+			if flat > skewed*1.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWork(rng)
+		a := XeonPhi7120P()
+		m := randomM(rng, a.selfLimits())
+		r1 := a.Evaluate(Job{Work: w}, m)
+		r2 := a.Evaluate(Job{Work: w}, m)
+		return r1 == r2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampInvariance(t *testing.T) {
+	// Evaluating a wildly out-of-range M equals evaluating its clamped
+	// form: deployment clamping is part of the contract.
+	a := GTX750Ti()
+	w := randomWork(rand.New(rand.NewSource(1)))
+	m := config.M{Accelerator: config.GPU, GlobalThreads: 1 << 30, LocalThreads: -5}
+	r1 := a.Evaluate(Job{Work: w}, m)
+	r2 := a.Evaluate(Job{Work: w}, m.Clamp(a.selfLimits()))
+	if r1 != r2 {
+		t.Fatal("clamped and unclamped evaluations differ")
+	}
+}

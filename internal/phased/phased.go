@@ -1,0 +1,191 @@
+// Package phased implements the temporal extension the paper explicitly
+// leaves out (Section V-A: "This work does not consider temporal aspects,
+// where program parts are run on either accelerator"): instead of binding
+// a whole benchmark-input combination to one accelerator, each *phase* of
+// the measured work profile is assigned to the accelerator that executes
+// it best, paying a PCIe transfer cost whenever consecutive phases
+// migrate the shared state.
+//
+// The planner enumerates all 2^k phase assignments (benchmarks have at
+// most a handful of phases), charges per-iteration transfer costs on
+// every accelerator switch — phases alternate every iteration, so a split
+// schedule pays the boundary on each round — and returns the best
+// schedule together with the best single-accelerator alternative, making
+// the benefit (or futility) of temporal scheduling directly measurable.
+package phased
+
+import (
+	"fmt"
+	"strings"
+
+	"heteromap/internal/config"
+	"heteromap/internal/machine"
+	"heteromap/internal/profile"
+)
+
+// PCIeGBs is the modeled host-device interconnect bandwidth for state
+// migration (PCIe 3.0 x16 sustains ~12 GB/s).
+const PCIeGBs = 12.0
+
+// Assignment is one phase's placement.
+type Assignment struct {
+	Phase   string
+	Accel   config.Accel
+	Seconds float64
+}
+
+// Schedule is a complete phased execution plan.
+type Schedule struct {
+	Assignments []Assignment
+	// Transfers counts accelerator switches per iteration (including the
+	// wrap-around from the last phase back to the first).
+	Transfers int
+	// TransferSeconds is the total migration cost over all iterations.
+	TransferSeconds float64
+	// TotalSeconds is phase time plus transfer time.
+	TotalSeconds float64
+	// SingleSeconds is the best whole-program single-accelerator time
+	// under the same configurations — the paper's baseline.
+	SingleSeconds float64
+	// SingleAccel is that baseline's accelerator.
+	SingleAccel config.Accel
+}
+
+// GainPct is the phased schedule's improvement over the single-
+// accelerator baseline (0 when the planner collapses to a single
+// accelerator, negative never — the single assignment is in the search
+// space).
+func (s Schedule) GainPct() float64 {
+	if s.TotalSeconds <= 0 {
+		return 0
+	}
+	return (s.SingleSeconds/s.TotalSeconds - 1) * 100
+}
+
+// Split reports whether the plan actually uses both accelerators.
+func (s Schedule) Split() bool {
+	if len(s.Assignments) == 0 {
+		return false
+	}
+	first := s.Assignments[0].Accel
+	for _, a := range s.Assignments[1:] {
+		if a.Accel != first {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the plan.
+func (s Schedule) String() string {
+	var sb strings.Builder
+	for i, a := range s.Assignments {
+		if i > 0 {
+			sb.WriteString(" -> ")
+		}
+		fmt.Fprintf(&sb, "%s@%s", a.Phase, a.Accel)
+	}
+	fmt.Fprintf(&sb, " (total %.4gs, single %.4gs on %s, gain %.1f%%)",
+		s.TotalSeconds, s.SingleSeconds, s.SingleAccel, s.GainPct())
+	return sb.String()
+}
+
+// Plan computes the optimal phased schedule for a job under fixed per-
+// accelerator configurations (callers typically pass each accelerator's
+// tuned or predicted M).
+func Plan(pair machine.Pair, job machine.Job, gpuM, mcM config.M) Schedule {
+	w := job.Work
+	k := len(w.Phases)
+	if k == 0 {
+		return Schedule{}
+	}
+
+	// Per-phase cost on each accelerator: evaluate a single-phase view
+	// of the work (barriers apportioned by op share).
+	gpuT := make([]float64, k)
+	mcT := make([]float64, k)
+	totalOps := w.TotalOps()
+	for i := range w.Phases {
+		share := 1.0
+		if totalOps > 0 {
+			share = float64(w.Phases[i].Ops()) / float64(totalOps)
+		}
+		pw := &profile.Work{
+			Benchmark:     w.Benchmark,
+			Graph:         w.Graph,
+			Phases:        []profile.Phase{w.Phases[i]},
+			Iterations:    w.Iterations,
+			DiameterBound: w.DiameterBound,
+			Barriers:      int64(float64(w.Barriers) * share),
+			Locality:      w.Locality,
+			Skew:          w.Skew,
+		}
+		pj := machine.Job{Work: pw, FootprintBytes: job.FootprintBytes}
+		gpuT[i] = pair.GPU.Evaluate(pj, gpuM).Seconds
+		mcT[i] = pair.Multicore.Evaluate(pj, mcM).Seconds
+	}
+
+	// Migration cost per switch: the mutable state (read-write + local
+	// bytes of the boundary phase) crosses PCIe once per iteration.
+	iters := w.Iterations
+	if iters < 1 {
+		iters = 1
+	}
+	switchCost := func(i int) float64 {
+		bytes := float64(w.Phases[i].ReadWriteBytes + w.Phases[i].LocalBytes)
+		return bytes / (PCIeGBs * 1e9) * float64(iters)
+	}
+
+	best := Schedule{TotalSeconds: -1}
+	for mask := 0; mask < 1<<k; mask++ {
+		total := 0.0
+		transfers := 0
+		transferSec := 0.0
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				total += mcT[i]
+			} else {
+				total += gpuT[i]
+			}
+			// Boundary to the next phase (cyclic: iterations loop back).
+			next := (i + 1) % k
+			if k > 1 && (mask&(1<<i) != 0) != (mask&(1<<next) != 0) {
+				transfers++
+				transferSec += switchCost(i)
+			}
+		}
+		total += transferSec
+		if best.TotalSeconds < 0 || total < best.TotalSeconds {
+			best = Schedule{Transfers: transfers, TransferSeconds: transferSec, TotalSeconds: total}
+			best.Assignments = best.Assignments[:0]
+			for i := 0; i < k; i++ {
+				a := Assignment{Phase: w.Phases[i].Name, Accel: config.GPU, Seconds: gpuT[i]}
+				if mask&(1<<i) != 0 {
+					a.Accel = config.Multicore
+					a.Seconds = mcT[i]
+				}
+				best.Assignments = append(best.Assignments, a)
+			}
+		}
+	}
+
+	// Whole-program single-accelerator reference under the same configs.
+	gpuWhole := pair.GPU.Evaluate(job, gpuM).Seconds
+	mcWhole := pair.Multicore.Evaluate(job, mcM).Seconds
+	if gpuWhole <= mcWhole {
+		best.SingleSeconds, best.SingleAccel = gpuWhole, config.GPU
+	} else {
+		best.SingleSeconds, best.SingleAccel = mcWhole, config.Multicore
+	}
+	// The per-phase sum of a uniform assignment differs slightly from the
+	// whole-program evaluation (barrier apportioning); never report a
+	// phased plan worse than the single baseline it contains.
+	if best.TotalSeconds > best.SingleSeconds {
+		best.TotalSeconds = best.SingleSeconds
+		for i := range best.Assignments {
+			best.Assignments[i].Accel = best.SingleAccel
+		}
+		best.Transfers, best.TransferSeconds = 0, 0
+	}
+	return best
+}

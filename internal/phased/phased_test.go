@@ -1,0 +1,155 @@
+package phased
+
+import (
+	"strings"
+	"testing"
+
+	"heteromap/internal/config"
+	"heteromap/internal/machine"
+	"heteromap/internal/profile"
+)
+
+func pairAndConfigs() (machine.Pair, config.M, config.M) {
+	pair := machine.PrimaryPair()
+	l := pair.Limits()
+	gpuM := config.DefaultGPU(l)
+	gpuM.GlobalThreads = 2048
+	return pair, gpuM, config.DefaultMulticore(l)
+}
+
+// gpuPhase is large, regular, low-sharing work; mcPhase is FP-heavy work
+// over a cache-resident read-write set.
+// gpuPhase is compute-bound, massively parallel integer work with a small
+// mutable state — the GPU's ALU advantage dominates and migration is
+// cheap.
+func gpuPhase(name string) profile.Phase {
+	return profile.Phase{
+		Kind: profile.VertexDivision, Name: name,
+		VertexOps: 2_000_000, EdgeOps: 2_000_000_000,
+		IndexedAccesses: 100_000_000, IntOps: 2_000_000_000,
+		ReadOnlyBytes: 200 << 20, ReadWriteBytes: 8 << 20,
+		ChainLength: 4, ParallelItems: 2_000_000,
+	}
+}
+
+func mcPhase(name string) profile.Phase {
+	return profile.Phase{
+		Kind: profile.Reduction, Name: name,
+		VertexOps: 2_000_000, EdgeOps: 30_000_000,
+		IndexedAccesses: 20_000_000, IndirectAccesses: 40_000_000,
+		FPOps: 60_000_000, ReadWriteBytes: 20 << 20,
+		Atomics: 2_000_000, ChainLength: 4, ParallelItems: 2_000_000,
+	}
+}
+
+func work(phases ...profile.Phase) *profile.Work {
+	return &profile.Work{
+		Benchmark: "synthetic", Graph: "g",
+		Phases: phases, Iterations: 4, Barriers: 8,
+		Locality: 0.05, Skew: 0.5,
+	}
+}
+
+func TestEmptyWork(t *testing.T) {
+	pair, g, m := pairAndConfigs()
+	s := Plan(pair, machine.Job{Work: &profile.Work{}}, g, m)
+	if len(s.Assignments) != 0 {
+		t.Fatal("empty work should yield empty schedule")
+	}
+}
+
+func TestSinglePhaseCollapses(t *testing.T) {
+	pair, g, m := pairAndConfigs()
+	s := Plan(pair, machine.Job{Work: work(gpuPhase("only"))}, g, m)
+	if s.Split() {
+		t.Fatal("single phase cannot split")
+	}
+	if s.Transfers != 0 || s.TransferSeconds != 0 {
+		t.Fatal("single phase cannot transfer")
+	}
+	if s.GainPct() < 0 {
+		t.Fatalf("negative gain %v", s.GainPct())
+	}
+}
+
+func TestOppositeAffinitiesSplit(t *testing.T) {
+	pair, g, m := pairAndConfigs()
+	w := work(gpuPhase("parallel"), mcPhase("reduce"))
+	s := Plan(pair, machine.Job{Work: w}, g, m)
+	if !s.Split() {
+		t.Fatalf("opposite-affinity phases should split: %s", s)
+	}
+	if s.Transfers == 0 || s.TransferSeconds <= 0 {
+		t.Fatal("split schedule must pay transfers")
+	}
+	if s.GainPct() <= 0 {
+		t.Fatalf("split should beat single accelerator, gain %v%%", s.GainPct())
+	}
+	// The split must place each phase on its natural home.
+	for _, a := range s.Assignments {
+		switch a.Phase {
+		case "parallel":
+			if a.Accel != config.GPU {
+				t.Fatalf("parallel phase on %v", a.Accel)
+			}
+		case "reduce":
+			if a.Accel != config.Multicore {
+				t.Fatalf("reduction phase on %v", a.Accel)
+			}
+		}
+	}
+}
+
+func TestExpensiveTransfersCollapse(t *testing.T) {
+	pair, g, m := pairAndConfigs()
+	// Make the boundary state enormous: migrating it every iteration
+	// costs more than any phase-affinity gain.
+	hot := mcPhase("reduce")
+	hot.ReadWriteBytes = 64 << 30
+	w := work(gpuPhase("parallel"), hot)
+	w.Iterations = 50
+	s := Plan(pair, machine.Job{Work: w}, g, m)
+	if s.Split() {
+		t.Fatalf("64 GB boundary state should forbid splitting: %s", s)
+	}
+	if s.GainPct() != 0 {
+		t.Fatalf("collapsed schedule must match the single baseline, gain %v", s.GainPct())
+	}
+}
+
+func TestNeverWorseThanSingle(t *testing.T) {
+	pair, g, m := pairAndConfigs()
+	for _, w := range []*profile.Work{
+		work(gpuPhase("a")),
+		work(gpuPhase("a"), gpuPhase("b")),
+		work(mcPhase("a"), mcPhase("b"), gpuPhase("c")),
+		work(gpuPhase("a"), mcPhase("b"), gpuPhase("c")),
+	} {
+		s := Plan(pair, machine.Job{Work: w}, g, m)
+		if s.TotalSeconds > s.SingleSeconds*1.0000001 {
+			t.Fatalf("phased plan (%v) worse than single (%v)", s.TotalSeconds, s.SingleSeconds)
+		}
+	}
+}
+
+func TestTransfersCountCyclicBoundaries(t *testing.T) {
+	pair, g, m := pairAndConfigs()
+	// GPU-MC alternation over two phases crosses two boundaries per
+	// iteration (A->B and B->A at the loop edge).
+	small := mcPhase("reduce")
+	small.ReadWriteBytes = 1 << 20 // cheap transfers so the split happens
+	w := work(gpuPhase("parallel"), small)
+	s := Plan(pair, machine.Job{Work: w}, g, m)
+	if s.Split() && s.Transfers != 2 {
+		t.Fatalf("two-phase alternation should count 2 transfers, got %d", s.Transfers)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	pair, g, m := pairAndConfigs()
+	s := Plan(pair, machine.Job{Work: work(gpuPhase("a"), mcPhase("b"))}, g, m)
+	str := s.String()
+	if !strings.Contains(str, "a@") || !strings.Contains(str, "gain") {
+		t.Fatalf("rendering %q", str)
+	}
+}

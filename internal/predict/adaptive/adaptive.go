@@ -1,0 +1,93 @@
+// Package adaptive implements the Rinnegan-style adaptive-library
+// baseline of Table IV: a performance-model scheme whose "equation's
+// output is directly proportional to only the data movement and
+// accelerator utilization parameters given by a programmer/profiler". It
+// fits two coefficients per accelerator from the training database and
+// deploys default (untuned) intra-accelerator settings — which is why it
+// trails the richer learners in the paper.
+package adaptive
+
+import (
+	"errors"
+
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/predict"
+)
+
+// Library is the adaptive-library predictor.
+type Library struct {
+	limits config.Limits
+	// Per-accelerator linear model: score = bias + a*dataMovement +
+	// b*utilizationDemand; the lower score wins.
+	gpuCoef, mcCoef [3]float64
+	ready           bool
+}
+
+var _ predict.Trainable = (*Library)(nil)
+
+// New returns an untrained adaptive library for a pair's limits.
+func New(limits config.Limits) *Library { return &Library{limits: limits} }
+
+// Name implements predict.Predictor.
+func (l *Library) Name() string { return "Adaptive Library" }
+
+// dataMovement and utilizationDemand are the two profiler-supplied
+// parameters of the Rinnegan model, expressed over the (B, I) space.
+func dataMovement(f feature.Vector) float64 {
+	b := f.B()
+	return (b[feature.BReadOnly] + 2*b[feature.BReadWrite] + b[feature.BIndirect]) / 4
+}
+
+func utilizationDemand(f feature.Vector) float64 {
+	b, iv := f.B(), f.I()
+	return (b[feature.BVertexDivision] + b[feature.BPareto] + b[feature.BParetoDynamic] + iv[0]) / 4
+}
+
+// Train fits the per-accelerator coefficients with a one-dimensional
+// logistic-style update: samples whose best M selected the GPU pull the
+// GPU score down at their (movement, demand) point and vice versa.
+func (l *Library) Train(samples []predict.Sample) error {
+	if len(samples) == 0 {
+		return errors.New("adaptive: no training samples")
+	}
+	l.gpuCoef = [3]float64{0, 0.5, -0.5}
+	l.mcCoef = [3]float64{0, -0.5, 0.5}
+	const lr = 0.05
+	for epoch := 0; epoch < 20; epoch++ {
+		for i := range samples {
+			f := samples[i].Features
+			x := [3]float64{1, dataMovement(f), utilizationDemand(f)}
+			gpuBest := samples[i].Target[0] < 0.5
+			// Perceptron-style update on the score difference.
+			diff := l.score(l.gpuCoef, x) - l.score(l.mcCoef, x)
+			want := 1.0 // want mc score smaller -> diff positive
+			if gpuBest {
+				want = -1
+			}
+			if diff*want <= 0 {
+				for k := 0; k < 3; k++ {
+					l.gpuCoef[k] -= lr * want * x[k]
+					l.mcCoef[k] += lr * want * x[k]
+				}
+			}
+		}
+	}
+	l.ready = true
+	return nil
+}
+
+func (l *Library) score(c [3]float64, x [3]float64) float64 {
+	return c[0]*x[0] + c[1]*x[1] + c[2]*x[2]
+}
+
+// Predict implements predict.Predictor: pick the accelerator with the
+// lower modeled cost and deploy untuned defaults on it — the adaptive
+// library does not model intra-accelerator choices.
+func (l *Library) Predict(f feature.Vector) config.M {
+	x := [3]float64{1, dataMovement(f), utilizationDemand(f)}
+	if l.score(l.gpuCoef, x) <= l.score(l.mcCoef, x) {
+		return config.DefaultGPU(l.limits)
+	}
+	return config.DefaultMulticore(l.limits)
+}

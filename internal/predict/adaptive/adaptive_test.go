@@ -1,0 +1,114 @@
+package adaptive
+
+import (
+	"math/rand"
+	"testing"
+
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/predict"
+)
+
+func limits() config.Limits {
+	return config.Limits{
+		MaxCores: 61, MaxThreadsPerCore: 4, MaxSIMD: 16,
+		MaxGlobalThreads: 8192, MaxLocalThreads: 256,
+	}
+}
+
+// separableSamples encodes the Rinnegan premise: data-movement-heavy
+// combinations belong on the multicore, utilization-demanding ones on
+// the GPU.
+func separableSamples(n int, seed int64) []predict.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]predict.Sample, n)
+	for i := range out {
+		var f feature.Vector
+		for j := range f {
+			f[j] = rng.Float64() * 0.3
+		}
+		var target [config.NumVariables]float64
+		if i%2 == 0 {
+			// Heavy shared read-write data: multicore.
+			f[feature.BReadWrite] = 0.8 + rng.Float64()*0.2
+			f[feature.BIndirect] = 0.6
+			f[feature.BVertexDivision] = 0.1
+			target[0] = 1
+		} else {
+			// Massively parallel, little sharing: GPU.
+			f[feature.BVertexDivision] = 0.8 + rng.Float64()*0.2
+			f[feature.NumB] = 0.9 // I1 large
+			f[feature.BReadWrite] = 0.05
+			target[0] = 0
+		}
+		out[i] = predict.Sample{Features: f, Target: target}
+	}
+	return out
+}
+
+func TestName(t *testing.T) {
+	if New(limits()).Name() != "Adaptive Library" {
+		t.Fatal("Table IV row name")
+	}
+}
+
+func TestTrainEmptyErrors(t *testing.T) {
+	if err := New(limits()).Train(nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLearnsSeparableAcceleratorChoice(t *testing.T) {
+	lib := New(limits())
+	if err := lib.Train(separableSamples(400, 1)); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	holdout := separableSamples(200, 99)
+	for _, s := range holdout {
+		m := lib.Predict(s.Features)
+		wantMC := s.Target[0] >= 0.5
+		if (m.Accelerator == config.Multicore) == wantMC {
+			correct++
+		}
+	}
+	if frac := float64(correct) / 200; frac < 0.8 {
+		t.Fatalf("separable accuracy %.2f want >= 0.8", frac)
+	}
+}
+
+func TestPredictDeploysDefaults(t *testing.T) {
+	l := limits()
+	lib := New(l)
+	if err := lib.Train(separableSamples(100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	var f feature.Vector
+	f[feature.BReadWrite] = 1
+	m := lib.Predict(f)
+	// The adaptive library does not tune intra-accelerator choices: it
+	// deploys the untuned defaults of the chosen accelerator.
+	if m.Accelerator == config.GPU {
+		if m != config.DefaultGPU(l) {
+			t.Fatalf("expected GPU defaults, got %+v", m)
+		}
+	} else if m != config.DefaultMulticore(l) {
+		t.Fatalf("expected multicore defaults, got %+v", m)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(limits()), New(limits())
+	samples := separableSamples(100, 5)
+	if err := a.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range separableSamples(20, 9) {
+		if a.Predict(s.Features) != b.Predict(s.Features) {
+			t.Fatal("training not deterministic")
+		}
+	}
+}

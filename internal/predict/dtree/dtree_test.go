@@ -1,0 +1,205 @@
+package dtree
+
+import (
+	"testing"
+
+	"heteromap/internal/algo"
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict"
+)
+
+func tree() *Tree { return New(machine.PrimaryPair().Limits()) }
+
+func combo(bench, short string, iv feature.IVector) feature.Vector {
+	return feature.Combine(feature.MustCatalog(bench), iv)
+}
+
+// Declared I vectors of the anchor datasets (verified against Fig 4 by
+// the feature package tests).
+var (
+	iCA   = feature.IVector{0.1, 0.1, 0.0, 0.8}
+	iFB   = feature.IVector{0.2, 0.4, 0.7, 0.0}
+	iTwtr = feature.IVector{0.7, 0.8, 1.0, 0.0}
+	iFrnd = feature.IVector{0.8, 0.8, 0.5, 0.2}
+	iCO   = feature.IVector{0.0, 0.0, 0.4, 0.0}
+	iCAGE = feature.IVector{0.1, 0.3, 0.2, 0.0}
+	iKron = feature.IVector{0.9, 0.8, 0.8, 0.0}
+)
+
+func TestFig7Selections(t *testing.T) {
+	// Fig 7: SSSP-BF on USA-Cal selects the GPU; SSSP-Delta selects the
+	// multicore.
+	tr := tree()
+	if got := tr.SelectAccelerator(combo(algo.NameSSSPBF, "CA", iCA)); got != config.GPU {
+		t.Fatalf("SSSP-BF-CA selected %v, Fig 7 selects the GPU", got)
+	}
+	if got := tr.SelectAccelerator(combo(algo.NameSSSPDelta, "CA", iCA)); got != config.Multicore {
+		t.Fatalf("SSSP-Delta-CA selected %v, Fig 7 selects the multicore", got)
+	}
+}
+
+func TestPaperSelectionNarratives(t *testing.T) {
+	tr := tree()
+	tests := []struct {
+		name  string
+		bench string
+		iv    feature.IVector
+		want  config.Accel
+		why   string
+	}{
+		{"BFS-Twtr", algo.NameBFS, iTwtr, config.GPU,
+			"highly concurrent algorithms fare well with the GPU"},
+		{"BFS-Frnd", algo.NameBFS, iFrnd, config.GPU, "large graphs need GPU threads"},
+		{"DFS-CO", algo.NameDFS, iCO, config.Multicore,
+			"in DFS-CO the multicore outperforms the GPU"},
+		{"DFS-Twtr", algo.NameDFS, iTwtr, config.GPU, "DFS mostly fares well with the GPU"},
+		{"PR-CA", algo.NamePageRank, iCA, config.GPU,
+			"PR-CA does not perform well on a Xeon Phi"},
+		{"PR-FB", algo.NamePageRank, iFB, config.Multicore,
+			"FP-requiring benchmarks perform well on the multicore"},
+		{"PR-Kron", algo.NamePageRank, iKron, config.GPU,
+			"Frnd and Kron perform better on the GPU"},
+		{"Comm-FB", algo.NameCommunity, iFB, config.Multicore, "Comm performs well on the Phi"},
+		{"Comm-Frnd", algo.NameCommunity, iFrnd, config.GPU, "large-graph exception"},
+		{"Delta-Frnd", algo.NameSSSPDelta, iFrnd, config.GPU, "large-graph exception"},
+		{"Delta-CAGE", algo.NameSSSPDelta, iCAGE, config.Multicore,
+			"push-pop + reductions fit the multicore"},
+		{"Tri-FB", algo.NameTriangle, iFB, config.Multicore, "read-only reuse"},
+		{"CC-Twtr", algo.NameConnComp, iTwtr, config.GPU, "large-graph exception"},
+		{"CC-CO", algo.NameConnComp, iCO, config.Multicore, "cache-resident tiny graph"},
+	}
+	for _, tc := range tests {
+		if got := tr.SelectAccelerator(combo(tc.bench, tc.name, tc.iv)); got != tc.want {
+			t.Errorf("%s: selected %v want %v (%s)", tc.name, got, tc.want, tc.why)
+		}
+	}
+}
+
+func TestPredictDeploysWithinLimits(t *testing.T) {
+	limits := machine.PrimaryPair().Limits()
+	tr := New(limits)
+	for _, bench := range algo.Names() {
+		for _, iv := range []feature.IVector{iCA, iFB, iTwtr, iFrnd, iCO, iCAGE, iKron} {
+			m := tr.Predict(combo(bench, "x", iv))
+			if m.Clamp(limits) != m {
+				t.Fatalf("%s: prediction not clamped: %+v", bench, m)
+			}
+			if m.Accelerator == config.GPU {
+				if m.GlobalThreads < 1 || m.LocalThreads < 1 {
+					t.Fatalf("%s: degenerate GPU deployment %v", bench, m)
+				}
+			} else if m.Cores < 1 || m.ThreadsPerCore < 1 {
+				t.Fatalf("%s: degenerate multicore deployment %v", bench, m)
+			}
+		}
+	}
+}
+
+func TestGPUEquationsScaleWithI(t *testing.T) {
+	tr := tree()
+	small := tr.GPUChoices(combo(algo.NameBFS, "s", feature.IVector{0.1, 0.1, 0, 0}))
+	large := tr.GPUChoices(combo(algo.NameBFS, "l", feature.IVector{0.9, 0.9, 0, 0}))
+	if large.GlobalThreads <= small.GlobalThreads {
+		t.Fatalf("M19 must grow with I1: %d vs %d", small.GlobalThreads, large.GlobalThreads)
+	}
+	sparse := tr.GPUChoices(combo(algo.NameBFS, "sp", feature.IVector{0.5, 0.5, 0, 0.8}))
+	dense := tr.GPUChoices(combo(algo.NameBFS, "dn", feature.IVector{0.5, 0.8, 0.5, 0}))
+	if dense.LocalThreads <= sparse.LocalThreads {
+		t.Fatalf("M20 must grow with density: %d vs %d", sparse.LocalThreads, dense.LocalThreads)
+	}
+}
+
+func TestMulticoreEquations(t *testing.T) {
+	tr := tree()
+	// Blocktime (M4) follows contention (B12, B13).
+	calm := feature.MustCatalog(algo.NameBFS)
+	hot := calm
+	hot[feature.BContention] = 1
+	hot[feature.BBarriers] = 1
+	mCalm := tr.MulticoreChoices(feature.Combine(calm, iFB))
+	mHot := tr.MulticoreChoices(feature.Combine(hot, iFB))
+	if mHot.BlocktimeMS <= mCalm.BlocktimeMS {
+		t.Fatalf("M4 must grow with contention: %d vs %d", mCalm.BlocktimeMS, mHot.BlocktimeMS)
+	}
+	if !mHot.ActiveWait || mHot.SpinCount <= mCalm.SpinCount {
+		t.Fatal("wait policy and spin count must track contention")
+	}
+	// Placement (M5-M7) follows diameter.
+	deep := tr.MulticoreChoices(combo(algo.NameSSSPDelta, "deep", feature.IVector{0.3, 0.3, 0.2, 1}))
+	flat := tr.MulticoreChoices(combo(algo.NameSSSPDelta, "flat", feature.IVector{0.3, 0.3, 0.2, 0}))
+	if deep.PlaceCore <= flat.PlaceCore {
+		t.Fatalf("M5-7 must grow with diameter: %v vs %v", flat.PlaceCore, deep.PlaceCore)
+	}
+	// Schedule (M11): contended read-write data wants dynamic.
+	rw := feature.MustCatalog(algo.NameSSSPDelta) // B10=0.6
+	if got := tr.MulticoreChoices(feature.Combine(rw, iCA)); got.Schedule != config.ScheduleDynamic {
+		t.Fatalf("B10-heavy benchmark should get dynamic scheduling, got %v", got.Schedule)
+	}
+}
+
+func TestThresholdVariant(t *testing.T) {
+	limits := machine.PrimaryPair().Limits()
+	low := NewWithThreshold(limits, 0.2)
+	high := NewWithThreshold(limits, 0.9)
+	// Moving the threshold must change at least one anchor decision.
+	changed := false
+	for _, bench := range algo.Names() {
+		for _, iv := range []feature.IVector{iCA, iFB, iTwtr, iCO} {
+			f := combo(bench, "t", iv)
+			if low.SelectAccelerator(f) != high.SelectAccelerator(f) {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("threshold has no effect on any decision")
+	}
+}
+
+func TestName(t *testing.T) {
+	if tree().Name() != "Decision Tree" {
+		t.Fatal("Table IV row name")
+	}
+}
+
+func TestFitThreshold(t *testing.T) {
+	limits := machine.PrimaryPair().Limits()
+	// Construct a database whose best M1 choices a 0.7-ish threshold
+	// explains better than 0.5: Comm-like combinations (B6=0.6) on
+	// mid-size inputs that actually run best on the GPU escape the
+	// FP-contended multicore rule only when the threshold rises above
+	// their B6.
+	var samples []predict.Sample
+	for i := 0; i < 60; i++ {
+		b := feature.MustCatalog(algo.NameCommunity) // B6=0.6, B12=0.4
+		iv := feature.IVector{0.5, 0.6, 0.1, 1.0}
+		var target [config.NumVariables]float64
+		target[0] = 0 // GPU is best for these
+		samples = append(samples, predict.Sample{
+			Features: feature.Combine(b, iv),
+			Target:   target,
+		})
+	}
+	fitted := FitThreshold(limits, samples)
+	if fitted.ThresholdValue() <= Threshold {
+		t.Fatalf("fitted threshold %v should exceed the default for this database",
+			fitted.ThresholdValue())
+	}
+	// Default ties resolve to the paper's 0.5.
+	var balanced []predict.Sample
+	if got := FitThreshold(limits, balanced).ThresholdValue(); got != Threshold {
+		t.Fatalf("empty database should keep the default threshold, got %v", got)
+	}
+}
+
+func TestDensityProxyBounds(t *testing.T) {
+	for _, iv := range []feature.IVector{iCA, iFB, iTwtr, iFrnd, iCO, iCAGE, iKron,
+		{0, 1, 1, 1}, {1, 0, 0, 0}} {
+		d := densityProxy(iv)
+		if d < 0 || d > 1 {
+			t.Fatalf("densityProxy(%v)=%v", iv, d)
+		}
+	}
+}

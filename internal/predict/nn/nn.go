@@ -1,0 +1,332 @@
+// Package nn implements the paper's Section V-B deep learning predictor
+// from scratch: a feed-forward network with 17 input neurons (B1-B13,
+// I1-I4), two hidden layers (four layers total, following Fig 10 and the
+// four-layer result of Tamura & Tateishi the paper cites), and one output
+// neuron per M choice. Hidden width is configurable — Table IV sweeps
+// Deep.16 / Deep.32 / Deep.64 / Deep.128 — and training uses Adam over
+// mini-batched MSE.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/predict"
+)
+
+// Options configure a Network.
+type Options struct {
+	// Hidden is the neuron count of each of the two hidden layers
+	// (paper: 16/32/64/128; 128 is the selected model).
+	Hidden int
+	// Epochs is the number of training passes (default 60).
+	Epochs int
+	// BatchSize is the mini-batch size (default 32).
+	BatchSize int
+	// LearningRate is Adam's step size (default 2e-3).
+	LearningRate float64
+	// Seed fixes weight initialization and shuffling.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Hidden <= 0 {
+		o.Hidden = 128
+	}
+	if o.Epochs <= 0 {
+		// Wider networks need more passes to converge.
+		o.Epochs = 60
+		if o.Hidden >= 128 {
+			o.Epochs = 90
+		}
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 32
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 2e-3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Network is a trained (or trainable) deep predictor.
+type Network struct {
+	opts   Options
+	limits config.Limits
+	layers []*dense
+	ready  bool
+}
+
+var _ predict.Trainable = (*Network)(nil)
+
+// New builds an untrained network for the given deployment limits.
+func New(limits config.Limits, opts Options) *Network {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	in, h, out := feature.NumFeatures, opts.Hidden, config.NumVariables
+	return &Network{
+		opts:   opts,
+		limits: limits,
+		layers: []*dense{
+			newDense(in, h, rng),
+			newDense(h, h, rng),
+			newDense(h, out, rng),
+		},
+	}
+}
+
+// Name implements predict.Predictor, matching the paper's Table IV labels.
+func (n *Network) Name() string { return fmt.Sprintf("Deep.%d", n.opts.Hidden) }
+
+// Hidden returns the hidden-layer width.
+func (n *Network) Hidden() int { return n.opts.Hidden }
+
+// Predict implements predict.Predictor. The decoded configuration is
+// snapped to the training grid (the network was trained on grid-optimal
+// targets). Calling Predict before Train returns the decoded zero vector
+// (predictors are validated as Trainable first).
+func (n *Network) Predict(f feature.Vector) config.M {
+	out := n.forward(f[:])
+	var v [config.NumVariables]float64
+	copy(v[:], out)
+	return config.FromNormalized(v, n.limits).Snapped(n.limits)
+}
+
+// Train implements predict.Trainable with mini-batch Adam on MSE.
+func (n *Network) Train(samples []predict.Sample) error {
+	if len(samples) == 0 {
+		return errors.New("nn: no training samples")
+	}
+	rng := rand.New(rand.NewSource(n.opts.Seed + 7))
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < n.opts.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += n.opts.BatchSize {
+			end := start + n.opts.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			n.zeroGrads()
+			for _, k := range idx[start:end] {
+				s := &samples[k]
+				n.backward(s.Features[:], s.Target[:])
+			}
+			n.step(float64(end - start))
+		}
+	}
+	n.ready = true
+	return nil
+}
+
+// Loss returns the mean squared error over a sample set; training
+// diagnostics and tests use it.
+func (n *Network) Loss(samples []predict.Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range samples {
+		out := n.forward(samples[i].Features[:])
+		for j, y := range samples[i].Target {
+			d := out[j] - y
+			sum += d * d
+		}
+	}
+	return sum / float64(len(samples)*config.NumVariables)
+}
+
+// ParamCount returns the number of trainable parameters (weights+biases);
+// overhead comparisons use it.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, l := range n.layers {
+		total += len(l.w) + len(l.b)
+	}
+	return total
+}
+
+func (n *Network) forward(in []float64) []float64 {
+	act := in
+	last := len(n.layers) - 1
+	for i, l := range n.layers {
+		act = l.forward(act, i < last)
+	}
+	return act
+}
+
+func (n *Network) backward(in, target []float64) {
+	// Forward pass keeping activations.
+	acts := make([][]float64, len(n.layers)+1)
+	acts[0] = in
+	last := len(n.layers) - 1
+	for i, l := range n.layers {
+		acts[i+1] = l.forward(acts[i], i < last)
+	}
+	out := acts[len(acts)-1]
+
+	// Output delta: MSE with sigmoid output -> (o-y)*o*(1-o).
+	delta := make([]float64, len(out))
+	for j := range out {
+		delta[j] = (out[j] - target[j]) * out[j] * (1 - out[j])
+	}
+	for i := last; i >= 0; i-- {
+		delta = n.layers[i].backward(acts[i], delta, i > 0)
+	}
+}
+
+func (n *Network) zeroGrads() {
+	for _, l := range n.layers {
+		l.zeroGrads()
+	}
+}
+
+func (n *Network) step(batch float64) {
+	for _, l := range n.layers {
+		l.adamStep(n.opts.LearningRate, batch)
+	}
+}
+
+// dense is one fully connected layer with Adam state.
+type dense struct {
+	in, out int
+	w, b    []float64 // weights row-major [out][in], biases [out]
+	gw, gb  []float64 // accumulated gradients
+	mw, vw  []float64 // Adam moments for weights
+	mb, vb  []float64 // Adam moments for biases
+	t       float64   // Adam timestep
+	// preact caches the last pre-activation for backward.
+	preact []float64
+	hidden bool // last forward used ReLU (true) or sigmoid (false)
+}
+
+func newDense(in, out int, rng *rand.Rand) *dense {
+	d := &dense{
+		in: in, out: out,
+		w:  make([]float64, in*out),
+		b:  make([]float64, out),
+		gw: make([]float64, in*out),
+		gb: make([]float64, out),
+		mw: make([]float64, in*out),
+		vw: make([]float64, in*out),
+		mb: make([]float64, out),
+		vb: make([]float64, out),
+	}
+	// He initialization for the ReLU layers; it also behaves well for
+	// the sigmoid output at these widths.
+	scale := math.Sqrt(2 / float64(in))
+	for i := range d.w {
+		d.w[i] = rng.NormFloat64() * scale
+	}
+	return d
+}
+
+func (d *dense) forward(in []float64, relu bool) []float64 {
+	out := make([]float64, d.out)
+	pre := make([]float64, d.out)
+	for o := 0; o < d.out; o++ {
+		sum := d.b[o]
+		row := d.w[o*d.in : (o+1)*d.in]
+		for i, x := range in {
+			sum += row[i] * x
+		}
+		pre[o] = sum
+		if relu {
+			if sum > 0 {
+				out[o] = sum
+			}
+		} else {
+			out[o] = sigmoid(sum)
+		}
+	}
+	d.preact = pre
+	d.hidden = relu
+	return out
+}
+
+// backward accumulates gradients for this layer given the incoming
+// activations and the post-activation delta, returning the delta for the
+// previous layer's output (nil when needPrev is false).
+func (d *dense) backward(in, delta []float64, needPrev bool) []float64 {
+	// delta already includes the activation derivative for the output
+	// layer; hidden layers apply ReLU' here.
+	local := delta
+	if d.hidden {
+		local = make([]float64, d.out)
+		for o := range local {
+			if d.preact[o] > 0 {
+				local[o] = delta[o]
+			}
+		}
+	}
+	for o := 0; o < d.out; o++ {
+		g := local[o]
+		if g == 0 {
+			continue
+		}
+		d.gb[o] += g
+		row := d.gw[o*d.in : (o+1)*d.in]
+		for i, x := range in {
+			row[i] += g * x
+		}
+	}
+	if !needPrev {
+		return nil
+	}
+	prev := make([]float64, d.in)
+	for o := 0; o < d.out; o++ {
+		g := local[o]
+		if g == 0 {
+			continue
+		}
+		row := d.w[o*d.in : (o+1)*d.in]
+		for i := range prev {
+			prev[i] += g * row[i]
+		}
+	}
+	return prev
+}
+
+func (d *dense) zeroGrads() {
+	for i := range d.gw {
+		d.gw[i] = 0
+	}
+	for i := range d.gb {
+		d.gb[i] = 0
+	}
+}
+
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+func (d *dense) adamStep(lr, batch float64) {
+	d.t++
+	c1 := 1 - math.Pow(adamBeta1, d.t)
+	c2 := 1 - math.Pow(adamBeta2, d.t)
+	for i := range d.w {
+		g := d.gw[i] / batch
+		d.mw[i] = adamBeta1*d.mw[i] + (1-adamBeta1)*g
+		d.vw[i] = adamBeta2*d.vw[i] + (1-adamBeta2)*g*g
+		d.w[i] -= lr * (d.mw[i] / c1) / (math.Sqrt(d.vw[i]/c2) + adamEps)
+	}
+	for i := range d.b {
+		g := d.gb[i] / batch
+		d.mb[i] = adamBeta1*d.mb[i] + (1-adamBeta1)*g
+		d.vb[i] = adamBeta2*d.vb[i] + (1-adamBeta2)*g*g
+		d.b[i] -= lr * (d.mb[i] / c1) / (math.Sqrt(d.vb[i]/c2) + adamEps)
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

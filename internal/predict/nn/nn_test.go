@@ -1,0 +1,240 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/predict"
+)
+
+func limits() config.Limits {
+	return config.Limits{
+		MaxCores: 61, MaxThreadsPerCore: 4, MaxSIMD: 16,
+		MaxGlobalThreads: 8192, MaxLocalThreads: 256,
+	}
+}
+
+// syntheticSamples builds a learnable mapping: the target accelerator
+// flips on B1 > 0.5 and the normalized core count follows I1.
+func syntheticSamples(n int, seed int64) []predict.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]predict.Sample, n)
+	for i := range out {
+		var f feature.Vector
+		for j := range f {
+			f[j] = float64(rng.Intn(11)) / 10
+		}
+		var target [config.NumVariables]float64
+		if f[0] > 0.5 {
+			target[0] = 0                // GPU
+			target[18] = f[feature.NumB] // global threads follow I1
+			target[19] = 0.5
+		} else {
+			target[0] = 1 // multicore
+			target[1] = f[feature.NumB]
+			target[2] = 1
+		}
+		out[i] = predict.Sample{Features: f, Target: target}
+	}
+	return out
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Hidden != 128 || o.Epochs != 90 || o.BatchSize != 32 {
+		t.Fatalf("defaults %+v", o)
+	}
+	small := Options{Hidden: 16}.withDefaults()
+	if small.Epochs != 60 {
+		t.Fatalf("small net epochs %d", small.Epochs)
+	}
+}
+
+func TestNameAndParamCount(t *testing.T) {
+	n := New(limits(), Options{Hidden: 32})
+	if n.Name() != "Deep.32" {
+		t.Fatalf("name %q", n.Name())
+	}
+	if n.Hidden() != 32 {
+		t.Fatal("hidden accessor")
+	}
+	// 17*32+32 + 32*32+32 + 32*20+20 parameters.
+	want := 17*32 + 32 + 32*32 + 32 + 32*20 + 20
+	if got := n.ParamCount(); got != want {
+		t.Fatalf("params %d want %d", got, want)
+	}
+}
+
+func TestTrainReducesLoss(t *testing.T) {
+	samples := syntheticSamples(400, 1)
+	n := New(limits(), Options{Hidden: 32, Epochs: 30, Seed: 2})
+	before := n.Loss(samples)
+	if err := n.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	after := n.Loss(samples)
+	if after >= before/2 {
+		t.Fatalf("training barely reduced loss: %v -> %v", before, after)
+	}
+}
+
+func TestTrainEmptyErrors(t *testing.T) {
+	if err := New(limits(), Options{}).Train(nil); err == nil {
+		t.Fatal("expected error on empty training set")
+	}
+}
+
+func TestLearnsAcceleratorRule(t *testing.T) {
+	samples := syntheticSamples(600, 3)
+	n := New(limits(), Options{Hidden: 32, Epochs: 40, Seed: 4})
+	if err := n.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	holdout := syntheticSamples(200, 99)
+	for _, s := range holdout {
+		m := n.Predict(s.Features)
+		wantGPU := s.Features[0] > 0.5
+		if (m.Accelerator == config.GPU) == wantGPU {
+			correct++
+		}
+	}
+	if frac := float64(correct) / 200; frac < 0.9 {
+		t.Fatalf("accelerator rule accuracy %.2f want >= 0.9", frac)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	samples := syntheticSamples(100, 5)
+	a := New(limits(), Options{Hidden: 16, Epochs: 10, Seed: 7})
+	b := New(limits(), Options{Hidden: 16, Epochs: 10, Seed: 7})
+	if err := a.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	var f feature.Vector
+	f[0] = 0.7
+	if a.Predict(f) != b.Predict(f) {
+		t.Fatal("same seed, different predictions")
+	}
+}
+
+func TestPredictWithinLimits(t *testing.T) {
+	l := limits()
+	n := New(l, Options{Hidden: 16, Epochs: 5, Seed: 1})
+	if err := n.Train(syntheticSamples(50, 2)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		var f feature.Vector
+		for j := range f {
+			f[j] = rng.Float64()
+		}
+		m := n.Predict(f)
+		if m.Clamp(l) != m {
+			t.Fatalf("prediction out of limits: %+v", m)
+		}
+		if m.Snapped(l) != m {
+			t.Fatalf("prediction not snapped to grid: %+v", m)
+		}
+	}
+}
+
+// TestBackpropMatchesNumericalGradient validates the hand-written
+// backward pass against central finite differences on a tiny network.
+func TestBackpropMatchesNumericalGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := &Network{
+		opts:   Options{Hidden: 4}.withDefaults(),
+		limits: limits(),
+		layers: []*dense{
+			newDense(3, 4, rng),
+			newDense(4, 4, rng),
+			newDense(4, 2, rng),
+		},
+	}
+	in := []float64{0.3, -0.2, 0.8}
+	target := []float64{0.9, 0.1}
+
+	loss := func() float64 {
+		act := in
+		last := len(n.layers) - 1
+		for i, l := range n.layers {
+			act = l.forward(act, i < last)
+		}
+		sum := 0.0
+		for j := range act {
+			d := act[j] - target[j]
+			sum += d * d
+		}
+		return sum / 2
+	}
+
+	n.zeroGrads()
+	n.backward(in, target)
+
+	const eps = 1e-6
+	for li, layer := range n.layers {
+		for wi := range layer.w {
+			orig := layer.w[wi]
+			layer.w[wi] = orig + eps
+			up := loss()
+			layer.w[wi] = orig - eps
+			down := loss()
+			layer.w[wi] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := layer.gw[wi]
+			if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("layer %d weight %d: numeric %v analytic %v",
+					li, wi, numeric, analytic)
+			}
+		}
+		for bi := range layer.b {
+			orig := layer.b[bi]
+			layer.b[bi] = orig + eps
+			up := loss()
+			layer.b[bi] = orig - eps
+			down := loss()
+			layer.b[bi] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := layer.gb[bi]
+			if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("layer %d bias %d: numeric %v analytic %v",
+					li, bi, numeric, analytic)
+			}
+		}
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if s := sigmoid(0); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0)=%v", s)
+	}
+	if s := sigmoid(40); s < 0.999 {
+		t.Fatalf("sigmoid(40)=%v", s)
+	}
+	if s := sigmoid(-40); s > 0.001 {
+		t.Fatalf("sigmoid(-40)=%v", s)
+	}
+}
+
+func TestWiderNetworksFitBetter(t *testing.T) {
+	samples := syntheticSamples(500, 17)
+	lossFor := func(hidden int) float64 {
+		n := New(limits(), Options{Hidden: hidden, Epochs: 30, Seed: 3})
+		if err := n.Train(samples); err != nil {
+			t.Fatal(err)
+		}
+		return n.Loss(samples)
+	}
+	l16, l128 := lossFor(16), lossFor(128)
+	if l128 >= l16 {
+		t.Fatalf("Deep.128 training loss %v not below Deep.16 %v", l128, l16)
+	}
+}

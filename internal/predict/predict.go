@@ -1,0 +1,37 @@
+// Package predict defines the predictor abstraction of the HeteroMap
+// framework: a model that maps a 17-dimensional benchmark-input
+// characterization (internal/feature) to a machine-choice vector
+// (internal/config). Implementations live in the subpackages: dtree (the
+// Section IV analytical decision tree), nn (the Section V-B deep
+// learners), regress (the Section V-C linear and 7th-order regressions)
+// and adaptive (the Rinnegan-style adaptive-library baseline of Table IV).
+package predict
+
+import (
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+)
+
+// Sample is one training example: a characterization paired with the
+// normalized best-performing M vector found by the offline autotuner.
+type Sample struct {
+	Features feature.Vector
+	Target   [config.NumVariables]float64
+}
+
+// Predictor maps characterizations to machine choices.
+type Predictor interface {
+	// Name identifies the predictor in Table IV rows.
+	Name() string
+	// Predict returns the machine configuration for one
+	// benchmark-input characterization.
+	Predict(f feature.Vector) config.M
+}
+
+// Trainable is implemented by predictors that learn from the offline
+// database (everything except the hand-built decision tree).
+type Trainable interface {
+	Predictor
+	// Train fits the model; it must be called before Predict.
+	Train(samples []Sample) error
+}

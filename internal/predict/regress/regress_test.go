@@ -1,0 +1,246 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/predict"
+)
+
+func limits() config.Limits {
+	return config.Limits{
+		MaxCores: 61, MaxThreadsPerCore: 4, MaxSIMD: 16,
+		MaxGlobalThreads: 8192, MaxLocalThreads: 256,
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewLinear(limits()).Name() != "Linear Regression" {
+		t.Fatal("linear name")
+	}
+	if NewMulti(limits()).Name() != "Multi Regression" {
+		t.Fatal("multi name")
+	}
+	if NewWithOrder(limits(), 3, false).Name() == "" {
+		t.Fatal("custom name")
+	}
+	if NewWithOrder(limits(), 0, false).order != 1 {
+		t.Fatal("order floor")
+	}
+}
+
+func TestTermCounts(t *testing.T) {
+	lin := NewLinear(limits())
+	if got := lin.TermCount(); got != 1+feature.NumFeatures {
+		t.Fatalf("linear terms %d", got)
+	}
+	multi := NewMulti(limits())
+	n := feature.NumFeatures
+	want := 1 + n*Order7 + n*(n-1)/2 + n*(n-1)*(n-2)/6
+	if got := multi.TermCount(); got != want {
+		t.Fatalf("multi terms %d want %d", got, want)
+	}
+	// The paper picks order 7 because "models with lower order do not
+	// have sufficient classification accuracy, and models with higher
+	// orders have higher performance overheads": term count must grow
+	// with order.
+	if NewWithOrder(limits(), 3, true).TermCount() >= multi.TermCount() {
+		t.Fatal("order must increase complexity")
+	}
+}
+
+// linearSamples constructs an exactly-linear mapping the linear model
+// must recover to near machine precision.
+func linearSamples(n int, seed int64) []predict.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]predict.Sample, n)
+	for i := range out {
+		var f feature.Vector
+		for j := range f {
+			f[j] = rng.Float64()
+		}
+		var target [config.NumVariables]float64
+		target[0] = clamp01(0.2 + 0.5*f[0])
+		target[1] = clamp01(0.1 + 0.3*f[1] + 0.4*f[16])
+		target[5] = clamp01(f[2])
+		out[i] = predict.Sample{Features: f, Target: target}
+	}
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func TestLinearRecoversLinearMapping(t *testing.T) {
+	m := NewLinear(limits())
+	samples := linearSamples(500, 1)
+	if err := m.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	// Check raw regression outputs against the generating function on
+	// held-out points.
+	for _, s := range linearSamples(50, 2) {
+		basis := m.expand(s.Features)
+		for _, j := range []int{0, 1, 5} {
+			var sum float64
+			for i, c := range m.coef[j] {
+				sum += c * basis[i]
+			}
+			// Tolerance bounded by the ridge regularizer's bias.
+			if math.Abs(sum-s.Target[j]) > 1e-4 {
+				t.Fatalf("output %d: predicted %v want %v", j, sum, s.Target[j])
+			}
+		}
+	}
+}
+
+func TestMultiRecoversNonlinearMapping(t *testing.T) {
+	m := NewWithOrder(limits(), 3, true)
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]predict.Sample, 800)
+	for i := range samples {
+		var f feature.Vector
+		for j := range f {
+			f[j] = rng.Float64()
+		}
+		var target [config.NumVariables]float64
+		target[0] = clamp01(f[0]*f[1] + 0.3*f[2]*f[2])
+		samples[i] = predict.Sample{Features: f, Target: target}
+	}
+	if err := m.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for _, s := range samples[:100] {
+		basis := m.expand(s.Features)
+		var sum float64
+		for i, c := range m.coef[0] {
+			sum += c * basis[i]
+		}
+		if d := math.Abs(sum - s.Target[0]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.05 {
+		t.Fatalf("nonlinear fit error %v", worst)
+	}
+}
+
+func TestLinearCannotFitNonlinear(t *testing.T) {
+	// The Table IV gap between linear and multi regression exists
+	// because the mapping is non-linear; verify the linear model's
+	// residual stays clearly above the interaction model's.
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]predict.Sample, 600)
+	for i := range samples {
+		var f feature.Vector
+		for j := range f {
+			f[j] = rng.Float64()
+		}
+		var target [config.NumVariables]float64
+		x := f[0] - 0.5
+		target[0] = clamp01(0.5 + 4*x*x*x - x) // cubic
+		samples[i] = predict.Sample{Features: f, Target: target}
+	}
+	residual := func(m *Model) float64 {
+		if err := m.Train(samples); err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, s := range samples {
+			basis := m.expand(s.Features)
+			var p float64
+			for i, c := range m.coef[0] {
+				p += c * basis[i]
+			}
+			sum += (p - s.Target[0]) * (p - s.Target[0])
+		}
+		return sum / float64(len(samples))
+	}
+	lin := residual(NewLinear(limits()))
+	multi := residual(NewWithOrder(limits(), 7, false))
+	if multi >= lin/2 {
+		t.Fatalf("order-7 residual %v not clearly below linear %v", multi, lin)
+	}
+}
+
+func TestTrainEmptyErrors(t *testing.T) {
+	if err := NewLinear(limits()).Train(nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPredictBeforeTrainIsClamped(t *testing.T) {
+	l := limits()
+	m := NewLinear(l)
+	var f feature.Vector
+	got := m.Predict(f)
+	if got.Clamp(l) != got {
+		t.Fatal("untrained prediction must still be deployable")
+	}
+}
+
+func TestPredictSnappedAndClamped(t *testing.T) {
+	l := limits()
+	m := NewLinear(l)
+	if err := m.Train(linearSamples(200, 9)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 30; i++ {
+		var f feature.Vector
+		for j := range f {
+			f[j] = rng.Float64() * 2 // deliberately beyond training range
+		}
+		got := m.Predict(f)
+		if got.Clamp(l) != got || got.Snapped(l) != got {
+			t.Fatalf("prediction not deployable: %+v", got)
+		}
+	}
+}
+
+func TestCholeskySolvesKnownSystem(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5].
+	a := []float64{4, 2, 2, 3}
+	l, err := cholesky(append([]float64(nil), a...), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := cholSolve(l, 2, []float64{10, 8})
+	if math.Abs(x[0]-1.75) > 1e-12 || math.Abs(x[1]-1.5) > 1e-12 {
+		t.Fatalf("solution %v", x)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := []float64{1, 2, 2, 1} // indefinite
+	if _, err := cholesky(a, 2); err == nil {
+		t.Fatal("expected not-positive-definite error")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	a, b := NewMulti(limits()), NewMulti(limits())
+	samples := linearSamples(300, 11)
+	if err := a.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	var f feature.Vector
+	f[3] = 0.4
+	if a.Predict(f) != b.Predict(f) {
+		t.Fatal("training not deterministic")
+	}
+}

@@ -1,0 +1,282 @@
+// Package profile defines the instrumented work profile emitted by every
+// graph benchmark in internal/algo and consumed by the accelerator cost
+// model in internal/machine.
+//
+// The profile is the bridge that replaces the paper's real hardware: the
+// benchmarks execute for real (so op counts, iteration counts, convergence
+// behaviour and dependency-chain depths are measured, not assumed) and the
+// machine model turns those counts into simulated time, energy and
+// utilization for a given accelerator and M configuration. The phase
+// taxonomy mirrors the paper's B1-B5 vertex-processing/scheduling
+// variables, and the per-phase counters mirror B6-B13.
+package profile
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PhaseKind classifies a parallel phase following the paper's B1-B5
+// taxonomy.
+type PhaseKind int
+
+const (
+	// VertexDivision (B1): outer loop data-parallel over vertices.
+	VertexDivision PhaseKind = iota
+	// Pareto (B2): statically growing vertex fronts.
+	Pareto
+	// ParetoDynamic (B3): dynamically growing fronts (e.g. BFS frontiers).
+	ParetoDynamic
+	// PushPop (B4): ordered queue/stack processing with dependencies.
+	PushPop
+	// Reduction (B5): reductions over vertices with synchronization.
+	Reduction
+
+	// NumPhaseKinds is the number of phase kinds.
+	NumPhaseKinds = 5
+)
+
+// String implements fmt.Stringer.
+func (k PhaseKind) String() string {
+	switch k {
+	case VertexDivision:
+		return "vertex-division"
+	case Pareto:
+		return "pareto"
+	case ParetoDynamic:
+		return "pareto-dynamic"
+	case PushPop:
+		return "push-pop"
+	case Reduction:
+		return "reduction"
+	}
+	return fmt.Sprintf("PhaseKind(%d)", int(k))
+}
+
+// Phase is the measured work of one parallel phase, aggregated over all
+// iterations of the benchmark.
+type Phase struct {
+	Kind PhaseKind
+	Name string
+
+	// VertexOps and EdgeOps count outer-loop and inner-loop operations.
+	VertexOps, EdgeOps int64
+
+	// IndexedAccesses (B7) counts loop-index-addressed data accesses;
+	// IndirectAccesses (B8) counts pointer-chased / data-dependent ones.
+	IndexedAccesses, IndirectAccesses int64
+
+	// Per-iteration data footprints in bytes, split by sharing class
+	// (B9/B10/B11). These drive the cache model.
+	ReadOnlyBytes, ReadWriteBytes, LocalBytes int64
+
+	// FPOps (B6) and IntOps count arithmetic.
+	FPOps, IntOps int64
+
+	// Atomics (B12) counts contended atomic updates; PushPops counts
+	// queue/stack operations.
+	Atomics, PushPops int64
+
+	// ChainLength is the longest dependency chain observed (serial depth,
+	// e.g. BFS levels or stack depth); ParallelItems is the average
+	// number of independent work items available per step of the chain.
+	ChainLength   int64
+	ParallelItems int64
+}
+
+// Ops returns the total operation count of the phase.
+func (p *Phase) Ops() int64 {
+	return p.VertexOps + p.EdgeOps + p.FPOps + p.IntOps + p.Atomics + p.PushPops
+}
+
+// Accesses returns total counted memory accesses.
+func (p *Phase) Accesses() int64 { return p.IndexedAccesses + p.IndirectAccesses }
+
+// IndirectFraction returns the fraction of accesses that are indirect.
+func (p *Phase) IndirectFraction() float64 {
+	a := p.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(p.IndirectAccesses) / float64(a)
+}
+
+// Work is the complete measured profile of one benchmark-input execution.
+type Work struct {
+	Benchmark string
+	Graph     string
+
+	Phases []Phase
+
+	// Iterations is the number of outer convergence iterations executed.
+	Iterations int64
+
+	// DiameterBound marks algorithms whose iteration count tracks the
+	// input's diameter (BFS levels, Bellman-Ford rounds, delta-stepping
+	// buckets); fixed-iteration algorithms like PageRank leave it false
+	// and are not chain-scaled to paper-scale diameters.
+	DiameterBound bool
+
+	// Barriers (B13) counts global barriers across the whole run.
+	Barriers int64
+
+	// Locality in [0,1] describes spatial locality of the input's edge
+	// structure (see graph.LocalityScore); it refines the cache model.
+	Locality float64
+
+	// Skew is the coefficient of variation of the degree distribution;
+	// it drives the load-imbalance model.
+	Skew float64
+}
+
+// TotalOps sums operation counts over all phases.
+func (w *Work) TotalOps() int64 {
+	var t int64
+	for i := range w.Phases {
+		t += w.Phases[i].Ops()
+	}
+	return t
+}
+
+// TotalEdgeOps sums inner-loop edge operations over all phases.
+func (w *Work) TotalEdgeOps() int64 {
+	var t int64
+	for i := range w.Phases {
+		t += w.Phases[i].EdgeOps
+	}
+	return t
+}
+
+// TotalFPOps sums floating-point operations over all phases.
+func (w *Work) TotalFPOps() int64 {
+	var t int64
+	for i := range w.Phases {
+		t += w.Phases[i].FPOps
+	}
+	return t
+}
+
+// TotalAtomics sums atomic operations over all phases.
+func (w *Work) TotalAtomics() int64 {
+	var t int64
+	for i := range w.Phases {
+		t += w.Phases[i].Atomics
+	}
+	return t
+}
+
+// PhaseShare returns the fraction of total ops contributed by each phase
+// kind; the shares sum to 1 for non-empty work. This is the measured
+// analog of the paper's "a program may consist of 80% vertex division and
+// a 20% reduction phase".
+func (w *Work) PhaseShare() [NumPhaseKinds]float64 {
+	var shares [NumPhaseKinds]float64
+	total := w.TotalOps()
+	if total == 0 {
+		return shares
+	}
+	for i := range w.Phases {
+		shares[w.Phases[i].Kind] += float64(w.Phases[i].Ops()) / float64(total)
+	}
+	return shares
+}
+
+// Scaled returns a copy of the work profile with op counts multiplied to
+// paper-scale magnitudes: vertex-proportional counters by vertexScale,
+// edge-proportional counters by edgeScale and dependency chains by
+// chainScale. Iteration and barrier counts of iterative algorithms follow
+// the chain scale because convergence tracks the diameter.
+func (w *Work) Scaled(vertexScale, edgeScale, chainScale float64) *Work {
+	if vertexScale <= 0 {
+		vertexScale = 1
+	}
+	if edgeScale <= 0 {
+		edgeScale = 1
+	}
+	if chainScale <= 0 {
+		chainScale = 1
+	}
+	if !w.DiameterBound {
+		chainScale = 1
+	}
+	out := &Work{
+		Benchmark:     w.Benchmark,
+		Graph:         w.Graph,
+		Iterations:    scaleCount(w.Iterations, chainScale),
+		DiameterBound: w.DiameterBound,
+		Barriers:      scaleCount(w.Barriers, chainScale),
+		Locality:      w.Locality,
+		Skew:          w.Skew,
+		Phases:        make([]Phase, len(w.Phases)),
+	}
+	for i, p := range w.Phases {
+		out.Phases[i] = Phase{
+			Kind:             p.Kind,
+			Name:             p.Name,
+			VertexOps:        scaleCount(p.VertexOps, vertexScale*chainScale),
+			EdgeOps:          scaleCount(p.EdgeOps, edgeScale*chainScale),
+			IndexedAccesses:  scaleCount(p.IndexedAccesses, edgeScale*chainScale),
+			IndirectAccesses: scaleCount(p.IndirectAccesses, edgeScale*chainScale),
+			ReadOnlyBytes:    scaleCount(p.ReadOnlyBytes, edgeScale),
+			ReadWriteBytes:   scaleCount(p.ReadWriteBytes, vertexScale),
+			LocalBytes:       scaleCount(p.LocalBytes, vertexScale),
+			FPOps:            scaleCount(p.FPOps, edgeScale*chainScale),
+			IntOps:           scaleCount(p.IntOps, edgeScale*chainScale),
+			Atomics:          scaleCount(p.Atomics, vertexScale*chainScale),
+			PushPops:         scaleCount(p.PushPops, vertexScale*chainScale),
+			ChainLength:      scaleCount(p.ChainLength, chainScale),
+			ParallelItems:    scaleCount(p.ParallelItems, vertexScale),
+		}
+	}
+	return out
+}
+
+func scaleCount(c int64, f float64) int64 {
+	if c == 0 {
+		return 0
+	}
+	v := int64(float64(c) * f)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// String renders a compact multi-line summary for logs and the CLI.
+func (w *Work) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "work %s on %s: iters=%d barriers=%d locality=%.2f skew=%.2f\n",
+		w.Benchmark, w.Graph, w.Iterations, w.Barriers, w.Locality, w.Skew)
+	for i := range w.Phases {
+		p := &w.Phases[i]
+		fmt.Fprintf(&sb, "  phase %-16s kind=%-15s v=%d e=%d fp=%d atomics=%d pushpop=%d chain=%d\n",
+			p.Name, p.Kind, p.VertexOps, p.EdgeOps, p.FPOps, p.Atomics, p.PushPops, p.ChainLength)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// Validate checks profile invariants the machine model relies on.
+func (w *Work) Validate() error {
+	if len(w.Phases) == 0 {
+		return fmt.Errorf("profile: %s/%s has no phases", w.Benchmark, w.Graph)
+	}
+	for i := range w.Phases {
+		p := &w.Phases[i]
+		if p.Kind < 0 || p.Kind >= NumPhaseKinds {
+			return fmt.Errorf("profile: phase %q has invalid kind %d", p.Name, p.Kind)
+		}
+		if p.VertexOps < 0 || p.EdgeOps < 0 || p.FPOps < 0 || p.Atomics < 0 ||
+			p.PushPops < 0 || p.ChainLength < 0 || p.ParallelItems < 0 ||
+			p.IndexedAccesses < 0 || p.IndirectAccesses < 0 ||
+			p.ReadOnlyBytes < 0 || p.ReadWriteBytes < 0 || p.LocalBytes < 0 {
+			return fmt.Errorf("profile: phase %q has negative counter", p.Name)
+		}
+	}
+	if w.Iterations < 0 || w.Barriers < 0 {
+		return fmt.Errorf("profile: negative iteration/barrier count")
+	}
+	if w.Locality < 0 || w.Locality > 1 {
+		return fmt.Errorf("profile: locality %f outside [0,1]", w.Locality)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleWork() *Work {
+	return &Work{
+		Benchmark: "bench", Graph: "graph",
+		Iterations: 10, DiameterBound: true, Barriers: 20,
+		Locality: 0.5, Skew: 1.2,
+		Phases: []Phase{
+			{
+				Kind: VertexDivision, Name: "main",
+				VertexOps: 100, EdgeOps: 1000, IndexedAccesses: 2000,
+				IndirectAccesses: 100, ReadOnlyBytes: 4096, ReadWriteBytes: 2048,
+				LocalBytes: 512, FPOps: 300, IntOps: 700, Atomics: 50,
+				ChainLength: 10, ParallelItems: 100,
+			},
+			{
+				Kind: Reduction, Name: "reduce",
+				VertexOps: 100, IntOps: 100, Atomics: 10,
+				ReadWriteBytes: 256, ChainLength: 10, ParallelItems: 100,
+			},
+		},
+	}
+}
+
+func TestPhaseKindString(t *testing.T) {
+	names := map[PhaseKind]string{
+		VertexDivision: "vertex-division",
+		Pareto:         "pareto",
+		ParetoDynamic:  "pareto-dynamic",
+		PushPop:        "push-pop",
+		Reduction:      "reduction",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d -> %q want %q", k, got, want)
+		}
+	}
+	if got := PhaseKind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind string %q", got)
+	}
+}
+
+func TestPhaseAggregates(t *testing.T) {
+	p := &sampleWork().Phases[0]
+	wantOps := int64(100 + 1000 + 300 + 700 + 50 + 0)
+	if got := p.Ops(); got != wantOps {
+		t.Fatalf("Ops=%d want %d", got, wantOps)
+	}
+	if got := p.Accesses(); got != 2100 {
+		t.Fatalf("Accesses=%d", got)
+	}
+	if got := p.IndirectFraction(); math.Abs(got-100.0/2100) > 1e-12 {
+		t.Fatalf("IndirectFraction=%v", got)
+	}
+	empty := &Phase{}
+	if empty.IndirectFraction() != 0 {
+		t.Fatal("empty phase indirect fraction")
+	}
+}
+
+func TestWorkTotals(t *testing.T) {
+	w := sampleWork()
+	if got := w.TotalEdgeOps(); got != 1000 {
+		t.Fatalf("TotalEdgeOps=%d", got)
+	}
+	if got := w.TotalFPOps(); got != 300 {
+		t.Fatalf("TotalFPOps=%d", got)
+	}
+	if got := w.TotalAtomics(); got != 60 {
+		t.Fatalf("TotalAtomics=%d", got)
+	}
+	if got := w.TotalOps(); got != w.Phases[0].Ops()+w.Phases[1].Ops() {
+		t.Fatalf("TotalOps=%d", got)
+	}
+}
+
+func TestPhaseShareSumsToOne(t *testing.T) {
+	w := sampleWork()
+	shares := w.PhaseShare()
+	sum := 0.0
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("phase shares sum to %v", sum)
+	}
+	if shares[VertexDivision] <= shares[Reduction] {
+		t.Fatal("vertex division should dominate the sample")
+	}
+	empty := &Work{}
+	if s := empty.PhaseShare(); s != [NumPhaseKinds]float64{} {
+		t.Fatal("empty work should have zero shares")
+	}
+}
+
+func TestScaledMultipliesCounters(t *testing.T) {
+	w := sampleWork()
+	s := w.Scaled(10, 100, 2)
+	p, sp := &w.Phases[0], &s.Phases[0]
+	if sp.VertexOps != p.VertexOps*10*2 {
+		t.Fatalf("vertex ops scaled %d", sp.VertexOps)
+	}
+	if sp.EdgeOps != p.EdgeOps*100*2 {
+		t.Fatalf("edge ops scaled %d", sp.EdgeOps)
+	}
+	if sp.ReadWriteBytes != p.ReadWriteBytes*10 {
+		t.Fatalf("rw bytes scaled %d (vertex-proportional, not chain)", sp.ReadWriteBytes)
+	}
+	if sp.ReadOnlyBytes != p.ReadOnlyBytes*100 {
+		t.Fatalf("ro bytes scaled %d", sp.ReadOnlyBytes)
+	}
+	if sp.ChainLength != p.ChainLength*2 {
+		t.Fatalf("chain scaled %d", sp.ChainLength)
+	}
+	if s.Iterations != w.Iterations*2 || s.Barriers != w.Barriers*2 {
+		t.Fatalf("iterations/barriers scaled %d/%d", s.Iterations, s.Barriers)
+	}
+	if s.Locality != w.Locality || s.Skew != w.Skew {
+		t.Fatal("locality/skew must not scale")
+	}
+}
+
+func TestScaledRespectsDiameterBound(t *testing.T) {
+	w := sampleWork()
+	w.DiameterBound = false
+	s := w.Scaled(10, 100, 7)
+	if s.Iterations != w.Iterations {
+		t.Fatalf("fixed-iteration work scaled iterations to %d", s.Iterations)
+	}
+	if s.Phases[0].ChainLength != w.Phases[0].ChainLength {
+		t.Fatalf("fixed-iteration work scaled chain to %d", s.Phases[0].ChainLength)
+	}
+	// Edge scale still applies.
+	if s.Phases[0].EdgeOps != w.Phases[0].EdgeOps*100 {
+		t.Fatalf("edge ops %d", s.Phases[0].EdgeOps)
+	}
+}
+
+func TestScaledDegenerateFactors(t *testing.T) {
+	w := sampleWork()
+	s := w.Scaled(0, -3, 0)
+	if s.Phases[0].EdgeOps != w.Phases[0].EdgeOps {
+		t.Fatal("non-positive factors must behave as 1")
+	}
+	// Zero counters stay zero; positive counters stay >= 1.
+	if s.Phases[1].EdgeOps != 0 {
+		t.Fatal("zero counter scaled to non-zero")
+	}
+}
+
+func TestScaledNeverNegativeProperty(t *testing.T) {
+	f := func(vs, es, cs float64) bool {
+		s := sampleWork().Scaled(math.Abs(vs), math.Abs(es), math.Abs(cs))
+		for i := range s.Phases {
+			p := &s.Phases[i]
+			if p.VertexOps < 0 || p.EdgeOps < 0 || p.FPOps < 0 || p.Atomics < 0 {
+				return false
+			}
+		}
+		return s.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	w := sampleWork()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Work)
+	}{
+		{"no phases", func(w *Work) { w.Phases = nil }},
+		{"bad kind", func(w *Work) { w.Phases[0].Kind = 99 }},
+		{"negative counter", func(w *Work) { w.Phases[0].EdgeOps = -1 }},
+		{"negative iterations", func(w *Work) { w.Iterations = -1 }},
+		{"locality range", func(w *Work) { w.Locality = 1.5 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			w := sampleWork()
+			tc.mutate(w)
+			if err := w.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestString(t *testing.T) {
+	s := sampleWork().String()
+	for _, want := range []string{"bench", "graph", "main", "reduce"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

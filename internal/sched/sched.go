@@ -1,0 +1,186 @@
+// Package sched operates the multi-accelerator system as the paper's
+// Section II deployment describes: a stream of graph benchmark-input
+// combinations is "loaded and executed with the appropriate architectural
+// choices for individual accelerators" — both accelerators work
+// concurrently, each draining its assigned jobs. The package turns
+// HeteroMap's per-combination predictions into batch plans and compares
+// their makespan against single-accelerator and load-balanced baselines.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"heteromap/internal/config"
+	"heteromap/internal/core"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict"
+)
+
+// Job is one planned execution.
+type Job struct {
+	Workload *core.Workload
+	M        config.M
+	Seconds  float64
+}
+
+// Plan is a complete batch assignment.
+type Plan struct {
+	Strategy string
+	GPUJobs  []Job
+	MCJobs   []Job
+	// GPUBusy and MCBusy are the accelerators' total busy times; the
+	// Makespan is the larger of the two (both run concurrently).
+	GPUBusy, MCBusy float64
+	Makespan        float64
+}
+
+// Jobs returns the total job count.
+func (p Plan) Jobs() int { return len(p.GPUJobs) + len(p.MCJobs) }
+
+// Balance returns min(busy)/max(busy) in [0,1]; 1 is a perfectly
+// balanced system, 0 an idle accelerator.
+func (p Plan) Balance() float64 {
+	lo, hi := p.GPUBusy, p.MCBusy
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi == 0 {
+		return 1
+	}
+	return lo / hi
+}
+
+// String summarizes the plan.
+func (p Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d jobs -> GPU %d (%.4gs busy), MC %d (%.4gs busy); makespan %.4gs (balance %.2f)",
+		p.Strategy, p.Jobs(), len(p.GPUJobs), p.GPUBusy, len(p.MCJobs), p.MCBusy,
+		p.Makespan, p.Balance())
+	return sb.String()
+}
+
+func finish(p Plan) Plan {
+	for _, j := range p.GPUJobs {
+		p.GPUBusy += j.Seconds
+	}
+	for _, j := range p.MCJobs {
+		p.MCBusy += j.Seconds
+	}
+	p.Makespan = p.GPUBusy
+	if p.MCBusy > p.Makespan {
+		p.Makespan = p.MCBusy
+	}
+	return p
+}
+
+// sideConfigs derives deployable per-accelerator configurations from one
+// predicted M (the same completion trick core.System.PlanPhased uses).
+func sideConfigs(limits config.Limits, m config.M) (gpuM, mcM config.M) {
+	gpuM, mcM = m, m
+	gpuM.Accelerator = config.GPU
+	mcM.Accelerator = config.Multicore
+	if m.Accelerator == config.GPU {
+		d := config.DefaultMulticore(limits)
+		mcM.Cores, mcM.ThreadsPerCore, mcM.SIMDWidth = d.Cores, d.ThreadsPerCore, d.SIMDWidth
+	} else {
+		d := config.DefaultGPU(limits)
+		gpuM.GlobalThreads, gpuM.LocalThreads = d.GlobalThreads, d.LocalThreads
+	}
+	return gpuM.Clamp(limits), mcM.Clamp(limits)
+}
+
+// AssignPredicted builds the HeteroMap plan: every job goes to the
+// accelerator its prediction names, deployed with the predicted knobs.
+func AssignPredicted(pair machine.Pair, p predict.Predictor, ws []*core.Workload) Plan {
+	plan := Plan{Strategy: "HeteroMap"}
+	for _, w := range ws {
+		m := p.Predict(w.Features)
+		sec := pair.Select(m.Accelerator).Evaluate(w.Job, m).Seconds
+		job := Job{Workload: w, M: m, Seconds: sec}
+		if m.Accelerator == config.GPU {
+			plan.GPUJobs = append(plan.GPUJobs, job)
+		} else {
+			plan.MCJobs = append(plan.MCJobs, job)
+		}
+	}
+	return finish(plan)
+}
+
+// AssignSingle sends every job to one accelerator with the predictor's
+// knobs forced onto it — the single-accelerator operational baseline.
+func AssignSingle(pair machine.Pair, p predict.Predictor, ws []*core.Workload, accel config.Accel) Plan {
+	plan := Plan{Strategy: accel.String() + "-only"}
+	limits := pair.Limits()
+	for _, w := range ws {
+		gpuM, mcM := sideConfigs(limits, p.Predict(w.Features))
+		m := gpuM
+		if accel == config.Multicore {
+			m = mcM
+		}
+		sec := pair.Select(accel).Evaluate(w.Job, m).Seconds
+		job := Job{Workload: w, M: m, Seconds: sec}
+		if accel == config.GPU {
+			plan.GPUJobs = append(plan.GPUJobs, job)
+		} else {
+			plan.MCJobs = append(plan.MCJobs, job)
+		}
+	}
+	return finish(plan)
+}
+
+// AssignBalanced builds the longest-processing-time-first load balancing
+// plan: jobs sorted by their better-side time, each placed to minimize
+// the finishing time of the accelerator it lands on (accounting for how
+// much slower its worse side would run it). It treats throughput, not
+// per-job latency, as the objective — the natural competitor for batch
+// operation.
+func AssignBalanced(pair machine.Pair, p predict.Predictor, ws []*core.Workload) Plan {
+	limits := pair.Limits()
+	type timing struct {
+		w        *core.Workload
+		gpuM     config.M
+		mcM      config.M
+		gpuT     float64
+		mcT      float64
+		bestTime float64
+	}
+	timings := make([]timing, 0, len(ws))
+	for _, w := range ws {
+		gpuM, mcM := sideConfigs(limits, p.Predict(w.Features))
+		tg := pair.GPU.Evaluate(w.Job, gpuM).Seconds
+		tm := pair.Multicore.Evaluate(w.Job, mcM).Seconds
+		best := tg
+		if tm < best {
+			best = tm
+		}
+		timings = append(timings, timing{w: w, gpuM: gpuM, mcM: mcM, gpuT: tg, mcT: tm, bestTime: best})
+	}
+	sort.SliceStable(timings, func(i, j int) bool { return timings[i].bestTime > timings[j].bestTime })
+
+	plan := Plan{Strategy: "LPT-balanced"}
+	var gpuBusy, mcBusy float64
+	for _, t := range timings {
+		// Place on the side that finishes this job earliest.
+		if gpuBusy+t.gpuT <= mcBusy+t.mcT {
+			plan.GPUJobs = append(plan.GPUJobs, Job{Workload: t.w, M: t.gpuM, Seconds: t.gpuT})
+			gpuBusy += t.gpuT
+		} else {
+			plan.MCJobs = append(plan.MCJobs, Job{Workload: t.w, M: t.mcM, Seconds: t.mcT})
+			mcBusy += t.mcT
+		}
+	}
+	return finish(plan)
+}
+
+// Compare runs all strategies over a batch and returns the plans in a
+// fixed order: HeteroMap, LPT-balanced, GPU-only, Multicore-only.
+func Compare(pair machine.Pair, p predict.Predictor, ws []*core.Workload) []Plan {
+	return []Plan{
+		AssignPredicted(pair, p, ws),
+		AssignBalanced(pair, p, ws),
+		AssignSingle(pair, p, ws, config.GPU),
+		AssignSingle(pair, p, ws, config.Multicore),
+	}
+}

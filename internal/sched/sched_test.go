@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"heteromap/internal/algo"
+	"heteromap/internal/config"
+	"heteromap/internal/core"
+	"heteromap/internal/gen"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict/dtree"
+)
+
+var (
+	wsOnce sync.Once
+	wsAll  []*core.Workload
+	wsErr  error
+)
+
+func workloads(t *testing.T) []*core.Workload {
+	t.Helper()
+	wsOnce.Do(func() {
+		wsAll, wsErr = core.CharacterizeAll(algo.All(), gen.TableICached(gen.Small))
+	})
+	if wsErr != nil {
+		t.Fatal(wsErr)
+	}
+	return wsAll
+}
+
+func setup(t *testing.T) (machine.Pair, *dtree.Tree, []*core.Workload) {
+	pair := machine.PrimaryPair()
+	return pair, dtree.New(pair.Limits()), workloads(t)
+}
+
+func TestPlansCoverEveryJobOnce(t *testing.T) {
+	pair, tree, ws := setup(t)
+	for _, plan := range Compare(pair, tree, ws) {
+		if plan.Jobs() != len(ws) {
+			t.Fatalf("%s: %d jobs want %d", plan.Strategy, plan.Jobs(), len(ws))
+		}
+		seen := map[string]bool{}
+		for _, j := range append(append([]Job{}, plan.GPUJobs...), plan.MCJobs...) {
+			name := j.Workload.Name()
+			if seen[name] {
+				t.Fatalf("%s: job %s assigned twice", plan.Strategy, name)
+			}
+			seen[name] = true
+			if j.Seconds <= 0 {
+				t.Fatalf("%s: job %s has no duration", plan.Strategy, name)
+			}
+		}
+	}
+}
+
+func TestMakespanMath(t *testing.T) {
+	pair, tree, ws := setup(t)
+	plan := AssignPredicted(pair, tree, ws)
+	var gpu, mc float64
+	for _, j := range plan.GPUJobs {
+		gpu += j.Seconds
+	}
+	for _, j := range plan.MCJobs {
+		mc += j.Seconds
+	}
+	if plan.GPUBusy != gpu || plan.MCBusy != mc {
+		t.Fatal("busy sums wrong")
+	}
+	want := gpu
+	if mc > want {
+		want = mc
+	}
+	if plan.Makespan != want {
+		t.Fatalf("makespan %v want %v", plan.Makespan, want)
+	}
+	if b := plan.Balance(); b < 0 || b > 1 {
+		t.Fatalf("balance %v", b)
+	}
+}
+
+func TestSinglePlansUseOneAccelerator(t *testing.T) {
+	pair, tree, ws := setup(t)
+	gpu := AssignSingle(pair, tree, ws, config.GPU)
+	if len(gpu.MCJobs) != 0 || len(gpu.GPUJobs) != len(ws) {
+		t.Fatal("GPU-only plan leaked jobs")
+	}
+	mc := AssignSingle(pair, tree, ws, config.Multicore)
+	if len(mc.GPUJobs) != 0 || len(mc.MCJobs) != len(ws) {
+		t.Fatal("MC-only plan leaked jobs")
+	}
+	// A single accelerator's makespan is its busy time.
+	if gpu.Makespan != gpu.GPUBusy || mc.Makespan != mc.MCBusy {
+		t.Fatal("single-accelerator makespan")
+	}
+}
+
+func TestConcurrencyBeatsSingleAccelerators(t *testing.T) {
+	// Using both accelerators at once must beat each single-accelerator
+	// makespan: that is the operational premise of the whole paper.
+	pair, tree, ws := setup(t)
+	plans := Compare(pair, tree, ws)
+	hm, lpt, gpuOnly, mcOnly := plans[0], plans[1], plans[2], plans[3]
+	for _, single := range []Plan{gpuOnly, mcOnly} {
+		if hm.Makespan >= single.Makespan {
+			t.Fatalf("HeteroMap makespan %v not below %s %v",
+				hm.Makespan, single.Strategy, single.Makespan)
+		}
+		if lpt.Makespan >= single.Makespan {
+			t.Fatalf("LPT makespan %v not below %s %v",
+				lpt.Makespan, single.Strategy, single.Makespan)
+		}
+	}
+}
+
+func TestBalancedPlanIsBalanced(t *testing.T) {
+	pair, tree, ws := setup(t)
+	hm := AssignPredicted(pair, tree, ws)
+	lpt := AssignBalanced(pair, tree, ws)
+	// The load balancer optimizes makespan directly and must not lose
+	// to the latency-greedy HeteroMap assignment.
+	if lpt.Makespan > hm.Makespan*1.0001 {
+		t.Fatalf("LPT makespan %v worse than HeteroMap %v", lpt.Makespan, hm.Makespan)
+	}
+	if lpt.Balance() < 0.5 {
+		t.Fatalf("LPT balance %v too skewed", lpt.Balance())
+	}
+}
+
+func TestDeterministicPlans(t *testing.T) {
+	pair, tree, ws := setup(t)
+	a := AssignBalanced(pair, tree, ws)
+	b := AssignBalanced(pair, tree, ws)
+	if a.Makespan != b.Makespan || len(a.GPUJobs) != len(b.GPUJobs) {
+		t.Fatal("planning not deterministic")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	pair, tree, ws := setup(t)
+	s := AssignPredicted(pair, tree, ws[:5]).String()
+	if !strings.Contains(s, "HeteroMap") || !strings.Contains(s, "makespan") {
+		t.Fatalf("plan string %q", s)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	pair, tree, _ := setup(t)
+	plan := AssignPredicted(pair, tree, nil)
+	if plan.Jobs() != 0 || plan.Makespan != 0 {
+		t.Fatal("empty batch")
+	}
+	if plan.Balance() != 1 {
+		t.Fatal("empty batch balance")
+	}
+}

@@ -1,0 +1,202 @@
+// Package stats provides the small numeric helpers used throughout the
+// HeteroMap reproduction: geometric means, clamping, normalization and
+// simple descriptive statistics over float64 slices.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by aggregations that require at least one value.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Geomean returns the geometric mean of xs. All values must be positive;
+// non-positive values or an empty slice yield an error.
+func Geomean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geomean requires positive values")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// MustGeomean is Geomean for inputs known to be valid; it panics on error.
+// It is intended for experiment drivers whose inputs are produced internally.
+func MustGeomean(xs []float64) float64 {
+	g, err := Geomean(xs)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// values.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest value in xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic(ErrEmpty)
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value in xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic(ErrEmpty)
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMin returns the index of the smallest value in xs, or -1 for an empty
+// slice. Ties resolve to the earliest index, which keeps sweeps deterministic.
+func ArgMin(xs []float64) int {
+	best := -1
+	for i, x := range xs {
+		if best < 0 || x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMax returns the index of the largest value in xs, or -1 for an empty
+// slice.
+func ArgMax(xs []float64) int {
+	best := -1
+	for i, x := range xs {
+		if best < 0 || x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Clamp limits x to the inclusive range [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ClampInt limits x to the inclusive range [lo, hi].
+func ClampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Discretize snaps x (clamped to [0,1]) to the nearest multiple of step.
+// The paper discretizes B and I variables to increments of 0.1; passing
+// step=0.1 reproduces that. A non-positive step returns x clamped.
+func Discretize(x, step float64) float64 {
+	x = Clamp(x, 0, 1)
+	if step <= 0 {
+		return x
+	}
+	return Clamp(math.Round(x/step)*step, 0, 1)
+}
+
+// LogNormalize maps v into [0,1] on a logarithmic scale anchored at
+// [lo, hi]: lo and below map to 0, hi and above map to 1. This implements
+// the paper's "logarithmic normalization ... to further smoothen I values".
+func LogNormalize(v, lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo {
+		return 0
+	}
+	if v <= lo {
+		return 0
+	}
+	if v >= hi {
+		return 1
+	}
+	return math.Log(v/lo) / math.Log(hi/lo)
+}
+
+// Median returns the median of xs, or 0 for an empty slice. The input is
+// not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Normalize divides each value by the maximum, producing values in (0,1].
+// A zero or negative maximum returns a copy of the input unchanged.
+func Normalize(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	if len(out) == 0 {
+		return out
+	}
+	m := Max(out)
+	if m <= 0 {
+		return out
+	}
+	for i := range out {
+		out[i] /= m
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+		err  bool
+	}{
+		{name: "single", in: []float64{4}, want: 4},
+		{name: "pair", in: []float64{1, 4}, want: 2},
+		{name: "triple", in: []float64{1, 10, 100}, want: 10},
+		{name: "identical", in: []float64{7, 7, 7}, want: 7},
+		{name: "empty", in: nil, err: true},
+		{name: "zero", in: []float64{1, 0}, err: true},
+		{name: "negative", in: []float64{1, -2}, err: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Geomean(tc.in)
+			if tc.err {
+				if err == nil {
+					t.Fatalf("want error, got %v", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("got %v want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMustGeomeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty input")
+		}
+	}()
+	MustGeomean(nil)
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			v := math.Abs(x)
+			if v > 1e-6 && v < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := MustGeomean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanVarianceStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("mean=%v want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Fatalf("variance=%v want 4", got)
+	}
+	if got := Stddev(xs); got != 2 {
+		t.Fatalf("stddev=%v want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("mean(nil)=%v want 0", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Fatalf("variance single=%v want 0", got)
+	}
+}
+
+func TestMinMaxArg(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Min(xs); got != 1 {
+		t.Fatalf("min=%v", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Fatalf("max=%v", got)
+	}
+	if got := ArgMin(xs); got != 1 {
+		t.Fatalf("argmin=%v want 1 (earliest tie)", got)
+	}
+	if got := ArgMax(xs); got != 4 {
+		t.Fatalf("argmax=%v", got)
+	}
+	if got := ArgMin(nil); got != -1 {
+		t.Fatalf("argmin(nil)=%v", got)
+	}
+	if got := ArgMax(nil); got != -1 {
+		t.Fatalf("argmax(nil)=%v", got)
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Fatalf("clamp high: %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Fatalf("clamp low: %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Fatalf("clamp mid: %v", got)
+	}
+	if got := ClampInt(10, 1, 4); got != 4 {
+		t.Fatalf("clampint: %v", got)
+	}
+	if got := ClampInt(-1, 1, 4); got != 1 {
+		t.Fatalf("clampint low: %v", got)
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(x, a, b float64) bool {
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		got := Clamp(x, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscretize(t *testing.T) {
+	tests := []struct {
+		in, step, want float64
+	}{
+		{0.44, 0.1, 0.4},
+		{0.45, 0.1, 0.5},
+		{0.96, 0.1, 1.0},
+		{-0.3, 0.1, 0},
+		{1.7, 0.1, 1},
+		{0.33, 0, 0.33},     // non-positive step: clamp only
+		{0.125, 0.25, 0.25}, // alternate step width (round half up)
+	}
+	for _, tc := range tests {
+		if got := Discretize(tc.in, tc.step); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Discretize(%v,%v)=%v want %v", tc.in, tc.step, got, tc.want)
+		}
+	}
+}
+
+func TestDiscretizeSnapsToMultiples(t *testing.T) {
+	f := func(x float64) bool {
+		got := Discretize(x, 0.1)
+		scaled := got * 10
+		return math.Abs(scaled-math.Round(scaled)) < 1e-9 && got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogNormalize(t *testing.T) {
+	if got := LogNormalize(10, 10, 1000); got != 0 {
+		t.Fatalf("at lo: %v", got)
+	}
+	if got := LogNormalize(1000, 10, 1000); got != 1 {
+		t.Fatalf("at hi: %v", got)
+	}
+	if got := LogNormalize(100, 10, 1000); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("logarithmic midpoint: %v want 0.5", got)
+	}
+	if got := LogNormalize(5, 10, 1000); got != 0 {
+		t.Fatalf("below lo: %v", got)
+	}
+	if got := LogNormalize(1e9, 10, 1000); got != 1 {
+		t.Fatalf("above hi: %v", got)
+	}
+	// Degenerate anchors.
+	if got := LogNormalize(5, 0, 10); got != 0 {
+		t.Fatalf("lo<=0: %v", got)
+	}
+	if got := LogNormalize(5, 10, 10); got != 0 {
+		t.Fatalf("hi<=lo: %v", got)
+	}
+}
+
+func TestLogNormalizeMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		x, y := math.Abs(a)+1, math.Abs(b)+1
+		if x > y {
+			x, y = y, x
+		}
+		return LogNormalize(x, 1, 1e12) <= LogNormalize(y, 1, 1e12)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("odd median: %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median: %v", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Fatalf("empty median: %v", got)
+	}
+	// Input must not be modified.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("median modified its input")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{1, 2, 4})
+	want := []float64{0.25, 0.5, 1}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("normalize[%d]=%v want %v", i, out[i], want[i])
+		}
+	}
+	// Zero max leaves values untouched.
+	same := Normalize([]float64{0, 0})
+	if same[0] != 0 || same[1] != 0 {
+		t.Fatal("zero-max should be identity")
+	}
+	if got := Normalize(nil); len(got) != 0 {
+		t.Fatal("empty input should stay empty")
+	}
+}

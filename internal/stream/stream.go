@@ -1,0 +1,162 @@
+// Package stream implements Stinger-style chunked processing of graphs
+// that exceed an accelerator's attached memory (paper Section II: "chunks
+// from larger graphs are extracted temporally using a state-of-the-art
+// Stinger framework, and streamed in the accelerator's memory").
+//
+// A chunk is a contiguous vertex range together with all of its outgoing
+// edges; destination vertices outside the range are retained as ghost
+// references, so per-chunk kernels see a consistent CSR slice. The
+// machine model charges a streaming penalty per extra chunk; this package
+// provides the actual extraction used by the streaming example and the
+// Fig 16 memory-sensitivity experiment.
+package stream
+
+import (
+	"fmt"
+
+	"heteromap/internal/graph"
+)
+
+// Chunk is one memory-sized slice of a larger graph.
+type Chunk struct {
+	// Index is the chunk's position in the stream.
+	Index int
+	// FirstVertex and LastVertex bound the owned vertex range
+	// [FirstVertex, LastVertex).
+	FirstVertex, LastVertex int
+	// Graph holds the owned vertices' adjacency. Vertex ids are global:
+	// the chunk graph has the full vertex count but only the owned
+	// range's edges, so kernels can index destination state directly.
+	Graph *graph.Graph
+}
+
+// String implements fmt.Stringer.
+func (c *Chunk) String() string {
+	return fmt.Sprintf("chunk %d: vertices [%d,%d) edges=%d",
+		c.Index, c.FirstVertex, c.LastVertex, c.Graph.NumEdges())
+}
+
+// CountChunks returns how many chunks a dataset footprint needs on an
+// accelerator with the given memory size. Footprints that fit take one
+// chunk; a non-positive memory size is treated as "fits".
+func CountChunks(footprintBytes, memBytes int64) int {
+	if footprintBytes <= 0 || memBytes <= 0 || footprintBytes <= memBytes {
+		return 1
+	}
+	return int((footprintBytes + memBytes - 1) / memBytes)
+}
+
+// Partition splits g into n chunks of approximately equal edge count.
+// n < 1 is treated as 1; n greater than the vertex count is clamped.
+func Partition(g *graph.Graph, n int) []*Chunk {
+	v := g.NumVertices()
+	if n < 1 {
+		n = 1
+	}
+	if n > v && v > 0 {
+		n = v
+	}
+	if v == 0 {
+		return []*Chunk{{Index: 0, Graph: g}}
+	}
+
+	totalEdges := g.NumEdges()
+	targetPerChunk := totalEdges / int64(n)
+	chunks := make([]*Chunk, 0, n)
+	start := 0
+	for i := 0; i < n; i++ {
+		end := start
+		var acc int64
+		for end < v && (acc < targetPerChunk || i == n-1) {
+			acc += int64(g.Degree(end))
+			end++
+			if i < n-1 && v-end <= n-1-i { // leave at least one vertex per remaining chunk
+				break
+			}
+		}
+		if end == start && start < v {
+			end = start + 1
+		}
+		chunks = append(chunks, buildChunk(g, i, start, end))
+		start = end
+		if start >= v {
+			break
+		}
+	}
+	// If vertices remain (rounding), extend the last chunk.
+	if start < v {
+		last := chunks[len(chunks)-1]
+		chunks[len(chunks)-1] = buildChunk(g, last.Index, last.FirstVertex, v)
+	}
+	return chunks
+}
+
+// PartitionForMemory splits g into however many chunks its footprint
+// needs to fit in memBytes.
+func PartitionForMemory(g *graph.Graph, memBytes int64) []*Chunk {
+	return Partition(g, CountChunks(g.FootprintBytes(), memBytes))
+}
+
+func buildChunk(g *graph.Graph, index, first, last int) *Chunk {
+	v := g.NumVertices()
+	offsets := make([]int64, v+1)
+	var edgeCount int64
+	for u := first; u < last; u++ {
+		edgeCount += int64(g.Degree(u))
+	}
+	edges := make([]int32, 0, edgeCount)
+	var weights []float32
+	if g.Weighted() {
+		weights = make([]float32, 0, edgeCount)
+	}
+	for u := 0; u < v; u++ {
+		if u >= first && u < last {
+			edges = append(edges, g.Neighbors(u)...)
+			if weights != nil {
+				weights = append(weights, g.NeighborWeights(u)...)
+			}
+		}
+		offsets[u+1] = int64(len(edges))
+	}
+	return &Chunk{
+		Index:       index,
+		FirstVertex: first,
+		LastVertex:  last,
+		Graph: &graph.Graph{
+			Name:       fmt.Sprintf("%s#%d", g.Name, index),
+			Offsets:    offsets,
+			Edges:      edges,
+			Weights:    weights,
+			Undirected: false, // a chunk holds only the owned directions
+		},
+	}
+}
+
+// Reassemble merges chunks back into a single graph; it is the inverse of
+// Partition and exists so tests can verify the decomposition is lossless.
+func Reassemble(name string, chunks []*Chunk) (*graph.Graph, error) {
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("stream: no chunks")
+	}
+	v := chunks[0].Graph.NumVertices()
+	weighted := chunks[0].Graph.Weighted()
+	offsets := make([]int64, v+1)
+	var edges []int32
+	var weights []float32
+	for u := 0; u < v; u++ {
+		for _, c := range chunks {
+			if u >= c.FirstVertex && u < c.LastVertex {
+				edges = append(edges, c.Graph.Neighbors(u)...)
+				if weighted {
+					weights = append(weights, c.Graph.NeighborWeights(u)...)
+				}
+			}
+		}
+		offsets[u+1] = int64(len(edges))
+	}
+	g := &graph.Graph{Name: name, Offsets: offsets, Edges: edges, Weights: weights}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

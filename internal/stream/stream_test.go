@@ -1,0 +1,183 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+
+	"heteromap/internal/gen"
+	"heteromap/internal/graph"
+)
+
+func TestCountChunks(t *testing.T) {
+	tests := []struct {
+		footprint, mem int64
+		want           int
+	}{
+		{0, 100, 1},
+		{50, 100, 1},
+		{100, 100, 1},
+		{101, 100, 2},
+		{1000, 100, 10},
+		{1001, 100, 11},
+		{100, 0, 1},   // no memory limit
+		{100, -5, 1},  // degenerate
+		{-10, 100, 1}, // degenerate footprint
+	}
+	for _, tc := range tests {
+		if got := CountChunks(tc.footprint, tc.mem); got != tc.want {
+			t.Errorf("CountChunks(%d,%d)=%d want %d", tc.footprint, tc.mem, got, tc.want)
+		}
+	}
+}
+
+func TestPartitionCoversAllEdgesOnce(t *testing.T) {
+	g := gen.Uniform("u", 200, 2000, 16, 3)
+	for _, n := range []int{1, 2, 3, 7, 50} {
+		chunks := Partition(g, n)
+		var total int64
+		covered := make([]bool, g.NumVertices())
+		for _, c := range chunks {
+			total += c.Graph.NumEdges()
+			for v := c.FirstVertex; v < c.LastVertex; v++ {
+				if covered[v] {
+					t.Fatalf("n=%d: vertex %d owned twice", n, v)
+				}
+				covered[v] = true
+				if c.Graph.Degree(v) != g.Degree(v) {
+					t.Fatalf("n=%d: vertex %d degree %d want %d",
+						n, v, c.Graph.Degree(v), g.Degree(v))
+				}
+			}
+		}
+		if total != g.NumEdges() {
+			t.Fatalf("n=%d: chunks hold %d edges, graph has %d", n, total, g.NumEdges())
+		}
+		for v, ok := range covered {
+			if !ok {
+				t.Fatalf("n=%d: vertex %d unowned", n, v)
+			}
+		}
+	}
+}
+
+func TestPartitionChunkRangesContiguous(t *testing.T) {
+	g := gen.Uniform("u", 300, 3000, 0, 5)
+	chunks := Partition(g, 5)
+	prev := 0
+	for i, c := range chunks {
+		if c.FirstVertex != prev {
+			t.Fatalf("chunk %d starts at %d want %d", i, c.FirstVertex, prev)
+		}
+		if c.LastVertex < c.FirstVertex {
+			t.Fatalf("chunk %d inverted range", i)
+		}
+		prev = c.LastVertex
+	}
+	if prev != g.NumVertices() {
+		t.Fatalf("chunks end at %d want %d", prev, g.NumVertices())
+	}
+}
+
+func TestPartitionBalancesEdges(t *testing.T) {
+	g := gen.Uniform("u", 1000, 20000, 0, 7)
+	chunks := Partition(g, 4)
+	if len(chunks) != 4 {
+		t.Fatalf("got %d chunks", len(chunks))
+	}
+	target := g.NumEdges() / 4
+	for i, c := range chunks {
+		e := c.Graph.NumEdges()
+		if e < target/3 || e > target*3 {
+			t.Errorf("chunk %d badly balanced: %d edges, target %d", i, e, target)
+		}
+	}
+}
+
+func TestPartitionWeightsPreserved(t *testing.T) {
+	g := gen.Uniform("u", 100, 800, 32, 9)
+	chunks := Partition(g, 3)
+	for _, c := range chunks {
+		if !c.Graph.Weighted() {
+			t.Fatal("weights lost in chunking")
+		}
+		for v := c.FirstVertex; v < c.LastVertex; v++ {
+			ws := c.Graph.NeighborWeights(v)
+			want := g.NeighborWeights(v)
+			for i := range want {
+				if ws[i] != want[i] {
+					t.Fatalf("vertex %d weight %d mismatch", v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionDegenerate(t *testing.T) {
+	g := gen.Uniform("u", 10, 30, 0, 1)
+	if got := Partition(g, 0); len(got) != 1 {
+		t.Fatalf("n=0 -> %d chunks", len(got))
+	}
+	if got := Partition(g, 100); len(got) > 10 {
+		t.Fatalf("n>V -> %d chunks", len(got))
+	}
+	empty := graph.NewBuilder("e", 0).MustBuild()
+	if got := Partition(empty, 3); len(got) != 1 {
+		t.Fatalf("empty graph -> %d chunks", len(got))
+	}
+}
+
+func TestPartitionForMemory(t *testing.T) {
+	g := gen.Uniform("u", 500, 5000, 16, 11)
+	half := g.FootprintBytes() / 2
+	chunks := PartitionForMemory(g, half)
+	if len(chunks) < 2 {
+		t.Fatalf("half-memory graph needs >= 2 chunks, got %d", len(chunks))
+	}
+	whole := PartitionForMemory(g, g.FootprintBytes()*2)
+	if len(whole) != 1 {
+		t.Fatalf("fitting graph chunks = %d", len(whole))
+	}
+}
+
+func TestReassembleInvertsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.Uniform("u", 80, 600, 8, seed)
+		chunks := Partition(g, 4)
+		back, err := Reassemble(g.Name, chunks)
+		if err != nil {
+			return false
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			a, b := g.Neighbors(v), back.Neighbors(v)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassembleEmpty(t *testing.T) {
+	if _, err := Reassemble("x", nil); err == nil {
+		t.Fatal("expected error for empty chunk list")
+	}
+}
+
+func TestChunkString(t *testing.T) {
+	g := gen.Uniform("u", 20, 60, 0, 1)
+	c := Partition(g, 2)[0]
+	if c.String() == "" {
+		t.Fatal("empty chunk string")
+	}
+}

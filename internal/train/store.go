@@ -1,0 +1,174 @@
+package train
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict"
+)
+
+// This file implements the paper's profiler database persistence: "This
+// creates a profiler database of B,I,M tuples residing in the CPU file
+// system, which is indexed using B,I tuples to get M solutions." The
+// binary format stores the pair identity, objective and all samples;
+// Lookup answers queries by nearest characterization.
+
+const storeMagic = "HMDB"
+
+// Save serializes the database.
+func (db *DB) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(storeMagic); err != nil {
+		return err
+	}
+	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	pairName := db.Pair.Name()
+	if err := write(uint32(len(pairName))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(pairName); err != nil {
+		return err
+	}
+	if err := write(uint32(db.Objective)); err != nil {
+		return err
+	}
+	if err := write(uint64(len(db.Samples))); err != nil {
+		return err
+	}
+	for i := range db.Samples {
+		s := &db.Samples[i]
+		for _, f := range s.Features {
+			if err := write(f); err != nil {
+				return err
+			}
+		}
+		for _, t := range s.Target {
+			if err := write(t); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadDB deserializes a database saved by Save. The accelerator pair is
+// re-resolved by name against the built-in catalog so the cost-model
+// coefficients always come from the running binary, not the file.
+func LoadDB(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("train: reading magic: %w", err)
+	}
+	if string(magic) != storeMagic {
+		return nil, fmt.Errorf("train: bad magic %q", magic)
+	}
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	var nameLen uint32
+	if err := read(&nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<12 {
+		return nil, fmt.Errorf("train: implausible pair-name length %d", nameLen)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBytes); err != nil {
+		return nil, err
+	}
+	pair, err := pairByName(string(nameBytes))
+	if err != nil {
+		return nil, err
+	}
+	var objective uint32
+	if err := read(&objective); err != nil {
+		return nil, err
+	}
+	var count uint64
+	if err := read(&count); err != nil {
+		return nil, err
+	}
+	if count > 1<<24 {
+		return nil, fmt.Errorf("train: implausible sample count %d", count)
+	}
+	db := &DB{
+		Pair:      pair,
+		Limits:    pair.Limits(),
+		Objective: Objective(objective),
+		Samples:   make([]predict.Sample, count),
+	}
+	for i := range db.Samples {
+		s := &db.Samples[i]
+		for j := range s.Features {
+			if err := read(&s.Features[j]); err != nil {
+				return nil, err
+			}
+		}
+		for j := range s.Target {
+			if err := read(&s.Target[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// pairByName resolves a saved pair identity against the Table II catalog.
+func pairByName(name string) (machine.Pair, error) {
+	for _, p := range machine.AllPairs() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return machine.Pair{}, fmt.Errorf("train: unknown accelerator pair %q", name)
+}
+
+// Lookup returns the stored M solution of the sample whose
+// characterization is closest (squared Euclidean distance over the 17
+// features) to f, with the distance. ok is false for an empty database.
+func (db *DB) Lookup(f feature.Vector) (m config.M, dist float64, ok bool) {
+	best := -1
+	bestDist := 0.0
+	for i := range db.Samples {
+		d := 0.0
+		for j := range f {
+			diff := f[j] - db.Samples[i].Features[j]
+			d += diff * diff
+		}
+		if best < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		return config.M{}, 0, false
+	}
+	return config.FromNormalized(db.Samples[best].Target, db.Limits), bestDist, true
+}
+
+// LookupPredictor wraps the profiler database as a predictor: the
+// paper's pre-learning configuration path ("indexed using B,I tuples to
+// get M solutions"). It needs no training beyond the database itself and
+// serves as the non-parametric reference the learned models must beat in
+// generalization.
+type LookupPredictor struct {
+	db *DB
+}
+
+// NewLookupPredictor wraps a database.
+func NewLookupPredictor(db *DB) *LookupPredictor { return &LookupPredictor{db: db} }
+
+// Name implements predict.Predictor.
+func (l *LookupPredictor) Name() string { return "DB Lookup" }
+
+// Predict implements predict.Predictor.
+func (l *LookupPredictor) Predict(f feature.Vector) config.M {
+	m, _, ok := l.db.Lookup(f)
+	if !ok {
+		return config.DefaultGPU(l.db.Limits)
+	}
+	return m
+}

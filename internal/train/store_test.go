@@ -1,0 +1,133 @@
+package train
+
+import (
+	"bytes"
+	"testing"
+
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	pair := machine.PrimaryPair()
+	db := BuildDatabase(pair, Config{Samples: 25, Seed: 9, Objective: Energy})
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Pair.Name() != pair.Name() {
+		t.Fatalf("pair %q", back.Pair.Name())
+	}
+	if back.Objective != Energy {
+		t.Fatalf("objective %v", back.Objective)
+	}
+	if len(back.Samples) != len(db.Samples) {
+		t.Fatalf("samples %d", len(back.Samples))
+	}
+	for i := range db.Samples {
+		if db.Samples[i] != back.Samples[i] {
+			t.Fatalf("sample %d differs after round trip", i)
+		}
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	pair := machine.PrimaryPair()
+	db := BuildDatabase(pair, Config{Samples: 5, Seed: 1})
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := LoadDB(bytes.NewReader(append([]byte("XXXX"), good[4:]...))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := LoadDB(bytes.NewReader(good[:len(good)/3])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	if _, err := LoadDB(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	// Unknown pair name.
+	bad := append([]byte{}, good...)
+	copy(bad[8:], []byte("ZZ"))
+	if _, err := LoadDB(bytes.NewReader(bad)); err == nil {
+		t.Fatal("unknown pair accepted")
+	}
+}
+
+func TestLookupExactAndNearest(t *testing.T) {
+	pair := machine.PrimaryPair()
+	db := BuildDatabase(pair, Config{Samples: 50, Seed: 4})
+
+	// An exact query returns its own stored target at distance 0.
+	s := db.Samples[7]
+	m, dist, ok := db.Lookup(s.Features)
+	if !ok || dist != 0 {
+		t.Fatalf("exact lookup dist=%v ok=%v", dist, ok)
+	}
+	want := config.FromNormalized(s.Target, db.Limits)
+	if m != want {
+		t.Fatalf("exact lookup returned %v want %v", m, want)
+	}
+
+	// A perturbed query returns a nearby sample's solution.
+	q := s.Features
+	q[0] = clampTenth(q[0] + 0.05)
+	if _, dist, ok := db.Lookup(q); !ok || dist > 1 {
+		t.Fatalf("nearest lookup dist=%v ok=%v", dist, ok)
+	}
+}
+
+func clampTenth(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+func TestLookupEmpty(t *testing.T) {
+	db := &DB{Limits: machine.PrimaryPair().Limits()}
+	if _, _, ok := db.Lookup(feature.Vector{}); ok {
+		t.Fatal("empty database lookup should fail")
+	}
+	// The predictor falls back to a deployable default.
+	p := NewLookupPredictor(db)
+	if p.Name() != "DB Lookup" {
+		t.Fatal("name")
+	}
+	m := p.Predict(feature.Vector{})
+	if m.Clamp(db.Limits) != m {
+		t.Fatal("fallback not deployable")
+	}
+}
+
+func TestLookupPredictorGeneralizes(t *testing.T) {
+	// On a dense database, nearest-neighbour lookup should usually agree
+	// with the stored targets' accelerator choice for held-out points
+	// near the manifold.
+	pair := machine.PrimaryPair()
+	db := BuildDatabase(pair, Config{Samples: 200, Seed: 6})
+	holdDB := BuildDatabase(pair, Config{Samples: 40, Seed: 77})
+	p := NewLookupPredictor(db)
+	agree := 0
+	for _, s := range holdDB.Samples {
+		target := config.FromNormalized(s.Target, db.Limits)
+		if p.Predict(s.Features).Accelerator == target.Accelerator {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(holdDB.Samples)); frac < 0.6 {
+		t.Fatalf("lookup accelerator agreement %.2f too low", frac)
+	}
+}

@@ -1,0 +1,231 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+)
+
+func TestRandomBProducesValidPhaseMix(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := RandomB(rng)
+		if math.Abs(b.PhaseSum()-1) > 1e-9 {
+			return false
+		}
+		for _, v := range b {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		// Paper coupling: push-pop phases imply contention.
+		if b[feature.BPushPop] > 0 && b[feature.BContention] < 0.2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBDiverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	kinds := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		b := RandomB(rng)
+		for k := 0; k <= feature.BReduction; k++ {
+			if b[k] > 0 {
+				kinds[k] = true
+			}
+		}
+	}
+	if len(kinds) != 5 {
+		t.Fatalf("sampled phase kinds %v want all 5", kinds)
+	}
+}
+
+func TestRandomIConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		iv := RandomI(rng)
+		for _, v := range iv {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		// Edge count loosely tracks vertex count.
+		return iv[1] >= iv[0]-0.31 && iv[1] <= iv[0]+0.41
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthesizeProducesValidWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		combo := Synthesize(RandomB(rng), RandomI(rng), rng)
+		if err := combo.Work.Validate(); err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if combo.Footprint <= 0 {
+			t.Fatalf("sample %d: footprint %d", i, combo.Footprint)
+		}
+		if combo.Work.TotalOps() == 0 {
+			t.Fatalf("sample %d: empty work", i)
+		}
+	}
+}
+
+func TestSynthesizeReflectsBVariables(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var fpHeavy, fpLight feature.BVector
+	fpHeavy[feature.BVertexDivision] = 1
+	fpHeavy[feature.BFloatingPoint] = 0.9
+	fpHeavy[feature.BDataAddressing] = 0.8
+	fpLight = fpHeavy
+	fpLight[feature.BFloatingPoint] = 0
+	iv := feature.IVector{0.5, 0.5, 0.3, 0.2}
+	heavy := Synthesize(fpHeavy, iv, rng)
+	light := Synthesize(fpLight, iv, rng)
+	if heavy.Work.TotalFPOps() <= light.Work.TotalFPOps() {
+		t.Fatal("B6 did not increase FP ops")
+	}
+	var pushy feature.BVector
+	pushy[feature.BPushPop] = 1
+	pushy[feature.BContention] = 0.4
+	pp := Synthesize(pushy, iv, rng)
+	if pp.Work.Phases[0].PushPops == 0 {
+		t.Fatal("B4 phase has no push-pops")
+	}
+}
+
+func TestSynthesizeScalesWithI(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var b feature.BVector
+	b[feature.BVertexDivision] = 1
+	b[feature.BDataAddressing] = 0.8
+	small := Synthesize(b, feature.IVector{0.1, 0.1, 0, 0}, rand.New(rand.NewSource(3)))
+	big := Synthesize(b, feature.IVector{0.9, 0.9, 0, 0}, rng)
+	if big.Work.TotalEdgeOps() <= small.Work.TotalEdgeOps()*10 {
+		t.Fatalf("I scaling too weak: %d vs %d",
+			big.Work.TotalEdgeOps(), small.Work.TotalEdgeOps())
+	}
+	if big.Footprint <= small.Footprint {
+		t.Fatal("footprint must grow with I")
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if Performance.String() != "performance" || Energy.String() != "energy" {
+		t.Fatal("objective strings")
+	}
+}
+
+func TestMetric(t *testing.T) {
+	pair := machine.PrimaryPair()
+	rng := rand.New(rand.NewSource(2))
+	combo := Synthesize(RandomB(rng), RandomI(rng), rng)
+	job := machine.Job{Work: combo.Work, FootprintBytes: combo.Footprint}
+	m := config.DefaultGPU(pair.Limits())
+	perf := Metric(pair, Performance, job, m)
+	energy := Metric(pair, Energy, job, m)
+	rep := pair.GPU.Evaluate(job, m)
+	if perf != rep.Seconds || energy != rep.EnergyJ {
+		t.Fatal("metric must match the underlying report")
+	}
+}
+
+func TestBuildDatabaseSmall(t *testing.T) {
+	pair := machine.PrimaryPair()
+	db := BuildDatabase(pair, Config{Samples: 40, Seed: 7})
+	if len(db.Samples) != 40 {
+		t.Fatalf("samples=%d", len(db.Samples))
+	}
+	gpuCount := 0
+	for i, s := range db.Samples {
+		for _, v := range s.Target {
+			if v < 0 || v > 1 {
+				t.Fatalf("sample %d target out of range", i)
+			}
+		}
+		if s.Target[0] < 0.5 {
+			gpuCount++
+		}
+	}
+	// Both accelerators must win some synthetic combinations, otherwise
+	// there is nothing to learn.
+	if gpuCount == 0 || gpuCount == 40 {
+		t.Fatalf("degenerate database: %d/40 GPU winners", gpuCount)
+	}
+}
+
+func TestBuildDatabaseDeterministic(t *testing.T) {
+	pair := machine.PrimaryPair()
+	a := BuildDatabase(pair, Config{Samples: 15, Seed: 3})
+	b := BuildDatabase(pair, Config{Samples: 15, Seed: 3})
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestBuildDatabaseTargetsAreGridOptimal(t *testing.T) {
+	// Each stored target must actually be the best of the sweep grid for
+	// its combination (spot-check a few).
+	pair := machine.PrimaryPair()
+	cfg := Config{Samples: 5, Seed: 11}
+	db := BuildDatabase(pair, cfg)
+	cands := config.Enumerate(db.Limits)
+	for i := range db.Samples {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		combo := Synthesize(RandomB(rng), RandomI(rng), rng)
+		job := machine.Job{Work: combo.Work, FootprintBytes: combo.Footprint}
+		target := config.FromNormalized(db.Samples[i].Target, db.Limits)
+		targetScore := Metric(pair, cfg.Objective, job, target)
+		for _, c := range cands {
+			if Metric(pair, cfg.Objective, job, c) < targetScore-1e-12 {
+				t.Fatalf("sample %d target is not grid-optimal", i)
+			}
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	pair := machine.PrimaryPair()
+	db := BuildDatabase(pair, Config{Samples: 30, Seed: 5})
+	trainSet, holdout := db.Split(0.2, 1)
+	if len(trainSet)+len(holdout) != 30 {
+		t.Fatalf("split sizes %d+%d", len(trainSet), len(holdout))
+	}
+	if len(holdout) != 6 {
+		t.Fatalf("holdout=%d want 6", len(holdout))
+	}
+	empty := &DB{}
+	a, b := empty.Split(0.5, 1)
+	if a != nil || b != nil {
+		t.Fatal("empty db split")
+	}
+}
+
+func TestEnergyObjectiveChangesTargets(t *testing.T) {
+	pair := machine.PrimaryPair()
+	perf := BuildDatabase(pair, Config{Samples: 60, Seed: 13})
+	engy := BuildDatabase(pair, Config{Samples: 60, Seed: 13, Objective: Energy})
+	diff := 0
+	for i := range perf.Samples {
+		if perf.Samples[i].Target != engy.Samples[i].Target {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("energy objective produced identical targets")
+	}
+}

@@ -1,0 +1,154 @@
+package tune
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"heteromap/internal/config"
+)
+
+func limits() config.Limits {
+	return config.Limits{
+		MaxCores: 61, MaxThreadsPerCore: 4, MaxSIMD: 16,
+		MaxGlobalThreads: 8192, MaxLocalThreads: 256,
+	}
+}
+
+// quadratic scores configurations by distance of their normalized vector
+// from a fixed optimum; it is smooth, deterministic and has one minimum.
+func quadratic(l config.Limits) EvalFunc {
+	var target [config.NumVariables]float64
+	for i := range target {
+		target[i] = 0.5
+	}
+	return func(m config.M) float64 {
+		v := m.Normalize(l)
+		sum := 0.0
+		for i := range v {
+			d := v[i] - target[i]
+			sum += d * d
+		}
+		return sum
+	}
+}
+
+func TestExhaustiveFindsGridMinimum(t *testing.T) {
+	l := limits()
+	eval := quadratic(l)
+	cands := config.Enumerate(l)
+	res := Exhaustive(cands, eval)
+	if res.Evals != len(cands) {
+		t.Fatalf("evals=%d want %d", res.Evals, len(cands))
+	}
+	for _, c := range cands {
+		if eval(c) < res.Score {
+			t.Fatalf("exhaustive missed a better candidate")
+		}
+	}
+}
+
+func TestExhaustiveSerialMatchesParallel(t *testing.T) {
+	l := limits()
+	eval := quadratic(l)
+	cands := config.Enumerate(l)
+	a := Exhaustive(cands, eval)
+	b := ExhaustiveSerial(cands, eval)
+	if a.Score != b.Score || a.Best != b.Best {
+		t.Fatalf("parallel/serial disagree: %v vs %v", a.Score, b.Score)
+	}
+}
+
+func TestExhaustiveDeterministicTieBreak(t *testing.T) {
+	cands := config.Enumerate(limits())
+	constant := func(config.M) float64 { return 1 }
+	res := Exhaustive(cands, constant)
+	if res.Best != cands[0] {
+		t.Fatal("ties must resolve to the earliest candidate")
+	}
+}
+
+func TestExhaustiveEmpty(t *testing.T) {
+	res := Exhaustive(nil, func(config.M) float64 { return 0 })
+	if res.Evals != 0 {
+		t.Fatal("empty candidate list")
+	}
+}
+
+func TestEvaluateAllOrderAndCount(t *testing.T) {
+	l := limits()
+	cands := config.Enumerate(l)[:50]
+	var calls atomic.Int64
+	scores := EvaluateAll(cands, func(m config.M) float64 {
+		calls.Add(1)
+		return float64(m.Cores + m.GlobalThreads)
+	})
+	if int(calls.Load()) != len(cands) {
+		t.Fatalf("calls=%d want %d", calls.Load(), len(cands))
+	}
+	for i, m := range cands {
+		if scores[i] != float64(m.Cores+m.GlobalThreads) {
+			t.Fatalf("score %d out of order", i)
+		}
+	}
+}
+
+func TestRandomRespectsBudgetAndSeed(t *testing.T) {
+	l := limits()
+	eval := quadratic(l)
+	a := Random(l, 50, 7, eval)
+	b := Random(l, 50, 7, eval)
+	if a.Score != b.Score {
+		t.Fatal("same seed, different result")
+	}
+	if a.Evals != 50 {
+		t.Fatalf("evals=%d", a.Evals)
+	}
+}
+
+func TestHillClimbImproves(t *testing.T) {
+	l := limits()
+	eval := quadratic(l)
+	start := config.DefaultMulticore(l) // far from the 0.5-vector optimum
+	startScore := eval(start)
+	res := HillClimb(l, start, 400, eval)
+	if res.Score >= startScore {
+		t.Fatalf("hill climb did not improve: %v -> %v", startScore, res.Score)
+	}
+	if res.Evals > 400 {
+		t.Fatalf("budget exceeded: %d", res.Evals)
+	}
+}
+
+func TestHillClimbRespectsBudget(t *testing.T) {
+	l := limits()
+	var calls atomic.Int64
+	eval := func(m config.M) float64 {
+		calls.Add(1)
+		return quadratic(l)(m)
+	}
+	HillClimb(l, config.DefaultGPU(l), 25, eval)
+	if calls.Load() > 25 {
+		t.Fatalf("eval calls %d exceed budget 25", calls.Load())
+	}
+}
+
+func TestEnsembleAtLeastAsGoodAsGrid(t *testing.T) {
+	l := limits()
+	eval := quadratic(l)
+	grid := Exhaustive(config.Enumerate(l), eval)
+	ens := Ensemble(l, 3, eval)
+	if ens.Score > grid.Score+1e-12 {
+		t.Fatalf("ensemble (%v) worse than plain grid (%v)", ens.Score, grid.Score)
+	}
+}
+
+func TestEnsembleDeterministic(t *testing.T) {
+	l := limits()
+	eval := quadratic(l)
+	a := Ensemble(l, 11, eval)
+	b := Ensemble(l, 11, eval)
+	if math.Abs(a.Score-b.Score) > 1e-15 {
+		t.Fatal("ensemble not deterministic for a fixed seed")
+	}
+}
