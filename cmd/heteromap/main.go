@@ -13,6 +13,14 @@
 //	    plan phase-level temporal scheduling (the paper's future work)
 //	heteromap run -bench SSSP-BF -edgelist my_graph.txt
 //	    schedule a user-supplied edge-list graph
+//	heteromap run -bench BFS -input FB -chaos -chaos-rate 0.3
+//	    schedule under injected accelerator faults: transient failures
+//	    are retried with capped exponential backoff and failed over to
+//	    the other accelerator, all charged into the completion time
+//	heteromap batch -input FB [-chaos]
+//	    schedule every benchmark on one dataset and compare the batch
+//	    strategies (HeteroMap, LPT-balanced, single-accelerator; plus
+//	    the failure-aware plan under -chaos)
 //	heteromap explain -bench BFS -input FB
 //	    show where the simulated time of the predicted deployment goes
 //	heteromap list
@@ -27,6 +35,7 @@ import (
 	"heteromap"
 	"heteromap/internal/config"
 	"heteromap/internal/core"
+	"heteromap/internal/sched"
 	"heteromap/internal/train"
 	"heteromap/internal/tune"
 )
@@ -46,6 +55,9 @@ func main() {
 	large := fs.Bool("large", false, "use the larger generated analogs")
 	edgeList := fs.String("edgelist", "", "characterize a user edge-list file instead of a catalog dataset")
 	directed := fs.Bool("directed", false, "treat the -edgelist file as directed (default: mirror edges)")
+	chaos := fs.Bool("chaos", false, "inject accelerator faults and schedule resiliently")
+	chaosRate := fs.Float64("chaos-rate", 0.1, "fault rate for -chaos: transient failure probability, plus scaled slowdown and memory loss")
+	chaosSeed := fs.Int64("chaos-seed", 42, "deterministic seed for -chaos fault injection")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -61,17 +73,27 @@ func main() {
 			fmt.Printf("  %-5s %s\n", d.Short, d)
 		}
 		return
-	case "characterize", "predict", "run", "sweep", "phased", "explain":
+	case "characterize", "predict", "run", "sweep", "phased", "explain", "batch":
 	default:
 		usage()
 		os.Exit(2)
 	}
 
-	sys, workload, err := buildSystem(systemOptions{
+	opts := systemOptions{
 		predictor: *predictor, dbPath: *dbPath, energy: *energy,
 		large: *large, bench: *bench, input: *input,
 		edgeList: *edgeList, directed: *directed,
-	})
+	}
+
+	if cmd == "batch" {
+		if err := runBatch(opts, *chaos, *chaosRate, *chaosSeed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sys, workload, err := buildSystem(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -93,14 +115,35 @@ func main() {
 		}
 
 	case "run":
-		rep := sys.Run(workload)
+		var rep heteromap.RunReport
+		if *chaos {
+			inj := heteromap.NewChaosInjector(*chaosSeed, *chaosRate)
+			rep = sys.RunResilient(workload, inj, heteromap.DefaultFaultPolicy())
+		} else {
+			rep = sys.Run(workload)
+		}
 		bl := sys.Baselines(workload)
 		fmt.Printf("combination     : %s\n", workload.Name())
 		fmt.Printf("chosen          : %s (%s)\n", rep.Chosen.Accelerator, rep.Chosen)
+		fmt.Printf("predictor used  : %s\n", rep.PredictorUsed)
 		fmt.Printf("completion time : %.6gs (+%.3gms predictor overhead)\n",
-			rep.Machine.Seconds, float64(rep.PredictOverhead.Microseconds())/1000)
+			rep.TotalSeconds-rep.PredictOverhead.Seconds(),
+			float64(rep.PredictOverhead.Microseconds())/1000)
 		fmt.Printf("energy          : %.6g J\n", rep.Machine.EnergyJ)
 		fmt.Printf("utilization     : %.1f%%\n", rep.Machine.Utilization*100)
+		if *chaos {
+			fmt.Printf("chaos           : rate %.2g seed %d\n", *chaosRate, *chaosSeed)
+			fmt.Printf("attempts        : %d (%d retries, failover=%v, completed=%v)\n",
+				rep.Attempts, rep.Retries, rep.FailedOver, rep.Completed)
+			fmt.Printf("fault overhead  : %.4gs backoff, %.4gs migration\n",
+				rep.BackoffSeconds, rep.MigrationSeconds)
+			for _, e := range rep.FaultEvents {
+				fmt.Printf("  fault: %s\n", e)
+			}
+		}
+		for _, e := range rep.FallbackEvents {
+			fmt.Printf("  predictor fallback: %s\n", e)
+		}
 		fmt.Printf("GPU-only        : %.6gs (%s)\n", bl.GPUOnly.Seconds, bl.GPUOnlyM)
 		fmt.Printf("multicore-only  : %.6gs (%s)\n", bl.MulticoreOnly.Seconds, bl.MulticoreM)
 		fmt.Printf("ideal           : %.6gs (%s)\n", bl.Ideal.Seconds, bl.IdealM)
@@ -171,58 +214,79 @@ type systemOptions struct {
 	directed          bool
 }
 
-func buildSystem(o systemOptions) (*heteromap.System, *heteromap.Workload, error) {
-	predictor, dbPath, energy := o.predictor, o.dbPath, o.energy
-	pair := heteromap.PrimaryPair()
-	obj := heteromap.Performance
-	if energy {
-		obj = heteromap.Energy
-	}
-	var pred heteromap.Predictor
-	switch predictor {
+// newPredictor constructs the predictor the flags ask for.
+func newPredictor(o systemOptions, pair heteromap.Pair) (heteromap.Predictor, error) {
+	switch o.predictor {
 	case "tree":
-		pred = heteromap.NewDecisionTree(pair)
+		return heteromap.NewDecisionTree(pair), nil
 	case "db":
-		if dbPath == "" {
-			return nil, nil, fmt.Errorf("-predictor db requires -db <file> (write one with hmtrain -out)")
+		if o.dbPath == "" {
+			return nil, fmt.Errorf("-predictor db requires -db <file> (write one with hmtrain -out)")
 		}
-		f, err := os.Open(dbPath)
+		f, err := os.Open(o.dbPath)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		db, err := train.LoadDB(f)
 		f.Close()
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		pred = train.NewLookupPredictor(db)
+		return train.NewLookupPredictor(db), nil
 	case "deep":
 		deep := heteromap.NewDeepPredictor(pair, 128)
 		cfg := heteromap.FastTraining()
 		cfg.Objective = core.Energy
-		if !energy {
+		if !o.energy {
 			cfg.Objective = core.Performance
 		}
 		db := heteromap.BuildTrainingDB(pair, cfg)
 		if err := deep.Train(db.Samples); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		pred = deep
+		return deep, nil
 	default:
-		return nil, nil, fmt.Errorf("unknown predictor %q (want tree, deep, or db)", predictor)
+		return nil, fmt.Errorf("unknown predictor %q (want tree, deep, or db)", o.predictor)
+	}
+}
+
+// newSystem assembles the runtime the flags describe, with the decision
+// tree installed as a predictor fallback when it is not already primary.
+func newSystem(o systemOptions) (*heteromap.System, error) {
+	pair := heteromap.PrimaryPair()
+	obj := heteromap.Performance
+	if o.energy {
+		obj = heteromap.Energy
+	}
+	pred, err := newPredictor(o, pair)
+	if err != nil {
+		return nil, err
 	}
 	sys := heteromap.NewSystem(pair, pred, obj)
+	if o.predictor != "tree" {
+		sys.WithFallbacks(heteromap.NewDecisionTree(pair))
+	}
+	return sys, nil
+}
 
+// resolveDataset picks the catalog dataset or loads the user edge list.
+func resolveDataset(o systemOptions) (*heteromap.Dataset, error) {
+	if o.edgeList != "" {
+		return heteromap.LoadEdgeListFile(o.edgeList, !o.directed)
+	}
+	return heteromap.DatasetByName(heteromap.Datasets(o.large), o.input)
+}
+
+func buildSystem(o systemOptions) (*heteromap.System, *heteromap.Workload, error) {
+	sys, err := newSystem(o)
+	if err != nil {
+		return nil, nil, err
+	}
 	b, err := heteromap.BenchmarkByName(o.bench)
 	if err != nil {
 		return nil, nil, err
 	}
-	var ds *heteromap.Dataset
-	if o.edgeList != "" {
-		ds, err = heteromap.LoadEdgeListFile(o.edgeList, !o.directed)
-	} else {
-		ds, err = heteromap.DatasetByName(heteromap.Datasets(o.large), o.input)
-	}
+	ds, err := resolveDataset(o)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -233,7 +297,42 @@ func buildSystem(o systemOptions) (*heteromap.System, *heteromap.Workload, error
 	return sys, w, nil
 }
 
+// runBatch schedules every benchmark on one dataset and prints the batch
+// strategy comparison; under -chaos it adds the failure-aware plan.
+func runBatch(o systemOptions, chaos bool, rate float64, seed int64) error {
+	sys, err := newSystem(o)
+	if err != nil {
+		return err
+	}
+	ds, err := resolveDataset(o)
+	if err != nil {
+		return err
+	}
+	var ws []*core.Workload
+	for _, b := range heteromap.Benchmarks() {
+		w, err := sys.Characterize(b, ds)
+		if err != nil {
+			return err
+		}
+		ws = append(ws, w)
+	}
+	fmt.Printf("batch: %d benchmarks on %s\n", len(ws), ds.Short)
+	pair, pred := sys.Pair(), sys.Predictor()
+	for _, plan := range sched.Compare(pair, pred, ws) {
+		fmt.Println(plan)
+	}
+	if chaos {
+		inj := heteromap.NewChaosInjector(seed, rate)
+		plan := sched.AssignResilient(pair, pred, ws, inj, heteromap.DefaultFaultPolicy())
+		fmt.Printf("%s (chaos rate %.2g, seed %d)\n", plan, rate, seed)
+		if plan.Incomplete > 0 {
+			return fmt.Errorf("batch lost %d jobs under chaos", plan.Incomplete)
+		}
+	}
+	return nil
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: heteromap <characterize|predict|run|sweep|phased|explain|list> [flags]
+	fmt.Fprintln(os.Stderr, `usage: heteromap <characterize|predict|run|batch|sweep|phased|explain|list> [flags]
 run "heteromap <cmd> -h" for flags`)
 }

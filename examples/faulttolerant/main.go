@@ -1,0 +1,80 @@
+// Fault-tolerant example: operate the multi-accelerator system when
+// things go wrong. Three scenarios:
+//
+//  1. A broken predictor (emitting NaN machine choices) degrades through
+//     the fallback chain — trained model -> decision tree -> fixed
+//     choice — instead of crashing or deploying garbage.
+//  2. A chaos sweep injects transient failures, thermal slowdown and
+//     memory-capacity loss at increasing rates; retries, backoff and
+//     failover keep every job completing, with the honest makespan cost
+//     charged and reported.
+//  3. A persistently dead GPU trips its circuit breaker, so the batch
+//     reroutes to the multicore instead of burning retries on every job.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"heteromap"
+	"heteromap/internal/algo"
+	"heteromap/internal/config"
+	"heteromap/internal/core"
+	"heteromap/internal/feature"
+	"heteromap/internal/gen"
+	"heteromap/internal/sched"
+)
+
+// brokenPredictor stands in for a mistrained model whose weights turned
+// to NaN: every prediction is poisoned.
+type brokenPredictor struct{}
+
+func (brokenPredictor) Name() string { return "Deep.128 (corrupted)" }
+func (brokenPredictor) Predict(feature.Vector) config.M {
+	return config.M{Accelerator: config.GPU, PlaceCore: math.NaN()}
+}
+
+func main() {
+	pair := heteromap.PrimaryPair()
+	tree := heteromap.NewDecisionTree(pair)
+
+	ws, err := core.CharacterizeAll(algo.All(), gen.TableICached(gen.Small))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Scenario 1: predictor degradation chain.
+	fmt.Println("--- predictor fallback chain ---")
+	sys := heteromap.NewSystem(pair, brokenPredictor{}, heteromap.Performance).
+		WithFallbacks(tree)
+	rep := sys.Run(ws[0])
+	fmt.Printf("%s: primary predictor poisoned, scheduled by %q on %s\n",
+		ws[0].Name(), rep.PredictorUsed, rep.Chosen.Accelerator)
+	for _, e := range rep.FallbackEvents {
+		fmt.Printf("  fallback: %s\n", e)
+	}
+
+	// Scenario 2: chaos sweep over the whole batch.
+	fmt.Println("\n--- chaos sweep (81 jobs) ---")
+	pol := heteromap.DefaultFaultPolicy()
+	for _, rate := range []float64{0, 0.1, 0.3} {
+		var inj *heteromap.FaultInjector
+		if rate > 0 {
+			inj = heteromap.NewChaosInjector(42, rate)
+		}
+		plan := sched.AssignResilient(pair, tree, ws, inj, pol)
+		fmt.Printf("rate %.1f: makespan %.4gs, %d retries, %d failovers, %d lost, %.4gs fault time\n",
+			rate, plan.Makespan, plan.Retries, plan.Failovers, plan.Incomplete, plan.FaultSeconds)
+	}
+
+	// Scenario 3: a dead GPU and the circuit breaker.
+	fmt.Println("\n--- dead GPU: circuit breaker + failover ---")
+	dead := heteromap.NewFaultInjector(7).
+		SetProfile(config.GPU, heteromap.FaultProfile{TransientRate: 1})
+	pol.BreakerThreshold = 2
+	plan := sched.AssignResilient(pair, tree, ws, dead, pol)
+	fmt.Println(plan)
+	fmt.Printf("every job completed on the multicore: %v (GPU jobs: %d)\n",
+		plan.Incomplete == 0, len(plan.GPUJobs))
+}

@@ -36,6 +36,7 @@ import (
 	"heteromap/internal/algo"
 	"heteromap/internal/config"
 	"heteromap/internal/core"
+	"heteromap/internal/fault"
 	"heteromap/internal/feature"
 	"heteromap/internal/gen"
 	"heteromap/internal/graph"
@@ -82,6 +83,18 @@ type (
 	TrainingDB = train.DB
 	// Objective selects performance or energy optimization.
 	Objective = core.Objective
+
+	// FaultProfile describes one accelerator's injected fault behaviour
+	// (transient failures, thermal slowdown, memory-capacity loss).
+	FaultProfile = fault.Profile
+	// FaultInjector deterministically injects faults into executions.
+	FaultInjector = fault.Injector
+	// FaultPolicy configures retries, backoff, circuit breaking and
+	// migration costs for resilient execution.
+	FaultPolicy = fault.Policy
+	// FixedChoice is the degenerate always-one-M predictor (the final
+	// link of every fallback chain).
+	FixedChoice = core.FixedChoice
 )
 
 // Objectives.
@@ -150,13 +163,13 @@ func DatasetByName(datasets []*Dataset, short string) (*Dataset, error) {
 func LoadEdgeListFile(path string, undirected bool) (*Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("heteromap: load edge list: %w", err)
 	}
 	defer f.Close()
 	name := filepath.Base(path)
 	g, err := graph.ReadEdgeList(f, strings.TrimSuffix(name, filepath.Ext(name)), 0, undirected)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("heteromap: load edge list %s: %w", path, err)
 	}
 	return feature.DatasetFromGraph(g), nil
 }
@@ -181,6 +194,24 @@ func Pairs() []Pair { return machine.AllPairs() }
 
 // NewDecisionTree builds the Section IV analytical predictor for a pair.
 func NewDecisionTree(p Pair) Predictor { return dtree.New(p.Limits()) }
+
+// NewFaultInjector builds a fault injector with no active profiles; use
+// SetProfile to break individual accelerators.
+func NewFaultInjector(seed int64) *FaultInjector { return fault.NewInjector(seed) }
+
+// NewChaosInjector builds an injector degrading both accelerators at the
+// given fault rate (the -chaos flag's engine): transient failures at the
+// rate, plus rate-scaled slowdown and memory-capacity loss.
+func NewChaosInjector(seed int64, rate float64) *FaultInjector {
+	return fault.NewChaosInjector(seed, rate)
+}
+
+// ChaosProfile returns the per-accelerator fault profile NewChaosInjector
+// installs for a rate.
+func ChaosProfile(rate float64) FaultProfile { return fault.ScaledProfile(rate) }
+
+// DefaultFaultPolicy is the retry/backoff/breaker policy used by -chaos.
+func DefaultFaultPolicy() FaultPolicy { return fault.DefaultPolicy() }
 
 // NewDeepPredictor builds an untrained feed-forward network with the
 // given hidden width (paper: 16/32/64/128; 128 is the selected model).
@@ -220,7 +251,10 @@ func NewSystem(p Pair, pred Predictor, obj Objective) *System {
 }
 
 // NewDefaultSystem builds the primary pair with a freshly trained deep
-// predictor (fast training configuration) optimizing performance.
+// predictor (fast training configuration) optimizing performance. The
+// analytical decision tree is installed as a fallback: if the trained
+// network ever panics or emits a non-finite M, scheduling degrades to
+// the tree (and finally to a fixed multicore choice) instead of failing.
 func NewDefaultSystem() (*System, error) {
 	pair := PrimaryPair()
 	deep := NewDeepPredictor(pair, 128)
@@ -228,7 +262,7 @@ func NewDefaultSystem() (*System, error) {
 	if err := deep.Train(db.Samples); err != nil {
 		return nil, err
 	}
-	return NewSystem(pair, deep, Performance), nil
+	return NewSystem(pair, deep, Performance).WithFallbacks(NewDecisionTree(pair)), nil
 }
 
 // Pair returns the system's accelerator pair.
@@ -243,8 +277,24 @@ func (s *System) Characterize(bench Benchmark, ds *Dataset) (*Workload, error) {
 	return core.Characterize(bench, ds)
 }
 
+// WithFallbacks installs predictors consulted (in order) when the
+// primary predictor panics or emits an invalid M, and returns the system
+// for chaining. The chain always ends in a fixed deployable choice.
+func (s *System) WithFallbacks(ps ...Predictor) *System {
+	s.inner.WithFallbacks(ps...)
+	return s
+}
+
 // Run deploys an already characterized workload.
 func (s *System) Run(w *Workload) RunReport { return s.inner.Run(w) }
+
+// RunResilient deploys a workload under injected faults: transient
+// failures are retried with capped exponential backoff and failed over
+// to the other accelerator, with every retry, wait and migration charged
+// into the report's TotalSeconds. A nil injector injects nothing.
+func (s *System) RunResilient(w *Workload, inj *FaultInjector, pol FaultPolicy) RunReport {
+	return s.inner.RunResilient(w, inj, pol, nil)
+}
 
 // Schedule characterizes and deploys a benchmark on a named Table I
 // dataset in one call.

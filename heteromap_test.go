@@ -2,6 +2,7 @@ package heteromap
 
 import (
 	"os"
+	"strings"
 	"sync"
 	"testing"
 
@@ -175,6 +176,33 @@ func TestLoadEdgeListFile(t *testing.T) {
 	// Missing files error.
 	if _, err := LoadEdgeListFile(dir+"/missing.el", true); err == nil {
 		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestLoadEdgeListFileMalformed(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct{ name, content, want string }{
+		{"garbage.el", "0 1\nnot an edge\n", "line 2"},
+		{"negative.el", "0 1\n-3 4\n", "negative vertex id"},
+		{"empty.el", "", "empty edge list"},
+	}
+	for _, c := range cases {
+		path := dir + "/" + c.name
+		if err := writeFile(path, c.content); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadEdgeListFile(path, true)
+		if err == nil {
+			t.Errorf("%s: malformed edge list accepted", c.name)
+			continue
+		}
+		// The error must name the file and the failure.
+		if !strings.Contains(err.Error(), path) {
+			t.Errorf("%s: error %q does not name the path", c.name, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.want)
+		}
 	}
 }
 

@@ -147,6 +147,67 @@ func (m M) Clamp(l Limits) M {
 // and M3.
 func (m M) MulticoreThreads() int { return m.Cores * m.ThreadsPerCore }
 
+// Validate reports whether the configuration is sane enough to deploy:
+// every float knob must be finite and the enumerated choices must name
+// real alternatives. Clamp silently repairs out-of-range values (the
+// paper's ceiling rule), but a non-finite or out-of-enum value signals a
+// broken predictor (NaN weights from an undertrained network), and the
+// fallback chain uses this check to reject the prediction instead of
+// laundering it through the clamp.
+func (m M) Validate(l Limits) error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"PlaceCore", m.PlaceCore},
+		{"PlaceThread", m.PlaceThread},
+		{"PlaceOffset", m.PlaceOffset},
+		{"Affinity", m.Affinity},
+	} {
+		if math.IsNaN(f.v) {
+			return fmt.Errorf("config: %s is NaN", f.name)
+		}
+		if math.IsInf(f.v, 0) {
+			return fmt.Errorf("config: %s is infinite", f.name)
+		}
+	}
+	if m.Accelerator != GPU && m.Accelerator != Multicore {
+		return fmt.Errorf("config: invalid accelerator choice %d", int(m.Accelerator))
+	}
+	if m.Schedule < 0 || m.Schedule >= numSchedules {
+		return fmt.Errorf("config: invalid schedule kind %d", int(m.Schedule))
+	}
+	return nil
+}
+
+// ForceAccelerator retargets m onto the given accelerator. When the
+// prediction configured the other side, the newly selected side's
+// hardware knobs are filled with deployable defaults — the completion
+// rule that batch scheduling, phased planning and failover share.
+func (m M) ForceAccelerator(side Accel, l Limits) M {
+	l = l.withDefaults()
+	out := m
+	out.Accelerator = side
+	if m.Accelerator != side {
+		if side == Multicore {
+			d := DefaultMulticore(l)
+			out.Cores, out.ThreadsPerCore, out.SIMDWidth = d.Cores, d.ThreadsPerCore, d.SIMDWidth
+		} else {
+			d := DefaultGPU(l)
+			out.GlobalThreads, out.LocalThreads = d.GlobalThreads, d.LocalThreads
+		}
+	}
+	return out.Clamp(l)
+}
+
+// Other returns the opposite accelerator choice.
+func (a Accel) Other() Accel {
+	if a == GPU {
+		return Multicore
+	}
+	return GPU
+}
+
 // Normalize encodes the configuration as a NumVariables-long vector with
 // every component in [0,1]; this is the output representation the
 // learners are trained on.
@@ -157,10 +218,10 @@ func (m M) Normalize(l Limits) [NumVariables]float64 {
 	v[1] = ratio(m.Cores, l.MaxCores)
 	v[2] = ratio(m.ThreadsPerCore, l.MaxThreadsPerCore)
 	v[3] = ratio(m.BlocktimeMS, l.MaxBlocktimeMS)
-	v[4] = m.PlaceCore
-	v[5] = m.PlaceThread
-	v[6] = m.PlaceOffset
-	v[7] = m.Affinity
+	v[4] = clampF(m.PlaceCore, 0, 1)
+	v[5] = clampF(m.PlaceThread, 0, 1)
+	v[6] = clampF(m.PlaceOffset, 0, 1)
+	v[7] = clampF(m.Affinity, 0, 1)
 	v[8] = boolF(m.ActiveWait)
 	v[9] = ratio(m.SIMDWidth, l.MaxSIMD)
 	v[10] = float64(m.Schedule) / float64(numSchedules-1)
@@ -263,6 +324,12 @@ func clampInt(x, lo, hi int) int {
 }
 
 func clampF(x, lo, hi float64) float64 {
+	// NaN compares false against everything, so without this guard a
+	// non-finite predictor output would pass through the clamp unchanged
+	// and poison the machine model downstream.
+	if math.IsNaN(x) {
+		return lo
+	}
 	if x < lo {
 		return lo
 	}

@@ -1,0 +1,134 @@
+package config
+
+import (
+	"math"
+	"testing"
+)
+
+// nonFiniteMs enumerates configurations a broken predictor could emit:
+// each float knob poisoned with NaN, +Inf and -Inf in turn.
+func nonFiniteMs() []M {
+	var out []M
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		for field := 0; field < 4; field++ {
+			m := DefaultMulticore(testLimits())
+			switch field {
+			case 0:
+				m.PlaceCore = bad
+			case 1:
+				m.PlaceThread = bad
+			case 2:
+				m.PlaceOffset = bad
+			case 3:
+				m.Affinity = bad
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func TestValidateRejectsNonFinite(t *testing.T) {
+	l := testLimits()
+	for i, m := range nonFiniteMs() {
+		if err := m.Validate(l); err == nil {
+			t.Errorf("case %d: non-finite M validated", i)
+		}
+	}
+	if err := DefaultMulticore(l).Validate(l); err != nil {
+		t.Errorf("default multicore invalid: %v", err)
+	}
+	if err := DefaultGPU(l).Validate(l); err != nil {
+		t.Errorf("default GPU invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadEnums(t *testing.T) {
+	l := testLimits()
+	m := DefaultMulticore(l)
+	m.Schedule = Schedule(99)
+	if err := m.Validate(l); err == nil {
+		t.Error("invalid schedule validated")
+	}
+	m = DefaultGPU(l)
+	m.Accelerator = Accel(7)
+	if err := m.Validate(l); err == nil {
+		t.Error("invalid accelerator validated")
+	}
+}
+
+func TestClampSanitizesNonFinite(t *testing.T) {
+	l := testLimits()
+	for i, m := range nonFiniteMs() {
+		c := m.Clamp(l)
+		for name, v := range map[string]float64{
+			"PlaceCore": c.PlaceCore, "PlaceThread": c.PlaceThread,
+			"PlaceOffset": c.PlaceOffset, "Affinity": c.Affinity,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+				t.Errorf("case %d: Clamp left %s = %v", i, name, v)
+			}
+		}
+	}
+}
+
+func TestNormalizeSanitizesNonFinite(t *testing.T) {
+	l := testLimits()
+	for i, m := range nonFiniteMs() {
+		v := m.Normalize(l)
+		for j, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 || x > 1 {
+				t.Errorf("case %d: Normalize[%d] = %v", i, j, x)
+			}
+		}
+	}
+}
+
+func TestFromNormalizedNonFiniteVector(t *testing.T) {
+	l := testLimits()
+	var v [NumVariables]float64
+	for i := range v {
+		switch i % 3 {
+		case 0:
+			v[i] = math.NaN()
+		case 1:
+			v[i] = math.Inf(1)
+		default:
+			v[i] = math.Inf(-1)
+		}
+	}
+	m := FromNormalized(v, l)
+	if err := m.Validate(l); err != nil {
+		t.Fatalf("FromNormalized on non-finite vector produced invalid M: %v", err)
+	}
+	if m.Cores < 1 || m.Cores > l.MaxCores || m.GlobalThreads < 1 {
+		t.Fatalf("FromNormalized produced undeployable ints: %+v", m)
+	}
+}
+
+func TestForceAccelerator(t *testing.T) {
+	l := testLimits()
+	gpuM := DefaultGPU(l)
+
+	mc := gpuM.ForceAccelerator(Multicore, l)
+	if mc.Accelerator != Multicore {
+		t.Fatal("not retargeted")
+	}
+	if mc.Cores != l.MaxCores || mc.ThreadsPerCore != l.MaxThreadsPerCore {
+		t.Fatalf("multicore side not filled with defaults: %+v", mc)
+	}
+
+	back := mc.ForceAccelerator(GPU, l)
+	if back.Accelerator != GPU {
+		t.Fatal("not retargeted back")
+	}
+	if back.GlobalThreads != l.MaxGlobalThreads || back.LocalThreads != l.MaxLocalThreads {
+		t.Fatalf("GPU side not filled with defaults: %+v", back)
+	}
+
+	// Same-side forcing keeps the knobs (modulo clamping).
+	same := gpuM.ForceAccelerator(GPU, l)
+	if same != gpuM {
+		t.Fatalf("same-side force changed config: %+v vs %+v", same, gpuM)
+	}
+}

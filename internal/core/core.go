@@ -15,6 +15,7 @@ import (
 
 	"heteromap/internal/algo"
 	"heteromap/internal/config"
+	"heteromap/internal/fault"
 	"heteromap/internal/feature"
 	"heteromap/internal/gen"
 	"heteromap/internal/graph"
@@ -101,11 +102,19 @@ const (
 )
 
 // System is a configured HeteroMap deployment: an accelerator pair plus a
-// predictor.
+// predictor, optionally backed by fallback predictors forming a graceful
+// degradation chain.
 type System struct {
 	Pair      machine.Pair
 	Predictor predict.Predictor
 	Objective Objective
+
+	// Fallbacks are consulted in order when the primary predictor
+	// panics or emits a non-finite/invalid M (e.g. a trained NN backed
+	// by the analytical decision tree); the chain always terminates in
+	// a fixed deployable default, so Run never trusts an M vector
+	// unconditionally.
+	Fallbacks []predict.Predictor
 
 	// overheadOnce caches the measured predictor inference overhead.
 	overheadOnce sync.Once
@@ -117,6 +126,22 @@ func NewSystem(pair machine.Pair, p predict.Predictor, obj Objective) *System {
 	return &System{Pair: pair, Predictor: p, Objective: obj}
 }
 
+// WithFallbacks installs the degradation chain behind the primary
+// predictor and returns the system for chaining.
+func (s *System) WithFallbacks(ps ...predict.Predictor) *System {
+	s.Fallbacks = ps
+	return s
+}
+
+// Chain materializes the system's predictor fallback chain (primary,
+// then fallbacks, then the built-in FixedChoice default).
+func (s *System) Chain() *fault.Chain {
+	preds := make([]predict.Predictor, 0, 1+len(s.Fallbacks))
+	preds = append(preds, s.Predictor)
+	preds = append(preds, s.Fallbacks...)
+	return fault.NewChain(s.Pair.Limits(), preds...)
+}
+
 // RunReport is the outcome of one scheduled execution.
 type RunReport struct {
 	Workload *Workload
@@ -125,9 +150,36 @@ type RunReport struct {
 	// PredictOverhead is the measured wall-clock inference cost of the
 	// predictor, which the paper adds to completion time.
 	PredictOverhead time.Duration
-	// TotalSeconds is simulated completion time plus predictor overhead.
+	// TotalSeconds is simulated completion time plus predictor overhead
+	// — including, for resilient runs, every failed attempt, backoff
+	// wait and migration.
 	TotalSeconds float64
+
+	// PredictorUsed names the chain link that produced Chosen; it only
+	// differs from the primary predictor's name when the chain degraded.
+	PredictorUsed string
+	// FallbackEvents records each predictor failure that forced the
+	// chain to degrade, in order.
+	FallbackEvents []string
+
+	// Attempts counts execution attempts (1 for fault-free runs);
+	// Retries counts the attempts beyond the first on each side.
+	Attempts int
+	Retries  int
+	// FailedOver reports the job migrated to the other accelerator.
+	FailedOver bool
+	// Completed is false only when every attempt on both sides failed.
+	Completed bool
+	// BackoffSeconds and MigrationSeconds itemize resilience overhead
+	// already included in TotalSeconds.
+	BackoffSeconds   float64
+	MigrationSeconds float64
+	// FaultEvents narrates injected faults and recovery decisions.
+	FaultEvents []string
 }
+
+// Degraded reports whether the predictor fallback chain was exercised.
+func (r RunReport) Degraded() bool { return len(r.FallbackEvents) > 0 }
 
 // Metric returns the report's value under an objective.
 func (r RunReport) Metric(obj Objective) float64 {
@@ -138,22 +190,64 @@ func (r RunReport) Metric(obj Objective) float64 {
 }
 
 // Run characterizes nothing — it deploys an already characterized
-// workload: predict M, simulate on the chosen accelerator, add overhead.
+// workload: predict M through the fallback chain, simulate on the chosen
+// accelerator, add overhead. The prediction is validated (never trusted
+// unconditionally): a panicking predictor or a non-finite M degrades to
+// the next chain link instead of crashing or poisoning the machine model.
 func (s *System) Run(w *Workload) RunReport {
 	start := time.Now()
-	m := s.Predictor.Predict(w.Features)
+	sel := s.Chain().Select(w.Features)
 	elapsed := time.Since(start)
 	ov := s.PredictorOverhead()
 	if elapsed > ov {
 		ov = elapsed
 	}
-	rep := s.Pair.Select(m.Accelerator).Evaluate(w.Job, m)
+	rep := s.Pair.Select(sel.M.Accelerator).Evaluate(w.Job, sel.M)
 	return RunReport{
 		Workload:        w,
-		Chosen:          m,
+		Chosen:          sel.M,
 		Machine:         rep,
 		PredictOverhead: ov,
 		TotalSeconds:    rep.Seconds + ov.Seconds(),
+		PredictorUsed:   sel.Used,
+		FallbackEvents:  sel.Fallbacks,
+		Attempts:        1,
+		Completed:       true,
+	}
+}
+
+// RunResilient deploys a workload under fault injection: the prediction
+// flows through the fallback chain, and execution retries transient
+// failures with capped exponential backoff, failing over to the other
+// accelerator when retries are exhausted or its circuit breaker is open.
+// All retry, backoff and migration time is charged into TotalSeconds so
+// degraded runs stay honestly comparable with the paper baselines. A nil
+// injector injects nothing; a nil brs tracks health for this run only
+// (pass a shared *fault.Breakers to persist health across a batch).
+func (s *System) RunResilient(w *Workload, inj *fault.Injector, pol fault.Policy, brs *fault.Breakers) RunReport {
+	start := time.Now()
+	sel := s.Chain().Select(w.Features)
+	elapsed := time.Since(start)
+	ov := s.PredictorOverhead()
+	if elapsed > ov {
+		ov = elapsed
+	}
+	res := fault.Execute(s.Pair, s.Pair.Limits(), sel.M, w.Job, w.Name(), inj, pol, brs)
+	return RunReport{
+		Workload:         w,
+		Chosen:           res.FinalM,
+		Machine:          res.Report,
+		PredictOverhead:  ov,
+		TotalSeconds:     res.TotalSeconds() + ov.Seconds(),
+		PredictorUsed:    sel.Used,
+		FallbackEvents:   sel.Fallbacks,
+		Attempts:         res.Attempts,
+		Retries:          res.Retries,
+		FailedOver:       res.FailedOver,
+		Completed:        res.Completed,
+		BackoffSeconds:   res.BackoffSeconds,
+		MigrationSeconds: res.MigrationSeconds,
+		FaultEvents:      res.Events,
 	}
 }
 

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"heteromap/internal/algo"
+	"heteromap/internal/config"
+	"heteromap/internal/fault"
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict/dtree"
+)
+
+// nanPredictor simulates a broken trained model emitting non-finite M.
+type nanPredictor struct{}
+
+func (nanPredictor) Name() string { return "Deep.128" }
+func (nanPredictor) Predict(feature.Vector) config.M {
+	return config.M{Accelerator: config.GPU, PlaceCore: math.NaN()}
+}
+
+// panicPredictor simulates a predictor crashing outright.
+type panicPredictor struct{}
+
+func (panicPredictor) Name() string                    { return "Crashy" }
+func (panicPredictor) Predict(feature.Vector) config.M { panic("model corrupted") }
+
+func resilientWorkload(t *testing.T) *Workload {
+	t.Helper()
+	b, _ := algo.ByName(algo.NameSSSPBF)
+	w, err := Characterize(b, testDataset(t, "CA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRunFallsBackOnNaNPredictor(t *testing.T) {
+	pair := machine.PrimaryPair()
+	tree := dtree.New(pair.Limits())
+	sys := NewSystem(pair, nanPredictor{}, Performance).WithFallbacks(tree)
+	w := resilientWorkload(t)
+	rep := sys.Run(w)
+	if rep.PredictorUsed != tree.Name() {
+		t.Fatalf("used %q, want fallback %q", rep.PredictorUsed, tree.Name())
+	}
+	if !rep.Degraded() || len(rep.FallbackEvents) != 1 {
+		t.Fatalf("fallback not recorded: %v", rep.FallbackEvents)
+	}
+	if err := rep.Chosen.Validate(pair.Limits()); err != nil {
+		t.Fatalf("degraded M invalid: %v", err)
+	}
+	if rep.Machine.Seconds <= 0 || !rep.Completed {
+		t.Fatalf("degraded run did not execute: %+v", rep)
+	}
+}
+
+func TestRunExhaustedChainUsesFixedChoice(t *testing.T) {
+	pair := machine.PrimaryPair()
+	sys := NewSystem(pair, nanPredictor{}, Performance).WithFallbacks(panicPredictor{})
+	w := resilientWorkload(t)
+	rep := sys.Run(w)
+	if rep.PredictorUsed != "FixedChoice" {
+		t.Fatalf("used %q, want FixedChoice", rep.PredictorUsed)
+	}
+	if len(rep.FallbackEvents) != 2 {
+		t.Fatalf("fallback events: %v", rep.FallbackEvents)
+	}
+	if rep.Machine.Seconds <= 0 {
+		t.Fatal("fixed-choice run did not execute")
+	}
+}
+
+func TestRunHealthyPredictorUnchanged(t *testing.T) {
+	// With a healthy primary, the chain must be invisible: same M and
+	// simulated time as the pre-resilience pipeline.
+	pair := machine.PrimaryPair()
+	tree := dtree.New(pair.Limits())
+	sys := NewSystem(pair, tree, Performance).WithFallbacks()
+	w := resilientWorkload(t)
+	rep := sys.Run(w)
+	if rep.Degraded() || rep.PredictorUsed != tree.Name() {
+		t.Fatalf("healthy run degraded: %+v", rep.FallbackEvents)
+	}
+	want := tree.Predict(w.Features)
+	if rep.Chosen != want {
+		t.Fatalf("chain changed the prediction: %+v vs %+v", rep.Chosen, want)
+	}
+	clean := pair.Select(want.Accelerator).Evaluate(w.Job, want)
+	if rep.Machine.Seconds != clean.Seconds {
+		t.Fatal("chain changed the simulated time")
+	}
+}
+
+func TestRunResilientFaultFreeMatchesRun(t *testing.T) {
+	pair := machine.PrimaryPair()
+	sys := NewSystem(pair, dtree.New(pair.Limits()), Performance)
+	w := resilientWorkload(t)
+	plain := sys.Run(w)
+	res := sys.RunResilient(w, nil, fault.DefaultPolicy(), nil)
+	if !res.Completed || res.FailedOver || res.Retries != 0 {
+		t.Fatalf("fault-free resilient run degraded: %+v", res)
+	}
+	if res.Machine.Seconds != plain.Machine.Seconds {
+		t.Fatalf("fault-free resilient time %v, plain %v",
+			res.Machine.Seconds, plain.Machine.Seconds)
+	}
+	if res.Chosen != plain.Chosen {
+		t.Fatal("resilient path changed the fault-free prediction")
+	}
+}
+
+func TestRunResilientChargesFaults(t *testing.T) {
+	pair := machine.PrimaryPair()
+	sys := NewSystem(pair, dtree.New(pair.Limits()), Performance)
+	w := resilientWorkload(t)
+	clean := sys.RunResilient(w, nil, fault.DefaultPolicy(), nil)
+
+	inj := fault.NewChaosInjector(11, 0.4)
+	brs := fault.NewBreakers(fault.DefaultPolicy())
+	chaos := sys.RunResilient(w, inj, fault.DefaultPolicy(), brs)
+	if !chaos.Completed {
+		t.Fatalf("lost job at rate 0.4: %v", chaos.FaultEvents)
+	}
+	// Chaos can only add time: every failed attempt, backoff and
+	// migration is charged on top of the final attempt.
+	if chaos.TotalSeconds < clean.TotalSeconds {
+		t.Fatalf("chaos total %v below clean %v", chaos.TotalSeconds, clean.TotalSeconds)
+	}
+	if chaos.Retries > 0 && chaos.BackoffSeconds <= 0 {
+		t.Fatal("retries without backoff charge")
+	}
+	if chaos.FailedOver && chaos.MigrationSeconds <= 0 {
+		t.Fatal("failover without migration charge")
+	}
+}
+
+func TestRunResilientFailsOverOnDeadSide(t *testing.T) {
+	pair := machine.PrimaryPair()
+	tree := dtree.New(pair.Limits())
+	sys := NewSystem(pair, tree, Performance)
+	w := resilientWorkload(t)
+	predicted := tree.Predict(w.Features).Accelerator
+
+	inj := fault.NewInjector(3).SetProfile(predicted, fault.Profile{TransientRate: 1})
+	rep := sys.RunResilient(w, inj, fault.DefaultPolicy(), nil)
+	if !rep.Completed || !rep.FailedOver {
+		t.Fatalf("dead predicted side not failed over: %+v", rep)
+	}
+	if rep.Chosen.Accelerator != predicted.Other() {
+		t.Fatalf("final side %v, want %v", rep.Chosen.Accelerator, predicted.Other())
+	}
+	if err := rep.Chosen.Validate(pair.Limits()); err != nil {
+		t.Fatalf("failover M invalid: %v", err)
+	}
+	found := false
+	for _, e := range rep.FaultEvents {
+		if strings.Contains(e, "failing over") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing failover event: %v", rep.FaultEvents)
+	}
+}

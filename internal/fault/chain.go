@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"fmt"
+
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/predict"
+)
+
+// Selection is the outcome of consulting a fallback chain: the chosen
+// configuration, which predictor produced it, and every degradation
+// event on the way there.
+type Selection struct {
+	// M is the deployable (validated and clamped) configuration.
+	M config.M
+	// Used names the predictor that produced M — the first link of the
+	// chain that returned a valid prediction.
+	Used string
+	// Fallbacks records each upstream predictor failure ("Deep.128:
+	// non-finite output ...") in chain order; empty when the primary
+	// predictor answered.
+	Fallbacks []string
+}
+
+// Degraded reports whether the primary predictor had to be bypassed.
+func (s Selection) Degraded() bool { return len(s.Fallbacks) > 0 }
+
+// Chain is a graceful predictor degradation sequence: each predictor is
+// tried in order (typically trained NN -> decision tree), and a
+// prediction is accepted only if the predictor neither panics nor emits
+// a non-finite/invalid M. When every predictor fails, the chain falls
+// back to a fixed deployable default, so Select never returns garbage
+// and never crashes the runtime.
+type Chain struct {
+	// Limits bound the deployable M ranges used for validation.
+	Limits config.Limits
+	// Predictors are tried in order; earlier entries are preferred.
+	Predictors []predict.Predictor
+	// DefaultLabel names the terminal fixed choice in reports.
+	DefaultLabel string
+	// Default is the safety-net configuration; NewChain initializes it
+	// to the untuned multicore default (the conservative side: it always
+	// fits and never needs GPU streaming).
+	Default config.M
+}
+
+// NewChain assembles a degradation chain over the given predictors.
+func NewChain(limits config.Limits, preds ...predict.Predictor) *Chain {
+	return &Chain{
+		Limits:       limits,
+		Predictors:   preds,
+		DefaultLabel: "FixedChoice",
+		Default:      config.DefaultMulticore(limits),
+	}
+}
+
+// Select walks the chain and returns the first valid prediction.
+func (c *Chain) Select(f feature.Vector) Selection {
+	var events []string
+	for _, p := range c.Predictors {
+		if p == nil {
+			continue
+		}
+		m, err := tryPredict(p, f)
+		if err == nil {
+			err = m.Validate(c.Limits)
+		}
+		if err != nil {
+			events = append(events, fmt.Sprintf("%s: %v", p.Name(), err))
+			continue
+		}
+		return Selection{M: m.Clamp(c.Limits), Used: p.Name(), Fallbacks: events}
+	}
+	return Selection{M: c.Default.Clamp(c.Limits), Used: c.DefaultLabel, Fallbacks: events}
+}
+
+// Name implements predict.Predictor, labelled by the primary link.
+func (c *Chain) Name() string {
+	for _, p := range c.Predictors {
+		if p != nil {
+			return p.Name()
+		}
+	}
+	return c.DefaultLabel
+}
+
+// Predict implements predict.Predictor, so a chain can stand in
+// anywhere a predictor is expected with the degradation behaviour
+// attached (the per-fallback events are dropped on this path — use
+// Select when they matter).
+func (c *Chain) Predict(f feature.Vector) config.M { return c.Select(f).M }
+
+// tryPredict consults one predictor, converting panics into errors and
+// preferring the checked interface when the predictor implements it.
+func tryPredict(p predict.Predictor, f feature.Vector) (m config.M, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("predictor panicked: %v", r)
+		}
+	}()
+	if cp, ok := p.(predict.Checked); ok {
+		return cp.PredictChecked(f)
+	}
+	return p.Predict(f), nil
+}

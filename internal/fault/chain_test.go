@@ -1,0 +1,95 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict/dtree"
+)
+
+// nanPredictor simulates an undertrained NN emitting non-finite M.
+type nanPredictor struct{}
+
+func (nanPredictor) Name() string { return "Deep.128" }
+func (nanPredictor) Predict(feature.Vector) config.M {
+	return config.M{Accelerator: config.GPU, PlaceCore: math.NaN(), Affinity: math.Inf(1)}
+}
+
+// panicPredictor simulates a predictor crashing outright.
+type panicPredictor struct{}
+
+func (panicPredictor) Name() string              { return "Crashy" }
+func (panicPredictor) Predict(feature.Vector) config.M { panic("model file corrupted") }
+
+func TestChainPrimaryHealthy(t *testing.T) {
+	limits := machine.PrimaryPair().Limits()
+	tree := dtree.New(limits)
+	c := NewChain(limits, tree)
+	sel := c.Select(feature.Vector{})
+	if sel.Used != tree.Name() || sel.Degraded() {
+		t.Fatalf("healthy primary bypassed: used=%q fallbacks=%v", sel.Used, sel.Fallbacks)
+	}
+	if err := sel.M.Validate(limits); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainFallsBackOnNaN(t *testing.T) {
+	limits := machine.PrimaryPair().Limits()
+	tree := dtree.New(limits)
+	c := NewChain(limits, nanPredictor{}, tree)
+	sel := c.Select(feature.Vector{})
+	if sel.Used != tree.Name() {
+		t.Fatalf("expected fallback to %q, used %q", tree.Name(), sel.Used)
+	}
+	if len(sel.Fallbacks) != 1 {
+		t.Fatalf("fallback events: %v", sel.Fallbacks)
+	}
+	if err := sel.M.Validate(limits); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainRecoversPanic(t *testing.T) {
+	limits := machine.PrimaryPair().Limits()
+	tree := dtree.New(limits)
+	c := NewChain(limits, panicPredictor{}, tree)
+	sel := c.Select(feature.Vector{})
+	if sel.Used != tree.Name() || len(sel.Fallbacks) != 1 {
+		t.Fatalf("panic not recovered into fallback: %+v", sel)
+	}
+}
+
+func TestChainExhaustedFallsToFixedChoice(t *testing.T) {
+	limits := machine.PrimaryPair().Limits()
+	c := NewChain(limits, nanPredictor{}, panicPredictor{})
+	sel := c.Select(feature.Vector{})
+	if sel.Used != c.DefaultLabel {
+		t.Fatalf("expected %q, used %q", c.DefaultLabel, sel.Used)
+	}
+	if len(sel.Fallbacks) != 2 {
+		t.Fatalf("fallback events: %v", sel.Fallbacks)
+	}
+	if err := sel.M.Validate(limits); err != nil {
+		t.Fatalf("fixed choice invalid: %v", err)
+	}
+	if sel.M.Accelerator != config.Multicore {
+		t.Fatal("fixed choice should be the conservative multicore default")
+	}
+}
+
+func TestChainAsPredictor(t *testing.T) {
+	limits := machine.PrimaryPair().Limits()
+	tree := dtree.New(limits)
+	c := NewChain(limits, nanPredictor{}, tree)
+	if c.Name() != "Deep.128" {
+		t.Fatalf("chain name %q", c.Name())
+	}
+	m := c.Predict(feature.Vector{})
+	if err := m.Validate(limits); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package fault
+
+import (
+	"fmt"
+
+	"heteromap/internal/config"
+	"heteromap/internal/machine"
+)
+
+// Result is the complete accounting of one resilient job execution:
+// which accelerator finally ran it, under what configuration, and every
+// simulated second the faults cost on each side.
+type Result struct {
+	// FinalM is the configuration of the last attempt.
+	FinalM config.M
+	// Side is the accelerator the job finally ran on.
+	Side config.Accel
+	// Report is the machine report of the final attempt (the successful
+	// one, or the last failed one for jobs that never completed).
+	Report machine.Report
+	// Attempts counts every execution attempt across both sides.
+	Attempts int
+	// Retries counts attempts beyond the first on each side.
+	Retries int
+	// FailedOver reports whether the job moved to the other accelerator
+	// (after exhausting retries, or because the circuit was open).
+	FailedOver bool
+	// Completed is false only when both sides exhausted their retries.
+	Completed bool
+	// BackoffSeconds is the total simulated backoff wait.
+	BackoffSeconds float64
+	// MigrationSeconds is the simulated dataset-transfer cost of
+	// failing over.
+	MigrationSeconds float64
+	// GPUSeconds and MCSeconds are the busy-time charges per side:
+	// every attempt (failed or not), its backoff waits, and the
+	// migration (charged to the receiving side).
+	GPUSeconds, MCSeconds float64
+	// Events narrates each fault and recovery decision in order.
+	Events []string
+}
+
+// TotalSeconds is the job's complete resilient completion time: all
+// attempts, waits and migrations on both sides (they serialize for a
+// single job).
+func (r Result) TotalSeconds() float64 { return r.GPUSeconds + r.MCSeconds }
+
+// LostSeconds is the time charged beyond the final attempt itself —
+// failed attempts, backoff waits and migration.
+func (r Result) LostSeconds() float64 {
+	lost := r.TotalSeconds() - r.Report.Seconds
+	if lost < 0 {
+		return 0
+	}
+	return lost
+}
+
+// Execute runs one job resiliently on the pair: try the predicted
+// accelerator with capped-exponential-backoff retries, then fail over to
+// the other accelerator (re-targeting m with the broken side masked out
+// of the decision) when retries are exhausted or the circuit breaker is
+// open. A nil injector means no faults; a nil brs tracks health for
+// this call only.
+func Execute(pair machine.Pair, limits config.Limits, m config.M, job machine.Job, key string, inj *Injector, pol Policy, brs *Breakers) Result {
+	pol = pol.withDefaults()
+	if brs == nil {
+		brs = NewBreakers(pol)
+	}
+	res := Result{FinalM: m, Side: m.Accelerator, Completed: false}
+
+	side := m.Accelerator
+	if !brs.Side(side).Allow() {
+		res.Events = append(res.Events,
+			fmt.Sprintf("%s circuit open: failing over without attempting", side))
+		res.FailedOver = true
+		side = side.Other()
+		m = m.ForceAccelerator(side, limits)
+		res.charge(side, res.migrate(pol, job))
+		// The healthy side must still run the job even if its own
+		// breaker is open — refusing both sides would lose the job.
+		brs.Side(side).Allow()
+	}
+
+	if res.attemptSide(pair, side, m, job, key, inj, pol, brs) {
+		return res
+	}
+
+	// Retries exhausted: mask the broken side out and re-deploy on the
+	// other accelerator.
+	res.Events = append(res.Events,
+		fmt.Sprintf("%s exhausted %d attempts: failing over", side, pol.MaxRetries+1))
+	res.FailedOver = true
+	other := side.Other()
+	m2 := m.ForceAccelerator(other, limits)
+	res.charge(other, res.migrate(pol, job))
+	brs.Side(other).Allow()
+	if !res.attemptSide(pair, other, m2, job, key, inj, pol, brs) {
+		res.Events = append(res.Events, "job failed on both accelerators")
+	}
+	return res
+}
+
+// attemptSide runs the retry loop on one accelerator; true on success.
+func (res *Result) attemptSide(pair machine.Pair, side config.Accel, m config.M, job machine.Job, key string, inj *Injector, pol Policy, brs *Breakers) bool {
+	accel := pair.Select(side)
+	br := brs.Side(side)
+	for attempt := 0; attempt <= pol.MaxRetries; attempt++ {
+		res.Attempts++
+		if attempt > 0 {
+			res.Retries++
+			wait := Backoff(pol.BackoffBaseSeconds, pol.BackoffCapSeconds, attempt)
+			res.BackoffSeconds += wait
+			res.charge(side, wait)
+		}
+		rep, failed := inj.Evaluate(accel, side, job, m, key, attempt)
+		res.charge(side, rep.Seconds)
+		res.FinalM, res.Side, res.Report = m, side, rep
+		if !failed {
+			br.RecordSuccess()
+			res.Completed = true
+			return true
+		}
+		br.RecordFailure()
+		res.Events = append(res.Events,
+			fmt.Sprintf("%s attempt %d failed (%.4gs charged)", side, attempt+1, rep.Seconds))
+	}
+	return false
+}
+
+func (res *Result) migrate(pol Policy, job machine.Job) float64 {
+	mig := pol.MigrationSeconds(job.FootprintBytes)
+	res.MigrationSeconds += mig
+	return mig
+}
+
+func (res *Result) charge(side config.Accel, seconds float64) {
+	if side == config.GPU {
+		res.GPUSeconds += seconds
+	} else {
+		res.MCSeconds += seconds
+	}
+}

@@ -1,0 +1,195 @@
+// Package fault is the resilience layer of the runtime: a deterministic,
+// seedable fault injector over the machine model, per-accelerator health
+// tracking with a circuit breaker, capped-exponential-backoff retry with
+// failover to the healthy accelerator, and a graceful predictor
+// degradation chain (trained learner -> decision tree -> fixed default).
+//
+// The paper's Section II operational setting assumes both accelerators
+// stay healthy for the whole batch; real heterogeneous deployments see
+// transient job failures, sustained thermal throttling and memory
+// capacity loss. This package lets the characterize -> predict -> deploy
+// pipeline survive all three while keeping the makespan accounting
+// honest: every failed attempt, backoff wait and migration is charged to
+// the accelerator that incurred it, so degraded plans remain comparable
+// against the paper baselines.
+//
+// Determinism: every fault decision is a pure hash of (seed, accelerator
+// side, job key, attempt index). Two runs with the same seed see the
+// same faults, and raising the fault rate can only turn successes into
+// failures, never the reverse — which is what makes "makespan is
+// non-decreasing in fault rate" a testable property rather than a
+// statistical hope.
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"heteromap/internal/config"
+	"heteromap/internal/machine"
+)
+
+// Profile describes one accelerator's failure modes. The zero value
+// injects nothing.
+type Profile struct {
+	// TransientRate is the per-attempt probability that a job execution
+	// fails (crash, ECC error, watchdog kill) and must be retried.
+	TransientRate float64
+	// Slowdown is a sustained completion-time multiplier >= 1 modelling
+	// thermal throttling; values <= 1 mean no throttle.
+	Slowdown float64
+	// MemLossFrac in [0,1) is the fraction of attached memory that has
+	// dropped out (failed DIMM/partition); losing capacity forces extra
+	// streaming chunks for datasets that no longer fit.
+	MemLossFrac float64
+}
+
+// Active reports whether the profile injects any fault at all.
+func (p Profile) Active() bool {
+	return p.TransientRate > 0 || p.Slowdown > 1 || p.MemLossFrac > 0
+}
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	return fmt.Sprintf("fail=%.2f slowdown=%.2fx memloss=%.0f%%",
+		p.TransientRate, effectiveSlowdown(p), p.MemLossFrac*100)
+}
+
+// ScaledProfile derives a whole-system chaos profile from a single fault
+// rate in [0,1]: transient failures at the rate itself, throttling and
+// memory loss growing proportionally. The -chaos flag and the chaos
+// test sweeps use it so that one number controls the fault intensity
+// monotonically.
+func ScaledProfile(rate float64) Profile {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return Profile{
+		TransientRate: rate,
+		Slowdown:      1 + 0.5*rate,
+		MemLossFrac:   0.5 * rate,
+	}
+}
+
+func effectiveSlowdown(p Profile) float64 {
+	if p.Slowdown < 1 {
+		return 1
+	}
+	return p.Slowdown
+}
+
+// Injector deterministically injects the configured fault profiles into
+// machine-model evaluations. A nil *Injector is valid and injects
+// nothing, so fault-free call sites need no branching. The injector is
+// stateless after construction and safe for concurrent use.
+type Injector struct {
+	seed     int64
+	profiles [2]Profile // indexed by config.Accel
+}
+
+// NewInjector returns an injector with no active profiles; the seed
+// fixes every future fault decision.
+func NewInjector(seed int64) *Injector {
+	return &Injector{seed: seed}
+}
+
+// NewChaosInjector returns an injector with the rate-scaled profile
+// applied to both accelerators.
+func NewChaosInjector(seed int64, rate float64) *Injector {
+	return NewInjector(seed).
+		SetProfile(config.GPU, ScaledProfile(rate)).
+		SetProfile(config.Multicore, ScaledProfile(rate))
+}
+
+// SetProfile installs a fault profile for one accelerator side and
+// returns the injector for chaining.
+func (in *Injector) SetProfile(side config.Accel, p Profile) *Injector {
+	in.profiles[sideIndex(side)] = p
+	return in
+}
+
+// Profile returns the side's installed profile.
+func (in *Injector) Profile(side config.Accel) Profile {
+	if in == nil {
+		return Profile{}
+	}
+	return in.profiles[sideIndex(side)]
+}
+
+// Enabled reports whether any side injects faults.
+func (in *Injector) Enabled() bool {
+	return in != nil && (in.profiles[0].Active() || in.profiles[1].Active())
+}
+
+// ShouldFail decides whether attempt number `attempt` of the job
+// identified by key fails on the given side. The decision is a pure
+// function of (seed, side, key, attempt): independent of call order and
+// monotone in the side's TransientRate.
+func (in *Injector) ShouldFail(side config.Accel, key string, attempt int) bool {
+	if in == nil {
+		return false
+	}
+	rate := in.Profile(side).TransientRate
+	if rate <= 0 {
+		return false
+	}
+	return in.roll(side, key, attempt) < rate
+}
+
+// roll returns the deterministic uniform draw in [0,1) for one attempt.
+func (in *Injector) roll(side config.Accel, key string, attempt int) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%s|%d", in.seed, sideIndex(side), key, attempt)
+	// splitmix64 finalizer decorrelates FNV's low-entropy tail bits.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Degrade returns the accelerator as the fault profile currently leaves
+// it: memory-capacity loss shrinks attached memory (forcing extra
+// streaming chunks for large footprints). The original is not modified.
+func (in *Injector) Degrade(a *machine.Accel, side config.Accel) *machine.Accel {
+	p := in.Profile(side)
+	if p.MemLossFrac <= 0 {
+		return a
+	}
+	loss := p.MemLossFrac
+	if loss >= 1 {
+		loss = 0.99
+	}
+	return a.WithMemory(int64(float64(a.MemBytes) * (1 - loss)))
+}
+
+// Evaluate simulates one execution attempt of job under m on the (fault-
+// degraded) accelerator and reports whether the attempt failed. Failed
+// attempts still return the full simulated report: the runtime only
+// discovers the failure at completion, so the whole attempt's time is
+// charged (this full-cost charging is also what keeps per-side busy time
+// monotone in the fault rate).
+func (in *Injector) Evaluate(a *machine.Accel, side config.Accel, job machine.Job, m config.M, key string, attempt int) (machine.Report, bool) {
+	if in == nil {
+		return a.Evaluate(job, m), false
+	}
+	p := in.Profile(side)
+	rep := in.Degrade(a, side).Evaluate(job, m)
+	if s := effectiveSlowdown(p); s > 1 {
+		rep.Seconds *= s
+		rep.EnergyJ *= s
+	}
+	return rep, in.ShouldFail(side, key, attempt)
+}
+
+func sideIndex(a config.Accel) int {
+	if a == config.GPU {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,246 @@
+package fault
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"heteromap/internal/config"
+	"heteromap/internal/machine"
+	"heteromap/internal/profile"
+)
+
+func testJob() machine.Job {
+	w := &profile.Work{
+		Phases: []profile.Phase{{
+			Kind: profile.VertexDivision, ParallelItems: 1 << 16,
+			VertexOps: 1 << 20, EdgeOps: 1 << 22, IndexedAccesses: 1 << 20,
+			IndirectAccesses: 1 << 19, ReadOnlyBytes: 1 << 24, ReadWriteBytes: 1 << 22,
+			ChainLength: 8,
+		}},
+		Locality: 0.4, Skew: 0.5, Barriers: 10,
+	}
+	return machine.Job{Work: w, FootprintBytes: 1 << 30}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	a := NewChaosInjector(7, 0.3)
+	b := NewChaosInjector(7, 0.3)
+	for attempt := 0; attempt < 50; attempt++ {
+		for _, side := range []config.Accel{config.GPU, config.Multicore} {
+			if a.ShouldFail(side, "BFS-FB", attempt) != b.ShouldFail(side, "BFS-FB", attempt) {
+				t.Fatalf("same seed diverged at side=%v attempt=%d", side, attempt)
+			}
+		}
+	}
+	c := NewChaosInjector(8, 0.3)
+	diff := 0
+	for attempt := 0; attempt < 200; attempt++ {
+		if a.ShouldFail(config.GPU, "BFS-FB", attempt) != c.ShouldFail(config.GPU, "BFS-FB", attempt) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical fault streams")
+	}
+}
+
+func TestInjectorMonotoneInRate(t *testing.T) {
+	// Raising the rate may only turn successes into failures — the
+	// property the makespan-monotonicity guarantee rests on.
+	lo := NewChaosInjector(42, 0.1)
+	hi := NewChaosInjector(42, 0.3)
+	for attempt := 0; attempt < 500; attempt++ {
+		if lo.ShouldFail(config.GPU, "PR-Twtr", attempt) && !hi.ShouldFail(config.GPU, "PR-Twtr", attempt) {
+			t.Fatalf("attempt %d fails at rate 0.1 but not 0.3", attempt)
+		}
+	}
+}
+
+func TestInjectorRateIsApproximate(t *testing.T) {
+	in := NewChaosInjector(1, 0.3)
+	fails := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if in.ShouldFail(config.GPU, "job", i) {
+			fails++
+		}
+	}
+	got := float64(fails) / n
+	if math.Abs(got-0.3) > 0.05 {
+		t.Fatalf("empirical fail rate %.3f, want ~0.30", got)
+	}
+}
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if in.ShouldFail(config.GPU, "x", 0) {
+		t.Fatal("nil injector failed a job")
+	}
+	if in.Enabled() {
+		t.Fatal("nil injector enabled")
+	}
+	pair := machine.PrimaryPair()
+	job := testJob()
+	m := config.DefaultGPU(pair.Limits())
+	rep, failed := in.Evaluate(pair.GPU, config.GPU, job, m, "x", 0)
+	if failed {
+		t.Fatal("nil injector failed an evaluation")
+	}
+	clean := pair.GPU.Evaluate(job, m)
+	if rep.Seconds != clean.Seconds {
+		t.Fatalf("nil injector changed timing: %v vs %v", rep.Seconds, clean.Seconds)
+	}
+}
+
+func TestSlowdownAndMemoryLoss(t *testing.T) {
+	pair := machine.PrimaryPair()
+	job := testJob() // 1 GB footprint fits the 2 GB GTX-750Ti cleanly
+	m := config.DefaultGPU(pair.Limits())
+	clean := pair.GPU.Evaluate(job, m)
+
+	throttled := NewInjector(1).SetProfile(config.GPU, Profile{Slowdown: 2})
+	rep, failed := throttled.Evaluate(pair.GPU, config.GPU, job, m, "x", 0)
+	if failed {
+		t.Fatal("slowdown-only profile failed a job")
+	}
+	if got, want := rep.Seconds, clean.Seconds*2; math.Abs(got-want) > want*1e-9 {
+		t.Fatalf("2x throttle gave %v, clean %v", got, clean.Seconds)
+	}
+
+	// Losing 60% of 2 GB leaves 0.8 GB: the 1 GB footprint must stream.
+	lossy := NewInjector(1).SetProfile(config.GPU, Profile{MemLossFrac: 0.6})
+	rep2, _ := lossy.Evaluate(pair.GPU, config.GPU, job, m, "x", 0)
+	if rep2.Breakdown.Chunks < 2 {
+		t.Fatalf("memory loss did not force streaming: %d chunks", rep2.Breakdown.Chunks)
+	}
+	if rep2.Seconds <= clean.Seconds {
+		t.Fatalf("streaming under memory loss not slower: %v vs %v", rep2.Seconds, clean.Seconds)
+	}
+}
+
+func TestScaledProfileMonotone(t *testing.T) {
+	prev := ScaledProfile(0)
+	if prev.Active() {
+		t.Fatal("rate 0 active")
+	}
+	for _, r := range []float64{0.1, 0.3, 0.5, 1} {
+		p := ScaledProfile(r)
+		if p.TransientRate < prev.TransientRate || p.Slowdown < prev.Slowdown || p.MemLossFrac < prev.MemLossFrac {
+			t.Fatalf("profile not monotone at rate %v", r)
+		}
+		prev = p
+	}
+}
+
+func TestBackoffCappedExponential(t *testing.T) {
+	base, capSec := 0.02, 1.0
+	want := []float64{0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.0, 1.0, 1.0}
+	for i, w := range want {
+		if got := Backoff(base, capSec, i+1); math.Abs(got-w) > 1e-12 {
+			t.Fatalf("Backoff(%d) = %v want %v", i+1, got, w)
+		}
+	}
+	if Backoff(0, 1, 3) != 0 {
+		t.Fatal("zero base must not wait")
+	}
+	// Huge retry counts must not overflow into Inf.
+	if got := Backoff(base, capSec, 10000); got != capSec {
+		t.Fatalf("huge retry backoff %v", got)
+	}
+}
+
+func TestMigrationSeconds(t *testing.T) {
+	pol := DefaultPolicy()
+	small := pol.MigrationSeconds(0)
+	big := pol.MigrationSeconds(12e9) // 12 GB over 12 GB/s ~ 1s
+	if small <= 0 || big < 1 || big > 1.1 {
+		t.Fatalf("migration costs: small=%v big=%v", small, big)
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := NewBreaker(3, 2)
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("fresh breaker not closed")
+	}
+	b.RecordFailure()
+	b.RecordFailure()
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker opened early")
+	}
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not open at threshold")
+	}
+	// Cooldown: two refusals, then a half-open probe.
+	if b.Allow() {
+		t.Fatal("open breaker allowed traffic")
+	}
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("not half-open after probe")
+	}
+	if b.Allow() {
+		t.Fatal("second probe admitted while one in flight")
+	}
+	// Failed probe re-opens; successful probe closes.
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not re-open")
+	}
+	b.Allow()
+	b.Allow() // probe again
+	b.RecordSuccess()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close breaker")
+	}
+	// Consecutive-failure counter must reset on success.
+	b.RecordFailure()
+	b.RecordSuccess()
+	b.RecordFailure()
+	b.RecordFailure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures tripped breaker")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(-1, 0)
+	for i := 0; i < 100; i++ {
+		b.RecordFailure()
+	}
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("disabled breaker tripped")
+	}
+}
+
+func TestBreakerConcurrentAccess(t *testing.T) {
+	// The breaker guards a concurrent batch scheduler; hammer it from
+	// many goroutines so the race detector can see any unguarded state.
+	b := NewBreaker(5, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				if b.Allow() {
+					if j%3 == 0 {
+						b.RecordFailure()
+					} else {
+						b.RecordSuccess()
+					}
+				}
+				b.State()
+			}
+		}(i)
+	}
+	wg.Wait()
+	ok, fail := b.Stats()
+	if ok == 0 || fail == 0 {
+		t.Fatalf("stats ok=%d fail=%d", ok, fail)
+	}
+}

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+
+	"heteromap/internal/config"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: the accelerator is healthy; traffic flows.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: too many consecutive failures; traffic is refused
+	// until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown elapsed; exactly one probe job is in
+	// flight, and its outcome decides between Closed and Open.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// Breaker tracks one accelerator's health and trips after a run of
+// consecutive failures, so the scheduler stops burning retries on a side
+// that is clearly down and fails jobs over to the healthy one. Time is
+// attempt-counted rather than wall-clocked: the runtime is a simulator,
+// and attempt counts keep the breaker deterministic. Safe for concurrent
+// use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int // consecutive failures that open the circuit
+	cooldown  int // refused Allow() calls before a half-open probe
+	state     BreakerState
+	consec    int
+	refused   int
+	oks       int
+	fails     int
+}
+
+// NewBreaker returns a closed breaker. threshold <= 0 disables tripping
+// entirely (the breaker never opens); cooldown <= 0 defaults to the
+// threshold so recovery probing scales with trip sensitivity.
+func NewBreaker(threshold, cooldown int) *Breaker {
+	if cooldown <= 0 {
+		cooldown = threshold
+	}
+	if cooldown <= 0 {
+		cooldown = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a job may be dispatched. While open, each
+// refused call counts toward the cooldown; once the cooldown elapses the
+// breaker half-opens and admits exactly one probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		// A probe is already in flight; refuse until it reports.
+		return false
+	default: // BreakerOpen
+		b.refused++
+		if b.refused >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	}
+}
+
+// RecordSuccess reports a completed job; it closes the circuit.
+func (b *Breaker) RecordSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.oks++
+	b.consec = 0
+	b.state = BreakerClosed
+}
+
+// RecordFailure reports a failed attempt; enough consecutive failures
+// (or any failed half-open probe) open the circuit.
+func (b *Breaker) RecordFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	b.consec++
+	if b.state == BreakerHalfOpen || (b.threshold > 0 && b.consec >= b.threshold) {
+		b.state = BreakerOpen
+		b.refused = 0
+	}
+}
+
+// State returns the breaker's position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats returns the lifetime success and failure counts.
+func (b *Breaker) Stats() (successes, failures int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.oks, b.fails
+}
+
+// Breakers is the per-accelerator health state of one system: a breaker
+// for each side of the pair.
+type Breakers struct {
+	gpu, mc *Breaker
+}
+
+// NewBreakers builds both breakers from a policy.
+func NewBreakers(pol Policy) *Breakers {
+	pol = pol.withDefaults()
+	return &Breakers{
+		gpu: NewBreaker(pol.BreakerThreshold, pol.BreakerCooldown),
+		mc:  NewBreaker(pol.BreakerThreshold, pol.BreakerCooldown),
+	}
+}
+
+// Side returns the breaker guarding one accelerator.
+func (bs *Breakers) Side(a config.Accel) *Breaker {
+	if a == config.GPU {
+		return bs.gpu
+	}
+	return bs.mc
+}

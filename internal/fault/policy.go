@@ -1,0 +1,102 @@
+package fault
+
+// Policy configures the retry, backoff, circuit-breaker and migration
+// behaviour of resilient execution. The zero value is usable: every
+// field defaults via withDefaults.
+type Policy struct {
+	// MaxRetries is how many times a transiently failed job is retried
+	// on the same accelerator before failing over to the other side.
+	MaxRetries int
+	// BackoffBaseSeconds is the first retry's simulated wait; each
+	// further retry doubles it, capped at BackoffCapSeconds.
+	BackoffBaseSeconds float64
+	// BackoffCapSeconds caps the exponential backoff.
+	BackoffCapSeconds float64
+	// BreakerThreshold is the consecutive-failure count that opens an
+	// accelerator's circuit breaker; < 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how many refused dispatches the open breaker
+	// sits out before admitting a half-open probe.
+	BreakerCooldown int
+	// PCIeGBs is the host-accelerator transfer bandwidth charged when a
+	// job migrates to the other accelerator.
+	PCIeGBs float64
+	// MigrationLatencySeconds is the flat per-migration setup cost.
+	MigrationLatencySeconds float64
+}
+
+// DefaultPolicy returns the retry policy used by the -chaos flag and the
+// resilient scheduler: up to 3 retries with 20ms..1s backoff, a breaker
+// tripping after 5 consecutive failures, and PCIe-3.0-class migration.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxRetries:              3,
+		BackoffBaseSeconds:      0.02,
+		BackoffCapSeconds:       1.0,
+		BreakerThreshold:        5,
+		BreakerCooldown:         8,
+		PCIeGBs:                 12,
+		MigrationLatencySeconds: 0.002,
+	}
+}
+
+func (p Policy) withDefaults() Policy {
+	d := DefaultPolicy()
+	if p.MaxRetries == 0 {
+		p.MaxRetries = d.MaxRetries
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.BackoffBaseSeconds <= 0 {
+		p.BackoffBaseSeconds = d.BackoffBaseSeconds
+	}
+	if p.BackoffCapSeconds <= 0 {
+		p.BackoffCapSeconds = d.BackoffCapSeconds
+	}
+	if p.BreakerThreshold == 0 {
+		p.BreakerThreshold = d.BreakerThreshold
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = d.BreakerCooldown
+	}
+	if p.PCIeGBs <= 0 {
+		p.PCIeGBs = d.PCIeGBs
+	}
+	if p.MigrationLatencySeconds <= 0 {
+		p.MigrationLatencySeconds = d.MigrationLatencySeconds
+	}
+	return p
+}
+
+// Backoff returns the capped exponential wait before retry number
+// `retry` (1-based): base, 2*base, 4*base, ... capped.
+func Backoff(base, capSec float64, retry int) float64 {
+	if retry < 1 {
+		retry = 1
+	}
+	if base <= 0 {
+		return 0
+	}
+	wait := base
+	for i := 1; i < retry; i++ {
+		wait *= 2
+		if wait >= capSec {
+			return capSec
+		}
+	}
+	if capSec > 0 && wait > capSec {
+		wait = capSec
+	}
+	return wait
+}
+
+// MigrationSeconds is the simulated cost of moving a job's dataset to
+// the other accelerator over PCIe.
+func (p Policy) MigrationSeconds(footprintBytes int64) float64 {
+	p = p.withDefaults()
+	if footprintBytes < 0 {
+		footprintBytes = 0
+	}
+	return p.MigrationLatencySeconds + float64(footprintBytes)/(p.PCIeGBs*1e9)
+}

@@ -66,6 +66,12 @@ func ReadEdgeList(r io.Reader, name string, minVertices int, undirected bool) (*
 	if err := scanner.Err(); err != nil {
 		return nil, fmt.Errorf("graph: reading edge list: %w", err)
 	}
+	// An edge list with no edges is almost always a wrong path or a
+	// truncated download; reject it unless the caller explicitly asked
+	// for isolated vertices via minVertices.
+	if len(edges) == 0 && minVertices <= 0 {
+		return nil, fmt.Errorf("graph: %s: empty edge list (%d lines, no edges)", name, lineNo)
+	}
 
 	n := int(maxID + 1)
 	if minVertices > n {

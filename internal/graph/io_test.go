@@ -68,6 +68,50 @@ func TestReadEdgeListErrors(t *testing.T) {
 	}
 }
 
+func TestReadEdgeListErrorsNameLine(t *testing.T) {
+	// Error messages must point the user at the offending line.
+	cases := []struct{ in, want string }{
+		{"0 1\n0\n", "line 2"},
+		{"# c\n\n0 1\na b\n", "line 4"},
+		{"0 1\n-1 2\n", "line 2: negative vertex id"},
+		{"0 1\n0 1 zzz\n", "line 2: bad weight"},
+	}
+	for _, c := range cases {
+		_, err := ReadEdgeList(strings.NewReader(c.in), "bad", 0, false)
+		if err == nil {
+			t.Errorf("input %q: expected error", c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("input %q: error %q missing %q", c.in, err, c.want)
+		}
+	}
+}
+
+func TestReadEdgeListEmpty(t *testing.T) {
+	// A file with no edges is a wrong path or truncated download, not a
+	// valid graph.
+	for _, in := range []string{"", "\n\n", "# only comments\n% more\n"} {
+		_, err := ReadEdgeList(strings.NewReader(in), "empty", 0, false)
+		if err == nil {
+			t.Errorf("input %q: empty edge list accepted", in)
+			continue
+		}
+		if !strings.Contains(err.Error(), "empty edge list") {
+			t.Errorf("input %q: error %q", in, err)
+		}
+	}
+	// Explicitly requested isolated vertices are still legal (round
+	// trips of edgeless graphs rely on this).
+	g, err := ReadEdgeList(strings.NewReader("# none\n"), "iso", 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 0 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
 func TestEdgeListRoundTrip(t *testing.T) {
 	b := NewBuilder("rt", 6).Weighted().Undirected()
 	b.Add(0, 1, 1.5)

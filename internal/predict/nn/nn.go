@@ -99,6 +99,25 @@ func (n *Network) Predict(f feature.Vector) config.M {
 	return config.FromNormalized(v, n.limits).Snapped(n.limits)
 }
 
+// PredictChecked implements predict.Checked: unlike Predict, it inspects
+// the raw network output before decoding, so diverged or NaN-poisoned
+// weights surface as an error instead of being laundered through the
+// decode clamp into a syntactically valid but meaningless M.
+func (n *Network) PredictChecked(f feature.Vector) (config.M, error) {
+	if !n.ready {
+		return config.M{}, errors.New("nn: predict before Train")
+	}
+	out := n.forward(f[:])
+	for i, x := range out {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return config.M{}, fmt.Errorf("nn: non-finite output %v at M%d", x, i+1)
+		}
+	}
+	var v [config.NumVariables]float64
+	copy(v[:], out)
+	return config.FromNormalized(v, n.limits).Snapped(n.limits), nil
+}
+
 // Train implements predict.Trainable with mini-batch Adam on MSE.
 func (n *Network) Train(samples []predict.Sample) error {
 	if len(samples) == 0 {

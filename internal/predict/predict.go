@@ -35,3 +35,15 @@ type Trainable interface {
 	// Train fits the model; it must be called before Predict.
 	Train(samples []Sample) error
 }
+
+// Checked is implemented by predictors that can report prediction
+// failure instead of silently sanitizing invalid raw model output
+// (Predict must always return *some* M, so a network with NaN weights
+// would otherwise launder garbage through the decode clamp). The
+// fallback chain prefers PredictChecked when available.
+type Checked interface {
+	Predictor
+	// PredictChecked returns the prediction, or an error when the raw
+	// model output is unusable (non-finite, untrained, ...).
+	PredictChecked(f feature.Vector) (config.M, error)
+}

@@ -1,0 +1,187 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteromap/internal/config"
+	"heteromap/internal/fault"
+	"heteromap/internal/feature"
+)
+
+// nanPredictor simulates a broken trained model inside a batch.
+type nanPredictor struct{}
+
+func (nanPredictor) Name() string { return "Deep.128" }
+func (nanPredictor) Predict(feature.Vector) config.M {
+	return config.M{Accelerator: config.GPU, PlaceCore: math.NaN()}
+}
+
+func TestEmptyBatchAllStrategies(t *testing.T) {
+	pair, tree, _ := setup(t)
+	plans := Compare(pair, tree, nil)
+	plans = append(plans, AssignResilient(pair, tree, nil, nil, fault.DefaultPolicy()))
+	for _, plan := range plans {
+		if plan.Jobs() != 0 {
+			t.Fatalf("%s: empty batch has %d jobs", plan.Strategy, plan.Jobs())
+		}
+		if plan.Makespan != 0 || plan.GPUBusy != 0 || plan.MCBusy != 0 {
+			t.Fatalf("%s: empty batch busy: %+v", plan.Strategy, plan)
+		}
+		if plan.Balance() != 1 {
+			t.Fatalf("%s: empty batch balance %v", plan.Strategy, plan.Balance())
+		}
+	}
+}
+
+// planNames collects the multiset of job names in a plan.
+func planNames(p Plan) map[string]int {
+	names := map[string]int{}
+	for _, j := range append(append([]Job{}, p.GPUJobs...), p.MCJobs...) {
+		names[j.Workload.Name()]++
+	}
+	return names
+}
+
+func TestResilientPlanProperties(t *testing.T) {
+	// Property: for any batch subset and any fault seed, the resilient
+	// plan preserves the job set exactly and keeps the makespan
+	// invariant Makespan == max(GPUBusy, MCBusy).
+	pair, tree, ws := setup(t)
+	pol := fault.DefaultPolicy()
+	prop := func(mask uint16, seed uint8) bool {
+		sub := ws[:0:0]
+		for i := 0; i < 16 && i < len(ws); i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, ws[i])
+			}
+		}
+		inj := fault.NewChaosInjector(int64(seed), 0.2)
+		plan := AssignResilient(pair, tree, sub, inj, pol)
+		if plan.Jobs() != len(sub) {
+			return false
+		}
+		names := planNames(plan)
+		for _, w := range sub {
+			if names[w.Name()] != 1 {
+				return false
+			}
+		}
+		want := plan.GPUBusy
+		if plan.MCBusy > want {
+			want = plan.MCBusy
+		}
+		return plan.Makespan == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResilientFaultFreeMatchesPredicted(t *testing.T) {
+	pair, tree, ws := setup(t)
+	base := AssignPredicted(pair, tree, ws)
+	res := AssignResilient(pair, tree, ws, nil, fault.DefaultPolicy())
+	if res.Retries != 0 || res.Failovers != 0 || res.Incomplete != 0 || res.FaultSeconds != 0 {
+		t.Fatalf("fault-free resilient plan has fault accounting: %+v", res)
+	}
+	if math.Abs(res.Makespan-base.Makespan) > base.Makespan*1e-12 {
+		t.Fatalf("fault-free resilient makespan %v, predicted %v", res.Makespan, base.Makespan)
+	}
+	if len(res.GPUJobs) != len(base.GPUJobs) || len(res.MCJobs) != len(base.MCJobs) {
+		t.Fatal("fault-free resilient plan moved jobs")
+	}
+}
+
+func TestChaosSweepMakespanMonotone(t *testing.T) {
+	// The acceptance sweep: same seed, fault rates 0, 0.1, 0.3. No job
+	// may be lost, and the makespan must be non-decreasing in the rate.
+	// The breaker is effectively disabled (huge threshold) because a
+	// breaker that opens lets later jobs skip the broken side's charges,
+	// which can legitimately shorten the plan.
+	pair, tree, ws := setup(t)
+	pol := fault.DefaultPolicy()
+	pol.BreakerThreshold = 1 << 30
+	const seed = 42
+	var prev Plan
+	for i, rate := range []float64{0, 0.1, 0.3} {
+		var inj *fault.Injector
+		if rate > 0 {
+			inj = fault.NewChaosInjector(seed, rate)
+		}
+		plan := AssignResilient(pair, tree, ws, inj, pol)
+		if plan.Jobs() != len(ws) {
+			t.Fatalf("rate %v: %d jobs, want %d", rate, plan.Jobs(), len(ws))
+		}
+		if plan.Incomplete != 0 {
+			t.Fatalf("rate %v: %d jobs lost", rate, plan.Incomplete)
+		}
+		if i > 0 && plan.Makespan < prev.Makespan {
+			t.Fatalf("makespan decreased with fault rate: %v@%v < %v",
+				plan.Makespan, rate, prev.Makespan)
+		}
+		if rate == 0 && (plan.Retries != 0 || plan.FaultSeconds != 0) {
+			t.Fatalf("rate 0 charged faults: %+v", plan)
+		}
+		prev = plan
+	}
+	if prev.Retries == 0 {
+		t.Fatal("rate 0.3 batch of 81 jobs produced no retries")
+	}
+	if prev.FaultSeconds <= 0 {
+		t.Fatal("retries with no fault time accounted")
+	}
+}
+
+func TestResilientFailsOverFromDeadGPU(t *testing.T) {
+	// A persistently dead GPU (rate ~1) with a low breaker threshold:
+	// early jobs exhaust retries and migrate; the breaker then opens so
+	// later GPU-predicted jobs skip straight to the multicore. Nothing
+	// is lost and the GPU ends up idle apart from the early attempts.
+	pair, tree, ws := setup(t)
+	inj := fault.NewInjector(7).SetProfile(config.GPU, fault.Profile{TransientRate: 1})
+	pol := fault.DefaultPolicy()
+	pol.BreakerThreshold = 2
+	plan := AssignResilient(pair, tree, ws, inj, pol)
+	if plan.Incomplete != 0 {
+		t.Fatalf("healthy multicore lost %d jobs", plan.Incomplete)
+	}
+	if len(plan.GPUJobs) != 0 {
+		t.Fatalf("%d jobs completed on a 100%%-failing GPU", len(plan.GPUJobs))
+	}
+	if plan.Failovers == 0 {
+		t.Fatal("no failovers recorded")
+	}
+	// The breaker must have cut GPU attempts: far fewer retries than
+	// every GPU-predicted job exhausting its full budget.
+	base := AssignPredicted(pair, tree, ws)
+	gpuPredicted := len(base.GPUJobs)
+	if gpuPredicted == 0 {
+		t.Skip("predictor sent nothing to the GPU")
+	}
+	if plan.Retries >= gpuPredicted*pol.MaxRetries {
+		t.Fatalf("breaker never engaged: %d retries for %d GPU-predicted jobs",
+			plan.Retries, gpuPredicted)
+	}
+	for _, j := range plan.MCJobs {
+		if j.Failed {
+			t.Fatalf("job %s marked failed in a healthy-MC batch", j.Workload.Name())
+		}
+	}
+}
+
+func TestResilientSurvivesBrokenPredictor(t *testing.T) {
+	// A NaN-emitting predictor must not crash or skew the batch: the
+	// chain degrades every prediction to the deployable default.
+	pair, _, ws := setup(t)
+	plan := AssignResilient(pair, nanPredictor{}, ws[:9], nil, fault.DefaultPolicy())
+	if plan.Jobs() != 9 || plan.Incomplete != 0 {
+		t.Fatalf("broken predictor lost jobs: %+v", plan)
+	}
+	for _, j := range append(append([]Job{}, plan.GPUJobs...), plan.MCJobs...) {
+		if err := j.M.Validate(pair.Limits()); err != nil {
+			t.Fatalf("job %s deployed invalid M: %v", j.Workload.Name(), err)
+		}
+	}
+}

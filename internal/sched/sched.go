@@ -14,6 +14,7 @@ import (
 
 	"heteromap/internal/config"
 	"heteromap/internal/core"
+	"heteromap/internal/fault"
 	"heteromap/internal/machine"
 	"heteromap/internal/predict"
 )
@@ -23,6 +24,13 @@ type Job struct {
 	Workload *core.Workload
 	M        config.M
 	Seconds  float64
+
+	// Resilient-plan bookkeeping (zero for fault-free strategies):
+	// Attempts counts execution attempts, FailedOver reports a migration
+	// to the other accelerator, Failed marks a job every attempt lost.
+	Attempts   int
+	FailedOver bool
+	Failed     bool
 }
 
 // Plan is a complete batch assignment.
@@ -34,6 +42,16 @@ type Plan struct {
 	// Makespan is the larger of the two (both run concurrently).
 	GPUBusy, MCBusy float64
 	Makespan        float64
+
+	// Resilience accounting (populated by AssignResilient): Retries and
+	// Failovers total across the batch, Incomplete counts jobs that
+	// failed on both accelerators, and FaultSeconds is the busy time
+	// charged beyond the final attempts (failed attempts, backoff waits
+	// and migrations) — already included in the busy totals above.
+	Retries      int
+	Failovers    int
+	Incomplete   int
+	FaultSeconds float64
 }
 
 // Jobs returns the total job count.
@@ -58,6 +76,10 @@ func (p Plan) String() string {
 	fmt.Fprintf(&sb, "%s: %d jobs -> GPU %d (%.4gs busy), MC %d (%.4gs busy); makespan %.4gs (balance %.2f)",
 		p.Strategy, p.Jobs(), len(p.GPUJobs), p.GPUBusy, len(p.MCJobs), p.MCBusy,
 		p.Makespan, p.Balance())
+	if p.Retries > 0 || p.Failovers > 0 || p.Incomplete > 0 {
+		fmt.Fprintf(&sb, "; faults: %d retries, %d failovers, %d incomplete, %.4gs lost",
+			p.Retries, p.Failovers, p.Incomplete, p.FaultSeconds)
+	}
 	return sb.String()
 }
 
@@ -76,19 +98,9 @@ func finish(p Plan) Plan {
 }
 
 // sideConfigs derives deployable per-accelerator configurations from one
-// predicted M (the same completion trick core.System.PlanPhased uses).
+// predicted M — the same side-retargeting rule failover uses.
 func sideConfigs(limits config.Limits, m config.M) (gpuM, mcM config.M) {
-	gpuM, mcM = m, m
-	gpuM.Accelerator = config.GPU
-	mcM.Accelerator = config.Multicore
-	if m.Accelerator == config.GPU {
-		d := config.DefaultMulticore(limits)
-		mcM.Cores, mcM.ThreadsPerCore, mcM.SIMDWidth = d.Cores, d.ThreadsPerCore, d.SIMDWidth
-	} else {
-		d := config.DefaultGPU(limits)
-		gpuM.GlobalThreads, gpuM.LocalThreads = d.GlobalThreads, d.LocalThreads
-	}
-	return gpuM.Clamp(limits), mcM.Clamp(limits)
+	return m.ForceAccelerator(config.GPU, limits), m.ForceAccelerator(config.Multicore, limits)
 }
 
 // AssignPredicted builds the HeteroMap plan: every job goes to the
@@ -172,6 +184,52 @@ func AssignBalanced(pair machine.Pair, p predict.Predictor, ws []*core.Workload)
 		}
 	}
 	return finish(plan)
+}
+
+// AssignResilient builds the failure-aware HeteroMap plan: every job is
+// predicted through a fallback chain (so a broken predictor degrades
+// instead of crashing the batch), dispatched to its predicted
+// accelerator, retried with capped exponential backoff under the
+// injector's faults, and failed over to the other accelerator when
+// retries are exhausted or the side's circuit breaker opens. Accelerator
+// health persists across the batch: a side that keeps failing is skipped
+// by later jobs until its breaker's cooldown admits a probe. Every failed
+// attempt, backoff wait and migration is charged to the side that
+// incurred it, so the makespan honestly reflects the faults (and is
+// non-decreasing in the fault rate when breakers stay closed).
+func AssignResilient(pair machine.Pair, p predict.Predictor, ws []*core.Workload, inj *fault.Injector, pol fault.Policy) Plan {
+	limits := pair.Limits()
+	chain := fault.NewChain(limits, p)
+	brs := fault.NewBreakers(pol)
+	plan := Plan{Strategy: "HeteroMap-resilient"}
+	for _, w := range ws {
+		sel := chain.Select(w.Features)
+		res := fault.Execute(pair, limits, sel.M, w.Job, w.Name(), inj, pol, brs)
+		job := Job{
+			Workload: w, M: res.FinalM, Seconds: res.Report.Seconds,
+			Attempts: res.Attempts, FailedOver: res.FailedOver, Failed: !res.Completed,
+		}
+		if res.Side == config.GPU {
+			plan.GPUJobs = append(plan.GPUJobs, job)
+		} else {
+			plan.MCJobs = append(plan.MCJobs, job)
+		}
+		plan.GPUBusy += res.GPUSeconds
+		plan.MCBusy += res.MCSeconds
+		plan.Retries += res.Retries
+		if res.FailedOver {
+			plan.Failovers++
+		}
+		if !res.Completed {
+			plan.Incomplete++
+		}
+		plan.FaultSeconds += res.LostSeconds()
+	}
+	plan.Makespan = plan.GPUBusy
+	if plan.MCBusy > plan.Makespan {
+		plan.Makespan = plan.MCBusy
+	}
+	return plan
 }
 
 // Compare runs all strategies over a batch and returns the plans in a

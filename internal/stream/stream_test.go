@@ -168,6 +168,75 @@ func TestReassembleInvertsPartition(t *testing.T) {
 	}
 }
 
+func TestCountChunksExactBoundary(t *testing.T) {
+	// Exact multiples of the memory size must not round an extra chunk
+	// in (or out): the off-by-one here silently inflates the streaming
+	// penalty in the machine model.
+	const mem = int64(1) << 31 // 2 GB, the GTX-750Ti's memory
+	tests := []struct {
+		footprint int64
+		want      int
+	}{
+		{mem, 1},         // exactly fits
+		{mem + 1, 2},     // one byte over
+		{2 * mem, 2},     // exact double
+		{2*mem + 1, 3},   // just past double
+		{10 * mem, 10},   // exact 10x
+		{10*mem - 1, 10}, // just under 10x
+	}
+	for _, tc := range tests {
+		if got := CountChunks(tc.footprint, mem); got != tc.want {
+			t.Errorf("CountChunks(%d, %d) = %d want %d", tc.footprint, mem, got, tc.want)
+		}
+	}
+}
+
+func TestPartitionPreservesWeightedFlag(t *testing.T) {
+	weighted := gen.Uniform("w", 60, 300, 16, 5)
+	if !weighted.Weighted() {
+		t.Fatal("setup: generator dropped weights")
+	}
+	for _, c := range Partition(weighted, 4) {
+		if !c.Graph.Weighted() {
+			t.Fatalf("chunk %d lost the Weighted flag", c.Index)
+		}
+	}
+	plain := gen.Uniform("p", 60, 300, 0, 5)
+	if plain.Weighted() {
+		t.Fatal("setup: unweighted generator produced weights")
+	}
+	for _, c := range Partition(plain, 4) {
+		if c.Graph.Weighted() {
+			t.Fatalf("chunk %d invented weights", c.Index)
+		}
+	}
+}
+
+func TestReassembleRoundTripsWeights(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.Uniform("w", 70, 500, 24, seed)
+		back, err := Reassemble(g.Name, Partition(g, 5))
+		if err != nil || !back.Weighted() {
+			return false
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			a, b := g.NeighborWeights(v), back.NeighborWeights(v)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestReassembleEmpty(t *testing.T) {
 	if _, err := Reassemble("x", nil); err == nil {
 		t.Fatal("expected error for empty chunk list")
