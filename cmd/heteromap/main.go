@@ -23,30 +23,49 @@
 //	    the failure-aware plan under -chaos)
 //	heteromap explain -bench BFS -input FB
 //	    show where the simulated time of the predicted deployment goes
+//	heteromap serve -addr 127.0.0.1:8080 [-predictor tree|deep|db]
+//	    run the prediction service: POST /v1/predict and
+//	    /v1/predict/batch, model registry with hot-swap reload
+//	    (/v1/reload), prediction cache, Prometheus /metrics
 //	heteromap list
 //	    list benchmarks and datasets
+//
+// Exit codes: 0 on success, 1 on runtime/validation failure, 2 on usage
+// errors (unknown command, bad flags).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"heteromap"
 	"heteromap/internal/config"
 	"heteromap/internal/core"
 	"heteromap/internal/sched"
+	"heteromap/internal/serve"
 	"heteromap/internal/train"
 	"heteromap/internal/tune"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	bench := fs.String("bench", "BFS", "benchmark name (see `heteromap list`)")
 	input := fs.String("input", "FB", "dataset short name (see `heteromap list`)")
 	predictor := fs.String("predictor", "tree", "predictor: tree, deep, or db")
@@ -58,25 +77,33 @@ func main() {
 	chaos := fs.Bool("chaos", false, "inject accelerator faults and schedule resiliently")
 	chaosRate := fs.Float64("chaos-rate", 0.1, "fault rate for -chaos: transient failure probability, plus scaled slowdown and memory loss")
 	chaosSeed := fs.Int64("chaos-seed", 42, "deterministic seed for -chaos fault injection")
-	if err := fs.Parse(os.Args[2:]); err != nil {
-		os.Exit(2)
-	}
+	addr := fs.String("addr", "127.0.0.1:8080", "serve: listen address")
+	cacheSize := fs.Int("cache-size", 4096, "serve: prediction cache capacity")
+	workers := fs.Int("workers", 4, "serve: batch worker pool size")
+	maxBatch := fs.Int("max-batch", 64, "serve: micro-batch size bound")
+	maxWait := fs.Duration("max-wait", 2*time.Millisecond, "serve: micro-batch deadline bound")
+	queueSize := fs.Int("queue", 1024, "serve: bounded request queue capacity")
 
 	switch cmd {
-	case "list":
-		fmt.Println("benchmarks:")
-		for _, b := range heteromap.Benchmarks() {
-			fmt.Printf("  %-12s weights=%v undirected=%v\n", b.Name, b.NeedsWeights, b.NeedsUndirected)
-		}
-		fmt.Println("datasets:")
-		for _, d := range heteromap.Datasets(*large) {
-			fmt.Printf("  %-5s %s\n", d.Short, d)
-		}
-		return
-	case "characterize", "predict", "run", "sweep", "phased", "explain", "batch":
+	case "list", "characterize", "predict", "run", "sweep", "phased", "explain", "batch", "serve":
 	default:
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 2
+	}
+	if err := fs.Parse(args[1:]); err != nil {
+		return 2
+	}
+
+	if cmd == "list" {
+		fmt.Fprintln(stdout, "benchmarks:")
+		for _, b := range heteromap.Benchmarks() {
+			fmt.Fprintf(stdout, "  %-12s weights=%v undirected=%v\n", b.Name, b.NeedsWeights, b.NeedsUndirected)
+		}
+		fmt.Fprintln(stdout, "datasets:")
+		for _, d := range heteromap.Datasets(*large) {
+			fmt.Fprintf(stdout, "  %-5s %s\n", d.Short, d)
+		}
+		return 0
 	}
 
 	opts := systemOptions{
@@ -85,33 +112,45 @@ func main() {
 		edgeList: *edgeList, directed: *directed,
 	}
 
-	if cmd == "batch" {
-		if err := runBatch(opts, *chaos, *chaosRate, *chaosSeed); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if cmd == "serve" {
+		err := runServe(opts, serveOptions{
+			addr: *addr, cacheSize: *cacheSize, workers: *workers,
+			maxBatch: *maxBatch, maxWait: *maxWait, queueSize: *queueSize,
+		}, stdout, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		return
+		return 0
+	}
+
+	if cmd == "batch" {
+		if err := runBatch(opts, *chaos, *chaosRate, *chaosSeed, stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
 	}
 
 	sys, workload, err := buildSystem(opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
 	switch cmd {
 	case "characterize":
-		fmt.Printf("features: %s\n", workload.Features)
-		fmt.Printf("derived B (from instrumentation): %s\n", workload.DerivedB)
-		fmt.Println(workload.Work)
-		fmt.Printf("result checksum=%.6g iterations=%d visited=%d\n",
+		fmt.Fprintf(stdout, "features: %s\n", workload.Features)
+		fmt.Fprintf(stdout, "derived B (from instrumentation): %s\n", workload.DerivedB)
+		fmt.Fprintln(stdout, workload.Work)
+		fmt.Fprintf(stdout, "result checksum=%.6g iterations=%d visited=%d\n",
 			workload.Result.Checksum, workload.Result.Iterations, workload.Result.Visited)
 
 	case "predict":
 		m := sys.Predictor().Predict(workload.Features)
-		fmt.Printf("predicted M: %s\n\n", m)
+		fmt.Fprintf(stdout, "predicted M: %s\n\n", m)
 		for _, line := range m.Describe(sys.Pair().Limits()) {
-			fmt.Println(line)
+			fmt.Fprintln(stdout, line)
 		}
 
 	case "run":
@@ -123,51 +162,51 @@ func main() {
 			rep = sys.Run(workload)
 		}
 		bl := sys.Baselines(workload)
-		fmt.Printf("combination     : %s\n", workload.Name())
-		fmt.Printf("chosen          : %s (%s)\n", rep.Chosen.Accelerator, rep.Chosen)
-		fmt.Printf("predictor used  : %s\n", rep.PredictorUsed)
-		fmt.Printf("completion time : %.6gs (+%.3gms predictor overhead)\n",
+		fmt.Fprintf(stdout, "combination     : %s\n", workload.Name())
+		fmt.Fprintf(stdout, "chosen          : %s (%s)\n", rep.Chosen.Accelerator, rep.Chosen)
+		fmt.Fprintf(stdout, "predictor used  : %s\n", rep.PredictorUsed)
+		fmt.Fprintf(stdout, "completion time : %.6gs (+%.3gms predictor overhead)\n",
 			rep.TotalSeconds-rep.PredictOverhead.Seconds(),
 			float64(rep.PredictOverhead.Microseconds())/1000)
-		fmt.Printf("energy          : %.6g J\n", rep.Machine.EnergyJ)
-		fmt.Printf("utilization     : %.1f%%\n", rep.Machine.Utilization*100)
+		fmt.Fprintf(stdout, "energy          : %.6g J\n", rep.Machine.EnergyJ)
+		fmt.Fprintf(stdout, "utilization     : %.1f%%\n", rep.Machine.Utilization*100)
 		if *chaos {
-			fmt.Printf("chaos           : rate %.2g seed %d\n", *chaosRate, *chaosSeed)
-			fmt.Printf("attempts        : %d (%d retries, failover=%v, completed=%v)\n",
+			fmt.Fprintf(stdout, "chaos           : rate %.2g seed %d\n", *chaosRate, *chaosSeed)
+			fmt.Fprintf(stdout, "attempts        : %d (%d retries, failover=%v, completed=%v)\n",
 				rep.Attempts, rep.Retries, rep.FailedOver, rep.Completed)
-			fmt.Printf("fault overhead  : %.4gs backoff, %.4gs migration\n",
+			fmt.Fprintf(stdout, "fault overhead  : %.4gs backoff, %.4gs migration\n",
 				rep.BackoffSeconds, rep.MigrationSeconds)
 			for _, e := range rep.FaultEvents {
-				fmt.Printf("  fault: %s\n", e)
+				fmt.Fprintf(stdout, "  fault: %s\n", e)
 			}
 		}
 		for _, e := range rep.FallbackEvents {
-			fmt.Printf("  predictor fallback: %s\n", e)
+			fmt.Fprintf(stdout, "  predictor fallback: %s\n", e)
 		}
-		fmt.Printf("GPU-only        : %.6gs (%s)\n", bl.GPUOnly.Seconds, bl.GPUOnlyM)
-		fmt.Printf("multicore-only  : %.6gs (%s)\n", bl.MulticoreOnly.Seconds, bl.MulticoreM)
-		fmt.Printf("ideal           : %.6gs (%s)\n", bl.Ideal.Seconds, bl.IdealM)
+		fmt.Fprintf(stdout, "GPU-only        : %.6gs (%s)\n", bl.GPUOnly.Seconds, bl.GPUOnlyM)
+		fmt.Fprintf(stdout, "multicore-only  : %.6gs (%s)\n", bl.MulticoreOnly.Seconds, bl.MulticoreM)
+		fmt.Fprintf(stdout, "ideal           : %.6gs (%s)\n", bl.Ideal.Seconds, bl.IdealM)
 
 	case "phased":
 		plan := sys.PlanPhased(workload)
-		fmt.Printf("combination : %s\n", workload.Name())
-		fmt.Printf("phased plan : %s\n", plan)
+		fmt.Fprintf(stdout, "combination : %s\n", workload.Name())
+		fmt.Fprintf(stdout, "phased plan : %s\n", plan)
 		if plan.Split() {
-			fmt.Printf("transfers   : %d per iteration, %.4gs total\n",
+			fmt.Fprintf(stdout, "transfers   : %d per iteration, %.4gs total\n",
 				plan.Transfers, plan.TransferSeconds)
 		} else {
-			fmt.Println("(the planner collapsed to a single accelerator: migration does not pay)")
+			fmt.Fprintln(stdout, "(the planner collapsed to a single accelerator: migration does not pay)")
 		}
 
 	case "explain":
 		m := sys.Predictor().Predict(workload.Features)
 		rep := sys.Pair().Select(m.Accelerator).Evaluate(workload.Job, m)
 		bd := rep.Breakdown
-		fmt.Printf("combination : %s\n", workload.Name())
-		fmt.Printf("deployed    : %s\n", m)
-		fmt.Printf("total       : %.6gs on %s (threads=%d, util %.1f%%)\n",
+		fmt.Fprintf(stdout, "combination : %s\n", workload.Name())
+		fmt.Fprintf(stdout, "deployed    : %s\n", m)
+		fmt.Fprintf(stdout, "total       : %.6gs on %s (threads=%d, util %.1f%%)\n",
 			rep.Seconds, rep.Accel, rep.Threads, rep.Utilization*100)
-		fmt.Println("time breakdown:")
+		fmt.Fprintln(stdout, "time breakdown:")
 		for _, term := range []struct {
 			name string
 			sec  float64
@@ -180,10 +219,10 @@ func main() {
 			{"barriers", bd.Barriers},
 			{"push/pop queues", bd.PushPop},
 		} {
-			fmt.Printf("  %-18s %10.4gs\n", term.name, term.sec)
+			fmt.Fprintf(stdout, "  %-18s %10.4gs\n", term.name, term.sec)
 		}
-		fmt.Printf("  %-18s %10.3fx\n", "soft-knob factor", bd.KnobFactor)
-		fmt.Printf("  %-18s %10d (x%.2f streaming)\n", "memory chunks", bd.Chunks, bd.ChunkFactor)
+		fmt.Fprintf(stdout, "  %-18s %10.3fx\n", "soft-knob factor", bd.KnobFactor)
+		fmt.Fprintf(stdout, "  %-18s %10d (x%.2f streaming)\n", "memory chunks", bd.Chunks, bd.ChunkFactor)
 
 	case "sweep":
 		pair := sys.Pair()
@@ -199,10 +238,11 @@ func main() {
 					best = i
 				}
 			}
-			fmt.Printf("%-10s best %.6gs with %s (%d candidates)\n",
+			fmt.Fprintf(stdout, "%-10s best %.6gs with %s (%d candidates)\n",
 				accel, scores[best], cands[best], len(cands))
 		}
 	}
+	return 0
 }
 
 // systemOptions collects the flags that shape the scheduled run.
@@ -212,6 +252,97 @@ type systemOptions struct {
 	bench, input      string
 	edgeList          string
 	directed          bool
+}
+
+// serveOptions collects the serving-pipeline flags.
+type serveOptions struct {
+	addr      string
+	cacheSize int
+	workers   int
+	maxBatch  int
+	maxWait   time.Duration
+	queueSize int
+}
+
+// runServe assembles the registry the flags describe and serves until
+// SIGINT/SIGTERM.
+func runServe(o systemOptions, so serveOptions, stdout, stderr io.Writer) error {
+	pair := heteromap.PrimaryPair()
+	reg := serve.NewRegistry(pair)
+
+	// The analytical decision tree is always registered: it needs no
+	// training, so the service can come up instantly and every other
+	// model degrades onto it through the fallback chain.
+	if _, err := reg.Register("tree", "builtin decision tree", heteromap.NewDecisionTree(pair)); err != nil {
+		return err
+	}
+	switch o.predictor {
+	case "tree":
+	case "deep":
+		fmt.Fprintln(stdout, "training deep predictor (fast configuration)...")
+		pred, err := newPredictor(o, pair)
+		if err != nil {
+			return err
+		}
+		if _, err := reg.Register("deep", "Deep.128 trained at startup", pred); err != nil {
+			return err
+		}
+		if err := reg.SetDefault("deep"); err != nil {
+			return err
+		}
+	case "db":
+		if o.dbPath == "" {
+			return fmt.Errorf("-predictor db requires -db <file> (write one with hmtrain -out)")
+		}
+		if _, err := reg.ReloadDB("db", o.dbPath); err != nil {
+			return err
+		}
+		if err := reg.SetDefault("db"); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown predictor %q (want tree, deep, or db)", o.predictor)
+	}
+
+	srv := serve.New(serve.Options{
+		Addr:      so.addr,
+		Pair:      pair,
+		Registry:  reg,
+		CacheSize: so.cacheSize,
+		Workers:   so.workers,
+		MaxBatch:  so.maxBatch,
+		MaxWait:   so.maxWait,
+		QueueSize: so.queueSize,
+	})
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Start() }()
+
+	fmt.Fprintf(stdout, "serving on http://%s (default model %q)\n", so.addr, defaultModelName(reg))
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(stdout, "received %s, draining...\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return <-errCh
+	}
+}
+
+// defaultModelName reads the registry's default entry for the banner.
+func defaultModelName(reg *serve.Registry) string {
+	for _, m := range reg.List() {
+		if m.Default {
+			return m.Name
+		}
+	}
+	return ""
 }
 
 // newPredictor constructs the predictor the flags ask for.
@@ -299,7 +430,7 @@ func buildSystem(o systemOptions) (*heteromap.System, *heteromap.Workload, error
 
 // runBatch schedules every benchmark on one dataset and prints the batch
 // strategy comparison; under -chaos it adds the failure-aware plan.
-func runBatch(o systemOptions, chaos bool, rate float64, seed int64) error {
+func runBatch(o systemOptions, chaos bool, rate float64, seed int64, stdout io.Writer) error {
 	sys, err := newSystem(o)
 	if err != nil {
 		return err
@@ -316,15 +447,15 @@ func runBatch(o systemOptions, chaos bool, rate float64, seed int64) error {
 		}
 		ws = append(ws, w)
 	}
-	fmt.Printf("batch: %d benchmarks on %s\n", len(ws), ds.Short)
+	fmt.Fprintf(stdout, "batch: %d benchmarks on %s\n", len(ws), ds.Short)
 	pair, pred := sys.Pair(), sys.Predictor()
 	for _, plan := range sched.Compare(pair, pred, ws) {
-		fmt.Println(plan)
+		fmt.Fprintln(stdout, plan)
 	}
 	if chaos {
 		inj := heteromap.NewChaosInjector(seed, rate)
 		plan := sched.AssignResilient(pair, pred, ws, inj, heteromap.DefaultFaultPolicy())
-		fmt.Printf("%s (chaos rate %.2g, seed %d)\n", plan, rate, seed)
+		fmt.Fprintf(stdout, "%s (chaos rate %.2g, seed %d)\n", plan, rate, seed)
 		if plan.Incomplete > 0 {
 			return fmt.Errorf("batch lost %d jobs under chaos", plan.Incomplete)
 		}
@@ -332,7 +463,7 @@ func runBatch(o systemOptions, chaos bool, rate float64, seed int64) error {
 	return nil
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: heteromap <characterize|predict|run|batch|sweep|phased|explain|list> [flags]
+func usage(stderr io.Writer) {
+	fmt.Fprintln(stderr, `usage: heteromap <characterize|predict|run|batch|sweep|phased|explain|serve|list> [flags]
 run "heteromap <cmd> -h" for flags`)
 }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// run must report failure through its exit code — usage errors as 2,
+// validation/runtime errors as 1 — never by success-with-an-error-line.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantOut  string // substring of stdout when wantCode == 0
+		wantErr  string // substring of stderr when wantCode != 0
+	}{
+		{
+			name:     "no args",
+			args:     nil,
+			wantCode: 2,
+			wantErr:  "usage:",
+		},
+		{
+			name:     "unknown command",
+			args:     []string{"frobnicate"},
+			wantCode: 2,
+			wantErr:  "usage:",
+		},
+		{
+			name:     "bad flag",
+			args:     []string{"predict", "-no-such-flag"},
+			wantCode: 2,
+			wantErr:  "flag provided but not defined",
+		},
+		{
+			name:     "unknown benchmark",
+			args:     []string{"predict", "-bench", "NOPE", "-input", "CA"},
+			wantCode: 1,
+			wantErr:  "unknown benchmark",
+		},
+		{
+			name:     "unknown dataset",
+			args:     []string{"predict", "-bench", "BFS", "-input", "NOPE"},
+			wantCode: 1,
+			wantErr:  "unknown dataset",
+		},
+		{
+			name:     "unknown predictor",
+			args:     []string{"predict", "-bench", "BFS", "-input", "CA", "-predictor", "oracle"},
+			wantCode: 1,
+			wantErr:  "unknown predictor",
+		},
+		{
+			name:     "db predictor without -db",
+			args:     []string{"predict", "-bench", "BFS", "-input", "CA", "-predictor", "db"},
+			wantCode: 1,
+			wantErr:  "-predictor db requires -db",
+		},
+		{
+			name:     "db predictor with missing file",
+			args:     []string{"predict", "-bench", "BFS", "-input", "CA", "-predictor", "db", "-db", "/nonexistent/model.hmdb"},
+			wantCode: 1,
+			wantErr:  "no such file",
+		},
+		{
+			name:     "missing edge-list file",
+			args:     []string{"characterize", "-bench", "BFS", "-edgelist", "/nonexistent/graph.txt"},
+			wantCode: 1,
+			wantErr:  "no such file",
+		},
+		{
+			name:     "serve with unknown predictor",
+			args:     []string{"serve", "-predictor", "oracle"},
+			wantCode: 1,
+			wantErr:  "unknown predictor",
+		},
+		{
+			name:     "serve db without -db",
+			args:     []string{"serve", "-predictor", "db"},
+			wantCode: 1,
+			wantErr:  "-predictor db requires -db",
+		},
+		{
+			name:     "list",
+			args:     []string{"list"},
+			wantCode: 0,
+			wantOut:  "benchmarks:",
+		},
+		{
+			name:     "predict happy path",
+			args:     []string{"predict", "-bench", "BFS", "-input", "CA"},
+			wantCode: 0,
+			wantOut:  "predicted M:",
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("run(%v) = %d, want %d\nstdout: %s\nstderr: %s",
+					tc.args, code, tc.wantCode, stdout.String(), stderr.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Fatalf("stdout missing %q:\n%s", tc.wantOut, stdout.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("stderr missing %q:\n%s", tc.wantErr, stderr.String())
+			}
+			if code != 0 && stderr.Len() == 0 {
+				t.Fatal("failure exit with empty stderr")
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+// Command loadtest drives the prediction service with a synthetic
+// benchmark/input mix and reports throughput, client and server
+// latency percentiles, and cache hit rate.
+//
+//	loadtest -addr 127.0.0.1:8080 -duration 2s -concurrency 8
+//	    load an already-running `heteromap serve` instance
+//	loadtest -duration 2s
+//	    with no -addr, start an in-process server (decision-tree
+//	    model, ephemeral port), load it, and shut it down
+//
+// Exit code 0 when the run completes with zero request errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"heteromap/internal/machine"
+	"heteromap/internal/predict/dtree"
+	"heteromap/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "server address host:port (empty: start an in-process server)")
+	duration := fs.Duration("duration", 2*time.Second, "how long to generate load")
+	concurrency := fs.Int("concurrency", 8, "concurrent client goroutines")
+	batch := fs.Int("batch", 0, "items per request: 0/1 uses /v1/predict, >1 uses /v1/predict/batch")
+	combos := fs.Int("combos", 64, "distinct (benchmark, input) combinations in the mix")
+	seed := fs.Int64("seed", 42, "mix-generation seed")
+	model := fs.String("model", "", "model name to request (empty: server default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	url := "http://" + *addr
+	if *addr == "" {
+		srv := serve.New(serve.Options{Addr: "127.0.0.1:0"})
+		pair := machine.PrimaryPair()
+		if _, err := srv.Registry().Register("tree", "builtin decision tree", dtree.New(pair.Limits())); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		errCh := make(chan error, 1)
+		go func() { errCh <- srv.Start() }()
+		// Start listens synchronously before serving, but from another
+		// goroutine; poll briefly until the ephemeral port is bound.
+		deadline := time.Now().Add(2 * time.Second)
+		for srv.Addr() == "127.0.0.1:0" && time.Now().Before(deadline) {
+			select {
+			case err := <-errCh:
+				fmt.Fprintf(stderr, "server failed to start: %v\n", err)
+				return 1
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+		url = "http://" + srv.Addr()
+		fmt.Fprintf(stdout, "started in-process server on %s\n", srv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+	}
+
+	res, err := serve.RunLoadGen(serve.LoadGenOptions{
+		URL:         url,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		BatchSize:   *batch,
+		Combos:      *combos,
+		Seed:        *seed,
+		Model:       *model,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintln(stdout, res)
+	if res.Errors > 0 {
+		fmt.Fprintf(stderr, "loadtest: %d request errors\n", res.Errors)
+		return 1
+	}
+	return 0
+}

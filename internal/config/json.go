@@ -1,0 +1,99 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON encoding of the machine-choice vector. API responses serialize M
+// with the paper's knob names rather than bare struct-field or index
+// positions, and enumerated choices (accelerator, schedule kind) as their
+// symbolic names, so a serialized mapping is self-describing and stable
+// across refactors of the in-memory layout.
+
+// MarshalJSON implements json.Marshaler, emitting "GPU" / "Multicore".
+func (a Accel) MarshalJSON() ([]byte, error) {
+	return json.Marshal(a.String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (a *Accel) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "GPU":
+		*a = GPU
+	case "Multicore":
+		*a = Multicore
+	default:
+		return fmt.Errorf("config: unknown accelerator %q", s)
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler, emitting the schedule kind name.
+func (s Schedule) MarshalJSON() ([]byte, error) {
+	if s < 0 || s >= numSchedules {
+		return nil, fmt.Errorf("config: invalid schedule kind %d", int(s))
+	}
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for k := Schedule(0); k < numSchedules; k++ {
+		if k.String() == name {
+			*s = k
+			return nil
+		}
+	}
+	return fmt.Errorf("config: unknown schedule kind %q", name)
+}
+
+// mJSON is the wire shape of M: every knob under its paper name (the
+// comment trail M1..M20 fixes the correspondence). encoding/json emits
+// struct fields in declaration order, so the serialization is
+// deterministic and golden-testable.
+type mJSON struct {
+	Accelerator     Accel    `json:"accelerator"`       // M1
+	Cores           int      `json:"cores"`             // M2
+	ThreadsPerCore  int      `json:"threads_per_core"`  // M3
+	BlocktimeMS     int      `json:"blocktime_ms"`      // M4
+	PlaceCore       float64  `json:"place_core"`        // M5
+	PlaceThread     float64  `json:"place_thread"`      // M6
+	PlaceOffset     float64  `json:"place_offset"`      // M7
+	Affinity        float64  `json:"affinity"`          // M8
+	ActiveWait      bool     `json:"active_wait"`       // M9
+	SIMDWidth       int      `json:"simd_width"`        // M10
+	Schedule        Schedule `json:"schedule"`          // M11
+	ChunkSize       int      `json:"chunk_size"`        // M12
+	Nested          bool     `json:"nested"`            // M13
+	MaxActiveLevels int      `json:"max_active_levels"` // M14
+	SpinCount       int      `json:"spin_count"`        // M15
+	ProcBind        bool     `json:"proc_bind"`         // M16
+	DynamicAdjust   bool     `json:"dynamic_adjust"`    // M17
+	WorkStealing    bool     `json:"work_stealing"`     // M18
+	GlobalThreads   int      `json:"global_threads"`    // M19
+	LocalThreads    int      `json:"local_threads"`     // M20
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m M) MarshalJSON() ([]byte, error) {
+	return json.Marshal(mJSON(m))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *M) UnmarshalJSON(data []byte) error {
+	var w mJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*m = M(w)
+	return nil
+}

@@ -1,0 +1,91 @@
+package config
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The serialized form is part of the serving API: knob names, not bare
+// indices, and enum names, not ints. This golden string pins it.
+const goldenMJSON = `{"accelerator":"Multicore","cores":61,"threads_per_core":4,` +
+	`"blocktime_ms":200,"place_core":0.5,"place_thread":0.25,"place_offset":0,` +
+	`"affinity":1,"active_wait":true,"simd_width":16,"schedule":"guided",` +
+	`"chunk_size":64,"nested":false,"max_active_levels":2,"spin_count":1024,` +
+	`"proc_bind":true,"dynamic_adjust":false,"work_stealing":true,` +
+	`"global_threads":2048,"local_threads":128}`
+
+func goldenM() M {
+	return M{
+		Accelerator:     Multicore,
+		Cores:           61,
+		ThreadsPerCore:  4,
+		BlocktimeMS:     200,
+		PlaceCore:       0.5,
+		PlaceThread:     0.25,
+		Affinity:        1,
+		ActiveWait:      true,
+		SIMDWidth:       16,
+		Schedule:        ScheduleGuided,
+		ChunkSize:       64,
+		MaxActiveLevels: 2,
+		SpinCount:       1024,
+		ProcBind:        true,
+		WorkStealing:    true,
+		GlobalThreads:   2048,
+		LocalThreads:    128,
+	}
+}
+
+func TestMMarshalGolden(t *testing.T) {
+	data, err := json.Marshal(goldenM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != goldenMJSON {
+		t.Fatalf("golden mismatch:\n got %s\nwant %s", data, goldenMJSON)
+	}
+}
+
+func TestMJSONRoundTrip(t *testing.T) {
+	want := goldenM()
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got M
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// Marshalling must be deterministic call to call (map-order style
+// nondeterminism would break byte-identity checks in the serving tests).
+func TestMMarshalDeterministic(t *testing.T) {
+	first, err := json.Marshal(goldenM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, _ := json.Marshal(goldenM())
+		if string(again) != string(first) {
+			t.Fatalf("marshal not deterministic: %s vs %s", again, first)
+		}
+	}
+}
+
+func TestAccelScheduleUnmarshalErrors(t *testing.T) {
+	var a Accel
+	if err := json.Unmarshal([]byte(`"TPU"`), &a); err == nil {
+		t.Fatal("unknown accelerator accepted")
+	}
+	var s Schedule
+	if err := json.Unmarshal([]byte(`"chaotic"`), &s); err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+	if err := json.Unmarshal([]byte(`"dynamic"`), &s); err != nil || s != ScheduleDynamic {
+		t.Fatalf("dynamic: %v %v", s, err)
+	}
+}

@@ -32,6 +32,11 @@ func (s Selection) Degraded() bool { return len(s.Fallbacks) > 0 }
 // a non-finite/invalid M. When every predictor fails, the chain falls
 // back to a fixed deployable default, so Select never returns garbage
 // and never crashes the runtime.
+//
+// A Chain is immutable after construction and Select only reads it, so
+// one chain may serve concurrent goroutines — provided every predictor's
+// inference path is itself pure, which holds for all in-repo predictors
+// (see TestChainSelectConcurrentlySafe).
 type Chain struct {
 	// Limits bound the deployable M ranges used for validation.
 	Limits config.Limits

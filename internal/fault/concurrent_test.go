@@ -1,0 +1,88 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict"
+)
+
+// flakyPred fails on some inputs, exercising the degradation path.
+type flakyPred struct{ limits config.Limits }
+
+func (p flakyPred) Name() string { return "Flaky" }
+
+func (p flakyPred) Predict(f feature.Vector) config.M {
+	if f[0] >= 0.5 {
+		panic("flaky predictor exploded")
+	}
+	return config.DefaultGPU(p.limits)
+}
+
+// A chain is consulted concurrently by every serving worker, so Select
+// must be safe to call from parallel goroutines (the chain itself is
+// read-only after construction; predictor implementations must be pure
+// on their inference path). Run under -race.
+func TestChainSelectConcurrentlySafe(t *testing.T) {
+	limits := machine.PrimaryPair().Limits()
+	chain := NewChain(limits,
+		flakyPred{limits},
+		errPred{},
+		fixed{m: config.DefaultMulticore(limits)},
+	)
+
+	queries := make([]feature.Vector, 6)
+	for i := range queries {
+		for j := range queries[i] {
+			queries[i][j] = float64((i*2+j)%11) / 10
+		}
+	}
+	want := make([]Selection, len(queries))
+	for i, q := range queries {
+		want[i] = chain.Select(q)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 100; iter++ {
+				q := (g + iter) % len(queries)
+				got := chain.Select(queries[q])
+				if got.M != want[q].M || got.Used != want[q].Used ||
+					len(got.Fallbacks) != len(want[q].Fallbacks) {
+					t.Errorf("goroutine %d: Select diverged on query %d: %+v != %+v",
+						g, q, got, want[q])
+					return
+				}
+				if err := got.M.Validate(limits); err != nil {
+					t.Errorf("goroutine %d: invalid M: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// errPred always reports failure through the checked interface.
+type errPred struct{}
+
+func (errPred) Name() string                          { return "AlwaysErr" }
+func (errPred) Predict(feature.Vector) config.M       { return config.M{} }
+func (errPred) PredictChecked(feature.Vector) (config.M, error) {
+	return config.M{}, errors.New("always fails")
+}
+
+// fixed always answers with one M.
+type fixed struct{ m config.M }
+
+func (f fixed) Name() string                    { return "Fixed" }
+func (f fixed) Predict(feature.Vector) config.M { return f.m }
+
+var _ predict.Checked = errPred{}

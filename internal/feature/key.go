@@ -1,0 +1,56 @@
+package feature
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"heteromap/internal/stats"
+)
+
+// Key renders the vector as a stable, comparable cache key. The paper's
+// 0.1-step discretization makes the characterization space finite, so
+// equal (B, I) characterizations — and only those — produce equal keys,
+// which is what lets a prediction cache front the predictor stack.
+// Components are formatted with the shortest exact float representation,
+// so ParseKey round-trips bit-for-bit.
+func (v Vector) Key() string {
+	var sb strings.Builder
+	sb.Grow(NumFeatures * 4)
+	for i, x := range v {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	}
+	return sb.String()
+}
+
+// ParseKey inverts Key, recovering the exact vector.
+func ParseKey(key string) (Vector, error) {
+	parts := strings.Split(key, ",")
+	if len(parts) != NumFeatures {
+		return Vector{}, fmt.Errorf("feature: key has %d components, want %d", len(parts), NumFeatures)
+	}
+	var v Vector
+	for i, p := range parts {
+		x, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return Vector{}, fmt.Errorf("feature: key component %d: %w", i, err)
+		}
+		v[i] = x
+	}
+	return v, nil
+}
+
+// Discretized snaps every component to the given step after clamping to
+// [0,1] — the shared normalization applied to raw (undiscretized)
+// feature vectors before they reach a predictor or a cache key, so that
+// near-identical characterizations collapse onto the same grid point.
+func (v Vector) Discretized(step float64) Vector {
+	var out Vector
+	for i, x := range v {
+		out[i] = stats.Discretize(stats.Clamp(x, 0, 1), step)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package feature
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"heteromap/internal/algo"
+)
+
+// Every catalog benchmark crossed with a spread of I vectors must
+// round-trip Key -> ParseKey exactly.
+func TestKeyRoundTripCatalog(t *testing.T) {
+	ivs := []IVector{
+		{0, 0, 0, 0},
+		{0.1, 0.1, 0, 0.8},
+		{0.8, 0.7, 1, 0.2},
+		{1, 1, 1, 1},
+	}
+	for _, b := range algo.All() {
+		bv := MustCatalog(b.Name)
+		for _, iv := range ivs {
+			v := Combine(bv, iv)
+			got, err := ParseKey(v.Key())
+			if err != nil {
+				t.Fatalf("%s: ParseKey(%q): %v", b.Name, v.Key(), err)
+			}
+			if got != v {
+				t.Fatalf("%s: round trip %v != %v", b.Name, got, v)
+			}
+		}
+	}
+}
+
+// Random discretized vectors round-trip too, and distinct vectors get
+// distinct keys (the property the prediction cache relies on).
+func TestKeyRoundTripRandomAndDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seen := map[string]Vector{}
+	for i := 0; i < 500; i++ {
+		var v Vector
+		for j := range v {
+			v[j] = float64(rng.Intn(11)) / 10
+		}
+		v = v.Discretized(DiscretizationStep)
+		key := v.Key()
+		got, err := ParseKey(key)
+		if err != nil {
+			t.Fatalf("ParseKey(%q): %v", key, err)
+		}
+		if got != v {
+			t.Fatalf("round trip %v != %v", got, v)
+		}
+		if prev, ok := seen[key]; ok && prev != v {
+			t.Fatalf("key %q collides: %v and %v", key, prev, v)
+		}
+		seen[key] = v
+	}
+}
+
+func TestKeyEqualityMatchesVectorEquality(t *testing.T) {
+	a := Combine(MustCatalog(algo.NameBFS), IVector{0.1, 0.2, 0.3, 0.4})
+	b := Combine(MustCatalog(algo.NameBFS), IVector{0.1, 0.2, 0.3, 0.4})
+	c := Combine(MustCatalog(algo.NameBFS), IVector{0.1, 0.2, 0.3, 0.5})
+	if a.Key() != b.Key() {
+		t.Fatalf("equal vectors, different keys: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Key() == c.Key() {
+		t.Fatalf("distinct vectors share key %q", a.Key())
+	}
+}
+
+func TestParseKeyErrors(t *testing.T) {
+	if _, err := ParseKey("0.1,0.2"); err == nil {
+		t.Fatal("short key accepted")
+	}
+	long := strings.Repeat("0.1,", NumFeatures) + "0.1"
+	if _, err := ParseKey(long); err == nil {
+		t.Fatal("long key accepted")
+	}
+	bad := strings.Repeat("0.1,", NumFeatures-1) + "zap"
+	if _, err := ParseKey(bad); err == nil {
+		t.Fatal("non-numeric component accepted")
+	}
+}
+
+func TestDiscretizedSnapsAndClamps(t *testing.T) {
+	var v Vector
+	v[0], v[1], v[2] = 0.14, -3, 17
+	got := v.Discretized(DiscretizationStep)
+	if got[0] != 0.1 {
+		t.Fatalf("0.14 snapped to %g, want 0.1", got[0])
+	}
+	if got[1] != 0 || got[2] != 1 {
+		t.Fatalf("clamp failed: %g %g", got[1], got[2])
+	}
+}

@@ -174,11 +174,15 @@ func (n *Network) ParamCount() int {
 	return total
 }
 
+// forward is the inference pass. It is pure — no layer state is written —
+// so a trained Network may serve concurrent Predict/PredictChecked calls
+// (the serving layer shares one model across a worker pool). Training is
+// the only mutating phase; a Network must not be trained while serving.
 func (n *Network) forward(in []float64) []float64 {
 	act := in
 	last := len(n.layers) - 1
 	for i, l := range n.layers {
-		act = l.forward(act, i < last)
+		act, _ = l.apply(act, i < last)
 	}
 	return act
 }
@@ -249,9 +253,13 @@ func newDense(in, out int, rng *rand.Rand) *dense {
 	return d
 }
 
-func (d *dense) forward(in []float64, relu bool) []float64 {
-	out := make([]float64, d.out)
-	pre := make([]float64, d.out)
+// apply computes the layer's activations without touching any layer
+// state, returning both the post-activation outputs and the
+// pre-activations. Inference uses it directly; the training pass wraps it
+// with forward, which caches the pre-activations for backward.
+func (d *dense) apply(in []float64, relu bool) (out, pre []float64) {
+	out = make([]float64, d.out)
+	pre = make([]float64, d.out)
 	for o := 0; o < d.out; o++ {
 		sum := d.b[o]
 		row := d.w[o*d.in : (o+1)*d.in]
@@ -267,6 +275,13 @@ func (d *dense) forward(in []float64, relu bool) []float64 {
 			out[o] = sigmoid(sum)
 		}
 	}
+	return out, pre
+}
+
+// forward is the training-time pass: apply plus caching the
+// pre-activations backward needs. Never called on the inference path.
+func (d *dense) forward(in []float64, relu bool) []float64 {
+	out, pre := d.apply(in, relu)
 	d.preact = pre
 	d.hidden = relu
 	return out

@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"heteromap/internal/feature"
+)
+
+// task is one prediction flowing through the batcher. The model pointer
+// is the immutable registry snapshot resolved at admission, so a
+// concurrent hot-swap cannot change the predictor out from under a
+// queued request.
+type task struct {
+	model    *Model
+	feat     feature.Vector
+	cacheKey string
+	enqueued time.Time
+	done     chan taskResult // buffered(1); exactly one send per task
+}
+
+type taskResult struct {
+	resp PredictResponse
+	err  error
+}
+
+// ErrQueueFull is returned by Submit when the bounded request queue is
+// at capacity — the server converts it into 503 so load sheds at
+// admission instead of collapsing latency for everyone.
+var ErrQueueFull = fmt.Errorf("serve: prediction queue full")
+
+// Batcher is the micro-batching request pipeline: tasks queue into a
+// bounded channel and a worker pool drains them in batches bounded by
+// size (MaxBatch) and deadline (MaxWait). Within a batch, tasks with the
+// same cache key are deduplicated so one chain inference answers all of
+// them — the amortization that makes per-request overhead drop under
+// load instead of growing.
+type Batcher struct {
+	queue    chan *task
+	cache    *Cache
+	metrics  *Metrics
+	maxBatch int
+	maxWait  time.Duration
+
+	wg      sync.WaitGroup
+	stopped chan struct{}
+	once    sync.Once
+}
+
+// NewBatcher builds and starts a batcher with the given worker count.
+func NewBatcher(cache *Cache, metrics *Metrics, queueSize, workers, maxBatch int, maxWait time.Duration) *Batcher {
+	if queueSize < 1 {
+		queueSize = 256
+	}
+	if workers < 1 {
+		workers = 2
+	}
+	if maxBatch < 1 {
+		maxBatch = 32
+	}
+	if maxWait <= 0 {
+		maxWait = 2 * time.Millisecond
+	}
+	b := &Batcher{
+		queue:    make(chan *task, queueSize),
+		cache:    cache,
+		metrics:  metrics,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		stopped:  make(chan struct{}),
+	}
+	b.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go b.worker()
+	}
+	return b
+}
+
+// QueueDepth reports the number of waiting tasks (a point-in-time gauge).
+func (b *Batcher) QueueDepth() int { return len(b.queue) }
+
+// Stop drains and shuts the workers down; queued tasks are still served.
+func (b *Batcher) Stop() {
+	b.once.Do(func() { close(b.stopped); close(b.queue) })
+	b.wg.Wait()
+}
+
+// Submit enqueues a task, failing fast with ErrQueueFull when the
+// bounded queue is at capacity, and waits for the result (or ctx).
+func (b *Batcher) Submit(ctx context.Context, t *task) (PredictResponse, error) {
+	t.enqueued = time.Now()
+	select {
+	case <-b.stopped:
+		return PredictResponse{}, fmt.Errorf("serve: server shutting down")
+	default:
+	}
+	select {
+	case b.queue <- t:
+	default:
+		b.metrics.QueueFull.Add(1)
+		return PredictResponse{}, ErrQueueFull
+	}
+	select {
+	case res := <-t.done:
+		return res.resp, res.err
+	case <-ctx.Done():
+		// The worker will still complete the task and send into the
+		// buffered channel; nobody is left blocked.
+		return PredictResponse{}, ctx.Err()
+	}
+}
+
+// worker drains the queue into size/deadline-bounded batches.
+func (b *Batcher) worker() {
+	defer b.wg.Done()
+	for {
+		t, ok := <-b.queue
+		if !ok {
+			return
+		}
+		batch := []*task{t}
+		timer := time.NewTimer(b.maxWait)
+	fill:
+		for len(batch) < b.maxBatch {
+			select {
+			case next, ok := <-b.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, next)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		b.process(batch)
+	}
+}
+
+// process serves one batch: group by cache key, answer each unique key
+// once (cache first, then one chain Select), and fan the result back out
+// to every waiting task.
+func (b *Batcher) process(batch []*task) {
+	b.metrics.Batches.Add(1)
+	b.metrics.BatchItems.Add(uint64(len(batch)))
+
+	groups := make(map[string][]*task, len(batch))
+	order := make([]string, 0, len(batch))
+	for _, t := range batch {
+		if _, seen := groups[t.cacheKey]; !seen {
+			order = append(order, t.cacheKey)
+		}
+		groups[t.cacheKey] = append(groups[t.cacheKey], t)
+	}
+
+	for _, key := range order {
+		tasks := groups[key]
+		lead := tasks[0]
+		resp, cached := b.lookup(lead)
+		if !cached {
+			start := time.Now()
+			sel := lead.model.Select(lead.feat)
+			b.metrics.ObserveModel(lead.model.Name, time.Since(start))
+			if n := len(sel.Fallbacks); n > 0 {
+				b.metrics.Fallbacks.Add(uint64(n))
+			}
+			resp = PredictResponse{
+				Model:         lead.model.Name,
+				Version:       lead.model.Version,
+				Key:           lead.feat.Key(),
+				PredictorUsed: sel.Used,
+				M:             sel.M,
+				Fallbacks:     sel.Fallbacks,
+			}
+			b.cache.Put(lead.cacheKey, cachedPrediction{M: sel.M, Used: sel.Used})
+		}
+		for i, t := range tasks {
+			r := resp
+			// Tasks beyond the first in a group were answered by the
+			// leader's inference — for them it is a (intra-batch) cache
+			// hit in all but name; report Cached so callers can see
+			// dedup working. The leader reports the true cache outcome.
+			if i > 0 {
+				r.Cached = true
+			}
+			b.metrics.RequestLatency.Observe(time.Since(t.enqueued))
+			t.done <- taskResult{resp: r}
+		}
+	}
+}
+
+// lookup consults the prediction cache for a task's key.
+func (b *Batcher) lookup(t *task) (PredictResponse, bool) {
+	val, ok := b.cache.Get(t.cacheKey)
+	if !ok {
+		return PredictResponse{}, false
+	}
+	return PredictResponse{
+		Model:         t.model.Name,
+		Version:       t.model.Version,
+		Key:           t.feat.Key(),
+		PredictorUsed: val.Used,
+		Cached:        true,
+		M:             val.M,
+	}, true
+}
+
+// cacheKeyFor builds the composite cache key: model identity (name and
+// version) plus the discretized feature key, so hot-swapped model
+// versions can never serve each other's cached predictions.
+func cacheKeyFor(m *Model, f feature.Vector) string {
+	return m.Name + "@" + strconv.FormatUint(m.Version, 10) + "|" + f.Key()
+}

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+)
+
+// countingPred counts inference calls; the dedup assertions use it.
+type countingPred struct {
+	calls atomic.Int64
+	m     config.M
+}
+
+func (p *countingPred) Name() string { return "Counting" }
+func (p *countingPred) Predict(feature.Vector) config.M {
+	p.calls.Add(1)
+	return p.m
+}
+
+func batchFixture(t *testing.T, queue, workers, maxBatch int, wait time.Duration) (*Batcher, *Model, *countingPred, *Cache, *Metrics) {
+	t.Helper()
+	pair := machine.PrimaryPair()
+	reg := NewRegistry(pair)
+	pred := &countingPred{m: config.DefaultGPU(pair.Limits())}
+	model, err := reg.Register("count", "test", pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(1024, 4)
+	metrics := NewMetrics()
+	b := NewBatcher(cache, metrics, queue, workers, maxBatch, wait)
+	t.Cleanup(b.Stop)
+	return b, model, pred, cache, metrics
+}
+
+func testFeature(i int) feature.Vector {
+	var f feature.Vector
+	for j := range f {
+		f[j] = float64((i+j)%11) / 10
+	}
+	return f
+}
+
+func submit(ctx context.Context, b *Batcher, m *Model, f feature.Vector) (PredictResponse, error) {
+	return b.Submit(ctx, &task{
+		model:    m,
+		feat:     f,
+		cacheKey: cacheKeyFor(m, f),
+		done:     make(chan taskResult, 1),
+	})
+}
+
+// Identical keys in one batch are answered by a single inference, and a
+// repeat submission is a cache hit.
+func TestBatcherDedupAndCache(t *testing.T) {
+	// One worker and a generous wait so concurrent submissions coalesce.
+	b, model, pred, _, metrics := batchFixture(t, 64, 1, 32, 20*time.Millisecond)
+	f := testFeature(0)
+
+	const n = 16
+	var wg sync.WaitGroup
+	resps := make([]PredictResponse, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := submit(context.Background(), b, model, f)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			resps[i] = r
+		}(i)
+	}
+	wg.Wait()
+
+	// All n callers answered; far fewer inferences than callers ran
+	// (exact count depends on how the worker's first drain races the
+	// submissions, but dedup must beat one-inference-per-caller).
+	if calls := pred.calls.Load(); calls >= n/2 {
+		t.Fatalf("dedup ineffective: %d inferences for %d identical requests", calls, n)
+	}
+	for i, r := range resps {
+		if r.M != resps[0].M {
+			t.Fatalf("response %d diverged: %v vs %v", i, r.M, resps[0].M)
+		}
+	}
+
+	// A follow-up for the same key must be served from the cache.
+	calls := pred.calls.Load()
+	r, err := submit(context.Background(), b, model, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Cached {
+		t.Fatal("repeat request not served from cache")
+	}
+	if pred.calls.Load() != calls {
+		t.Fatal("cache hit still ran inference")
+	}
+	if metrics.Batches.Load() == 0 || metrics.BatchItems.Load() < n {
+		t.Fatalf("batch metrics not recorded: %d batches, %d items",
+			metrics.Batches.Load(), metrics.BatchItems.Load())
+	}
+}
+
+// A full queue sheds load with ErrQueueFull instead of blocking.
+func TestBatcherQueueFull(t *testing.T) {
+	pair := machine.PrimaryPair()
+	reg := NewRegistry(pair)
+	slow := &slowPred{m: config.DefaultGPU(pair.Limits()), delay: 20 * time.Millisecond}
+	model, _ := reg.Register("slow", "test", slow)
+	cache := NewCache(16, 1)
+	metrics := NewMetrics()
+	b := NewBatcher(cache, metrics, 1, 1, 1, time.Microsecond)
+	t.Cleanup(b.Stop)
+
+	// Saturate: the worker is busy with one slow task, the queue holds
+	// one more, so additional submissions must be rejected.
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := submit(context.Background(), b, model, testFeature(i))
+			errs <- err
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	full := 0
+	for err := range errs {
+		if err == ErrQueueFull {
+			full++
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if full == 0 {
+		t.Fatal("no request was shed on a saturated queue")
+	}
+	if metrics.QueueFull.Load() != uint64(full) {
+		t.Fatalf("QueueFull metric %d != %d rejections", metrics.QueueFull.Load(), full)
+	}
+}
+
+// Submission respects caller deadlines without leaking the worker's
+// result send (the done channel is buffered).
+func TestBatcherContextCancel(t *testing.T) {
+	pair := machine.PrimaryPair()
+	reg := NewRegistry(pair)
+	slow := &slowPred{m: config.DefaultGPU(pair.Limits()), delay: 50 * time.Millisecond}
+	model, _ := reg.Register("slow", "test", slow)
+	b := NewBatcher(NewCache(16, 1), NewMetrics(), 4, 1, 1, time.Microsecond)
+	t.Cleanup(b.Stop)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := submit(ctx, b, model, testFeature(1))
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// Stop drains queued tasks before the workers exit.
+func TestBatcherStopDrains(t *testing.T) {
+	b, model, _, _, _ := batchFixture(t, 64, 2, 8, time.Millisecond)
+	var wg sync.WaitGroup
+	errCount := atomic.Int64{}
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := submit(context.Background(), b, model, testFeature(i%3)); err != nil {
+				errCount.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait() // all submissions answered before Stop
+	b.Stop()
+	if errCount.Load() != 0 {
+		t.Fatalf("%d submissions failed", errCount.Load())
+	}
+	// After Stop, submissions fail cleanly instead of panicking.
+	if _, err := submit(context.Background(), b, model, testFeature(0)); err == nil {
+		t.Fatal("submit after Stop succeeded")
+	}
+}
+
+// slowPred sleeps before answering, to hold workers busy in tests.
+type slowPred struct {
+	m     config.M
+	delay time.Duration
+}
+
+func (p *slowPred) Name() string { return "Slow" }
+func (p *slowPred) Predict(feature.Vector) config.M {
+	time.Sleep(p.delay)
+	return p.m
+}

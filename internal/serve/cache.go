@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"heteromap/internal/config"
+)
+
+// cachedPrediction is what the cache stores for one (model version,
+// discretized characterization) pair.
+type cachedPrediction struct {
+	M    config.M
+	Used string
+}
+
+// Cache is a sharded LRU prediction cache. Keys embed the model name and
+// version in front of the discretized feature key, so hot-swapping a
+// model naturally invalidates its entries (they stop being referenced
+// and age out) without a stop-the-world flush. The finite discretized
+// key space is what makes caching predictions worthwhile at all: any
+// realistic traffic mix revisits grid points constantly.
+type Cache struct {
+	shards []*cacheShard
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// cacheShard is one independently locked LRU.
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val cachedPrediction
+}
+
+// NewCache builds a cache holding up to capacity entries across the
+// given number of shards (both floored at 1; capacity is split evenly).
+func NewCache(capacity, shards int) *Cache {
+	if shards < 1 {
+		shards = 1
+	}
+	if capacity < shards {
+		capacity = shards
+	}
+	c := &Cache{shards: make([]*cacheShard, shards)}
+	per := capacity / shards
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			cap:   per,
+			ll:    list.New(),
+			items: make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Get looks a key up, counting the hit or miss.
+func (c *Cache) Get(key string) (cachedPrediction, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses.Add(1)
+	return cachedPrediction{}, false
+}
+
+// Put inserts or refreshes a key, evicting the shard's least recently
+// used entry when full.
+func (c *Cache) Put(key string, val cachedPrediction) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, val: val})
+	if s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the live entry count across shards.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns the cumulative hit/miss/eviction counters.
+func (c *Cache) Stats() (hits, misses, evictions uint64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}

@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"heteromap/internal/algo"
+)
+
+// LoadGenOptions configure a synthetic serving benchmark run.
+type LoadGenOptions struct {
+	// URL is the server base URL, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Duration bounds the run (default 2s).
+	Duration time.Duration
+	// Concurrency is the number of client goroutines (default 8).
+	Concurrency int
+	// BatchSize > 1 sends batch requests of that size; otherwise each
+	// request carries one prediction.
+	BatchSize int
+	// Model names the registry entry to exercise ("" = default).
+	Model string
+	// Combos is the size of the synthetic (benchmark, input) pool the
+	// mix replays (default 64). Smaller pools mean hotter caches.
+	Combos int
+	// Seed fixes the request mix.
+	Seed int64
+}
+
+func (o LoadGenOptions) withDefaults() LoadGenOptions {
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1
+	}
+	if o.Combos <= 0 {
+		o.Combos = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// LoadGenResult summarizes a run: client-side throughput and latency
+// quantiles plus the server's own view scraped from /metrics.
+type LoadGenResult struct {
+	Duration    time.Duration
+	Requests    uint64 // HTTP round trips
+	Predictions uint64 // individual predictions (batch items)
+	Errors      uint64
+
+	Throughput float64 // predictions per second
+	P50, P99   time.Duration
+
+	// Scraped from /metrics after the run.
+	CacheHitRate     float64
+	ServerP50        time.Duration
+	ServerP99        time.Duration
+	MeanBatchItems   float64
+	FallbackEvents   uint64
+	QueueFullRejects uint64
+}
+
+// String renders the serving-benchmark report.
+func (r LoadGenResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "loadgen: %d requests (%d predictions, %d errors) in %v\n",
+		r.Requests, r.Predictions, r.Errors, r.Duration.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "  throughput     : %.0f predictions/s\n", r.Throughput)
+	fmt.Fprintf(&sb, "  client latency : p50 %v, p99 %v\n", r.P50, r.P99)
+	fmt.Fprintf(&sb, "  server latency : p50 %v, p99 %v (from /metrics)\n", r.ServerP50, r.ServerP99)
+	fmt.Fprintf(&sb, "  cache hit rate : %.1f%%\n", r.CacheHitRate*100)
+	fmt.Fprintf(&sb, "  mean batch     : %.2f items\n", r.MeanBatchItems)
+	fmt.Fprintf(&sb, "  fallbacks      : %d, queue-full rejects: %d", r.FallbackEvents, r.QueueFullRejects)
+	return sb.String()
+}
+
+// synthCombo is one replayable (benchmark, input) request of the mix.
+type synthCombo struct{ req PredictRequest }
+
+// buildMix synthesizes a pool of (benchmark, input) combinations with
+// paper-plausible graph magnitudes. Workers replay it with a skewed
+// (80/20-style) distribution so the cache sees realistic repetition.
+func buildMix(o LoadGenOptions) []synthCombo {
+	rng := rand.New(rand.NewSource(o.Seed))
+	benches := algo.All()
+	combos := make([]synthCombo, o.Combos)
+	for i := range combos {
+		b := benches[rng.Intn(len(benches))]
+		v := int64(1e6 * (1 + rng.Float64()*100)) // 1M..100M vertices
+		deg := int64(10 + rng.Intn(3000))
+		combos[i] = synthCombo{req: PredictRequest{
+			Model:     o.Model,
+			Bench:     b.Name,
+			Vertices:  v,
+			Edges:     v * (2 + int64(rng.Intn(30))),
+			MaxDegree: deg * (1 + int64(rng.Intn(100))),
+			Diameter:  int64(10 + rng.Intn(2000)),
+		}}
+	}
+	return combos
+}
+
+// pick returns a mix index with a hot-set skew: 80% of picks land in the
+// first 20% of the pool.
+func pick(rng *rand.Rand, n int) int {
+	hot := n / 5
+	if hot < 1 {
+		hot = 1
+	}
+	if rng.Float64() < 0.8 {
+		return rng.Intn(hot)
+	}
+	return rng.Intn(n)
+}
+
+// RunLoadGen replays a synthetic request mix against a running server
+// and reports throughput and latency, merging the server's /metrics view.
+func RunLoadGen(o LoadGenOptions) (LoadGenResult, error) {
+	o = o.withDefaults()
+	if o.URL == "" {
+		return LoadGenResult{}, fmt.Errorf("serve: loadgen needs a server URL")
+	}
+	mix := buildMix(o)
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var requests, predictions, errors atomic.Uint64
+	latencies := make([][]time.Duration, o.Concurrency)
+	deadline := time.Now().Add(o.Duration)
+
+	var wg sync.WaitGroup
+	for g := 0; g < o.Concurrency; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + int64(g)*7919))
+			for time.Now().Before(deadline) {
+				var body any
+				var url string
+				n := 1
+				if o.BatchSize > 1 {
+					reqs := make([]PredictRequest, o.BatchSize)
+					for i := range reqs {
+						reqs[i] = mix[pick(rng, len(mix))].req
+					}
+					body = BatchRequest{Requests: reqs}
+					url = o.URL + "/v1/predict/batch"
+					n = o.BatchSize
+				} else {
+					body = mix[pick(rng, len(mix))].req
+					url = o.URL + "/v1/predict"
+				}
+				buf, _ := json.Marshal(body)
+				start := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+				elapsed := time.Since(start)
+				requests.Add(1)
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errors.Add(1)
+					if resp != nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				predictions.Add(uint64(n))
+				latencies[g] = append(latencies[g], elapsed)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := LoadGenResult{
+		Duration:    o.Duration,
+		Requests:    requests.Load(),
+		Predictions: predictions.Load(),
+		Errors:      errors.Load(),
+		Throughput:  float64(predictions.Load()) / o.Duration.Seconds(),
+	}
+	if len(all) > 0 {
+		res.P50 = all[len(all)/2]
+		res.P99 = all[min(len(all)-1, len(all)*99/100)]
+	}
+	if err := res.scrapeMetrics(client, o.URL); err != nil {
+		return res, fmt.Errorf("serve: loadgen metrics scrape: %w", err)
+	}
+	return res, nil
+}
+
+// scrapeMetrics pulls /metrics and fills the server-side fields.
+func (r *LoadGenResult) scrapeMetrics(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+
+	var hits, misses, batches, batchItems float64
+	var buckets []promBucket
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "heteromap_cache_hits_total "):
+			hits = promValue(line)
+		case strings.HasPrefix(line, "heteromap_cache_misses_total "):
+			misses = promValue(line)
+		case strings.HasPrefix(line, "heteromap_batches_total "):
+			batches = promValue(line)
+		case strings.HasPrefix(line, "heteromap_batch_items_total "):
+			batchItems = promValue(line)
+		case strings.HasPrefix(line, "heteromap_fallback_events_total "):
+			r.FallbackEvents = uint64(promValue(line))
+		case strings.HasPrefix(line, "heteromap_queue_full_total "):
+			r.QueueFullRejects = uint64(promValue(line))
+		case strings.HasPrefix(line, `heteromap_request_duration_seconds_bucket{le="`):
+			rest := strings.TrimPrefix(line, `heteromap_request_duration_seconds_bucket{le="`)
+			end := strings.Index(rest, `"`)
+			if end < 0 {
+				continue
+			}
+			le := rest[:end]
+			var ub float64
+			if le == "+Inf" {
+				ub = -1 // sentinel: open-ended
+			} else if ub, err = strconv.ParseFloat(le, 64); err != nil {
+				continue
+			}
+			buckets = append(buckets, promBucket{le: ub, count: promValue(line)})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if hits+misses > 0 {
+		r.CacheHitRate = hits / (hits + misses)
+	}
+	if batches > 0 {
+		r.MeanBatchItems = batchItems / batches
+	}
+	r.ServerP50 = quantileFromBuckets(buckets, 0.50)
+	r.ServerP99 = quantileFromBuckets(buckets, 0.99)
+	return nil
+}
+
+// promValue parses the value of a "name 123" or "name{...} 123" line.
+func promValue(line string) float64 {
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return 0
+	}
+	v, _ := strconv.ParseFloat(line[i+1:], 64)
+	return v
+}
+
+// promBucket is one cumulative histogram bucket scraped from /metrics;
+// le = -1 marks the +Inf bucket.
+type promBucket struct{ le, count float64 }
+
+// quantileFromBuckets estimates a quantile from cumulative histogram
+// buckets, interpolating inside the bucket.
+func quantileFromBuckets(buckets []promBucket, q float64) time.Duration {
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].count
+	if total == 0 {
+		return 0
+	}
+	rank := q * total
+	lower, prevCount := 0.0, 0.0
+	for _, b := range buckets {
+		if b.count >= rank && b.count > prevCount {
+			upper := b.le
+			if upper < 0 { // +Inf bucket: report its lower bound
+				return time.Duration(lower * float64(time.Second))
+			}
+			frac := (rank - prevCount) / (b.count - prevCount)
+			sec := lower + (upper-lower)*frac
+			return time.Duration(sec * float64(time.Second))
+		}
+		if b.le >= 0 {
+			lower = b.le
+		}
+		prevCount = b.count
+	}
+	return time.Duration(lower * float64(time.Second))
+}

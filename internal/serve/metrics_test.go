@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewHistogram()
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %g", q)
+	}
+	// 90 fast observations, 10 slow: p50 must land in the fast bucket's
+	// range, p99 in the slow one's.
+	for i := 0; i < 90; i++ {
+		h.Observe(20 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(80 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 <= 0 || p50 > 25e-6 {
+		t.Fatalf("p50 = %g, want in (0, 25µs]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 0.05 || p99 > 0.1 {
+		t.Fatalf("p99 = %g, want in [50ms, 100ms]", p99)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	m := NewMetrics()
+	m.Requests.Add(3)
+	m.ObserveModel("tree", 50*time.Microsecond)
+	m.RequestLatency.Observe(time.Millisecond)
+	c := NewCache(8, 2)
+	c.Put("k", cachedPrediction{})
+	c.Get("k")
+	c.Get("absent")
+
+	var sb strings.Builder
+	m.WritePrometheus(&sb, c, func() int { return 5 })
+	out := sb.String()
+
+	for _, want := range []string{
+		"heteromap_requests_total 3",
+		"heteromap_cache_hits_total 1",
+		"heteromap_cache_misses_total 1",
+		"heteromap_cache_entries 1",
+		"heteromap_queue_depth 5",
+		`heteromap_model_requests_total{model="tree"} 1`,
+		`heteromap_model_duration_seconds_bucket{model="tree",le="+Inf"} 1`,
+		"heteromap_request_duration_seconds_count 1",
+		"# TYPE heteromap_request_duration_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in metrics output", want)
+		}
+	}
+	// Buckets must be cumulative: the +Inf bucket equals the count.
+	if !strings.Contains(out, `heteromap_request_duration_seconds_bucket{le="+Inf"} 1`) {
+		t.Error("missing cumulative +Inf bucket")
+	}
+}
+
+// The scrape parser in loadgen must invert WritePrometheus: quantiles
+// recovered from the text form agree with the histogram's own estimate.
+func TestScrapeRoundTrip(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 200; i++ {
+		m.RequestLatency.Observe(30 * time.Microsecond)
+	}
+	for i := 0; i < 4; i++ {
+		m.RequestLatency.Observe(40 * time.Millisecond)
+	}
+	var sb strings.Builder
+	m.WritePrometheus(&sb, NewCache(1, 1), func() int { return 0 })
+
+	var buckets []promBucket
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.HasPrefix(line, `heteromap_request_duration_seconds_bucket{le="`) {
+			continue
+		}
+		rest := strings.TrimPrefix(line, `heteromap_request_duration_seconds_bucket{le="`)
+		end := strings.Index(rest, `"`)
+		le := rest[:end]
+		b := promBucket{count: promValue(line)}
+		if le == "+Inf" {
+			b.le = -1
+		} else {
+			var err error
+			if b.le, err = strconv.ParseFloat(le, 64); err != nil {
+				t.Fatalf("bad le %q: %v", le, err)
+			}
+		}
+		buckets = append(buckets, b)
+	}
+	p50 := quantileFromBuckets(buckets, 0.50)
+	want := time.Duration(m.RequestLatency.Quantile(0.50) * float64(time.Second))
+	if d := p50 - want; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("scraped p50 %v != direct %v", p50, want)
+	}
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"heteromap/internal/fault"
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict"
+	"heteromap/internal/predict/dtree"
+	"heteromap/internal/train"
+)
+
+// Model is one immutable registry entry: a predictor fronted by the
+// fault package's fallback chain. In-flight requests hold the *Model
+// they resolved; a hot-swap installs a fresh entry without touching the
+// old one, so swapping never corrupts requests already being served.
+type Model struct {
+	// Name is the registry key.
+	Name string
+	// Version increments monotonically across the whole registry on
+	// every (re)registration, so cache keys from a replaced model can
+	// never alias the new one's.
+	Version uint64
+	// Source describes where the model came from, for /v1/models.
+	Source string
+
+	chain *fault.Chain
+}
+
+// Select consults the model's fallback chain.
+func (m *Model) Select(f feature.Vector) fault.Selection {
+	return m.chain.Select(f)
+}
+
+// PredictorName names the chain's primary predictor.
+func (m *Model) PredictorName() string { return m.chain.Name() }
+
+// ModelInfo is the /v1/models wire representation of an entry.
+type ModelInfo struct {
+	Name      string `json:"name"`
+	Version   uint64 `json:"version"`
+	Predictor string `json:"predictor"`
+	Source    string `json:"source"`
+	Default   bool   `json:"default"`
+}
+
+// Registry holds the named, versioned predictors a server dispatches to.
+// Reads take a shared lock and return immutable *Model snapshots;
+// registration replaces the map entry atomically under the write lock —
+// the hot-swap path.
+type Registry struct {
+	pair machine.Pair
+
+	mu          sync.RWMutex
+	models      map[string]*Model
+	defaultName string
+
+	version atomic.Uint64
+}
+
+// NewRegistry builds an empty registry for an accelerator pair.
+func NewRegistry(pair machine.Pair) *Registry {
+	return &Registry{pair: pair, models: make(map[string]*Model)}
+}
+
+// Pair returns the registry's accelerator pair.
+func (r *Registry) Pair() machine.Pair { return r.pair }
+
+// Register installs (or hot-swaps) a model under name. The predictor is
+// wrapped in a fallback chain ending, as everywhere else, in the
+// analytical decision tree and a fixed deployable default — a served
+// prediction is never trusted unconditionally. Extra fallbacks slot in
+// between. The first registration becomes the default model.
+func (r *Registry) Register(name, source string, p predict.Predictor, fallbacks ...predict.Predictor) (*Model, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: model name must not be empty")
+	}
+	if p == nil {
+		return nil, fmt.Errorf("serve: model %q: nil predictor", name)
+	}
+	limits := r.pair.Limits()
+	preds := append([]predict.Predictor{p}, fallbacks...)
+	if _, isTree := p.(*dtree.Tree); !isTree {
+		preds = append(preds, dtree.New(limits))
+	}
+	m := &Model{
+		Name:    name,
+		Version: r.version.Add(1),
+		Source:  source,
+		chain:   fault.NewChain(limits, preds...),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.models[name] = m
+	if r.defaultName == "" {
+		r.defaultName = name
+	}
+	return m, nil
+}
+
+// Get resolves a model by name; the empty name selects the default.
+func (r *Registry) Get(name string) (*Model, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		name = r.defaultName
+	}
+	if m, ok := r.models[name]; ok {
+		return m, nil
+	}
+	return nil, fmt.Errorf("serve: unknown model %q", name)
+}
+
+// SetDefault changes which model the empty name resolves to.
+func (r *Registry) SetDefault(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[name]; !ok {
+		return fmt.Errorf("serve: unknown model %q", name)
+	}
+	r.defaultName = name
+	return nil
+}
+
+// List describes every registered model, sorted by name.
+func (r *Registry) List() []ModelInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ModelInfo, 0, len(r.models))
+	for _, m := range r.models {
+		out = append(out, ModelInfo{
+			Name:      m.Name,
+			Version:   m.Version,
+			Predictor: m.PredictorName(),
+			Source:    m.Source,
+			Default:   m.Name == r.defaultName,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ReloadDB hot-swaps name with a DB-lookup predictor loaded from a
+// profiler database file on disk (written by hmtrain -out). The load and
+// validation happen before the swap, so a bad file leaves the currently
+// served model untouched.
+func (r *Registry) ReloadDB(name, path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reload %q: %w", name, err)
+	}
+	defer f.Close()
+	db, err := train.LoadDB(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reload %q: %w", name, err)
+	}
+	if db.Pair.Name() != r.pair.Name() {
+		return nil, fmt.Errorf("serve: reload %q: database is for pair %q, server runs %q",
+			name, db.Pair.Name(), r.pair.Name())
+	}
+	return r.Register(name, "db:"+path, train.NewLookupPredictor(db))
+}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict/dtree"
+	"heteromap/internal/train"
+)
+
+func testRegistry(t *testing.T) *Registry {
+	t.Helper()
+	return NewRegistry(machine.PrimaryPair())
+}
+
+func TestRegistryRegisterGetDefault(t *testing.T) {
+	r := testRegistry(t)
+	if _, err := r.Get(""); err == nil {
+		t.Fatal("empty registry resolved a default")
+	}
+	tree, err := r.Register("tree", "builtin", dtree.New(r.Pair().Limits()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Version != 1 {
+		t.Fatalf("first version = %d", tree.Version)
+	}
+	def, err := r.Get("")
+	if err != nil || def.Name != "tree" {
+		t.Fatalf("default = %v, %v", def, err)
+	}
+	if _, err := r.Get("nope"); err == nil {
+		t.Fatal("unknown model resolved")
+	}
+	if err := r.SetDefault("nope"); err == nil {
+		t.Fatal("SetDefault accepted unknown model")
+	}
+	if _, err := r.Register("", "x", dtree.New(r.Pair().Limits())); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := r.Register("nilp", "x", nil); err == nil {
+		t.Fatal("nil predictor accepted")
+	}
+}
+
+// Hot-swapping bumps the version and leaves the old *Model snapshot
+// fully usable — the property in-flight requests rely on.
+func TestRegistryHotSwapPreservesOldSnapshot(t *testing.T) {
+	r := testRegistry(t)
+	limits := r.Pair().Limits()
+	old, _ := r.Register("m", "v1", dtree.New(limits))
+
+	fixedM := config.DefaultGPU(limits)
+	swapped, err := r.Register("m", "v2", fixedPred{m: fixedM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapped.Version <= old.Version {
+		t.Fatalf("version did not advance: %d -> %d", old.Version, swapped.Version)
+	}
+
+	f := feature.Combine(feature.MustCatalog("BFS"), feature.IVector{0.5, 0.5, 0.5, 0.5})
+	oldSel := old.Select(f) // old snapshot still answers
+	if err := oldSel.M.Validate(limits); err != nil {
+		t.Fatalf("old snapshot invalid after swap: %v", err)
+	}
+	newSel := swapped.Select(f)
+	if newSel.M != fixedM.Clamp(limits) {
+		t.Fatalf("new model not serving: %v", newSel.M)
+	}
+	got, _ := r.Get("m")
+	if got.Version != swapped.Version {
+		t.Fatalf("registry serves version %d, want %d", got.Version, swapped.Version)
+	}
+}
+
+func TestRegistryReloadDB(t *testing.T) {
+	r := testRegistry(t)
+	db := train.BuildDatabase(r.Pair(), train.Config{Samples: 8, Seed: 11})
+	path := filepath.Join(t.TempDir(), "model.hmdb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m, err := r.ReloadDB("db", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PredictorName() != "DB Lookup" {
+		t.Fatalf("predictor = %q", m.PredictorName())
+	}
+	feat := db.Samples[0].Features
+	sel := m.Select(feat)
+	if err := sel.M.Validate(r.Pair().Limits()); err != nil {
+		t.Fatalf("reloaded model answered invalid M: %v", err)
+	}
+
+	// A second reload hot-swaps with a fresh version.
+	m2, err := r.ReloadDB("db", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Version <= m.Version {
+		t.Fatalf("reload did not bump version: %d -> %d", m.Version, m2.Version)
+	}
+
+	// Bad paths and corrupt files must not disturb the registry.
+	if _, err := r.ReloadDB("db", filepath.Join(t.TempDir(), "missing.hmdb")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.hmdb")
+	os.WriteFile(bad, []byte("not a database"), 0o644)
+	if _, err := r.ReloadDB("db", bad); err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+	still, err := r.Get("db")
+	if err != nil || still.Version != m2.Version {
+		t.Fatalf("failed reload disturbed registry: %v %v", still, err)
+	}
+}
+
+func TestRegistryList(t *testing.T) {
+	r := testRegistry(t)
+	limits := r.Pair().Limits()
+	r.Register("zeta", "z", dtree.New(limits))
+	r.Register("alpha", "a", dtree.New(limits))
+	list := r.List()
+	if len(list) != 2 || list[0].Name != "alpha" || list[1].Name != "zeta" {
+		t.Fatalf("list = %+v", list)
+	}
+	if !list[1].Default || list[0].Default {
+		t.Fatalf("default flag wrong: %+v", list)
+	}
+}
+
+// fixedPred always answers one M.
+type fixedPred struct{ m config.M }
+
+func (f fixedPred) Name() string                            { return "FixedTest" }
+func (f fixedPred) Predict(feature.Vector) config.M         { return f.m }

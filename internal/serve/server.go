@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+)
+
+// Options size the serving pipeline; zero values select the defaults in
+// parentheses.
+type Options struct {
+	// Addr is the listen address for Start ("127.0.0.1:8080").
+	Addr string
+	// Pair is the accelerator pair (machine.PrimaryPair).
+	Pair machine.Pair
+	// Registry supplies the models; nil builds an empty registry the
+	// caller must populate before serving predictions.
+	Registry *Registry
+
+	// CacheSize / CacheShards size the prediction cache (4096 / 16).
+	CacheSize   int
+	CacheShards int
+	// QueueSize bounds the request queue (1024); Workers sizes the
+	// batch-draining pool (4); MaxBatch and MaxWait bound each
+	// micro-batch (64 items / 2ms).
+	QueueSize int
+	Workers   int
+	MaxBatch  int
+	MaxWait   time.Duration
+	// Step is the feature discretization increment
+	// (feature.DiscretizationStep).
+	Step float64
+	// RequestTimeout bounds one prediction end to end (5s).
+	RequestTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:8080"
+	}
+	if o.Pair.GPU == nil || o.Pair.Multicore == nil {
+		o.Pair = machine.PrimaryPair()
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 4096
+	}
+	if o.CacheShards <= 0 {
+		o.CacheShards = 16
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 1024
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.Step <= 0 {
+		o.Step = feature.DiscretizationStep
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Server is the prediction service: registry -> batcher -> cache ->
+// predictor -> metrics behind an HTTP/JSON API.
+type Server struct {
+	opts     Options
+	registry *Registry
+	cache    *Cache
+	batcher  *Batcher
+	metrics  *Metrics
+	started  time.Time
+
+	http *http.Server
+	ln   net.Listener
+}
+
+// New assembles a server (without listening; see Start and Handler).
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	reg := opts.Registry
+	if reg == nil {
+		reg = NewRegistry(opts.Pair)
+	}
+	metrics := NewMetrics()
+	cache := NewCache(opts.CacheSize, opts.CacheShards)
+	s := &Server{
+		opts:     opts,
+		registry: reg,
+		cache:    cache,
+		batcher:  NewBatcher(cache, metrics, opts.QueueSize, opts.Workers, opts.MaxBatch, opts.MaxWait),
+		metrics:  metrics,
+		started:  time.Now(),
+	}
+	s.http = &http.Server{Addr: opts.Addr, Handler: s.Handler()}
+	return s
+}
+
+// Registry returns the server's model registry.
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Metrics returns the server's metrics set.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the API mux (usable under httptest without a socket).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/predict/batch", s.handlePredictBatch)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/reload", s.handleReload)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Start listens on Options.Addr and serves until Shutdown.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", s.opts.Addr, err)
+	}
+	s.ln = ln
+	err = s.http.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Addr returns the bound listen address (valid after Start's Listen).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.opts.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the HTTP listener, then drains the batcher
+// so every queued prediction is still answered.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	s.batcher.Stop()
+	return err
+}
+
+// predictOne runs one request through admission, cache and batcher; the
+// returned status is the HTTP code an error should carry.
+func (s *Server) predictOne(ctx context.Context, req *PredictRequest) (PredictResponse, int, error) {
+	feat, err := ResolveFeatures(req, s.opts.Step)
+	if err != nil {
+		return PredictResponse{}, http.StatusBadRequest, err
+	}
+	model, err := s.registry.Get(req.Model)
+	if err != nil {
+		return PredictResponse{}, http.StatusNotFound, err
+	}
+	s.metrics.Requests.Add(1)
+	t := &task{
+		model:    model,
+		feat:     feat,
+		cacheKey: cacheKeyFor(model, feat),
+		done:     make(chan taskResult, 1),
+	}
+	resp, err := s.batcher.Submit(ctx, t)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrQueueFull) {
+			status = http.StatusServiceUnavailable
+		} else if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status = http.StatusGatewayTimeout
+		}
+		return PredictResponse{}, status, err
+	}
+	return resp, http.StatusOK, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.errorJSON(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.errorJSON(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	resp, status, err := s.predictOne(ctx, &req)
+	if err != nil {
+		s.errorJSON(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.errorJSON(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.errorJSON(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.errorJSON(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+
+	// Fan the whole batch into the queue concurrently so the batcher
+	// can drain it as one (or a few) micro-batches.
+	resps := make([]PredictResponse, len(req.Requests))
+	done := make(chan int, len(req.Requests))
+	for i := range req.Requests {
+		go func(i int) {
+			defer func() { done <- i }()
+			resp, _, err := s.predictOne(ctx, &req.Requests[i])
+			if err != nil {
+				resps[i] = PredictResponse{Error: err.Error()}
+				return
+			}
+			resps[i] = resp
+		}(i)
+	}
+	for range req.Requests {
+		<-done
+	}
+	s.writeJSON(w, http.StatusOK, BatchResponse{Responses: resps})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"models": s.registry.List()})
+}
+
+// reloadRequest is the /v1/reload body: hot-swap model from a profiler
+// database file on disk.
+type reloadRequest struct {
+	Model string `json:"model"`
+	Path  string `json:"path"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.errorJSON(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req reloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.errorJSON(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.Model == "" || req.Path == "" {
+		s.errorJSON(w, http.StatusBadRequest, fmt.Errorf("reload needs model and path"))
+		return
+	}
+	m, err := s.registry.ReloadDB(req.Model, req.Path)
+	if err != nil {
+		s.errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.ReloadCount.Add(1)
+	s.writeJSON(w, http.StatusOK, ModelInfo{
+		Name: m.Name, Version: m.Version, Predictor: m.PredictorName(), Source: m.Source,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"pair":           s.registry.Pair().Name(),
+		"models":         len(s.registry.List()),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w, s.cache, s.batcher.QueueDepth)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more useful to do than count it.
+		s.metrics.HTTPErrors.Add(1)
+	}
+}
+
+func (s *Server) errorJSON(w http.ResponseWriter, status int, err error) {
+	s.metrics.HTTPErrors.Add(1)
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
