@@ -25,8 +25,11 @@
 //	    show where the simulated time of the predicted deployment goes
 //	heteromap serve -addr 127.0.0.1:8080 [-predictor tree|deep|db]
 //	    run the prediction service: POST /v1/predict and
-//	    /v1/predict/batch, model registry with hot-swap reload
-//	    (/v1/reload), prediction cache, Prometheus /metrics
+//	    /v1/predict/batch, model registry with canary-validated
+//	    hot-swap reload (/v1/reload, gated by -canary-set/-reload-slo),
+//	    prediction cache, hedged dispatch with per-version circuit
+//	    breakers, Prometheus /metrics; -chaos-serve arms the serve-path
+//	    fault injector behind /v1/chaos
 //	heteromap list
 //	    list benchmarks and datasets
 //
@@ -47,6 +50,7 @@ import (
 	"heteromap"
 	"heteromap/internal/config"
 	"heteromap/internal/core"
+	"heteromap/internal/fault"
 	"heteromap/internal/sched"
 	"heteromap/internal/serve"
 	"heteromap/internal/train"
@@ -83,6 +87,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxBatch := fs.Int("max-batch", 64, "serve: micro-batch size bound")
 	maxWait := fs.Duration("max-wait", 2*time.Millisecond, "serve: micro-batch deadline bound")
 	queueSize := fs.Int("queue", 1024, "serve: bounded request queue capacity")
+	canarySet := fs.String("canary-set", "", "serve: golden-set JSON file gating /v1/reload (empty: record one from the default model at startup)")
+	reloadSLO := fs.Duration("reload-slo", 10*time.Millisecond, "serve: per-prediction canary latency budget for /v1/reload (0 disables)")
+	chaosServe := fs.Bool("chaos-serve", false, "serve: enable the serve-path chaos injector and /v1/chaos endpoint")
+	stageBudget := fs.Duration("stage-budget", 25*time.Millisecond, "serve: per-inference budget before hedged dispatch")
 
 	switch cmd {
 	case "list", "characterize", "predict", "run", "sweep", "phased", "explain", "batch", "serve":
@@ -116,6 +124,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err := runServe(opts, serveOptions{
 			addr: *addr, cacheSize: *cacheSize, workers: *workers,
 			maxBatch: *maxBatch, maxWait: *maxWait, queueSize: *queueSize,
+			canarySet: *canarySet, reloadSLO: *reloadSLO,
+			chaosServe: *chaosServe, chaosSeed: *chaosSeed,
+			stageBudget: *stageBudget,
 		}, stdout, stderr)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
@@ -256,12 +267,17 @@ type systemOptions struct {
 
 // serveOptions collects the serving-pipeline flags.
 type serveOptions struct {
-	addr      string
-	cacheSize int
-	workers   int
-	maxBatch  int
-	maxWait   time.Duration
-	queueSize int
+	addr        string
+	cacheSize   int
+	workers     int
+	maxBatch    int
+	maxWait     time.Duration
+	queueSize   int
+	canarySet   string
+	reloadSLO   time.Duration
+	chaosServe  bool
+	chaosSeed   int64
+	stageBudget time.Duration
 }
 
 // runServe assembles the registry the flags describe and serves until
@@ -304,15 +320,54 @@ func runServe(o systemOptions, so serveOptions, stdout, stderr io.Writer) error 
 		return fmt.Errorf("unknown predictor %q (want tree, deep, or db)", o.predictor)
 	}
 
+	// Canary gate for /v1/reload: load the golden set from disk, or
+	// record one against the default model so reloads are validated from
+	// the first request even with no file given.
+	canary := &serve.CanaryConfig{MaxLatency: so.reloadSLO}
+	if so.canarySet != "" {
+		cases, err := serve.LoadGoldenSet(so.canarySet)
+		if err != nil {
+			return err
+		}
+		canary.Cases = cases
+		fmt.Fprintf(stdout, "canary: %d golden cases from %s (slo %v)\n",
+			len(cases), so.canarySet, so.reloadSLO)
+	} else {
+		ref, err := reg.Get("")
+		if err != nil {
+			return err
+		}
+		cases, err := serve.RecordGoldenSet(ref, serve.DefaultGoldenRequests(32, 1), 0)
+		if err != nil {
+			return err
+		}
+		// Recorded answers pin the default model's behaviour; a reload
+		// may legitimately improve on it, so gate on validity and
+		// latency but tolerate strict-answer drift.
+		canary.Cases = cases
+		canary.MaxMismatches = len(cases)
+		fmt.Fprintf(stdout, "canary: recorded %d golden cases from model %q (slo %v)\n",
+			len(cases), defaultModelName(reg), so.reloadSLO)
+	}
+
+	var injector *fault.ServeInjector
+	if so.chaosServe {
+		injector = fault.NewServeInjector(so.chaosSeed)
+		fmt.Fprintf(stdout, "chaos: serve injector armed (seed %d); drive it via POST /v1/chaos\n", so.chaosSeed)
+	}
+
 	srv := serve.New(serve.Options{
-		Addr:      so.addr,
-		Pair:      pair,
-		Registry:  reg,
-		CacheSize: so.cacheSize,
-		Workers:   so.workers,
-		MaxBatch:  so.maxBatch,
-		MaxWait:   so.maxWait,
-		QueueSize: so.queueSize,
+		Addr:        so.addr,
+		Pair:        pair,
+		Registry:    reg,
+		CacheSize:   so.cacheSize,
+		Workers:     so.workers,
+		MaxBatch:    so.maxBatch,
+		MaxWait:     so.maxWait,
+		QueueSize:   so.queueSize,
+		StageBudget: so.stageBudget,
+		Canary:      canary,
+		Chaos:       injector,
 	})
 
 	sig := make(chan os.Signal, 1)

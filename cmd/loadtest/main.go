@@ -19,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	"heteromap/internal/fault"
 	"heteromap/internal/machine"
 	"heteromap/internal/predict/dtree"
 	"heteromap/internal/serve"
@@ -38,13 +39,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	combos := fs.Int("combos", 64, "distinct (benchmark, input) combinations in the mix")
 	seed := fs.Int64("seed", 42, "mix-generation seed")
 	model := fs.String("model", "", "model name to request (empty: server default)")
+	chaos := fs.Bool("chaos", false, "flip serve-fault profiles mid-run and gate on availability (server must enable chaos)")
+	chaosRate := fs.Float64("chaos-rate", 0.3, "chaos fault-profile intensity in [0,1]")
+	minAvail := fs.Float64("min-availability", 0.99, "chaos mode: fail the run below this availability")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	url := "http://" + *addr
 	if *addr == "" {
-		srv := serve.New(serve.Options{Addr: "127.0.0.1:0"})
+		opts := serve.Options{Addr: "127.0.0.1:0"}
+		if *chaos {
+			// The in-process server needs an injector for /v1/chaos.
+			opts.Chaos = fault.NewServeInjector(*seed)
+		}
+		srv := serve.New(opts)
 		pair := machine.PrimaryPair()
 		if _, err := srv.Registry().Register("tree", "builtin decision tree", dtree.New(pair.Limits())); err != nil {
 			fmt.Fprintln(stderr, err)
@@ -80,12 +89,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Combos:      *combos,
 		Seed:        *seed,
 		Model:       *model,
+		Chaos:       *chaos,
+		ChaosRate:   *chaosRate,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
 	fmt.Fprintln(stdout, res)
+	if *chaos {
+		// Under injected faults, shed/hedged requests are expected; the
+		// pass criterion is availability, not zero errors.
+		if res.Availability < *minAvail {
+			fmt.Fprintf(stderr, "loadtest: availability %.2f%% below the %.2f%% floor\n",
+				res.Availability*100, *minAvail*100)
+			return 1
+		}
+		return 0
+	}
 	if res.Errors > 0 {
 		fmt.Fprintf(stderr, "loadtest: %d request errors\n", res.Errors)
 		return 1

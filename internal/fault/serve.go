@@ -1,0 +1,182 @@
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+)
+
+// ServeProfile describes the serve-path failure modes the serving chaos
+// harness can inject, mirroring what takes real prediction services
+// down: a pathologically slow model, a wedged batch worker, a corrupt
+// model snapshot arriving through reload, and queue saturation. The
+// zero value injects nothing.
+type ServeProfile struct {
+	// SlowModelRate is the per-inference probability that the model
+	// stalls for SlowModelDelay before answering.
+	SlowModelRate  float64
+	SlowModelDelay time.Duration
+	// StallWorkerRate is the per-batch probability that the draining
+	// worker wedges for StallWorkerDelay before processing.
+	StallWorkerRate  float64
+	StallWorkerDelay time.Duration
+	// CorruptReloadRate is the per-reload probability that the candidate
+	// snapshot is treated as corrupt and must be rejected.
+	CorruptReloadRate float64
+	// QueueRejectRate is the per-submission probability that admission
+	// behaves as if the bounded queue were saturated.
+	QueueRejectRate float64
+}
+
+// Active reports whether the profile injects any serve fault at all.
+func (p ServeProfile) Active() bool {
+	return p.SlowModelRate > 0 || p.StallWorkerRate > 0 ||
+		p.CorruptReloadRate > 0 || p.QueueRejectRate > 0
+}
+
+// String implements fmt.Stringer.
+func (p ServeProfile) String() string {
+	return fmt.Sprintf("slow=%.2f@%v stall=%.2f@%v corrupt-reload=%.2f queue-reject=%.2f",
+		p.SlowModelRate, p.SlowModelDelay, p.StallWorkerRate, p.StallWorkerDelay,
+		p.CorruptReloadRate, p.QueueRejectRate)
+}
+
+// ScaledServeProfile derives a whole-pipeline serve chaos profile from a
+// single rate in [0,1], the serving analog of ScaledProfile: one number
+// controls fault intensity monotonically across all four modes. Delays
+// are sized to hurt (they exceed any sane per-stage budget) without
+// outliving a request deadline.
+func ScaledServeProfile(rate float64) ServeProfile {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return ServeProfile{
+		SlowModelRate:     rate,
+		SlowModelDelay:    50 * time.Millisecond,
+		StallWorkerRate:   0.5 * rate,
+		StallWorkerDelay:  100 * time.Millisecond,
+		CorruptReloadRate: rate,
+		QueueRejectRate:   0.05 * rate,
+	}
+}
+
+// serve-injection draw kinds, also the per-kind sequence-counter index.
+const (
+	serveKindSlowModel = iota
+	serveKindStallWorker
+	serveKindCorruptReload
+	serveKindQueueReject
+	numServeKinds
+)
+
+// ServeInjector injects ServeProfile faults into the serving pipeline.
+// Like Injector, every decision is a deterministic hash — here of
+// (seed, fault kind, per-kind draw sequence number) — so a seeded run
+// replays the same fault schedule. Unlike Injector, the profile is
+// swappable mid-run (chaos loadgen flips modes while traffic flows), so
+// it lives behind an atomic pointer. A nil *ServeInjector is valid and
+// injects nothing.
+type ServeInjector struct {
+	seed    int64
+	profile atomic.Pointer[ServeProfile]
+	seq     [numServeKinds]atomic.Uint64
+}
+
+// NewServeInjector returns an injector with an empty profile; the seed
+// fixes every future fault decision.
+func NewServeInjector(seed int64) *ServeInjector {
+	in := &ServeInjector{seed: seed}
+	in.profile.Store(&ServeProfile{})
+	return in
+}
+
+// SetServeProfile swaps the active profile; in-flight draws see either
+// the old or the new profile, never a mix.
+func (in *ServeInjector) SetServeProfile(p ServeProfile) {
+	if in == nil {
+		return
+	}
+	in.profile.Store(&p)
+}
+
+// ServeProfile returns the active profile.
+func (in *ServeInjector) ServeProfile() ServeProfile {
+	if in == nil {
+		return ServeProfile{}
+	}
+	return *in.profile.Load()
+}
+
+// Enabled reports whether the injector currently injects anything.
+func (in *ServeInjector) Enabled() bool {
+	return in != nil && in.ServeProfile().Active()
+}
+
+// draw consumes the kind's next sequence number and returns the
+// deterministic uniform value in [0,1) for it.
+func (in *ServeInjector) draw(kind int) float64 {
+	n := in.seq[kind].Add(1)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|serve|%d|%d", in.seed, kind, n)
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// SlowModel decides whether the next inference stalls, and for how long.
+func (in *ServeInjector) SlowModel() (time.Duration, bool) {
+	if in == nil {
+		return 0, false
+	}
+	p := in.ServeProfile()
+	if p.SlowModelRate <= 0 || p.SlowModelDelay <= 0 {
+		return 0, false
+	}
+	if in.draw(serveKindSlowModel) < p.SlowModelRate {
+		return p.SlowModelDelay, true
+	}
+	return 0, false
+}
+
+// StallWorker decides whether the next batch drain wedges its worker.
+func (in *ServeInjector) StallWorker() (time.Duration, bool) {
+	if in == nil {
+		return 0, false
+	}
+	p := in.ServeProfile()
+	if p.StallWorkerRate <= 0 || p.StallWorkerDelay <= 0 {
+		return 0, false
+	}
+	if in.draw(serveKindStallWorker) < p.StallWorkerRate {
+		return p.StallWorkerDelay, true
+	}
+	return 0, false
+}
+
+// CorruptReload decides whether the next reload's candidate snapshot is
+// treated as corrupt.
+func (in *ServeInjector) CorruptReload() bool {
+	if in == nil {
+		return false
+	}
+	p := in.ServeProfile()
+	return p.CorruptReloadRate > 0 && in.draw(serveKindCorruptReload) < p.CorruptReloadRate
+}
+
+// RejectQueue decides whether the next submission is shed as if the
+// queue were saturated.
+func (in *ServeInjector) RejectQueue() bool {
+	if in == nil {
+		return false
+	}
+	p := in.ServeProfile()
+	return p.QueueRejectRate > 0 && in.draw(serveKindQueueReject) < p.QueueRejectRate
+}

@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestServeProfileActiveAndScaling(t *testing.T) {
+	if (ServeProfile{}).Active() {
+		t.Fatal("zero profile active")
+	}
+	if !ScaledServeProfile(0.3).Active() {
+		t.Fatal("scaled profile inactive")
+	}
+	if ScaledServeProfile(0).Active() {
+		t.Fatal("zero-rate scaled profile active")
+	}
+	lo, hi := ScaledServeProfile(0.2), ScaledServeProfile(0.9)
+	if hi.SlowModelRate <= lo.SlowModelRate || hi.StallWorkerRate <= lo.StallWorkerRate {
+		t.Fatalf("scaling not monotone: %v vs %v", lo, hi)
+	}
+	clamped := ScaledServeProfile(7)
+	if clamped.SlowModelRate != 1 {
+		t.Fatalf("rate not clamped: %v", clamped)
+	}
+	if ScaledServeProfile(-1).Active() {
+		t.Fatal("negative rate active")
+	}
+}
+
+// Same seed, same draw order => same fault schedule; that is what makes
+// chaos serving tests reproducible.
+func TestServeInjectorDeterministic(t *testing.T) {
+	run := func() []bool {
+		in := NewServeInjector(99)
+		in.SetServeProfile(ServeProfile{
+			SlowModelRate: 0.5, SlowModelDelay: time.Millisecond,
+			CorruptReloadRate: 0.5,
+		})
+		var out []bool
+		for i := 0; i < 64; i++ {
+			_, slow := in.SlowModel()
+			out = append(out, slow, in.CorruptReload())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identical seeded runs", i)
+		}
+	}
+	any := false
+	for _, v := range a {
+		any = any || v
+	}
+	if !any {
+		t.Fatal("rate 0.5 never fired in 128 draws")
+	}
+}
+
+func TestServeInjectorNilAndEmpty(t *testing.T) {
+	var in *ServeInjector
+	if _, ok := in.SlowModel(); ok || in.CorruptReload() || in.RejectQueue() || in.Enabled() {
+		t.Fatal("nil injector injected a fault")
+	}
+	if _, ok := in.StallWorker(); ok {
+		t.Fatal("nil injector stalled a worker")
+	}
+	in.SetServeProfile(ScaledServeProfile(1)) // must not panic
+	live := NewServeInjector(1)
+	if live.Enabled() {
+		t.Fatal("fresh injector enabled")
+	}
+	if _, ok := live.SlowModel(); ok {
+		t.Fatal("empty profile injected")
+	}
+}
+
+// Flipping the profile mid-run changes behaviour immediately: off means
+// no faults, on at rate 1 means every draw fires.
+func TestServeInjectorProfileFlip(t *testing.T) {
+	in := NewServeInjector(7)
+	in.SetServeProfile(ServeProfile{SlowModelRate: 1, SlowModelDelay: time.Millisecond})
+	if _, ok := in.SlowModel(); !ok {
+		t.Fatal("rate-1 slow model did not fire")
+	}
+	in.SetServeProfile(ServeProfile{})
+	if _, ok := in.SlowModel(); ok {
+		t.Fatal("cleared profile still fired")
+	}
+	in.SetServeProfile(ServeProfile{QueueRejectRate: 1})
+	if !in.RejectQueue() {
+		t.Fatal("rate-1 queue reject did not fire")
+	}
+	if got := in.ServeProfile().QueueRejectRate; got != 1 {
+		t.Fatalf("profile readback = %v", got)
+	}
+}

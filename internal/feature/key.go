@@ -2,6 +2,7 @@ package feature
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -26,7 +27,10 @@ func (v Vector) Key() string {
 	return sb.String()
 }
 
-// ParseKey inverts Key, recovering the exact vector.
+// ParseKey inverts Key, recovering the exact vector. Keys come in over
+// the wire (cache dumps, golden sets), so beyond shape it validates that
+// every component is a finite normalized value: strconv accepts "NaN",
+// "Inf" and huge magnitudes, none of which a Key ever produces.
 func ParseKey(key string) (Vector, error) {
 	parts := strings.Split(key, ",")
 	if len(parts) != NumFeatures {
@@ -37,6 +41,12 @@ func ParseKey(key string) (Vector, error) {
 		x, err := strconv.ParseFloat(p, 64)
 		if err != nil {
 			return Vector{}, fmt.Errorf("feature: key component %d: %w", i, err)
+		}
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return Vector{}, fmt.Errorf("feature: key component %d is not finite", i)
+		}
+		if x < 0 || x > 1 {
+			return Vector{}, fmt.Errorf("feature: key component %d = %g outside [0,1]", i, x)
 		}
 		v[i] = x
 	}

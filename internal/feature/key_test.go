@@ -82,6 +82,47 @@ func TestParseKeyErrors(t *testing.T) {
 	if _, err := ParseKey(bad); err == nil {
 		t.Fatal("non-numeric component accepted")
 	}
+	// strconv parses these happily; ParseKey must not.
+	for _, comp := range []string{"NaN", "Inf", "-Inf", "1e308", "-0.5", "1.5"} {
+		key := strings.Repeat("0.1,", NumFeatures-1) + comp
+		if _, err := ParseKey(key); err == nil {
+			t.Fatalf("component %q accepted", comp)
+		}
+	}
+}
+
+// FuzzParseKey: arbitrary inputs must either parse into a valid vector
+// that round-trips through Key, or error — never panic, never yield a
+// non-finite or out-of-range component.
+func FuzzParseKey(f *testing.F) {
+	f.Add(Vector{}.Key())
+	f.Add(Combine(MustCatalog(algo.NameBFS), IVector{0.1, 0.2, 0.3, 0.4}).Key())
+	f.Add(strings.Repeat("1,", NumFeatures-1) + "1")
+	f.Add("0.1,0.2")
+	f.Add(strings.Repeat("NaN,", NumFeatures-1) + "NaN")
+	f.Add(strings.Repeat("0.1,", NumFeatures-1) + "+Inf")
+	f.Add(strings.Repeat("0.1,", NumFeatures-1) + "1e309")
+	f.Add(strings.Repeat(",", NumFeatures-1))
+	f.Add("")
+	f.Fuzz(func(t *testing.T, key string) {
+		v, err := ParseKey(key)
+		if err != nil {
+			return
+		}
+		for i, x := range v {
+			if x != x || x < 0 || x > 1 {
+				t.Fatalf("ParseKey(%q) accepted component %d = %g", key, i, x)
+			}
+		}
+		// A parsed vector must round-trip through its canonical key.
+		again, err := ParseKey(v.Key())
+		if err != nil {
+			t.Fatalf("canonical key %q failed to re-parse: %v", v.Key(), err)
+		}
+		if again != v {
+			t.Fatalf("round trip %v != %v", again, v)
+		}
+	})
 }
 
 func TestDiscretizedSnapsAndClamps(t *testing.T) {

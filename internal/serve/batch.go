@@ -5,21 +5,31 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"heteromap/internal/fault"
 	"heteromap/internal/feature"
 )
 
 // task is one prediction flowing through the batcher. The model pointer
 // is the immutable registry snapshot resolved at admission, so a
 // concurrent hot-swap cannot change the predictor out from under a
-// queued request.
+// queued request; hedge is the last-known-good snapshot resolved at the
+// same moment, the target of hedged dispatch and breaker failover.
 type task struct {
 	model    *Model
+	hedge    *Model // may be nil: no previous healthy version
 	feat     feature.Vector
 	cacheKey string
+	ctx      context.Context // carries the request deadline end to end
 	enqueued time.Time
 	done     chan taskResult // buffered(1); exactly one send per task
+}
+
+// deadlineExpired reports whether the task's caller has already given up.
+func (t *task) deadlineExpired() bool {
+	return t.ctx != nil && t.ctx.Err() != nil
 }
 
 type taskResult struct {
@@ -32,51 +42,116 @@ type taskResult struct {
 // admission instead of collapsing latency for everyone.
 var ErrQueueFull = fmt.Errorf("serve: prediction queue full")
 
+// BatcherConfig sizes the micro-batching pipeline; zero values select
+// the defaults in parentheses.
+type BatcherConfig struct {
+	// QueueSize bounds the request queue (256); Workers sizes the
+	// draining pool (2); MaxBatch and MaxWait bound each micro-batch
+	// (32 items / 2ms).
+	QueueSize int
+	Workers   int
+	MaxBatch  int
+	MaxWait   time.Duration
+	// StageBudget bounds one model inference before the batcher hedges
+	// against the last-known-good version (25ms); it doubles as the
+	// per-version breaker's latency SLO.
+	StageBudget time.Duration
+	// StallTimeout is how long a busy worker may go without progress
+	// before the watchdog declares it stalled and spawns a replacement
+	// (1s). <0 disables the watchdog.
+	StallTimeout time.Duration
+	// Chaos optionally injects serve-path faults (nil: none).
+	Chaos *fault.ServeInjector
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.QueueSize < 1 {
+		c.QueueSize = 256
+	}
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 32
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.StageBudget <= 0 {
+		c.StageBudget = 25 * time.Millisecond
+	}
+	if c.StallTimeout == 0 {
+		c.StallTimeout = time.Second
+	}
+	return c
+}
+
+// workerState is one drainer's liveness record for the watchdog: beat is
+// the nanosecond timestamp of its last progress, busy whether it holds a
+// dequeued batch, quit whether the watchdog has replaced it (a replaced
+// worker finishes its in-flight batch — its callers still get answers —
+// and then exits instead of double-draining).
+type workerState struct {
+	beat atomic.Int64
+	busy atomic.Bool
+	quit atomic.Bool
+}
+
 // Batcher is the micro-batching request pipeline: tasks queue into a
 // bounded channel and a worker pool drains them in batches bounded by
 // size (MaxBatch) and deadline (MaxWait). Within a batch, tasks with the
 // same cache key are deduplicated so one chain inference answers all of
-// them — the amortization that makes per-request overhead drop under
-// load instead of growing.
+// them. Inferences run under a per-stage budget with hedged dispatch and
+// per-model-version circuit breakers; a watchdog goroutine replaces
+// workers that stall mid-batch.
 type Batcher struct {
-	queue    chan *task
-	cache    *Cache
-	metrics  *Metrics
-	maxBatch int
-	maxWait  time.Duration
+	queue   chan *task
+	cache   *Cache
+	metrics *Metrics
+	cfg     BatcherConfig
+
+	mu       sync.Mutex // guards workers and spawn-vs-stop
+	workers  []*workerState
+	stopping bool
 
 	wg      sync.WaitGroup
 	stopped chan struct{}
 	once    sync.Once
 }
 
-// NewBatcher builds and starts a batcher with the given worker count.
-func NewBatcher(cache *Cache, metrics *Metrics, queueSize, workers, maxBatch int, maxWait time.Duration) *Batcher {
-	if queueSize < 1 {
-		queueSize = 256
-	}
-	if workers < 1 {
-		workers = 2
-	}
-	if maxBatch < 1 {
-		maxBatch = 32
-	}
-	if maxWait <= 0 {
-		maxWait = 2 * time.Millisecond
-	}
+// NewBatcher builds and starts a batcher.
+func NewBatcher(cache *Cache, metrics *Metrics, cfg BatcherConfig) *Batcher {
+	cfg = cfg.withDefaults()
 	b := &Batcher{
-		queue:    make(chan *task, queueSize),
-		cache:    cache,
-		metrics:  metrics,
-		maxBatch: maxBatch,
-		maxWait:  maxWait,
-		stopped:  make(chan struct{}),
+		queue:   make(chan *task, cfg.QueueSize),
+		cache:   cache,
+		metrics: metrics,
+		cfg:     cfg,
+		stopped: make(chan struct{}),
 	}
-	b.wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go b.worker()
+	for i := 0; i < cfg.Workers; i++ {
+		b.spawnWorker()
+	}
+	if cfg.StallTimeout > 0 {
+		b.wg.Add(1)
+		go b.watchdog()
 	}
 	return b
+}
+
+// spawnWorker starts one drainer, registering its liveness record.
+func (b *Batcher) spawnWorker() {
+	ws := &workerState{}
+	ws.beat.Store(time.Now().UnixNano())
+	b.mu.Lock()
+	if b.stopping {
+		b.mu.Unlock()
+		return
+	}
+	b.workers = append(b.workers, ws)
+	b.wg.Add(1)
+	b.mu.Unlock()
+	go b.worker(ws)
 }
 
 // QueueDepth reports the number of waiting tasks (a point-in-time gauge).
@@ -84,18 +159,34 @@ func (b *Batcher) QueueDepth() int { return len(b.queue) }
 
 // Stop drains and shuts the workers down; queued tasks are still served.
 func (b *Batcher) Stop() {
-	b.once.Do(func() { close(b.stopped); close(b.queue) })
+	b.once.Do(func() {
+		b.mu.Lock()
+		b.stopping = true
+		b.mu.Unlock()
+		close(b.stopped)
+		close(b.queue)
+	})
 	b.wg.Wait()
 }
 
 // Submit enqueues a task, failing fast with ErrQueueFull when the
-// bounded queue is at capacity, and waits for the result (or ctx).
+// bounded queue is at capacity (or chaos saturates it), and waits for
+// the result (or ctx).
 func (b *Batcher) Submit(ctx context.Context, t *task) (PredictResponse, error) {
 	t.enqueued = time.Now()
+	t.ctx = ctx
 	select {
 	case <-b.stopped:
 		return PredictResponse{}, fmt.Errorf("serve: server shutting down")
 	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return PredictResponse{}, err
+	}
+	if b.cfg.Chaos.RejectQueue() {
+		b.metrics.ChaosQueueReject.Add(1)
+		b.metrics.QueueFull.Add(1)
+		return PredictResponse{}, ErrQueueFull
 	}
 	select {
 	case b.queue <- t:
@@ -113,18 +204,31 @@ func (b *Batcher) Submit(ctx context.Context, t *task) (PredictResponse, error) 
 	}
 }
 
-// worker drains the queue into size/deadline-bounded batches.
-func (b *Batcher) worker() {
+// worker drains the queue into size/deadline-bounded batches until the
+// queue closes or the watchdog replaces it.
+func (b *Batcher) worker(ws *workerState) {
 	defer b.wg.Done()
 	for {
+		if ws.quit.Load() {
+			return
+		}
 		t, ok := <-b.queue
 		if !ok {
 			return
 		}
+		ws.busy.Store(true)
+		ws.beat.Store(time.Now().UnixNano())
+		if d, stall := b.cfg.Chaos.StallWorker(); stall {
+			// The injected wedge: the worker sleeps holding a dequeued
+			// task, exactly what a deadlocked or GC-starved drainer
+			// looks like from outside. The watchdog must catch this.
+			b.metrics.ChaosStalls.Add(1)
+			time.Sleep(d)
+		}
 		batch := []*task{t}
-		timer := time.NewTimer(b.maxWait)
+		timer := time.NewTimer(b.cfg.MaxWait)
 	fill:
-		for len(batch) < b.maxBatch {
+		for len(batch) < b.cfg.MaxBatch {
 			select {
 			case next, ok := <-b.queue:
 				if !ok {
@@ -137,12 +241,53 @@ func (b *Batcher) worker() {
 		}
 		timer.Stop()
 		b.process(batch)
+		ws.beat.Store(time.Now().UnixNano())
+		ws.busy.Store(false)
+	}
+}
+
+// watchdog scans worker liveness and replaces drainers that have gone
+// longer than StallTimeout without progress while holding work. The
+// stalled goroutine cannot be killed; it is marked quit so it exits
+// after finishing (and answering) its in-flight batch, while the
+// replacement keeps the pipeline draining.
+func (b *Batcher) watchdog() {
+	defer b.wg.Done()
+	interval := b.cfg.StallTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.stopped:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UnixNano()
+		var stalled []*workerState
+		b.mu.Lock()
+		for _, ws := range b.workers {
+			if ws.quit.Load() || !ws.busy.Load() {
+				continue
+			}
+			if now-ws.beat.Load() > b.cfg.StallTimeout.Nanoseconds() {
+				ws.quit.Store(true)
+				stalled = append(stalled, ws)
+			}
+		}
+		b.mu.Unlock()
+		for range stalled {
+			b.metrics.WorkerRestarts.Add(1)
+			b.spawnWorker()
+		}
 	}
 }
 
 // process serves one batch: group by cache key, answer each unique key
-// once (cache first, then one chain Select), and fan the result back out
-// to every waiting task.
+// once (cache first, then one hedged chain Select), and fan the result
+// back out to every waiting task.
 func (b *Batcher) process(batch []*task) {
 	b.metrics.Batches.Add(1)
 	b.metrics.BatchItems.Add(uint64(len(batch)))
@@ -158,26 +303,45 @@ func (b *Batcher) process(batch []*task) {
 
 	for _, key := range order {
 		tasks := groups[key]
-		lead := tasks[0]
+		// Deadline propagation: tasks whose caller already gave up are
+		// answered with the deadline error without burning inference,
+		// and a group nobody is waiting on anymore is skipped entirely.
+		live := tasks[:0]
+		for _, t := range tasks {
+			if t.deadlineExpired() {
+				b.metrics.DeadlineDrops.Add(1)
+				t.done <- taskResult{err: context.DeadlineExceeded}
+				continue
+			}
+			live = append(live, t)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		lead := live[0]
 		resp, cached := b.lookup(lead)
 		if !cached {
-			start := time.Now()
-			sel := lead.model.Select(lead.feat)
-			b.metrics.ObserveModel(lead.model.Name, time.Since(start))
+			sel, answered, hedged := b.selectHedged(lead)
 			if n := len(sel.Fallbacks); n > 0 {
 				b.metrics.Fallbacks.Add(uint64(n))
 			}
 			resp = PredictResponse{
-				Model:         lead.model.Name,
-				Version:       lead.model.Version,
+				Model:         answered.Name,
+				Version:       answered.Version,
 				Key:           lead.feat.Key(),
 				PredictorUsed: sel.Used,
 				M:             sel.M,
 				Fallbacks:     sel.Fallbacks,
 			}
-			b.cache.Put(lead.cacheKey, cachedPrediction{M: sel.M, Used: sel.Used})
+			// Cache under the version that actually answered, so a
+			// hedged answer can never masquerade as the primary's.
+			if !hedged {
+				b.cache.Put(lead.cacheKey, cachedPrediction{M: sel.M, Used: sel.Used})
+			} else {
+				b.cache.Put(cacheKeyFor(answered, lead.feat), cachedPrediction{M: sel.M, Used: sel.Used})
+			}
 		}
-		for i, t := range tasks {
+		for i, t := range live {
 			r := resp
 			// Tasks beyond the first in a group were answered by the
 			// leader's inference — for them it is a (intra-batch) cache
@@ -188,6 +352,100 @@ func (b *Batcher) process(batch []*task) {
 			}
 			b.metrics.RequestLatency.Observe(time.Since(t.enqueued))
 			t.done <- taskResult{resp: r}
+		}
+	}
+}
+
+// selectHedged consults the task's model under the stage budget. An open
+// per-version breaker routes straight to the last-known-good snapshot; a
+// primary that overruns the budget races a hedge launched against
+// last-known-good, records a breaker failure, and — when no hedge target
+// exists — falls to the chain's fixed safety default after a second
+// budget rather than wedging the worker. Returns the selection, the
+// model that answered, and whether the answer came from a hedge.
+func (b *Batcher) selectHedged(t *task) (fault.Selection, *Model, bool) {
+	primary := t.model
+	if br := primary.Breaker(); br != nil && t.hedge != nil && !br.Allow() {
+		b.metrics.BreakerRouted.Add(1)
+		sel, dur := b.timedSelect(t.hedge, t.feat)
+		b.recordOutcome(t.hedge, sel, dur)
+		return sel, t.hedge, true
+	}
+
+	start := time.Now()
+	primaryCh := make(chan fault.Selection, 1)
+	go func() {
+		if d, slow := b.cfg.Chaos.SlowModel(); slow {
+			b.metrics.ChaosSlowModel.Add(1)
+			time.Sleep(d)
+		}
+		primaryCh <- primary.Select(t.feat)
+	}()
+
+	budget := time.NewTimer(b.cfg.StageBudget)
+	select {
+	case sel := <-primaryCh:
+		budget.Stop()
+		b.recordOutcome(primary, sel, time.Since(start))
+		return sel, primary, false
+	case <-budget.C:
+	}
+
+	// Stage budget blown: this attempt is a latency-SLO failure for the
+	// primary version regardless of how the race below ends.
+	b.metrics.Hedges.Add(1)
+	if br := primary.Breaker(); br != nil {
+		br.RecordFailure()
+	}
+
+	if t.hedge != nil {
+		hedgeCh := make(chan fault.Selection, 1)
+		go func() { hedgeCh <- t.hedge.Select(t.feat) }()
+		select {
+		case sel := <-primaryCh:
+			return sel, primary, false
+		case sel := <-hedgeCh:
+			b.metrics.HedgeWins.Add(1)
+			return sel, t.hedge, true
+		}
+	}
+
+	// No hedge target: give the primary one more budget, then answer
+	// with the fixed safety default — bounded latency beats a wedged
+	// worker and a timed-out caller.
+	grace := time.NewTimer(b.cfg.StageBudget)
+	defer grace.Stop()
+	var done <-chan struct{}
+	if t.ctx != nil {
+		done = t.ctx.Done()
+	}
+	select {
+	case sel := <-primaryCh:
+		return sel, primary, false
+	case <-grace.C:
+	case <-done:
+	}
+	b.metrics.SafeDefaults.Add(1)
+	return primary.SafeDefault(), primary, false
+}
+
+// timedSelect runs one chain consultation, returning its duration.
+func (b *Batcher) timedSelect(m *Model, f feature.Vector) (fault.Selection, time.Duration) {
+	start := time.Now()
+	sel := m.Select(f)
+	return sel, time.Since(start)
+}
+
+// recordOutcome feeds one completed inference into the model's breaker
+// and latency metrics: degrading past the primary predictor or blowing
+// the stage budget counts as an SLO violation.
+func (b *Batcher) recordOutcome(m *Model, sel fault.Selection, dur time.Duration) {
+	b.metrics.ObserveModel(m.Name, dur)
+	if br := m.Breaker(); br != nil {
+		if sel.Degraded() || dur > b.cfg.StageBudget {
+			br.RecordFailure()
+		} else {
+			br.RecordSuccess()
 		}
 	}
 }
@@ -212,5 +470,11 @@ func (b *Batcher) lookup(t *task) (PredictResponse, bool) {
 // version) plus the discretized feature key, so hot-swapped model
 // versions can never serve each other's cached predictions.
 func cacheKeyFor(m *Model, f feature.Vector) string {
-	return m.Name + "@" + strconv.FormatUint(m.Version, 10) + "|" + f.Key()
+	return cachePrefixFor(m) + f.Key()
+}
+
+// cachePrefixFor is the "model@version|" cache-key prefix, the unit of
+// targeted invalidation (Cache.PurgePrefix).
+func cachePrefixFor(m *Model) string {
+	return m.Name + "@" + strconv.FormatUint(m.Version, 10) + "|"
 }

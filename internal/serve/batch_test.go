@@ -35,7 +35,9 @@ func batchFixture(t *testing.T, queue, workers, maxBatch int, wait time.Duration
 	}
 	cache := NewCache(1024, 4)
 	metrics := NewMetrics()
-	b := NewBatcher(cache, metrics, queue, workers, maxBatch, wait)
+	b := NewBatcher(cache, metrics, BatcherConfig{
+		QueueSize: queue, Workers: workers, MaxBatch: maxBatch, MaxWait: wait,
+	})
 	t.Cleanup(b.Stop)
 	return b, model, pred, cache, metrics
 }
@@ -119,7 +121,9 @@ func TestBatcherQueueFull(t *testing.T) {
 	model, _ := reg.Register("slow", "test", slow)
 	cache := NewCache(16, 1)
 	metrics := NewMetrics()
-	b := NewBatcher(cache, metrics, 1, 1, 1, time.Microsecond)
+	b := NewBatcher(cache, metrics, BatcherConfig{
+		QueueSize: 1, Workers: 1, MaxBatch: 1, MaxWait: time.Microsecond,
+	})
 	t.Cleanup(b.Stop)
 
 	// Saturate: the worker is busy with one slow task, the queue holds
@@ -159,7 +163,10 @@ func TestBatcherContextCancel(t *testing.T) {
 	reg := NewRegistry(pair)
 	slow := &slowPred{m: config.DefaultGPU(pair.Limits()), delay: 50 * time.Millisecond}
 	model, _ := reg.Register("slow", "test", slow)
-	b := NewBatcher(NewCache(16, 1), NewMetrics(), 4, 1, 1, time.Microsecond)
+	b := NewBatcher(NewCache(16, 1), NewMetrics(), BatcherConfig{
+		QueueSize: 4, Workers: 1, MaxBatch: 1, MaxWait: time.Microsecond,
+		StageBudget: time.Second, // the slow predictor must not trigger hedging here
+	})
 	t.Cleanup(b.Stop)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)

@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"hash/fnv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -102,6 +103,27 @@ func (c *Cache) Put(key string, val cachedPrediction) {
 		delete(s.items, oldest.Value.(*cacheEntry).key)
 		c.evictions.Add(1)
 	}
+}
+
+// PurgePrefix removes every entry whose key starts with prefix and
+// returns how many were dropped. Reload quarantine uses it with the
+// rejected "model@version|" prefix so a candidate that failed canary
+// validation can never leave residue behind, and tests use the zero
+// return to prove the rejected version never populated the cache.
+func (c *Cache) PurgePrefix(prefix string) int {
+	purged := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for key, el := range s.items {
+			if strings.HasPrefix(key, prefix) {
+				s.ll.Remove(el)
+				delete(s.items, key)
+				purged++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return purged
 }
 
 // Len returns the live entry count across shards.

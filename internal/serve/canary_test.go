@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"heteromap/internal/config"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict"
+	"heteromap/internal/train"
+)
+
+// saveDB writes a training database to a temp file and returns its path.
+func saveDB(t *testing.T, db *train.DB) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "model.hmdb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// stableM returns a mapping that survives the Normalize/FromNormalized
+// round trip unchanged, so a DB-lookup model can reproduce it exactly.
+func stableM(limits config.Limits, m config.M) config.M {
+	return config.FromNormalized(m.Clamp(limits).Normalize(limits), limits)
+}
+
+// goldenFixture registers a fixed reference model and records a strict
+// golden set from it, returning the registry, the canary config and the
+// golden feature/answer pairs for building agreeing or disagreeing DBs.
+func goldenFixture(t *testing.T) (*Registry, *CanaryConfig, []GoldenCase) {
+	t.Helper()
+	r := NewRegistry(machine.PrimaryPair())
+	limits := r.Pair().Limits()
+	ref, err := r.Register("live", "v1", fixedPred{m: stableM(limits, config.DefaultGPU(limits))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := RecordGoldenSet(ref, DefaultGoldenRequests(8, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, &CanaryConfig{Cases: cases, MaxLatency: time.Second}, cases
+}
+
+// dbForGolden builds a database answering exactly m for every golden
+// characterization, so canary agreement (or disagreement) is controlled.
+func dbForGolden(t *testing.T, r *Registry, cases []GoldenCase, m config.M) *train.DB {
+	t.Helper()
+	limits := r.Pair().Limits()
+	db := &train.DB{Pair: r.Pair(), Limits: limits}
+	for i := range cases {
+		feat, err := ResolveFeatures(&cases[i].Req, defaultStep())
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Samples = append(db.Samples, predict.Sample{
+			Features: feat,
+			Target:   m.Clamp(limits).Normalize(limits),
+		})
+	}
+	return db
+}
+
+// A candidate that agrees with the golden set installs; one that answers
+// a different (but valid, deployable) mapping is rejected with
+// ErrCanaryRejected, quarantined, and never becomes the active snapshot.
+func TestReloadCanaryAcceptsAgreeingRejectsWrongModel(t *testing.T) {
+	r, canary, cases := goldenFixture(t)
+	limits := r.Pair().Limits()
+	before, _ := r.Get("live")
+
+	good := saveDB(t, dbForGolden(t, r, cases, stableM(limits, config.DefaultGPU(limits))))
+	m, rep, err := r.ReloadDBValidated("live", good, canary)
+	if err != nil {
+		t.Fatalf("agreeing candidate rejected: %v (report %+v)", err, rep)
+	}
+	if !rep.Passed || rep.Cases != len(cases) || rep.Mismatches != 0 {
+		t.Fatalf("pass report %+v", rep)
+	}
+	if active, _ := r.Get("live"); active != m {
+		t.Fatal("passing candidate not installed")
+	}
+	if lg := r.LastGood("live"); lg != before {
+		t.Fatal("previous snapshot not retained as last-known-good")
+	}
+
+	// The wrong model: loads cleanly, answers valid Ms, disagrees.
+	wrong := saveDB(t, dbForGolden(t, r, cases, stableM(limits, config.DefaultMulticore(limits))))
+	_, rep, err = r.ReloadDBValidated("live", wrong, canary)
+	if err == nil {
+		t.Fatal("disagreeing candidate accepted")
+	}
+	if !errors.Is(err, ErrCanaryRejected) {
+		t.Fatalf("error %v does not wrap ErrCanaryRejected", err)
+	}
+	if rep.Passed || rep.Mismatches == 0 {
+		t.Fatalf("fail report %+v", rep)
+	}
+	if active, _ := r.Get("live"); active != m {
+		t.Fatal("rejected candidate disturbed the active snapshot")
+	}
+	q := r.Quarantined()
+	if len(q) != 1 || q[0].Name != "live" || q[0].Version <= m.Version {
+		t.Fatalf("quarantine = %+v", q)
+	}
+}
+
+// A corrupt or empty database reload must error, leave the active
+// snapshot serving byte-identical predictions, and leave no trace of the
+// rejected version in the prediction cache.
+func TestReloadRollbackOnCorruptAndEmptyDB(t *testing.T) {
+	r, canary, cases := goldenFixture(t)
+	active, _ := r.Get("live")
+	feat, err := ResolveFeatures(&cases[0].Req, defaultStep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(active.Select(feat).M)
+
+	cache := NewCache(64, 2)
+	cache.Put(cacheKeyFor(active, feat), cachedPrediction{M: active.Select(feat).M})
+
+	corrupt := filepath.Join(t.TempDir(), "corrupt.hmdb")
+	if err := os.WriteFile(corrupt, []byte("HMDBgarbage-truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty := saveDB(t, &train.DB{Pair: r.Pair(), Limits: r.Pair().Limits()})
+
+	for _, path := range []string{corrupt, empty} {
+		if _, _, err := r.ReloadDBValidated("live", path, canary); err == nil {
+			t.Fatalf("bad database %s accepted", path)
+		}
+		now, _ := r.Get("live")
+		if now != active {
+			t.Fatalf("bad reload of %s replaced the active snapshot", path)
+		}
+		gotJSON, _ := json.Marshal(now.Select(feat).M)
+		if string(gotJSON) != string(wantJSON) {
+			t.Fatalf("prediction drifted after bad reload: %s != %s", gotJSON, wantJSON)
+		}
+	}
+
+	// No rejected version may have touched the cache: quarantined
+	// versions are strictly greater than the active one, and purging
+	// their prefixes removes nothing.
+	for _, q := range r.Quarantined() {
+		if q.Version > 0 {
+			prefix := "live@" + strconv.FormatUint(q.Version, 10) + "|"
+			if n := cache.PurgePrefix(prefix); n != 0 {
+				t.Fatalf("rejected version %d left %d cache entries", q.Version, n)
+			}
+		}
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("active version's cache entry lost: len=%d", cache.Len())
+	}
+	if len(r.Quarantined()) != 2 {
+		t.Fatalf("quarantine = %+v", r.Quarantined())
+	}
+}
+
+// Manual rollback reinstates last-known-good; a name that never swapped
+// has nothing to roll back to.
+func TestRegistryRollback(t *testing.T) {
+	r, _, _ := goldenFixture(t)
+	if _, err := r.Rollback("live"); err == nil {
+		t.Fatal("rollback with no last-known-good succeeded")
+	}
+	v1, _ := r.Get("live")
+	v2, err := r.Register("live", "v2", fixedPred{m: config.DefaultMulticore(r.Pair().Limits())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := r.Rollback("live")
+	if err != nil || back != v1 {
+		t.Fatalf("rollback = %v, %v", back, err)
+	}
+	if active, _ := r.Get("live"); active != v1 {
+		t.Fatal("rollback did not reinstate v1")
+	}
+	// The rolled-back-from version becomes the new last-known-good, so a
+	// second rollback flips forward again.
+	if fwd, err := r.Rollback("live"); err != nil || fwd != v2 {
+		t.Fatalf("second rollback = %v, %v", fwd, err)
+	}
+}
+
+// The canary latency SLO rejects a candidate whose predictor is too slow,
+// and a nil canary config admits anything loadable.
+func TestCanaryLatencySLOAndNilConfig(t *testing.T) {
+	r, _, cases := goldenFixture(t)
+	limits := r.Pair().Limits()
+	slow, err := r.newModel("live", "slow", &slowPred{
+		m: config.DefaultGPU(limits), delay: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := &CanaryConfig{Cases: cases[:2], MaxLatency: 100 * time.Microsecond}
+	if _, err := tight.Validate(slow); err == nil {
+		t.Fatal("latency SLO not enforced")
+	}
+	var nilCfg *CanaryConfig
+	rep, err := nilCfg.Validate(slow)
+	if err != nil || !rep.Passed {
+		t.Fatalf("nil canary config rejected: %v %+v", err, rep)
+	}
+}
+
+// Golden sets round-trip through disk, and the loader rejects junk.
+func TestGoldenSetSaveLoadRoundTrip(t *testing.T) {
+	_, _, cases := goldenFixture(t)
+	path := filepath.Join(t.TempDir(), "golden.json")
+	if err := SaveGoldenSet(path, cases); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadGoldenSet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(cases) {
+		t.Fatalf("loaded %d cases, want %d", len(loaded), len(cases))
+	}
+	for i := range loaded {
+		if *loaded[i].WantM != *cases[i].WantM || loaded[i].Req.Bench != cases[i].Req.Bench {
+			t.Fatalf("case %d drifted through disk", i)
+		}
+	}
+	if _, err := LoadGoldenSet(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing golden set accepted")
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(badPath, []byte("[]"), 0o644)
+	if _, err := LoadGoldenSet(badPath); err == nil {
+		t.Fatal("empty golden set accepted")
+	}
+}

@@ -1,0 +1,476 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"heteromap/internal/config"
+	"heteromap/internal/fault"
+	"heteromap/internal/machine"
+)
+
+// submitHedged is the chaos tests' Submit helper: unlike submit() it
+// resolves the hedge target the way Server.predictOne does.
+func submitHedged(ctx context.Context, b *Batcher, r *Registry, name string, f ...float64) (PredictResponse, error) {
+	m, err := r.Get(name)
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	var feat = testFeature(int(f[0] * 10))
+	return b.Submit(ctx, &task{
+		model:    m,
+		hedge:    r.LastGood(name),
+		feat:     feat,
+		cacheKey: cacheKeyFor(m, feat),
+		done:     make(chan taskResult, 1),
+	})
+}
+
+// A primary that blows the stage budget is hedged against last-known-good
+// and the hedge's (fast) answer is served under the hedge's version.
+func TestHedgeWinsWhenPrimarySlow(t *testing.T) {
+	pair := machine.PrimaryPair()
+	r := NewRegistry(pair)
+	limits := pair.Limits()
+	fast, err := r.Register("live", "v1-fast", fixedPred{m: config.DefaultGPU(limits)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := r.Register("live", "v2-slow", &slowPred{m: config.DefaultMulticore(limits), delay: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := NewMetrics()
+	b := NewBatcher(NewCache(64, 2), metrics, BatcherConfig{
+		Workers: 1, MaxBatch: 1, MaxWait: time.Microsecond, StageBudget: 5 * time.Millisecond,
+	})
+	t.Cleanup(b.Stop)
+
+	start := time.Now()
+	resp, err := submitHedged(context.Background(), b, r, "live", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != fast.Version {
+		t.Fatalf("answered by version %d, want hedge %d (slow is %d)",
+			resp.Version, fast.Version, slow.Version)
+	}
+	if elapsed := time.Since(start); elapsed > 60*time.Millisecond {
+		t.Fatalf("hedged answer took %v, slower than the slow primary path", elapsed)
+	}
+	if metrics.Hedges.Load() == 0 || metrics.HedgeWins.Load() == 0 {
+		t.Fatalf("hedge metrics: %d hedges, %d wins",
+			metrics.Hedges.Load(), metrics.HedgeWins.Load())
+	}
+	if _, failures := slow.Breaker().Stats(); failures == 0 {
+		t.Fatal("budget blow not recorded as a breaker failure")
+	}
+}
+
+// Repeated SLO violations trip the per-version breaker; once open,
+// dispatch routes straight to last-known-good without waiting out the
+// budget, and the tripped state is visible in /metrics.
+func TestBreakerOpensAndRoutesToLastGood(t *testing.T) {
+	pair := machine.PrimaryPair()
+	r := NewRegistry(pair)
+	r.SetBreakerPolicy(2, 1000)
+	limits := pair.Limits()
+	fast, _ := r.Register("live", "v1-fast", fixedPred{m: config.DefaultGPU(limits)})
+	slow, _ := r.Register("live", "v2-slow", &slowPred{m: config.DefaultMulticore(limits), delay: 60 * time.Millisecond})
+
+	metrics := NewMetrics()
+	cache := NewCache(64, 2)
+	b := NewBatcher(cache, metrics, BatcherConfig{
+		Workers: 1, MaxBatch: 1, MaxWait: time.Microsecond, StageBudget: 5 * time.Millisecond,
+	})
+	t.Cleanup(b.Stop)
+
+	// Two budget blows (distinct keys so the cache cannot answer) open
+	// the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := submitHedged(context.Background(), b, r, "live", float64(i)/10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := slow.Breaker().State(); st.String() != "open" {
+		_, failures := slow.Breaker().Stats()
+		t.Fatalf("breaker = %s after %d failures", st, failures)
+	}
+
+	start := time.Now()
+	resp, err := submitHedged(context.Background(), b, r, "live", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != fast.Version {
+		t.Fatalf("open breaker did not route to last-known-good: version %d", resp.Version)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Fatalf("breaker-routed dispatch still waited %v", elapsed)
+	}
+	if metrics.BreakerRouted.Load() == 0 {
+		t.Fatal("BreakerRouted not counted")
+	}
+
+	var sb strings.Builder
+	metrics.WritePrometheus(&sb, cache, b.QueueDepth, r.List())
+	want := "heteromap_model_breaker_state{model=\"live\",version=\"2\"} 1"
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("tripped breaker not visible in /metrics: missing %q", want)
+	}
+}
+
+// With no hedge target, a wedged primary degrades to the chain's fixed
+// safety default after a bounded grace — the worker never blocks on it.
+func TestSafeDefaultBoundsLatencyWithoutHedge(t *testing.T) {
+	pair := machine.PrimaryPair()
+	r := NewRegistry(pair)
+	limits := pair.Limits()
+	_, err := r.Register("solo", "v1", &slowPred{m: config.DefaultGPU(limits), delay: 400 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := NewMetrics()
+	b := NewBatcher(NewCache(16, 1), metrics, BatcherConfig{
+		Workers: 1, MaxBatch: 1, MaxWait: time.Microsecond, StageBudget: 10 * time.Millisecond,
+	})
+	t.Cleanup(b.Stop)
+
+	start := time.Now()
+	resp, err := submitHedged(context.Background(), b, r, "solo", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 200*time.Millisecond {
+		t.Fatalf("safe-default answer took %v, not bounded by the budgets", elapsed)
+	}
+	if resp.PredictorUsed != "FixedChoice" {
+		t.Fatalf("answer came from %q, want the fixed safety default", resp.PredictorUsed)
+	}
+	if len(resp.Fallbacks) == 0 {
+		t.Fatal("safe default did not report the abandonment")
+	}
+	if metrics.SafeDefaults.Load() == 0 {
+		t.Fatal("SafeDefaults not counted")
+	}
+}
+
+// The watchdog detects a chaos-stalled worker and spawns a replacement;
+// every request is still answered.
+func TestWatchdogReplacesStalledWorker(t *testing.T) {
+	pair := machine.PrimaryPair()
+	r := NewRegistry(pair)
+	limits := pair.Limits()
+	if _, err := r.Register("live", "v1", fixedPred{m: config.DefaultGPU(limits)}); err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewServeInjector(7)
+	inj.SetServeProfile(fault.ServeProfile{StallWorkerRate: 1, StallWorkerDelay: 250 * time.Millisecond})
+
+	metrics := NewMetrics()
+	b := NewBatcher(NewCache(64, 2), metrics, BatcherConfig{
+		Workers: 1, MaxBatch: 4, MaxWait: time.Millisecond,
+		StallTimeout: 40 * time.Millisecond, Chaos: inj,
+	})
+	t.Cleanup(b.Stop)
+
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := submitHedged(context.Background(), b, r, "live", float64(i)/10); err != nil {
+				failed.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d requests lost across the stall", failed.Load())
+	}
+	if metrics.ChaosStalls.Load() == 0 {
+		t.Fatal("chaos never injected a stall")
+	}
+	if metrics.WorkerRestarts.Load() == 0 {
+		t.Fatal("watchdog never replaced the stalled worker")
+	}
+}
+
+// Queue-saturation chaos sheds submissions with ErrQueueFull.
+func TestChaosQueueReject(t *testing.T) {
+	pair := machine.PrimaryPair()
+	r := NewRegistry(pair)
+	if _, err := r.Register("live", "v1", fixedPred{m: config.DefaultGPU(pair.Limits())}); err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewServeInjector(7)
+	inj.SetServeProfile(fault.ServeProfile{QueueRejectRate: 1})
+	metrics := NewMetrics()
+	b := NewBatcher(NewCache(16, 1), metrics, BatcherConfig{Workers: 1, Chaos: inj})
+	t.Cleanup(b.Stop)
+
+	if _, err := submitHedged(context.Background(), b, r, "live", 0.2); err != ErrQueueFull {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if metrics.ChaosQueueReject.Load() != 1 || metrics.QueueFull.Load() != 1 {
+		t.Fatalf("chaos reject metrics: %d chaos, %d queue-full",
+			metrics.ChaosQueueReject.Load(), metrics.QueueFull.Load())
+	}
+}
+
+// The /v1/chaos endpoint: 409 without an injector; GET/POST round-trip
+// the profile when armed; injected corrupt reloads are quarantined.
+func TestChaosEndpoint(t *testing.T) {
+	_, tsOff := newTestServer(t, Options{})
+	resp, err := http.Get(tsOff.URL + "/v1/chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("chaos without injector: status %d", resp.StatusCode)
+	}
+
+	inj := fault.NewServeInjector(11)
+	s, ts := newTestServer(t, Options{Chaos: inj})
+	resp, body := postJSON(t, ts.URL+"/v1/chaos", chaosRequest{CorruptReloadRate: 1, SlowModelRate: 0.5, SlowModelMS: 10})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chaos POST: %d %s", resp.StatusCode, body)
+	}
+	if p := inj.ServeProfile(); p.CorruptReloadRate != 1 || p.SlowModelDelay != 10*time.Millisecond {
+		t.Fatalf("profile not applied: %+v", p)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got chaosRequest
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.CorruptReloadRate != 1 || got.SlowModelMS != 10 {
+		t.Fatalf("chaos GET = %+v", got)
+	}
+
+	// Every reload is now corrupted in flight: 422 plus a quarantine
+	// record, with the active model untouched.
+	before := s.Registry().List()
+	resp, body = postJSON(t, ts.URL+"/v1/reload", reloadRequest{Model: "tree", Path: "/ignored"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt-reload chaos: %d %s", resp.StatusCode, body)
+	}
+	if q := s.Registry().Quarantined(); len(q) != 1 || !strings.Contains(q[0].Reason, "chaos") {
+		t.Fatalf("quarantine = %+v", q)
+	}
+	after := s.Registry().List()
+	if len(after) != len(before) || after[0].Version != before[0].Version {
+		t.Fatalf("chaos reload disturbed the registry: %+v -> %+v", before, after)
+	}
+}
+
+// Oversized bodies are rejected with 413 before decoding; non-finite and
+// out-of-range raw feature vectors with 400.
+func TestRequestAdmissionLimits(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxBodyBytes: 256})
+	huge := `{"bench":"` + strings.Repeat("x", 4096) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d", resp.StatusCode)
+	}
+
+	for _, body := range []string{
+		`{"features":[null,0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1,0,0.1,0.2,0.3,0.4,1e400]}`,
+		`{"features":[-0.5,0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1,0,0.1,0.2,0.3,0.4,0.5]}`,
+		`{"features":[1.5,0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1,0,0.1,0.2,0.3,0.4,0.5]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// Under seeded rotating chaos the server keeps answering: availability
+// stays at or above 99%, latency stays bounded, faults actually fired,
+// and /healthz still answers 200 afterwards — the chaos-smoke criterion.
+func TestChaosLoadGenAvailability(t *testing.T) {
+	inj := fault.NewServeInjector(23)
+	_, ts := newTestServer(t, Options{Chaos: inj, StallTimeout: 100 * time.Millisecond})
+
+	res, err := RunLoadGen(LoadGenOptions{
+		URL:         ts.URL,
+		Duration:    700 * time.Millisecond,
+		Concurrency: 4,
+		Combos:      16,
+		Seed:        23,
+		Chaos:       true,
+		ChaosRate:   0.3,
+		ChaosFlip:   120 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no traffic ran")
+	}
+	if res.Availability < 0.99 {
+		t.Fatalf("availability %.4f below 0.99: %+v", res.Availability, res)
+	}
+	if res.ChaosInjected == 0 {
+		t.Fatalf("chaos never fired: %+v", res)
+	}
+	if res.ServerP99 > 2*time.Second {
+		t.Fatalf("p99 unbounded under chaos: %v", res.ServerP99)
+	}
+	if !strings.Contains(res.String(), "availability") ||
+		!strings.Contains(res.String(), "self-healing") {
+		t.Fatalf("report missing resilience lines:\n%s", res)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after chaos: %d", resp.StatusCode)
+	}
+	// The flipper's exit leaves the profile calm.
+	if inj.ServeProfile().Active() {
+		t.Fatalf("chaos profile not reset: %v", inj.ServeProfile())
+	}
+}
+
+// The acceptance integration: bad reloads interleaved with live traffic
+// error out, auto-roll back, and served predictions stay byte-identical
+// throughout.
+func TestBadReloadsUnderLoadKeepPredictionsIdentical(t *testing.T) {
+	pair := machine.PrimaryPair()
+	s, ts := newTestServer(t, Options{Pair: pair, Canary: &CanaryConfig{
+		MaxLatency: time.Second,
+	}})
+
+	reqs := make([]PredictRequest, 6)
+	for i := range reqs {
+		reqs[i] = PredictRequest{
+			Model: "tree", Bench: "BFS",
+			Vertices: int64(1e6 * (i + 1)), Edges: int64(2e7 * (i + 1)),
+			MaxDegree: 5000, Diameter: 100,
+		}
+	}
+	baseline := make([]string, len(reqs))
+	for i, req := range reqs {
+		resp, body := postJSON(t, ts.URL+"/v1/predict", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("baseline %d: %d %s", i, resp.StatusCode, body)
+		}
+		var pr PredictResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatal(err)
+		}
+		mj, _ := json.Marshal(pr.M)
+		baseline[i] = string(mj)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var reloadAttempts atomic.Int64
+
+	// Reloader: hammer /v1/reload with files that must be rejected.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			resp, _ := postJSON(t, ts.URL+"/v1/reload",
+				reloadRequest{Model: "tree", Path: "/does/not/exist.hmdb"})
+			if resp.StatusCode == http.StatusOK {
+				t.Error("bad reload accepted")
+				return
+			}
+			reloadAttempts.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Clients: replay the request set and demand byte-identical answers.
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				k := (c + i) % len(reqs)
+				resp, body := postJSON(t, ts.URL+"/v1/predict", reqs[k])
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("client %d: %d %s", c, resp.StatusCode, body)
+					return
+				}
+				var pr PredictResponse
+				if err := json.Unmarshal(body, &pr); err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				mj, _ := json.Marshal(pr.M)
+				if string(mj) != baseline[k] {
+					t.Errorf("client %d: prediction drifted during bad reloads:\n got %s\nwant %s",
+						c, mj, baseline[k])
+					return
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(250 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	if reloadAttempts.Load() < 5 {
+		t.Fatalf("only %d reload attempts ran", reloadAttempts.Load())
+	}
+	if len(s.Registry().Quarantined()) == 0 {
+		t.Fatal("rejected reloads left no quarantine records")
+	}
+	if s.Metrics().ReloadRejected.Load() == 0 {
+		t.Fatal("ReloadRejected never counted")
+	}
+	// /v1/models must expose both the healthy model and the quarantine.
+	resp, body := postJSON(t, ts.URL+"/v1/predict", reqs[0])
+	resp.Body.Close()
+	var pr PredictResponse
+	json.Unmarshal(body, &pr)
+	mresp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models struct {
+		Models     []ModelInfo      `json:"models"`
+		Quarantine []QuarantineInfo `json:"quarantine"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if len(models.Models) != 1 || models.Models[0].Version != pr.Version {
+		t.Fatalf("models = %+v, serving version %d", models.Models, pr.Version)
+	}
+	if len(models.Quarantine) == 0 {
+		t.Fatal("/v1/models hides the quarantine")
+	}
+}

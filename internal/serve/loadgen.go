@@ -36,6 +36,16 @@ type LoadGenOptions struct {
 	Combos int
 	// Seed fixes the request mix.
 	Seed int64
+
+	// Chaos flips the server's serve-fault profile mid-run (via POST
+	// /v1/chaos) so the report measures availability under rotating
+	// failure modes. The server must be running with chaos enabled.
+	Chaos bool
+	// ChaosRate scales the injected fault profiles (default 0.3).
+	ChaosRate float64
+	// ChaosFlip is the interval between profile changes (default
+	// Duration/6, floored at 100ms).
+	ChaosFlip time.Duration
 }
 
 func (o LoadGenOptions) withDefaults() LoadGenOptions {
@@ -54,6 +64,15 @@ func (o LoadGenOptions) withDefaults() LoadGenOptions {
 	if o.Seed == 0 {
 		o.Seed = 42
 	}
+	if o.ChaosRate <= 0 {
+		o.ChaosRate = 0.3
+	}
+	if o.ChaosFlip <= 0 {
+		o.ChaosFlip = o.Duration / 6
+		if o.ChaosFlip < 100*time.Millisecond {
+			o.ChaosFlip = 100 * time.Millisecond
+		}
+	}
 	return o
 }
 
@@ -64,6 +83,13 @@ type LoadGenResult struct {
 	Requests    uint64 // HTTP round trips
 	Predictions uint64 // individual predictions (batch items)
 	Errors      uint64
+	// ServerFailures counts 5xx responses and transport errors — the
+	// requests that count against availability. 4xx responses are the
+	// client's fault and count as available.
+	ServerFailures uint64
+	// Availability is the fraction of round trips that did not fail
+	// server-side (1.0 when no requests ran).
+	Availability float64
 
 	Throughput float64 // predictions per second
 	P50, P99   time.Duration
@@ -75,6 +101,16 @@ type LoadGenResult struct {
 	MeanBatchItems   float64
 	FallbackEvents   uint64
 	QueueFullRejects uint64
+
+	// Self-healing counters scraped from /metrics: hedged inferences,
+	// open-breaker reroutes, safety-default answers, queue-deadline
+	// drops, watchdog worker replacements and injected chaos faults.
+	Hedges         uint64
+	BreakerRouted  uint64
+	SafeDefaults   uint64
+	DeadlineDrops  uint64
+	WorkerRestarts uint64
+	ChaosInjected  uint64
 }
 
 // String renders the serving-benchmark report.
@@ -87,7 +123,14 @@ func (r LoadGenResult) String() string {
 	fmt.Fprintf(&sb, "  server latency : p50 %v, p99 %v (from /metrics)\n", r.ServerP50, r.ServerP99)
 	fmt.Fprintf(&sb, "  cache hit rate : %.1f%%\n", r.CacheHitRate*100)
 	fmt.Fprintf(&sb, "  mean batch     : %.2f items\n", r.MeanBatchItems)
+	fmt.Fprintf(&sb, "  availability   : %.2f%% (%d server failures)\n",
+		r.Availability*100, r.ServerFailures)
 	fmt.Fprintf(&sb, "  fallbacks      : %d, queue-full rejects: %d", r.FallbackEvents, r.QueueFullRejects)
+	if r.Hedges+r.BreakerRouted+r.SafeDefaults+r.DeadlineDrops+r.WorkerRestarts+r.ChaosInjected > 0 {
+		fmt.Fprintf(&sb, "\n  self-healing   : %d hedges, %d breaker reroutes, %d safe defaults, "+
+			"%d deadline drops, %d worker restarts, %d injected faults",
+			r.Hedges, r.BreakerRouted, r.SafeDefaults, r.DeadlineDrops, r.WorkerRestarts, r.ChaosInjected)
+	}
 	return sb.String()
 }
 
@@ -140,9 +183,15 @@ func RunLoadGen(o LoadGenOptions) (LoadGenResult, error) {
 	mix := buildMix(o)
 	client := &http.Client{Timeout: 10 * time.Second}
 
-	var requests, predictions, errors atomic.Uint64
+	var requests, predictions, errors, serverFailures atomic.Uint64
 	latencies := make([][]time.Duration, o.Concurrency)
 	deadline := time.Now().Add(o.Duration)
+
+	stopChaos := make(chan struct{})
+	if o.Chaos {
+		go runChaosFlipper(client, o, stopChaos)
+		defer close(stopChaos)
+	}
 
 	var wg sync.WaitGroup
 	for g := 0; g < o.Concurrency; g++ {
@@ -173,6 +222,9 @@ func RunLoadGen(o LoadGenOptions) (LoadGenResult, error) {
 				requests.Add(1)
 				if err != nil || resp.StatusCode != http.StatusOK {
 					errors.Add(1)
+					if err != nil || resp.StatusCode >= 500 {
+						serverFailures.Add(1)
+					}
 					if resp != nil {
 						io.Copy(io.Discard, resp.Body)
 						resp.Body.Close()
@@ -194,11 +246,16 @@ func RunLoadGen(o LoadGenOptions) (LoadGenResult, error) {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	res := LoadGenResult{
-		Duration:    o.Duration,
-		Requests:    requests.Load(),
-		Predictions: predictions.Load(),
-		Errors:      errors.Load(),
-		Throughput:  float64(predictions.Load()) / o.Duration.Seconds(),
+		Duration:       o.Duration,
+		Requests:       requests.Load(),
+		Predictions:    predictions.Load(),
+		Errors:         errors.Load(),
+		ServerFailures: serverFailures.Load(),
+		Throughput:     float64(predictions.Load()) / o.Duration.Seconds(),
+		Availability:   1,
+	}
+	if res.Requests > 0 {
+		res.Availability = float64(res.Requests-res.ServerFailures) / float64(res.Requests)
 	}
 	if len(all) > 0 {
 		res.P50 = all[len(all)/2]
@@ -208,6 +265,44 @@ func RunLoadGen(o LoadGenOptions) (LoadGenResult, error) {
 		return res, fmt.Errorf("serve: loadgen metrics scrape: %w", err)
 	}
 	return res, nil
+}
+
+// chaosProfiles are the fault shapes the flipper rotates through: each
+// cycle exercises a different serve failure mode, ending on a calm
+// window so the server must also be seen recovering.
+func chaosProfiles(rate float64) []chaosRequest {
+	return []chaosRequest{
+		{SlowModelRate: rate, SlowModelMS: 50},                    // slow model → hedging
+		{StallWorkerRate: rate / 2, StallWorkerMS: 100},           // wedged worker → watchdog
+		{QueueRejectRate: rate / 10, CorruptReloadRate: 1},        // saturation + bad reloads
+		{SlowModelRate: rate, SlowModelMS: 50, StallWorkerRate: rate / 4, StallWorkerMS: 100}, // combined
+		{}, // calm: recovery window
+	}
+}
+
+// runChaosFlipper rotates the server's fault profile every ChaosFlip
+// until stop closes, then resets it to calm so the server is left clean.
+func runChaosFlipper(client *http.Client, o LoadGenOptions, stop <-chan struct{}) {
+	profiles := chaosProfiles(o.ChaosRate)
+	post := func(p chaosRequest) {
+		buf, _ := json.Marshal(p)
+		resp, err := client.Post(o.URL+"/v1/chaos", "application/json", bytes.NewReader(buf))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	ticker := time.NewTicker(o.ChaosFlip)
+	defer ticker.Stop()
+	for i := 0; ; i++ {
+		post(profiles[i%len(profiles)])
+		select {
+		case <-stop:
+			post(chaosRequest{})
+			return
+		case <-ticker.C:
+		}
+	}
 }
 
 // scrapeMetrics pulls /metrics and fills the server-side fields.
@@ -239,6 +334,20 @@ func (r *LoadGenResult) scrapeMetrics(client *http.Client, base string) error {
 			r.FallbackEvents = uint64(promValue(line))
 		case strings.HasPrefix(line, "heteromap_queue_full_total "):
 			r.QueueFullRejects = uint64(promValue(line))
+		case strings.HasPrefix(line, "heteromap_hedges_total "):
+			r.Hedges = uint64(promValue(line))
+		case strings.HasPrefix(line, "heteromap_breaker_routed_total "):
+			r.BreakerRouted = uint64(promValue(line))
+		case strings.HasPrefix(line, "heteromap_safe_default_total "):
+			r.SafeDefaults = uint64(promValue(line))
+		case strings.HasPrefix(line, "heteromap_deadline_drops_total "):
+			r.DeadlineDrops = uint64(promValue(line))
+		case strings.HasPrefix(line, "heteromap_worker_restarts_total "):
+			r.WorkerRestarts = uint64(promValue(line))
+		case strings.HasPrefix(line, "heteromap_chaos_slow_model_total "),
+			strings.HasPrefix(line, "heteromap_chaos_worker_stalls_total "),
+			strings.HasPrefix(line, "heteromap_chaos_queue_rejects_total "):
+			r.ChaosInjected += uint64(promValue(line))
 		case strings.HasPrefix(line, `heteromap_request_duration_seconds_bucket{le="`):
 			rest := strings.TrimPrefix(line, `heteromap_request_duration_seconds_bucket{le="`)
 			end := strings.Index(rest, `"`)

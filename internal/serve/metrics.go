@@ -113,6 +113,32 @@ type Metrics struct {
 	Fallbacks   atomic.Uint64
 	ReloadCount atomic.Uint64
 
+	// Self-healing counters. ReloadRejected counts reloads whose
+	// candidate snapshot was quarantined (canary failure or corrupt/
+	// empty database); Hedges counts inferences that launched a hedge
+	// after the stage budget elapsed, HedgeWins the hedges that answered
+	// first; BreakerRouted counts dispatches sent straight to the
+	// last-known-good version because the active version's breaker was
+	// open; SafeDefaults counts answers of last resort (no hedge target,
+	// primary over budget twice); DeadlineDrops counts tasks abandoned
+	// unprocessed because their deadline had already passed when the
+	// worker reached them.
+	ReloadRejected atomic.Uint64
+	CanaryRuns     atomic.Uint64
+	Hedges         atomic.Uint64
+	HedgeWins      atomic.Uint64
+	BreakerRouted  atomic.Uint64
+	SafeDefaults   atomic.Uint64
+	DeadlineDrops  atomic.Uint64
+
+	// Chaos-harness counters. WorkerRestarts counts batch workers the
+	// watchdog declared stalled and replaced; the Chaos* counters record
+	// injected serve faults.
+	WorkerRestarts   atomic.Uint64
+	ChaosSlowModel   atomic.Uint64
+	ChaosStalls      atomic.Uint64
+	ChaosQueueReject atomic.Uint64
+
 	// RequestLatency is end-to-end (enqueue to response ready).
 	RequestLatency *Histogram
 
@@ -140,9 +166,21 @@ func (m *Metrics) ObserveModel(name string, d time.Duration) {
 	s.latency.Observe(d)
 }
 
+// breakerCode maps a breaker state name to its numeric gauge value.
+func breakerCode(state string) int64 {
+	switch state {
+	case "open":
+		return 1
+	case "half-open":
+		return 2
+	}
+	return 0
+}
+
 // WritePrometheus emits every series in Prometheus text format. The
-// cache and queue-depth callback supply point-in-time gauges.
-func (m *Metrics) WritePrometheus(w io.Writer, cache *Cache, queueDepth func() int) {
+// cache, queue-depth callback and model listing supply point-in-time
+// gauges (models may be nil when no registry is attached).
+func (m *Metrics) WritePrometheus(w io.Writer, cache *Cache, queueDepth func() int, models []ModelInfo) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -157,6 +195,17 @@ func (m *Metrics) WritePrometheus(w io.Writer, cache *Cache, queueDepth func() i
 	counter("heteromap_batch_items_total", "prediction items processed in batches", m.BatchItems.Load())
 	counter("heteromap_fallback_events_total", "predictor fallback-chain degradations", m.Fallbacks.Load())
 	counter("heteromap_model_reloads_total", "model hot-swap reloads", m.ReloadCount.Load())
+	counter("heteromap_reload_rejected_total", "reloads whose candidate snapshot was quarantined", m.ReloadRejected.Load())
+	counter("heteromap_canary_runs_total", "canary validation runs against candidate snapshots", m.CanaryRuns.Load())
+	counter("heteromap_hedges_total", "inferences hedged after the stage budget elapsed", m.Hedges.Load())
+	counter("heteromap_hedge_wins_total", "hedged inferences answered by the hedge target", m.HedgeWins.Load())
+	counter("heteromap_breaker_routed_total", "dispatches routed to last-known-good by an open breaker", m.BreakerRouted.Load())
+	counter("heteromap_safe_default_total", "answers served from the fixed safety default", m.SafeDefaults.Load())
+	counter("heteromap_deadline_drops_total", "tasks dropped because their deadline passed in the queue", m.DeadlineDrops.Load())
+	counter("heteromap_worker_restarts_total", "stalled batch workers replaced by the watchdog", m.WorkerRestarts.Load())
+	counter("heteromap_chaos_slow_model_total", "injected slow-model faults", m.ChaosSlowModel.Load())
+	counter("heteromap_chaos_worker_stalls_total", "injected worker-stall faults", m.ChaosStalls.Load())
+	counter("heteromap_chaos_queue_rejects_total", "injected queue-saturation rejections", m.ChaosQueueReject.Load())
 
 	hits, misses, evictions := cache.Stats()
 	counter("heteromap_cache_hits_total", "prediction cache hits", hits)
@@ -166,6 +215,15 @@ func (m *Metrics) WritePrometheus(w io.Writer, cache *Cache, queueDepth func() i
 
 	gauge("heteromap_in_flight", "requests currently being served", m.InFlight.Load())
 	gauge("heteromap_queue_depth", "prediction tasks waiting in the batch queue", int64(queueDepth()))
+
+	if len(models) > 0 {
+		fmt.Fprintf(w, "# HELP heteromap_model_breaker_state per-model-version circuit state (0 closed, 1 open, 2 half-open)\n")
+		fmt.Fprintf(w, "# TYPE heteromap_model_breaker_state gauge\n")
+		for _, info := range models {
+			fmt.Fprintf(w, "heteromap_model_breaker_state{model=%q,version=\"%d\"} %d\n",
+				info.Name, info.Version, breakerCode(info.Breaker))
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP heteromap_request_duration_seconds end-to-end prediction latency\n")
 	fmt.Fprintf(w, "# TYPE heteromap_request_duration_seconds histogram\n")

@@ -44,7 +44,9 @@ func TestWritePrometheusFormat(t *testing.T) {
 	c.Get("absent")
 
 	var sb strings.Builder
-	m.WritePrometheus(&sb, c, func() int { return 5 })
+	m.WritePrometheus(&sb, c, func() int { return 5 }, []ModelInfo{
+		{Name: "tree", Version: 2, Breaker: "open"},
+	})
 	out := sb.String()
 
 	for _, want := range []string{
@@ -57,6 +59,9 @@ func TestWritePrometheusFormat(t *testing.T) {
 		`heteromap_model_duration_seconds_bucket{model="tree",le="+Inf"} 1`,
 		"heteromap_request_duration_seconds_count 1",
 		"# TYPE heteromap_request_duration_seconds histogram",
+		`heteromap_model_breaker_state{model="tree",version="2"} 1`,
+		"heteromap_hedges_total 0",
+		"heteromap_worker_restarts_total 0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in metrics output", want)
@@ -79,7 +84,7 @@ func TestScrapeRoundTrip(t *testing.T) {
 		m.RequestLatency.Observe(40 * time.Millisecond)
 	}
 	var sb strings.Builder
-	m.WritePrometheus(&sb, NewCache(1, 1), func() int { return 0 })
+	m.WritePrometheus(&sb, NewCache(1, 1), func() int { return 0 }, nil)
 
 	var buckets []promBucket
 	for _, line := range strings.Split(sb.String(), "\n") {

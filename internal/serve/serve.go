@@ -26,6 +26,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 
 	"heteromap/internal/config"
 	"heteromap/internal/feature"
@@ -99,6 +100,14 @@ func ResolveFeatures(req *PredictRequest, step float64) (feature.Vector, error) 
 		if len(req.Features) != feature.NumFeatures {
 			return feature.Vector{}, fmt.Errorf("serve: features has %d components, want %d",
 				len(req.Features), feature.NumFeatures)
+		}
+		for i, f := range req.Features {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return feature.Vector{}, fmt.Errorf("serve: features[%d] is not finite", i)
+			}
+			if f < 0 || f > 1 {
+				return feature.Vector{}, fmt.Errorf("serve: features[%d] = %g outside [0,1]", i, f)
+			}
 		}
 		var v feature.Vector
 		copy(v[:], req.Features)

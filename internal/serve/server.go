@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"heteromap/internal/fault"
 	"heteromap/internal/feature"
 	"heteromap/internal/machine"
 )
@@ -37,8 +38,32 @@ type Options struct {
 	// Step is the feature discretization increment
 	// (feature.DiscretizationStep).
 	Step float64
-	// RequestTimeout bounds one prediction end to end (5s).
+	// RequestTimeout bounds one prediction end to end (5s); the
+	// deadline propagates through the queue into the batch workers.
 	RequestTimeout time.Duration
+	// MaxBodyBytes bounds a request body (1 MiB); larger bodies are
+	// rejected with 413 before decoding.
+	MaxBodyBytes int64
+
+	// StageBudget bounds one model inference before the batcher hedges
+	// against the last-known-good version (25ms); it is also the
+	// per-version breaker's latency SLO.
+	StageBudget time.Duration
+	// BreakerThreshold/BreakerCooldown configure the per-model-version
+	// circuit breakers (5 consecutive SLO violations / 64 refused
+	// dispatches before a half-open probe).
+	BreakerThreshold int
+	BreakerCooldown  int
+	// StallTimeout is the batch-worker watchdog's no-progress bound
+	// (1s); < 0 disables the watchdog.
+	StallTimeout time.Duration
+
+	// Canary gates /v1/reload: candidate snapshots must pass the golden
+	// set before replacing the active model (nil: sanity checks only).
+	Canary *CanaryConfig
+	// Chaos injects serve-path faults for resilience testing (nil:
+	// none). The /v1/chaos endpoint is enabled only when this is set.
+	Chaos *fault.ServeInjector
 }
 
 func (o Options) withDefaults() Options {
@@ -72,11 +97,31 @@ func (o Options) withDefaults() Options {
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 5 * time.Second
 	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.StageBudget <= 0 {
+		o.StageBudget = 25 * time.Millisecond
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 64
+	}
+	if o.StallTimeout == 0 {
+		o.StallTimeout = time.Second
+	}
 	return o
 }
 
+// defaultStep is the discretization increment used when no explicit step
+// is configured.
+func defaultStep() float64 { return feature.DiscretizationStep }
+
 // Server is the prediction service: registry -> batcher -> cache ->
-// predictor -> metrics behind an HTTP/JSON API.
+// predictor -> metrics behind an HTTP/JSON API, with canary-gated
+// reloads, hedged dispatch and a chaos/watchdog self-healing layer.
 type Server struct {
 	opts     Options
 	registry *Registry
@@ -96,15 +141,24 @@ func New(opts Options) *Server {
 	if reg == nil {
 		reg = NewRegistry(opts.Pair)
 	}
+	reg.SetBreakerPolicy(opts.BreakerThreshold, opts.BreakerCooldown)
 	metrics := NewMetrics()
 	cache := NewCache(opts.CacheSize, opts.CacheShards)
 	s := &Server{
 		opts:     opts,
 		registry: reg,
 		cache:    cache,
-		batcher:  NewBatcher(cache, metrics, opts.QueueSize, opts.Workers, opts.MaxBatch, opts.MaxWait),
-		metrics:  metrics,
-		started:  time.Now(),
+		batcher: NewBatcher(cache, metrics, BatcherConfig{
+			QueueSize:    opts.QueueSize,
+			Workers:      opts.Workers,
+			MaxBatch:     opts.MaxBatch,
+			MaxWait:      opts.MaxWait,
+			StageBudget:  opts.StageBudget,
+			StallTimeout: opts.StallTimeout,
+			Chaos:        opts.Chaos,
+		}),
+		metrics: metrics,
+		started: time.Now(),
 	}
 	s.http = &http.Server{Addr: opts.Addr, Handler: s.Handler()}
 	return s
@@ -123,6 +177,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/predict/batch", s.handlePredictBatch)
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/reload", s.handleReload)
+	mux.HandleFunc("/v1/chaos", s.handleChaos)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -158,6 +213,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// decodeJSON decodes a body capped at MaxBodyBytes, distinguishing
+// oversized bodies (413) from malformed ones (400).
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("decode request: %w", err)
+	}
+	return http.StatusOK, nil
+}
+
 // predictOne runs one request through admission, cache and batcher; the
 // returned status is the HTTP code an error should carry.
 func (s *Server) predictOne(ctx context.Context, req *PredictRequest) (PredictResponse, int, error) {
@@ -172,6 +242,7 @@ func (s *Server) predictOne(ctx context.Context, req *PredictRequest) (PredictRe
 	s.metrics.Requests.Add(1)
 	t := &task{
 		model:    model,
+		hedge:    s.registry.LastGood(req.Model),
 		feat:     feat,
 		cacheKey: cacheKeyFor(model, feat),
 		done:     make(chan taskResult, 1),
@@ -197,8 +268,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.metrics.InFlight.Add(1)
 	defer s.metrics.InFlight.Add(-1)
 	var req PredictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.errorJSON(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if status, err := s.decodeJSON(w, r, &req); err != nil {
+		s.errorJSON(w, status, err)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
@@ -219,8 +290,8 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.InFlight.Add(1)
 	defer s.metrics.InFlight.Add(-1)
 	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.errorJSON(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if status, err := s.decodeJSON(w, r, &req); err != nil {
+		s.errorJSON(w, status, err)
 		return
 	}
 	if len(req.Requests) == 0 {
@@ -252,11 +323,15 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{"models": s.registry.List()})
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"models":     s.registry.List(),
+		"quarantine": s.registry.Quarantined(),
+	})
 }
 
 // reloadRequest is the /v1/reload body: hot-swap model from a profiler
-// database file on disk.
+// database file on disk, gated by the canary golden set when one is
+// configured.
 type reloadRequest struct {
 	Model string `json:"model"`
 	Path  string `json:"path"`
@@ -268,23 +343,102 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req reloadRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.errorJSON(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if status, err := s.decodeJSON(w, r, &req); err != nil {
+		s.errorJSON(w, status, err)
 		return
 	}
 	if req.Model == "" || req.Path == "" {
 		s.errorJSON(w, http.StatusBadRequest, fmt.Errorf("reload needs model and path"))
 		return
 	}
-	m, err := s.registry.ReloadDB(req.Model, req.Path)
+	if s.opts.Chaos.CorruptReload() {
+		// Injected corrupt snapshot: quarantine the attempt exactly as a
+		// real corruption would be, leaving the active model untouched.
+		s.registry.Quarantine(QuarantineInfo{
+			Name: req.Model, Source: "db:" + req.Path,
+			Reason: "chaos: snapshot corrupted in flight",
+		})
+		s.metrics.ReloadRejected.Add(1)
+		s.errorJSON(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("reload %q: snapshot corrupted in flight (chaos)", req.Model))
+		return
+	}
+	if s.opts.Canary != nil {
+		s.metrics.CanaryRuns.Add(1)
+	}
+	m, canary, err := s.registry.ReloadDBValidated(req.Model, req.Path, s.opts.Canary)
 	if err != nil {
-		s.errorJSON(w, http.StatusBadRequest, err)
+		s.metrics.ReloadRejected.Add(1)
+		// Defensive: a rejected candidate never served, so its version
+		// can have no cache entries — purge proves it stays that way.
+		s.cache.PurgePrefix(req.Model + "@")
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrCanaryRejected) {
+			status = http.StatusUnprocessableEntity
+		}
+		s.errorJSON(w, status, err)
 		return
 	}
 	s.metrics.ReloadCount.Add(1)
-	s.writeJSON(w, http.StatusOK, ModelInfo{
-		Name: m.Name, Version: m.Version, Predictor: m.PredictorName(), Source: m.Source,
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"model": ModelInfo{
+			Name: m.Name, Version: m.Version, Predictor: m.PredictorName(),
+			Source: m.Source, Breaker: m.Breaker().State().String(),
+		},
+		"canary": canary,
 	})
+}
+
+// chaosRequest is the /v1/chaos body; rates in [0,1], delays in
+// milliseconds, so the profile is scriptable from curl.
+type chaosRequest struct {
+	SlowModelRate     float64 `json:"slow_model_rate"`
+	SlowModelMS       float64 `json:"slow_model_ms"`
+	StallWorkerRate   float64 `json:"stall_worker_rate"`
+	StallWorkerMS     float64 `json:"stall_worker_ms"`
+	CorruptReloadRate float64 `json:"corrupt_reload_rate"`
+	QueueRejectRate   float64 `json:"queue_reject_rate"`
+}
+
+// handleChaos reads (GET) or flips (POST) the serve fault profile; it is
+// live only when the server was started with a chaos injector.
+func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Chaos == nil {
+		s.errorJSON(w, http.StatusConflict,
+			fmt.Errorf("chaos injection not enabled (start with -chaos-serve)"))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		p := s.opts.Chaos.ServeProfile()
+		s.writeJSON(w, http.StatusOK, chaosRequest{
+			SlowModelRate:     p.SlowModelRate,
+			SlowModelMS:       float64(p.SlowModelDelay.Milliseconds()),
+			StallWorkerRate:   p.StallWorkerRate,
+			StallWorkerMS:     float64(p.StallWorkerDelay.Milliseconds()),
+			CorruptReloadRate: p.CorruptReloadRate,
+			QueueRejectRate:   p.QueueRejectRate,
+		})
+	case http.MethodPost:
+		var req chaosRequest
+		if status, err := s.decodeJSON(w, r, &req); err != nil {
+			s.errorJSON(w, status, err)
+			return
+		}
+		s.opts.Chaos.SetServeProfile(fault.ServeProfile{
+			SlowModelRate:     req.SlowModelRate,
+			SlowModelDelay:    time.Duration(req.SlowModelMS * float64(time.Millisecond)),
+			StallWorkerRate:   req.StallWorkerRate,
+			StallWorkerDelay:  time.Duration(req.StallWorkerMS * float64(time.Millisecond)),
+			CorruptReloadRate: req.CorruptReloadRate,
+			QueueRejectRate:   req.QueueRejectRate,
+		})
+		s.writeJSON(w, http.StatusOK, map[string]string{
+			"profile": s.opts.Chaos.ServeProfile().String(),
+		})
+	default:
+		s.errorJSON(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -292,13 +446,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":         "ok",
 		"pair":           s.registry.Pair().Name(),
 		"models":         len(s.registry.List()),
+		"quarantined":    len(s.registry.Quarantined()),
 		"uptime_seconds": time.Since(s.started).Seconds(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.WritePrometheus(w, s.cache, s.batcher.QueueDepth)
+	s.metrics.WritePrometheus(w, s.cache, s.batcher.QueueDepth, s.registry.List())
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
