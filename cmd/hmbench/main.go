@@ -1,0 +1,194 @@
+// Command hmbench is the repository's conformance and performance
+// runner. It measures the hot paths (feature discretization, machine-
+// model evaluation, tree/NN inference, end-to-end serve predictions,
+// offline database throughput) and emits a schema-versioned BENCH
+// report; with -baseline it gates the run against a committed report
+// and fails on regressions; with -oracle it runs the differential
+// oracle against the exhaustive sweep and enforces the recorded
+// conformance thresholds.
+//
+// Usage:
+//
+//	hmbench [-short] [-out BENCH_4.json] [-benchtime 1s] [-targets regex]
+//	        [-baseline BENCH_4.json [-max-regress 0.20]]
+//	        [-oracle [-oracle-full]] [-no-bench] [-list]
+//
+// Exit codes: 0 ok, 1 internal error, 2 usage, 3 regression or
+// conformance-gate violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"heteromap/internal/conformance"
+	"heteromap/internal/machine"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hmbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	short := fs.Bool("short", false, "reduced workloads (CI smoke mode; not comparable to full runs)")
+	out := fs.String("out", "BENCH_4.json", "BENCH report output path (empty: skip writing)")
+	benchtime := fs.Duration("benchtime", 0, "per-target measurement budget (default 1s, 300ms with -short)")
+	targets := fs.String("targets", "", "regexp restricting which targets run")
+	baseline := fs.String("baseline", "", "committed BENCH report to gate against")
+	maxRegress := fs.Float64("max-regress", 0.20, "relative ns/op and allocs/op growth tolerated vs -baseline")
+	oracle := fs.Bool("oracle", false, "also run the differential oracle and enforce the recorded thresholds")
+	oracleFull := fs.Bool("oracle-full", false, "use the full oracle configuration (implies -oracle)")
+	noBench := fs.Bool("no-bench", false, "skip the perf targets (with -oracle: conformance only)")
+	list := fs.Bool("list", false, "list targets and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := conformance.BenchTargets(*short)
+	if *list {
+		for _, t := range all {
+			fmt.Fprintf(stdout, "%-22s %s\n", t.Name, t.Doc)
+		}
+		return 0
+	}
+
+	exit := 0
+	if *oracle || *oracleFull {
+		cfg := conformance.ShortOracleConfig()
+		if *oracleFull {
+			cfg = conformance.FullOracleConfig()
+		}
+		rep, err := conformance.RunOracle(machine.PrimaryPair(), cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "hmbench: oracle: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, rep.String())
+		if err := rep.Gate(conformance.SeedThresholds); err != nil {
+			fmt.Fprintf(stderr, "hmbench: conformance gate violated:\n%v\n", err)
+			exit = 3
+		} else {
+			fmt.Fprintln(stdout, "oracle gates: ok")
+		}
+	}
+
+	if *noBench {
+		return exit
+	}
+
+	var re *regexp.Regexp
+	if *targets != "" {
+		var err error
+		if re, err = regexp.Compile(*targets); err != nil {
+			fmt.Fprintf(stderr, "hmbench: -targets: %v\n", err)
+			return 2
+		}
+	}
+
+	bt := *benchtime
+	if bt <= 0 {
+		bt = time.Second
+		if *short {
+			bt = 300 * time.Millisecond
+		}
+	}
+	// testing.Benchmark consults the registered -test.benchtime flag.
+	testing.Init()
+	if err := flag.Set("test.benchtime", bt.String()); err != nil {
+		fmt.Fprintf(stderr, "hmbench: set benchtime: %v\n", err)
+		return 1
+	}
+
+	report := &conformance.BenchReport{
+		SchemaVersion: conformance.BenchSchemaVersion,
+		GeneratedBy:   "hmbench",
+		UnixTime:      time.Now().Unix(),
+		Env: conformance.BenchEnvironment{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Short:      *short,
+			Benchtime:  bt.String(),
+		},
+	}
+	for _, t := range all {
+		if re != nil && !re.MatchString(t.Name) {
+			continue
+		}
+		res, err := conformance.RunTarget(t)
+		if err != nil {
+			fmt.Fprintf(stderr, "hmbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-22s %12.1f ns/op %8d allocs/op %10d B/op", res.Name,
+			res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		for k, v := range res.Metrics {
+			fmt.Fprintf(stdout, "  %.1f %s", v, k)
+		}
+		fmt.Fprintln(stdout)
+		report.Results = append(report.Results, res)
+	}
+	if len(report.Results) == 0 {
+		fmt.Fprintf(stderr, "hmbench: no targets matched %q\n", *targets)
+		return 2
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "hmbench: %v\n", err)
+			return 1
+		}
+		if err := conformance.WriteBench(f, report); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "hmbench: write %s: %v\n", *out, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "hmbench: close %s: %v\n", *out, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d targets)\n", *out, len(report.Results))
+	}
+
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "hmbench: %v\n", err)
+			return 1
+		}
+		base, err := conformance.ReadBench(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "hmbench: %v\n", err)
+			return 1
+		}
+		if base.Env.Short != *short {
+			fmt.Fprintf(stderr, "hmbench: baseline short=%v but this run short=%v — not comparable\n",
+				base.Env.Short, *short)
+			return 2
+		}
+		regs := conformance.CompareBench(base, report, *maxRegress)
+		if len(regs) > 0 {
+			fmt.Fprintf(stderr, "hmbench: %d regression(s) vs %s (gate %.0f%%):\n",
+				len(regs), *baseline, *maxRegress*100)
+			for _, r := range regs {
+				fmt.Fprintf(stderr, "  %s\n", r)
+			}
+			exit = 3
+		} else {
+			fmt.Fprintf(stdout, "no regressions vs %s (gate %.0f%%)\n", *baseline, *maxRegress*100)
+		}
+	}
+	return exit
+}

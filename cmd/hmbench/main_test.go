@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"heteromap/internal/conformance"
+)
+
+// One fast hmbench invocation: restricted targets, tiny benchtime, a
+// valid report on disk, and a self-comparison that passes the gate.
+func TestRunEmitsValidReportAndSelfCompares(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_4.json")
+	var stdout, stderr bytes.Buffer
+
+	code := run([]string{
+		"-short", "-benchtime", "10ms",
+		"-targets", "^(feature|predict/tree)",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := conformance.ReadBench(f)
+	if err != nil {
+		t.Fatalf("emitted report invalid: %v", err)
+	}
+	if rep.SchemaVersion != conformance.BenchSchemaVersion || !rep.Env.Short {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	for _, name := range []string{"feature/discretize", "feature/key-roundtrip", "predict/tree"} {
+		if rep.Result(name) == nil {
+			t.Errorf("report missing target %s", name)
+		}
+	}
+	if rep.Result("train/build-db") != nil {
+		t.Error("-targets filter ignored")
+	}
+
+	// Gate the same run against its own report: no regressions.
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{
+		"-short", "-benchtime", "10ms",
+		"-targets", "^feature/discretize$",
+		"-out", "", "-baseline", out, "-max-regress", "100",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("self-comparison failed (exit %d):\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "no regressions") {
+		t.Fatalf("expected gate pass message, got:\n%s", stdout.String())
+	}
+}
+
+func TestRunFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-short", "-benchtime", "10ms",
+		"-targets", "^feature/discretize$", "-out", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, stderr.String())
+	}
+
+	// Doctor the baseline to claim the target used to be far faster.
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := conformance.ReadBench(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Results[0].NsPerOp /= 1000
+	doctored := filepath.Join(dir, "doctored.json")
+	df, err := os.Create(doctored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conformance.WriteBench(df, rep); err != nil {
+		t.Fatal(err)
+	}
+	df.Close()
+
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-short", "-benchtime", "10ms",
+		"-targets", "^feature/discretize$", "-out", "",
+		"-baseline", doctored}, &stdout, &stderr)
+	if code != 3 {
+		t.Fatalf("regression not gated: exit %d\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "regression") {
+		t.Fatalf("missing regression diagnostics:\n%s", stderr.String())
+	}
+}
+
+func TestRunRejectsShortFullMismatch(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-short", "-benchtime", "10ms",
+		"-targets", "^feature/discretize$", "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, stderr.String())
+	}
+	code := run([]string{"-benchtime", "10ms",
+		"-targets", "^feature/discretize$", "-out", "", "-baseline", out},
+		&stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("short baseline accepted for full run: exit %d", code)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, name := range conformance.TargetNames() {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list missing %s", name)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-targets", "("}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad regexp: exit %d", code)
+	}
+	if code := run([]string{"-nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown flag: exit %d", code)
+	}
+	if code := run([]string{"-benchtime", "10ms", "-targets", "^zzz$", "-out", ""},
+		&stdout, &stderr); code != 2 {
+		t.Fatalf("no matching targets: exit %d", code)
+	}
+}

@@ -1,0 +1,143 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// BenchSchemaVersion tags the BENCH_*.json layout. Bump it only with a
+// migration note in EXPERIMENTS.md — CI compares reports across
+// commits, so silent layout changes would break the regression gate.
+const BenchSchemaVersion = 1
+
+// BenchEnvironment records where a BENCH report was measured. Absolute
+// ns/op are only comparable within one environment; the gate in
+// CompareBench is advisory across different hosts.
+type BenchEnvironment struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Short marks a -short run (reduced workloads; comparable only to
+	// other short runs).
+	Short bool `json:"short"`
+	// Benchtime is the per-target measurement budget ("1s").
+	Benchtime string `json:"benchtime"`
+}
+
+// BenchResult is one hot-path measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Metrics carries per-target custom metrics (e.g. samples/sec for
+	// database builds) reported via testing.B.ReportMetric.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchReport is the schema-versioned perf artifact cmd/hmbench emits
+// (BENCH_4.json at the repository root is the committed baseline).
+type BenchReport struct {
+	SchemaVersion int              `json:"schema_version"`
+	GeneratedBy   string           `json:"generated_by"`
+	UnixTime      int64            `json:"unix_time"`
+	Env           BenchEnvironment `json:"env"`
+	Results       []BenchResult    `json:"results"`
+}
+
+// Result returns the named measurement, or nil.
+func (r *BenchReport) Result(name string) *BenchResult {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// WriteBench serializes a report as indented JSON (stable field order,
+// trailing newline) so committed baselines diff cleanly.
+func WriteBench(w io.Writer, r *BenchReport) error {
+	sort.Slice(r.Results, func(i, j int) bool { return r.Results[i].Name < r.Results[j].Name })
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadBench parses and validates a BENCH report.
+func ReadBench(rd io.Reader) (*BenchReport, error) {
+	var r BenchReport
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("conformance: parse BENCH report: %w", err)
+	}
+	if r.SchemaVersion != BenchSchemaVersion {
+		return nil, fmt.Errorf("conformance: BENCH schema version %d, this build reads %d",
+			r.SchemaVersion, BenchSchemaVersion)
+	}
+	if len(r.Results) == 0 {
+		return nil, fmt.Errorf("conformance: BENCH report has no results")
+	}
+	for _, res := range r.Results {
+		if res.Name == "" || res.NsPerOp <= 0 {
+			return nil, fmt.Errorf("conformance: BENCH result %+v is malformed", res)
+		}
+	}
+	return &r, nil
+}
+
+// Regression is one gate violation from CompareBench.
+type Regression struct {
+	Name   string  // target name
+	Metric string  // "ns/op" or "allocs/op"
+	Base   float64 // baseline value
+	Cur    float64 // current value
+	Ratio  float64 // Cur / Base
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx)",
+		r.Name, r.Metric, r.Base, r.Cur, r.Ratio)
+}
+
+// CompareBench gates cur against base: any target whose ns/op grew by
+// more than maxRegress (0.20 = 20%), or whose allocs/op grew at all
+// beyond slack, is returned as a regression. Targets present in only
+// one report are skipped (additions and retirements are not
+// regressions — the committed baseline is refreshed alongside them).
+func CompareBench(base, cur *BenchReport, maxRegress float64) []Regression {
+	var out []Regression
+	for _, b := range base.Results {
+		c := cur.Result(b.Name)
+		if c == nil {
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			out = append(out, Regression{
+				Name: b.Name, Metric: "ns/op",
+				Base: b.NsPerOp, Cur: c.NsPerOp, Ratio: c.NsPerOp / b.NsPerOp,
+			})
+		}
+		// Allocation counts are near-deterministic, so they get the
+		// same relative gate; it catches accidental per-op allocations
+		// on paths that were allocation-free.
+		if b.AllocsPerOp > 0 && float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+maxRegress) {
+			out = append(out, Regression{
+				Name: b.Name, Metric: "allocs/op",
+				Base: float64(b.AllocsPerOp), Cur: float64(c.AllocsPerOp),
+				Ratio: float64(c.AllocsPerOp) / float64(b.AllocsPerOp),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package conformance
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *BenchReport {
+	return &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		GeneratedBy:   "test",
+		Env:           BenchEnvironment{GoVersion: "go", GOOS: "linux", GOARCH: "amd64", NumCPU: 1, GOMAXPROCS: 1, Benchtime: "1s"},
+		Results: []BenchResult{
+			{Name: "b/two", Iterations: 10, NsPerOp: 200, AllocsPerOp: 4},
+			{Name: "a/one", Iterations: 10, NsPerOp: 100, AllocsPerOp: 0,
+				Metrics: map[string]float64{"samples/sec": 42}},
+		},
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := sampleReport()
+	if err := WriteBench(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	// Stable serialization: results sorted by name, trailing newline.
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("report missing trailing newline")
+	}
+	if strings.Index(buf.String(), "a/one") > strings.Index(buf.String(), "b/two") {
+		t.Error("results not sorted by name")
+	}
+	got, err := ReadBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result("a/one") == nil || got.Result("a/one").Metrics["samples/sec"] != 42 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+func TestReadBenchRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"wrong-schema":  `{"schema_version": 99, "generated_by": "x", "unix_time": 0, "env": {"go_version":"go","goos":"l","goarch":"a","num_cpu":1,"gomaxprocs":1,"short":false,"benchtime":"1s"}, "results": [{"name":"a","iterations":1,"ns_per_op":1,"allocs_per_op":0,"bytes_per_op":0}]}`,
+		"no-results":    `{"schema_version": 1, "generated_by": "x", "unix_time": 0, "env": {"go_version":"go","goos":"l","goarch":"a","num_cpu":1,"gomaxprocs":1,"short":false,"benchtime":"1s"}, "results": []}`,
+		"zero-ns":       `{"schema_version": 1, "generated_by": "x", "unix_time": 0, "env": {"go_version":"go","goos":"l","goarch":"a","num_cpu":1,"gomaxprocs":1,"short":false,"benchtime":"1s"}, "results": [{"name":"a","iterations":1,"ns_per_op":0,"allocs_per_op":0,"bytes_per_op":0}]}`,
+		"unknown-field": `{"schema_version": 1, "bogus": true}`,
+		"not-json":      `BENCH`,
+	}
+	for name, body := range cases {
+		if _, err := ReadBench(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: malformed report accepted", name)
+		}
+	}
+}
+
+func TestCompareBenchGates(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+
+	if regs := CompareBench(base, cur, 0.20); len(regs) != 0 {
+		t.Fatalf("identical reports regressed: %v", regs)
+	}
+
+	// 19% slower: inside the gate.
+	cur.Results[0].NsPerOp = 238
+	if regs := CompareBench(base, cur, 0.20); len(regs) != 0 {
+		t.Fatalf("19%% growth flagged at a 20%% gate: %v", regs)
+	}
+
+	// 25% slower: regression.
+	cur.Results[0].NsPerOp = 250
+	regs := CompareBench(base, cur, 0.20)
+	if len(regs) != 1 || regs[0].Name != "b/two" || regs[0].Metric != "ns/op" {
+		t.Fatalf("expected one ns/op regression on b/two, got %v", regs)
+	}
+
+	// Alloc growth is gated too.
+	cur = sampleReport()
+	cur.Results[0].AllocsPerOp = 6
+	regs = CompareBench(base, cur, 0.20)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("expected one allocs/op regression, got %v", regs)
+	}
+
+	// Targets only in one report are not regressions.
+	cur = sampleReport()
+	cur.Results = cur.Results[:1]
+	if regs := CompareBench(base, cur, 0.20); len(regs) != 0 {
+		t.Fatalf("missing target flagged: %v", regs)
+	}
+}
+
+// Every target must run under the short configuration — this is the
+// guard that keeps hmbench's target list executable, and (because the
+// full tier-1 suite runs it) keeps the committed baseline's names live.
+func TestBenchTargetsRunShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("meta-benchmarking is not worth running twice in -short CI")
+	}
+	// Keep the tier-1 suite fast: a tiny measurement budget still proves
+	// every target sets up, iterates and tears down.
+	old := flag.Lookup("test.benchtime").Value.String()
+	if err := flag.Set("test.benchtime", "10ms"); err != nil {
+		t.Fatal(err)
+	}
+	defer flag.Set("test.benchtime", old)
+	for _, target := range BenchTargets(true) {
+		target := target
+		t.Run(strings.ReplaceAll(target.Name, "/", "_"), func(t *testing.T) {
+			res, err := RunTarget(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.NsPerOp <= 0 || res.Iterations <= 0 {
+				t.Fatalf("degenerate measurement: %+v", res)
+			}
+		})
+	}
+}

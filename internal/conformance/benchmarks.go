@@ -1,0 +1,268 @@
+package conformance
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict/dtree"
+	"heteromap/internal/predict/nn"
+	"heteromap/internal/serve"
+	"heteromap/internal/train"
+)
+
+// BenchTarget is one hot-path measurement cmd/hmbench runs (and the
+// root Conformance* benchmarks wrap for `go test -bench`). Run bodies
+// follow testing.B conventions: setup before ResetTimer, b.N iterations.
+type BenchTarget struct {
+	// Name is the stable BENCH_*.json key ("feature/discretize").
+	// Renaming a target orphans its baseline row, so treat names as API.
+	Name string
+	// Doc is the one-line description hmbench -list prints.
+	Doc string
+	// Run measures the target.
+	Run func(b *testing.B)
+}
+
+// BenchTargets returns every hot-path target. short selects reduced
+// workload sizes (the CI smoke configuration); short and full runs are
+// not comparable to each other and the report's environment stanza
+// records which one produced it.
+func BenchTargets(short bool) []BenchTarget {
+	return []BenchTarget{
+		{
+			Name: "feature/discretize",
+			Doc:  "17-dim vector clamp+snap onto the 0.1 grid (cache-key normalization)",
+			Run:  benchFeatureDiscretize,
+		},
+		{
+			Name: "feature/key-roundtrip",
+			Doc:  "cache-key render + parse round trip of a discretized vector",
+			Run:  benchFeatureKeyRoundTrip,
+		},
+		{
+			Name: "machine/evaluate",
+			Doc:  "one machine-model cost evaluation (GPU side, synthesized job)",
+			Run:  benchMachineEvaluate,
+		},
+		{
+			Name: "predict/tree",
+			Doc:  "analytical decision-tree inference (M1 tree + M2-M20 equations)",
+			Run:  benchPredictTree,
+		},
+		{
+			Name: "predict/deep128",
+			Doc:  "Deep.128 forward pass (17 -> 128 -> 20)",
+			Run:  benchPredictDeep128(short),
+		},
+		{
+			Name: "serve/predict-e2e",
+			Doc:  "HTTP POST /v1/predict end to end (batcher, cache, tree model)",
+			Run:  benchServePredict,
+		},
+		{
+			Name: "train/build-db",
+			Doc:  "offline database build throughput (exhaustive sweep per sample)",
+			Run:  benchTrainBuildDB(short),
+		},
+	}
+}
+
+// TargetNames lists the stable target names the committed baseline must
+// cover.
+func TargetNames() []string {
+	ts := BenchTargets(true)
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// benchPoints returns a deterministic set of characterization points
+// shared by the single-process benchmarks.
+func benchPoints(n int) []Point {
+	return GridPoints(1729, n)
+}
+
+func benchFeatureDiscretize(b *testing.B) {
+	pts := benchPoints(64)
+	// Undiscretized inputs: jitter off the grid so the snap does work.
+	rng := rand.New(rand.NewSource(9))
+	raw := make([]feature.Vector, len(pts))
+	for i, p := range pts {
+		raw[i] = p.Features
+		for j := range raw[i] {
+			raw[i][j] += rng.Float64() * 0.049
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := raw[i%len(raw)].Discretized(feature.DiscretizationStep)
+		if v[0] < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func benchFeatureKeyRoundTrip(b *testing.B) {
+	pts := benchPoints(64)
+	keys := make([]string, len(pts))
+	for i, p := range pts {
+		keys[i] = p.Features.Discretized(feature.DiscretizationStep).Key()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := feature.ParseKey(keys[i%len(keys)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.Key() == "" {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+func benchMachineEvaluate(b *testing.B) {
+	pair := machine.PrimaryPair()
+	pts := benchPoints(16)
+	m := config.DefaultGPU(pair.Limits())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := pair.GPU.Evaluate(pts[i%len(pts)].Job, m)
+		if rep.Seconds <= 0 {
+			b.Fatal("non-positive cost")
+		}
+	}
+}
+
+func benchPredictTree(b *testing.B) {
+	pair := machine.PrimaryPair()
+	tree := dtree.New(pair.Limits())
+	pts := benchPoints(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Predict(pts[i%len(pts)].Features)
+	}
+}
+
+func benchPredictDeep128(short bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		pair := machine.PrimaryPair()
+		samples := 256
+		if short {
+			samples = 64
+		}
+		db := train.BuildDatabase(pair, train.Config{Samples: samples, Seed: 7})
+		net := nn.New(pair.Limits(), nn.Options{Hidden: 128, Epochs: 5, Seed: 7})
+		if err := net.Train(db.Samples); err != nil {
+			b.Fatal(err)
+		}
+		pts := benchPoints(64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.Predict(pts[i%len(pts)].Features)
+		}
+	}
+}
+
+func benchServePredict(b *testing.B) {
+	pair := machine.PrimaryPair()
+	s := serve.New(serve.Options{Pair: pair})
+	if _, err := s.Registry().Register("tree", "bench", dtree.New(pair.Limits())); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Shutdown(context.Background())
+	}()
+
+	// Rotate over distinct raw-feature requests: after the first lap the
+	// cache serves them, so the measurement covers the steady-state
+	// serve path (HTTP + batcher + cache hit) a production replica sees.
+	pts := benchPoints(64)
+	bodies := make([][]byte, len(pts))
+	for i, p := range pts {
+		f := p.Features.Discretized(feature.DiscretizationStep)
+		buf, err := json.Marshal(serve.PredictRequest{Model: "tree", Features: f[:]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = buf
+	}
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/predict", "application/json",
+			bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("predict returned %d", resp.StatusCode)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}
+
+func benchTrainBuildDB(short bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		pair := machine.PrimaryPair()
+		samples := 128
+		if short {
+			samples = 48
+		}
+		b.ResetTimer()
+		var built int
+		for i := 0; i < b.N; i++ {
+			db := train.BuildDatabase(pair, train.Config{Samples: samples, Seed: int64(i + 1)})
+			built += len(db.Samples)
+		}
+		b.StopTimer()
+		if b.Elapsed() > 0 {
+			b.ReportMetric(float64(built)/b.Elapsed().Seconds(), "samples/sec")
+		}
+		if built != b.N*samples {
+			b.Fatalf("built %d samples, want %d", built, b.N*samples)
+		}
+	}
+}
+
+// RunTarget measures one named target with testing.Benchmark and folds
+// the result into a BenchResult row.
+func RunTarget(t BenchTarget) (BenchResult, error) {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs() // alloc counts feed the allocs/op regression gate
+		t.Run(b)
+	})
+	if res.N == 0 {
+		return BenchResult{}, fmt.Errorf("conformance: target %s did not run (failed inside testing.Benchmark)", t.Name)
+	}
+	out := BenchResult{
+		Name:        t.Name,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	if len(res.Extra) > 0 {
+		out.Metrics = make(map[string]float64, len(res.Extra))
+		for k, v := range res.Extra {
+			out.Metrics[k] = v
+		}
+	}
+	return out, nil
+}

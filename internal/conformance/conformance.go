@@ -1,0 +1,92 @@
+// Package conformance is the always-on verification layer for the
+// predictor stack: a differential oracle that re-checks every learner
+// against the exhaustive-sweep "ideal" baseline (the paper's Section VII
+// reference), a metamorphic property suite over the characterization and
+// scheduling pipelines, golden pinning of the experiment-artifact shapes
+// recorded in EXPERIMENTS.md, and the schema-versioned BENCH report the
+// perf runner (cmd/hmbench) emits so the repository's performance
+// trajectory has a regression baseline.
+//
+// The oracle gates (Thresholds, recorded from the seed run) and the
+// metamorphic suite run in CI on every change; a predictor edit that
+// silently degrades choice agreement with the sweep, or a pipeline edit
+// that breaks a seeded invariant, fails the build instead of surfacing
+// months later as an unexplained speedup-table shift.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"heteromap/internal/feature"
+	"heteromap/internal/gen"
+	"heteromap/internal/machine"
+	"heteromap/internal/train"
+)
+
+// Point is one oracle evaluation point: a (B, I) characterization with
+// its materialized synthetic job, exactly the form the training sweep
+// scores.
+type Point struct {
+	// Name labels the point in reports ("grid-17", "BFS/CA").
+	Name string
+	// Features is the 17-dimensional characterization.
+	Features feature.Vector
+	// Job is the materialized work the machine model evaluates.
+	Job machine.Job
+}
+
+// pointFrom materializes a (B, I) pair into an evaluation point using
+// the training synthesizer, so the oracle scores predictors on the same
+// job distribution the learners were fitted to.
+func pointFrom(name string, b feature.BVector, iv feature.IVector, rng *rand.Rand) Point {
+	combo := train.Synthesize(b, iv, rng)
+	return Point{
+		Name:     name,
+		Features: combo.Features,
+		Job:      machine.Job{Work: combo.Work, FootprintBytes: combo.Footprint},
+	}
+}
+
+// GridPoints draws n seeded synthetic characterizations from the same
+// (B, I) distribution as the training sweep (Table III coverage plus
+// real-neighbourhood perturbations). Each point's RNG derives from the
+// seed and the point index alone, so the grid is identical across runs,
+// worker counts and platforms.
+func GridPoints(seed int64, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		rng := rand.New(rand.NewSource(seed + int64(i)*104729))
+		b := train.RandomB(rng)
+		iv := train.RandomI(rng)
+		pts[i] = pointFrom(fmt.Sprintf("grid-%d", i), b, iv, rng)
+	}
+	return pts
+}
+
+// TableIPoints pairs catalog B characterizations with the nine Table I
+// input analogs' declared I vectors — the paper's 81 benchmark-input
+// combinations in characterization space. benches selects a subset of
+// benchmark names (nil: all nine catalog rows).
+func TableIPoints(seed int64, benches []string) ([]Point, error) {
+	if benches == nil {
+		benches = []string{
+			"SSSP-BF", "SSSP-Delta", "BFS", "DFS", "PageRank",
+			"PageRank-DP", "Tri.Cnt", "Comm", "Conn.Comp",
+		}
+	}
+	datasets := gen.TableICached(gen.Small)
+	var pts []Point
+	for _, bench := range benches {
+		b, err := feature.Catalog(bench)
+		if err != nil {
+			return nil, err
+		}
+		for _, ds := range datasets {
+			iv := feature.IFromDeclared(ds.Declared)
+			rng := rand.New(rand.NewSource(seed + int64(len(pts))*15485863))
+			pts = append(pts, pointFrom(bench+"/"+ds.Short, b, iv, rng))
+		}
+	}
+	return pts, nil
+}

@@ -1,0 +1,184 @@
+package conformance
+
+// The metamorphic property suite: seeded invariants of the
+// characterization and scheduling pipelines that must hold for EVERY
+// input, not just the fixtures the unit tests pin. Each property names
+// the transformation and the invariant it must preserve; a violation
+// prints the seed so the failing case replays deterministically.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"heteromap/internal/algo"
+	"heteromap/internal/core"
+	"heteromap/internal/fault"
+	"heteromap/internal/feature"
+	"heteromap/internal/gen"
+	"heteromap/internal/graph"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict/dtree"
+	"heteromap/internal/sched"
+	"heteromap/internal/stats"
+)
+
+// Property: Discretized is idempotent — snapping a snapped vector is a
+// no-op — and every output component lands on the step grid inside
+// [0, 1], even for raw inputs far outside the normalized range.
+func TestDiscretizedIdempotentAndOnGrid(t *testing.T) {
+	const step = feature.DiscretizationStep
+	rng := rand.New(rand.NewSource(271828))
+	for trial := 0; trial < 2000; trial++ {
+		var v feature.Vector
+		for i := range v {
+			switch rng.Intn(4) {
+			case 0: // in range
+				v[i] = rng.Float64()
+			case 1: // negative
+				v[i] = -rng.Float64() * 10
+			case 2: // above 1
+				v[i] = 1 + rng.Float64()*10
+			default: // near a bin boundary, where rounding bugs live
+				v[i] = stats.Discretize(rng.Float64(), step) + (rng.Float64()-0.5)*1e-9
+			}
+		}
+		once := v.Discretized(step)
+		twice := once.Discretized(step)
+		if once != twice {
+			t.Fatalf("trial %d: Discretized not idempotent:\nin    %v\nonce  %v\ntwice %v",
+				trial, v, once, twice)
+		}
+		for i, x := range once {
+			if x < 0 || x > 1 {
+				t.Fatalf("trial %d: component %d = %g outside [0,1] (in %g)", trial, i, x, v[i])
+			}
+			if snapped := stats.Discretize(x, step); math.Abs(snapped-x) > 1e-12 {
+				t.Fatalf("trial %d: component %d = %g not on the %g grid", trial, i, x, step)
+			}
+		}
+	}
+}
+
+// Property: Key/ParseKey composed with Discretized round-trips exactly —
+// the serve cache key is a bijection on the discretized grid.
+func TestKeyRoundTripComposesWithDiscretized(t *testing.T) {
+	rng := rand.New(rand.NewSource(314159))
+	for trial := 0; trial < 2000; trial++ {
+		var v feature.Vector
+		for i := range v {
+			v[i] = rng.Float64() * 1.5 // includes out-of-range raw values
+		}
+		d := v.Discretized(feature.DiscretizationStep)
+		back, err := feature.ParseKey(d.Key())
+		if err != nil {
+			t.Fatalf("trial %d: ParseKey(%q): %v", trial, d.Key(), err)
+		}
+		if back != d {
+			t.Fatalf("trial %d: round trip changed the vector:\nd    %v\nback %v", trial, d, back)
+		}
+		if back.Discretized(feature.DiscretizationStep) != back {
+			t.Fatalf("trial %d: parsed key not a fixed point of Discretized", trial)
+		}
+	}
+}
+
+// Property: the I characterization of a graph is invariant under
+// edge-list permutation — the order edges arrive in changes nothing
+// about the structure the predictor sees.
+func TestIVariablesPermutationInvariant(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23} {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(400)
+		edges := make([]graph.Edge, 0, n*4)
+		for i := 0; i < n*4; i++ {
+			edges = append(edges, graph.Edge{
+				Src: int32(rng.Intn(n)), Dst: int32(rng.Intn(n)), Weight: 1,
+			})
+		}
+		build := func(es []graph.Edge) feature.IVector {
+			g, err := graph.FromEdges("perm", n, es, true, false)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return feature.IFromGraph(g)
+		}
+		want := build(edges)
+		for p := 0; p < 3; p++ {
+			shuffled := append([]graph.Edge(nil), edges...)
+			rand.New(rand.NewSource(seed+int64(p)*101)).Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			if got := build(shuffled); got != want {
+				t.Fatalf("seed %d perm %d: I changed under edge permutation: %v vs %v",
+					seed, p, got, want)
+			}
+		}
+	}
+}
+
+// metamorphicWorkloads characterizes a small real batch for the
+// scheduling properties below.
+func metamorphicWorkloads(t *testing.T) (machine.Pair, []*core.Workload) {
+	t.Helper()
+	pair := machine.PrimaryPair()
+	datasets := gen.TableICached(gen.Small)[:3]
+	var ws []*core.Workload
+	for _, name := range []string{"BFS", "SSSP-BF"} {
+		b, err := algo.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ds := range datasets {
+			w, err := core.Characterize(b, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws = append(ws, w)
+		}
+	}
+	return pair, ws
+}
+
+// Property: with circuit breakers pinned closed, the resilient batch
+// makespan is non-decreasing in the injected fault rate — more faults
+// can never make the honest accounting faster. Swept densely here (the
+// sched package pins the coarse 0/0.1/0.3 acceptance case).
+func TestMakespanMonotoneInFaultRate(t *testing.T) {
+	pair, ws := metamorphicWorkloads(t)
+	tree := dtree.New(pair.Limits())
+	pol := fault.DefaultPolicy()
+	pol.BreakerThreshold = 1 << 30 // an opening breaker may legally shorten the plan
+	for _, seed := range []int64{3, 17} {
+		prev := -1.0
+		prevRate := 0.0
+		for _, rate := range []float64{0, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5} {
+			var inj *fault.Injector
+			if rate > 0 {
+				inj = fault.NewChaosInjector(seed, rate)
+			}
+			plan := sched.AssignResilient(pair, tree, ws, inj, pol)
+			if plan.Incomplete != 0 {
+				t.Fatalf("seed %d rate %v: %d jobs lost", seed, rate, plan.Incomplete)
+			}
+			if plan.Makespan < prev {
+				t.Fatalf("seed %d: makespan decreased %.4g@rate=%v -> %.4g@rate=%v",
+					seed, prev, prevRate, plan.Makespan, rate)
+			}
+			prev, prevRate = plan.Makespan, rate
+		}
+	}
+}
+
+// Property: a zero-rate injector is indistinguishable from no injector.
+func TestZeroFaultRateIsIdentity(t *testing.T) {
+	pair, ws := metamorphicWorkloads(t)
+	tree := dtree.New(pair.Limits())
+	pol := fault.DefaultPolicy()
+	base := sched.AssignResilient(pair, tree, ws, nil, pol)
+	zero := sched.AssignResilient(pair, tree, ws, fault.NewChaosInjector(5, 0), pol)
+	if base.Makespan != zero.Makespan || base.Retries != zero.Retries ||
+		base.Failovers != zero.Failovers {
+		t.Fatalf("zero-rate injector changed the plan: %+v vs %+v", zero, base)
+	}
+}

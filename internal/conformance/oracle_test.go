@@ -1,0 +1,117 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"heteromap/internal/config"
+	"heteromap/internal/machine"
+	"heteromap/internal/train"
+	"heteromap/internal/tune"
+)
+
+// The CI conformance gate: the short differential-oracle run must stay
+// within the thresholds recorded from the seed run. A predictor change
+// that drops a learner's agreement with the exhaustive sweep below its
+// recorded floor fails here, not in a quarterly reproduction run.
+func TestOracleGatesAgainstSeedThresholds(t *testing.T) {
+	rep, err := RunOracle(machine.PrimaryPair(), ShortOracleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	if err := rep.Gate(SeedThresholds); err != nil {
+		t.Errorf("conformance gate violated:\n%v", err)
+	}
+	if len(rep.Learners) != len(OracleLearners()) {
+		t.Fatalf("report covers %d learners, want %d", len(rep.Learners), len(OracleLearners()))
+	}
+	for _, l := range rep.Learners {
+		if _, ok := SeedThresholds[l.Learner]; !ok {
+			t.Errorf("learner %q has no recorded threshold — record one from a seed run", l.Learner)
+		}
+	}
+}
+
+// The oracle's evaluation points must be a pure function of the seed:
+// same seed, same grid, same jobs — otherwise the gates drift between
+// CI runs and threshold violations stop being attributable.
+func TestOraclePointsDeterministic(t *testing.T) {
+	a := GridPoints(7, 16)
+	b := GridPoints(7, 16)
+	if len(a) != 16 {
+		t.Fatalf("got %d points", len(a))
+	}
+	for i := range a {
+		if a[i].Features != b[i].Features {
+			t.Fatalf("point %d features differ between identical seeds", i)
+		}
+		if a[i].Job.Work.Iterations != b[i].Job.Work.Iterations ||
+			len(a[i].Job.Work.Phases) != len(b[i].Job.Work.Phases) {
+			t.Fatalf("point %d job differs between identical seeds", i)
+		}
+	}
+	c := GridPoints(8, 16)
+	same := 0
+	for i := range a {
+		if a[i].Features == c[i].Features {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced an identical grid")
+	}
+}
+
+// Table I points must cover benches x nine inputs with the catalog B
+// rows attached unchanged.
+func TestTableIPoints(t *testing.T) {
+	pts, err := TableIPoints(1, []string{"BFS", "PageRank"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 18 {
+		t.Fatalf("got %d points, want 18", len(pts))
+	}
+	if !strings.HasPrefix(pts[0].Name, "BFS/") {
+		t.Fatalf("unexpected point name %q", pts[0].Name)
+	}
+	if _, err := TableIPoints(1, []string{"no-such-bench"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+// A learner that returns the exhaustive winner must score perfectly —
+// the oracle's scoring itself is checked against a known-good subject.
+func TestOracleScoresPerfectPredictorAtCeiling(t *testing.T) {
+	pair := machine.PrimaryPair()
+	limits := pair.Limits()
+	cands := config.Enumerate(limits)
+	pts := GridPoints(3, 8)
+	for i := range pts {
+		best := tune.ExhaustiveSerial(cands, func(m config.M) float64 {
+			return train.Metric(pair, train.Performance, pts[i].Job, m)
+		})
+		cost := train.Metric(pair, train.Performance, pts[i].Job, best.Best)
+		if cost != best.Score {
+			t.Fatalf("point %d: re-evaluating the winner gives %g, sweep scored %g", i, cost, best.Score)
+		}
+	}
+}
+
+func TestGateReportsViolations(t *testing.T) {
+	rep := OracleReport{Learners: []LearnerReport{
+		{Learner: LearnerTree, AccelAgreement: 0.10, ChoiceAccuracy: 0.10,
+			CostGap: GapStats{Mean: 9, P95: 9}},
+		{Learner: "unknown", AccelAgreement: 0},
+	}}
+	err := rep.Gate(SeedThresholds)
+	if err == nil {
+		t.Fatal("degenerate report passed the gate")
+	}
+	for _, want := range []string{"M1 agreement", "choice accuracy", "mean cost gap", "p95 cost gap"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("gate error missing %q violation:\n%v", want, err)
+		}
+	}
+}

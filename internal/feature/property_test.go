@@ -1,0 +1,127 @@
+package feature
+
+// Property tests for the discretization/key layer, complementing the
+// example-based tests in feature_test.go and key_test.go: exhaustive
+// sweeps of the 0.1-step grid, and the composition laws the serve cache
+// and the conformance oracle depend on.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"heteromap/internal/stats"
+)
+
+// Every component of a discretized vector must be a fixed point of
+// another Discretized pass — checked exhaustively over the whole grid
+// plus the float noise that accumulates around each bin.
+func TestDiscretizedIdempotentOnWholeGrid(t *testing.T) {
+	for k := 0; k <= 10; k++ {
+		base := float64(k) / 10
+		for _, eps := range []float64{0, 1e-15, -1e-15, 1e-9, -1e-9} {
+			var v Vector
+			for i := range v {
+				v[i] = base + eps
+			}
+			once := v.Discretized(DiscretizationStep)
+			if twice := once.Discretized(DiscretizationStep); twice != once {
+				t.Fatalf("grid %v+%g: not idempotent (%v -> %v)", base, eps, once, twice)
+			}
+			for i, x := range once {
+				if x < 0 || x > 1 {
+					t.Fatalf("grid %v+%g: component %d = %g escapes [0,1]", base, eps, i, x)
+				}
+			}
+		}
+	}
+}
+
+// Every discretized component sits on a 0.1 multiple (up to float64
+// representation): 10*x must be integral.
+func TestDiscretizedComponentsOnTenthGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		var v Vector
+		for i := range v {
+			v[i] = rng.NormFloat64() // unbounded raw inputs
+		}
+		for i, x := range v.Discretized(DiscretizationStep) {
+			scaled := x * 10
+			if math.Abs(scaled-math.Round(scaled)) > 1e-9 {
+				t.Fatalf("trial %d: component %d = %.17g is not a 0.1 multiple", trial, i, x)
+			}
+		}
+	}
+}
+
+// Key and ParseKey must satisfy the composition laws the serve cache
+// relies on: ParseKey(d.Key()) == d for any discretized d, and the key
+// string itself is idempotent under a parse/re-key cycle.
+func TestKeyParseComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	for trial := 0; trial < 500; trial++ {
+		var v Vector
+		for i := range v {
+			v[i] = rng.Float64()*2 - 0.5 // straddles the clamp boundaries
+		}
+		d := v.Discretized(DiscretizationStep)
+		back, err := ParseKey(d.Key())
+		if err != nil {
+			t.Fatalf("trial %d: ParseKey(%q): %v", trial, d.Key(), err)
+		}
+		if back != d {
+			t.Fatalf("trial %d: parse(key) changed vector: %v vs %v", trial, back, d)
+		}
+		if back.Key() != d.Key() {
+			t.Fatalf("trial %d: key not idempotent: %q vs %q", trial, back.Key(), d.Key())
+		}
+	}
+}
+
+// The public DiscretizationStep and stats.Discretize must agree with
+// Vector.Discretized component-wise — the oracle grids are built from
+// the former, the vectors from the latter.
+func TestDiscretizedMatchesStatsDiscretize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 500; trial++ {
+		var v Vector
+		for i := range v {
+			v[i] = rng.Float64() * 1.4
+		}
+		d := v.Discretized(DiscretizationStep)
+		for i := range v {
+			want := stats.Discretize(math.Max(0, math.Min(1, v[i])), DiscretizationStep)
+			if math.Abs(d[i]-want) > 1e-12 {
+				t.Fatalf("trial %d component %d: Discretized %g vs clamp+Discretize %g (raw %g)",
+					trial, i, d[i], want, v[i])
+			}
+		}
+	}
+}
+
+// Sanity for the fuzz corpus: every committed seed must keep exercising
+// the invariants FuzzParseKey enforces (valid seeds parse, invalid ones
+// are rejected — never a crash).
+func TestFuzzSeedCorpusStillInteresting(t *testing.T) {
+	cases := []struct {
+		key  string
+		want bool // should parse
+	}{
+		{Vector{}.Key(), true},
+		{"-0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1,0,0.1,0.2,0.3,0.4,0.5,0.6", false},
+		{"1e-1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1,0,0.1,0.2,0.3,0.4,0.5,0.6", true},
+		{" 0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1,0,0.1,0.2,0.3,0.4,0.5,0.6", false},
+	}
+	for _, c := range cases {
+		v, err := ParseKey(c.key)
+		if got := err == nil; got != c.want {
+			t.Errorf("ParseKey(%q): parsed=%v want %v (err %v)", c.key, got, c.want, err)
+		}
+		if err == nil {
+			if _, err := ParseKey(v.Key()); err != nil {
+				t.Errorf("canonical re-parse of %q failed: %v", c.key, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package dtree
+
+// Golden pinning of the full M1-M20 decision-tree output for the
+// canonical catalog rows. The heuristic tree is the paper's workhorse
+// predictor (Fig 7) and is pure arithmetic — any drift in ANY of the 20
+// machine variables for these rows is a behavior change that must show
+// up as a reviewed golden diff, not slip through shape-only assertions.
+//
+//	go test ./internal/predict/dtree/ -run Golden -update
+//
+// regenerates testdata/golden_m.json.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"heteromap/internal/algo"
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenIRows are the canonical input characterizations the tree is
+// walked with: the paper's USA-Cal worked example (Section VI) plus a
+// dense matrix-like input and a mid-range input, so both accelerator
+// branches and the knob equations are exercised.
+var goldenIRows = []struct {
+	Name string
+	I    feature.IVector
+}{
+	{"usa-cal", feature.IVector{0.1, 0.1, 0, 0.8}},      // sparse road network, huge diameter
+	{"cage-dense", feature.IVector{0.9, 0.5, 0.4, 0.1}}, // dense matrix graph
+	{"mid", feature.IVector{0.5, 0.3, 0.2, 0.4}},
+}
+
+func computeGoldenM(t *testing.T) map[string]config.M {
+	t.Helper()
+	tree := New(machine.PrimaryPair().Limits())
+	out := map[string]config.M{}
+	for _, b := range algo.All() {
+		cat := feature.MustCatalog(b.Name)
+		for _, row := range goldenIRows {
+			out[b.Name+"/"+row.Name] = tree.Predict(feature.Combine(cat, row.I))
+		}
+	}
+	return out
+}
+
+func TestGoldenFullMVectors(t *testing.T) {
+	path := filepath.Join("testdata", "golden_m.json")
+	got := computeGoldenM(t)
+
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d rows)", path, len(got))
+		return
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	var want map[string]config.M
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+
+	var names []string
+	for name := range want {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(got) != len(want) {
+		t.Errorf("row count drifted: got %d, golden %d", len(got), len(want))
+	}
+	for _, name := range names {
+		if !reflect.DeepEqual(got[name], want[name]) {
+			t.Errorf("%s: full M drifted (rerun with -update after review)\ngot:  %+v\nwant: %+v",
+				name, got[name], want[name])
+		}
+	}
+
+	// The golden must keep encoding the Fig 7 worked example: on USA-Cal
+	// the tree sends Bellman-Ford SSSP to the GPU and delta-stepping SSSP
+	// to the multicore.
+	if m := want[algo.NameSSSPBF+"/usa-cal"]; m.Accelerator != config.GPU {
+		t.Errorf("golden sends SSSP-BF/usa-cal to %v, Fig 7 selects the GPU", m.Accelerator)
+	}
+	if m := want[algo.NameSSSPDelta+"/usa-cal"]; m.Accelerator != config.Multicore {
+		t.Errorf("golden sends SSSP-Delta/usa-cal to %v, Fig 7 selects the multicore", m.Accelerator)
+	}
+}

@@ -77,6 +77,10 @@ func Metric(pair machine.Pair, objective Objective, job machine.Job, m config.M)
 // one's best M over the coarse sweep grid (grid search matches what the
 // learners can usefully absorb; tune.Ensemble refines further when the
 // caller needs the ideal reference), and returns the training database.
+//
+// The result is a pure function of (pair, cfg): each sample's RNG is
+// seeded from its index, so cfg.Workers changes only how fast the
+// database builds, never its contents. Tests pin this contract.
 func BuildDatabase(pair machine.Pair, cfg Config) *DB {
 	if cfg.Samples <= 0 {
 		cfg.Samples = DefaultConfig().Samples
