@@ -29,7 +29,11 @@
 //	    hot-swap reload (/v1/reload, gated by -canary-set/-reload-slo),
 //	    prediction cache, hedged dispatch with per-version circuit
 //	    breakers, Prometheus /metrics; -chaos-serve arms the serve-path
-//	    fault injector behind /v1/chaos
+//	    fault injector behind /v1/chaos; -debug-addr exposes the debug
+//	    surface (/debug/pprof, /debug/traces) on a second address and
+//	    -trace-sample tunes how many unflagged traces the ring retains
+//	heteromap run -bench BFS -input FB -trace
+//	    record the run's trace and print its id and span timeline
 //	heteromap list
 //	    list benchmarks and datasets
 //
@@ -42,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +56,7 @@ import (
 	"heteromap/internal/config"
 	"heteromap/internal/core"
 	"heteromap/internal/fault"
+	"heteromap/internal/obs"
 	"heteromap/internal/sched"
 	"heteromap/internal/serve"
 	"heteromap/internal/train"
@@ -91,6 +97,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reloadSLO := fs.Duration("reload-slo", 10*time.Millisecond, "serve: per-prediction canary latency budget for /v1/reload (0 disables)")
 	chaosServe := fs.Bool("chaos-serve", false, "serve: enable the serve-path chaos injector and /v1/chaos endpoint")
 	stageBudget := fs.Duration("stage-budget", 25*time.Millisecond, "serve: per-inference budget before hedged dispatch")
+	debugAddr := fs.String("debug-addr", "", "serve: extra listen address for the debug surface (/debug/pprof, /debug/traces)")
+	traceSample := fs.Float64("trace-sample", 0, "serve: retention rate for unflagged traces in /debug/traces (0: server default 0.1, 1: keep all; flagged traces are always kept)")
+	trace := fs.Bool("trace", false, "run: record a per-run trace and print its id and span timeline")
 
 	switch cmd {
 	case "list", "characterize", "predict", "run", "sweep", "phased", "explain", "batch", "serve":
@@ -126,7 +135,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			maxBatch: *maxBatch, maxWait: *maxWait, queueSize: *queueSize,
 			canarySet: *canarySet, reloadSLO: *reloadSLO,
 			chaosServe: *chaosServe, chaosSeed: *chaosSeed,
-			stageBudget: *stageBudget,
+			stageBudget: *stageBudget, debugAddr: *debugAddr,
+			traceSample: *traceSample,
 		}, stdout, stderr)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
@@ -147,6 +157,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
+	}
+	var tracer *heteromap.Tracer
+	if *trace && cmd == "run" {
+		// SampleRate 1 retains every trace: a CLI run produces exactly
+		// one, and the user explicitly asked to see it.
+		tracer = heteromap.NewTracer(heteromap.TracerOptions{SampleRate: 1})
+		sys.WithTracer(tracer)
 	}
 
 	switch cmd {
@@ -193,6 +210,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		for _, e := range rep.FallbackEvents {
 			fmt.Fprintf(stdout, "  predictor fallback: %s\n", e)
+		}
+		if tracer != nil {
+			fmt.Fprintf(stdout, "trace           : %s\n", rep.TraceID)
+			printTrace(stdout, tracer, rep.TraceID)
 		}
 		fmt.Fprintf(stdout, "GPU-only        : %.6gs (%s)\n", bl.GPUOnly.Seconds, bl.GPUOnlyM)
 		fmt.Fprintf(stdout, "multicore-only  : %.6gs (%s)\n", bl.MulticoreOnly.Seconds, bl.MulticoreM)
@@ -278,6 +299,21 @@ type serveOptions struct {
 	chaosServe  bool
 	chaosSeed   int64
 	stageBudget time.Duration
+	debugAddr   string
+	traceSample float64
+}
+
+// printTrace renders the retained span timeline of one CLI run.
+func printTrace(stdout io.Writer, tracer *heteromap.Tracer, id string) {
+	for _, rec := range tracer.Ring().Snapshot(obs.TraceFilter{}) {
+		if rec.ID != id {
+			continue
+		}
+		for _, sp := range rec.Spans {
+			fmt.Fprintf(stdout, "  span %-16s +%8.0fµs %8.0fµs %s\n",
+				sp.Name, sp.OffsetUS, sp.DurationUS, sp.Outcome)
+		}
+	}
 }
 
 // runServe assembles the registry the flags describe and serves until
@@ -356,10 +392,15 @@ func runServe(o systemOptions, so serveOptions, stdout, stderr io.Writer) error 
 		fmt.Fprintf(stdout, "chaos: serve injector armed (seed %d); drive it via POST /v1/chaos\n", so.chaosSeed)
 	}
 
+	var tracer *obs.Tracer
+	if so.traceSample != 0 {
+		tracer = obs.NewTracer(obs.Options{SampleRate: so.traceSample})
+	}
 	srv := serve.New(serve.Options{
 		Addr:        so.addr,
 		Pair:        pair,
 		Registry:    reg,
+		Tracer:      tracer,
 		CacheSize:   so.cacheSize,
 		Workers:     so.workers,
 		MaxBatch:    so.maxBatch,
@@ -369,6 +410,19 @@ func runServe(o systemOptions, so serveOptions, stdout, stderr io.Writer) error 
 		Canary:      canary,
 		Chaos:       injector,
 	})
+
+	if so.debugAddr != "" {
+		// The debug surface (pprof + trace ring) listens separately so it
+		// can stay firewalled off from the serving address.
+		dbg := &http.Server{Addr: so.debugAddr, Handler: srv.DebugHandler()}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(stderr, "debug listener: %v\n", err)
+			}
+		}()
+		defer dbg.Close()
+		fmt.Fprintf(stdout, "debug surface on http://%s/debug/pprof and /debug/traces\n", so.debugAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"regexp"
 	"runtime"
@@ -29,6 +30,7 @@ import (
 
 	"heteromap/internal/conformance"
 	"heteromap/internal/machine"
+	"heteromap/internal/obs"
 )
 
 func main() {
@@ -48,8 +50,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	oracleFull := fs.Bool("oracle-full", false, "use the full oracle configuration (implies -oracle)")
 	noBench := fs.Bool("no-bench", false, "skip the perf targets (with -oracle: conformance only)")
 	list := fs.Bool("list", false, "list targets and exit")
+	debugAddr := fs.String("debug-addr", "", "listen address for the profiling surface (/debug/pprof) while the run executes")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *debugAddr != "" {
+		// Live pprof over a long benchmark run; no tracer here, so the
+		// mux serves only the profiling endpoints.
+		dbg := &http.Server{Addr: *debugAddr, Handler: obs.DebugMux(nil)}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(stderr, "hmbench: debug listener: %v\n", err)
+			}
+		}()
+		defer dbg.Close()
+		fmt.Fprintf(stdout, "debug surface on http://%s/debug/pprof\n", *debugAddr)
 	}
 
 	all := conformance.BenchTargets(*short)

@@ -39,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	combos := fs.Int("combos", 64, "distinct (benchmark, input) combinations in the mix")
 	seed := fs.Int64("seed", 42, "mix-generation seed")
 	model := fs.String("model", "", "model name to request (empty: server default)")
+	stages := fs.Bool("stages", false, "report the server-side per-stage latency breakdown next to client percentiles")
 	chaos := fs.Bool("chaos", false, "flip serve-fault profiles mid-run and gate on availability (server must enable chaos)")
 	chaosRate := fs.Float64("chaos-rate", 0.3, "chaos fault-profile intensity in [0,1]")
 	minAvail := fs.Float64("min-availability", 0.99, "chaos mode: fail the run below this availability")
@@ -89,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Combos:      *combos,
 		Seed:        *seed,
 		Model:       *model,
+		Stages:      *stages,
 		Chaos:       *chaos,
 		ChaosRate:   *chaosRate,
 	})

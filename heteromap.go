@@ -41,6 +41,7 @@ import (
 	"heteromap/internal/gen"
 	"heteromap/internal/graph"
 	"heteromap/internal/machine"
+	"heteromap/internal/obs"
 	"heteromap/internal/phased"
 	"heteromap/internal/predict"
 	"heteromap/internal/predict/dtree"
@@ -95,7 +96,17 @@ type (
 	// FixedChoice is the degenerate always-one-M predictor (the final
 	// link of every fallback chain).
 	FixedChoice = core.FixedChoice
+
+	// Tracer is the request-scoped tracing and decision-provenance
+	// engine; attach one with System.WithTracer to get per-run traces
+	// (see RunReport.TraceID) and queryable provenance.
+	Tracer = obs.Tracer
+	// TracerOptions configure NewTracer (ring size, sampling, seed).
+	TracerOptions = obs.Options
 )
+
+// NewTracer builds a tracer for traced Run/RunResilient calls.
+func NewTracer(o TracerOptions) *Tracer { return obs.NewTracer(o) }
 
 // Objectives.
 const (
@@ -275,6 +286,13 @@ func (s *System) Predictor() Predictor { return s.inner.Predictor }
 // packages the measured profile with the (B, I) characterization.
 func (s *System) Characterize(bench Benchmark, ds *Dataset) (*Workload, error) {
 	return core.Characterize(bench, ds)
+}
+
+// WithTracer attaches a tracer so each Run/RunResilient produces a
+// retained trace and RunReport.TraceID identifies it.
+func (s *System) WithTracer(t *Tracer) *System {
+	s.inner.WithTracer(t)
+	return s
 }
 
 // WithFallbacks installs predictors consulted (in order) when the

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"heteromap/internal/config"
 	"heteromap/internal/feature"
@@ -68,6 +69,11 @@ func BenchTargets(short bool) []BenchTarget {
 			Name: "serve/predict-e2e",
 			Doc:  "HTTP POST /v1/predict end to end (batcher, cache, tree model)",
 			Run:  benchServePredict,
+		},
+		{
+			Name: "serve/obs-overhead",
+			Doc:  "predict e2e with tracing on (ns/op) vs off (untraced_ns/op, overhead_pct)",
+			Run:  benchServeObsOverhead,
 		},
 		{
 			Name: "train/build-db",
@@ -175,46 +181,103 @@ func benchPredictDeep128(short bool) func(b *testing.B) {
 	}
 }
 
-func benchServePredict(b *testing.B) {
+// benchServeSetup starts a serve.Server (with the given extra options)
+// behind an httptest listener, registers the tree model, and prepares a
+// rotation of distinct predict bodies. The caller must call stop.
+func benchServeSetup(b *testing.B, opts serve.Options) (ts *httptest.Server, bodies [][]byte, stop func()) {
 	pair := machine.PrimaryPair()
-	s := serve.New(serve.Options{Pair: pair})
+	opts.Pair = pair
+	s := serve.New(opts)
 	if _, err := s.Registry().Register("tree", "bench", dtree.New(pair.Limits())); err != nil {
 		b.Fatal(err)
 	}
-	ts := httptest.NewServer(s.Handler())
-	defer func() {
+	ts = httptest.NewServer(s.Handler())
+	stop = func() {
 		ts.Close()
 		s.Shutdown(context.Background())
-	}()
-
-	// Rotate over distinct raw-feature requests: after the first lap the
-	// cache serves them, so the measurement covers the steady-state
-	// serve path (HTTP + batcher + cache hit) a production replica sees.
+	}
 	pts := benchPoints(64)
-	bodies := make([][]byte, len(pts))
+	bodies = make([][]byte, len(pts))
 	for i, p := range pts {
 		f := p.Features.Discretized(feature.DiscretizationStep)
 		buf, err := json.Marshal(serve.PredictRequest{Model: "tree", Features: f[:]})
 		if err != nil {
+			stop()
 			b.Fatal(err)
 		}
 		bodies[i] = buf
 	}
+	return ts, bodies, stop
+}
+
+func servePredictOnce(b *testing.B, client *http.Client, url string, body []byte) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("predict returned %d", resp.StatusCode)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+func benchServePredict(b *testing.B) {
+	// Rotate over distinct raw-feature requests: after the first lap the
+	// cache serves them, so the measurement covers the steady-state
+	// serve path (HTTP + batcher + cache hit) a production replica sees.
+	ts, bodies, stop := benchServeSetup(b, serve.Options{})
+	defer stop()
 	client := ts.Client()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		resp, err := client.Post(ts.URL+"/v1/predict", "application/json",
-			bytes.NewReader(bodies[i%len(bodies)]))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if resp.StatusCode != http.StatusOK {
-			b.Fatalf("predict returned %d", resp.StatusCode)
-		}
-		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-			b.Fatal(err)
-		}
-		resp.Body.Close()
+		servePredictOnce(b, client, ts.URL+"/v1/predict", bodies[i%len(bodies)])
+	}
+}
+
+// benchServeObsOverhead prices the tracing instrumentation: ns/op is the
+// traced serve path (the default configuration, same steady-state mix as
+// serve/predict-e2e), and a stopped-timer reference run against an
+// untraced server yields untraced_ns/op plus the relative overhead_pct
+// the acceptance gate watches (tracing must stay within a few percent).
+func benchServeObsOverhead(b *testing.B) {
+	traced, tracedBodies, stopTraced := benchServeSetup(b, serve.Options{})
+	defer stopTraced()
+	untraced, untracedBodies, stopUntraced := benchServeSetup(b, serve.Options{DisableTracing: true})
+	defer stopUntraced()
+	tc, uc := traced.Client(), untraced.Client()
+
+	// Warm both caches so both measurements cover the cache-hit path.
+	for i := range tracedBodies {
+		servePredictOnce(b, tc, traced.URL+"/v1/predict", tracedBodies[i])
+		servePredictOnce(b, uc, untraced.URL+"/v1/predict", untracedBodies[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		servePredictOnce(b, tc, traced.URL+"/v1/predict", tracedBodies[i%len(tracedBodies)])
+	}
+	b.StopTimer()
+	tracedNS := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+
+	// Match the reference sample to the measured iteration count (within
+	// bounds) so both sides see comparable scheduler and cache behaviour.
+	refN := b.N
+	if refN > 4096 {
+		refN = 4096
+	}
+	if refN < 256 {
+		refN = 256
+	}
+	start := time.Now()
+	for i := 0; i < refN; i++ {
+		servePredictOnce(b, uc, untraced.URL+"/v1/predict", untracedBodies[i%len(untracedBodies)])
+	}
+	untracedNS := float64(time.Since(start).Nanoseconds()) / float64(refN)
+	b.ReportMetric(untracedNS, "untraced_ns/op")
+	if untracedNS > 0 {
+		b.ReportMetric((tracedNS-untracedNS)/untracedNS*100, "overhead_pct")
 	}
 }
 

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"heteromap/internal/gen"
 	"heteromap/internal/graph"
 	"heteromap/internal/machine"
+	"heteromap/internal/obs"
 	"heteromap/internal/predict"
 	"heteromap/internal/profile"
 	"heteromap/internal/train"
@@ -119,6 +121,10 @@ type System struct {
 	// overheadOnce caches the measured predictor inference overhead.
 	overheadOnce sync.Once
 	overhead     time.Duration
+
+	// tracer, when installed via WithTracer, records a trace per Run —
+	// the CLI's equivalent of the serve path's per-request tracing.
+	tracer *obs.Tracer
 }
 
 // NewSystem assembles a runtime.
@@ -132,6 +138,16 @@ func (s *System) WithFallbacks(ps ...predict.Predictor) *System {
 	s.Fallbacks = ps
 	return s
 }
+
+// WithTracer installs an observability tracer (nil disables tracing)
+// and returns the system for chaining.
+func (s *System) WithTracer(t *obs.Tracer) *System {
+	s.tracer = t
+	return s
+}
+
+// Tracer returns the installed tracer (nil when tracing is off).
+func (s *System) Tracer() *obs.Tracer { return s.tracer }
 
 // Chain materializes the system's predictor fallback chain (primary,
 // then fallbacks, then the built-in FixedChoice default).
@@ -176,6 +192,10 @@ type RunReport struct {
 	MigrationSeconds float64
 	// FaultEvents narrates injected faults and recovery decisions.
 	FaultEvents []string
+
+	// TraceID identifies this run's trace in the system tracer's ring
+	// buffer; empty when tracing is off.
+	TraceID string
 }
 
 // Degraded reports whether the predictor fallback chain was exercised.
@@ -195,14 +215,28 @@ func (r RunReport) Metric(obj Objective) float64 {
 // unconditionally): a panicking predictor or a non-finite M degrades to
 // the next chain link instead of crashing or poisoning the machine model.
 func (s *System) Run(w *Workload) RunReport {
+	ctx, tr := s.tracer.StartTrace(context.Background(), "core.run")
+	tr.SetAttr("workload", w.Name())
+
 	start := time.Now()
-	sel := s.Chain().Select(w.Features)
+	pctx, psp := obs.StartSpan(ctx, "predict")
+	sel := s.Chain().SelectCtx(pctx, w.Features)
+	psp.SetAttr("used", sel.Used)
+	psp.End()
 	elapsed := time.Since(start)
+	if sel.Degraded() {
+		tr.Keep(obs.FlagFallback)
+	}
+
 	ov := s.PredictorOverhead()
 	if elapsed > ov {
 		ov = elapsed
 	}
+	_, esp := obs.StartSpan(ctx, "evaluate")
+	esp.SetAttr("accelerator", sel.M.Accelerator.String())
 	rep := s.Pair.Select(sel.M.Accelerator).Evaluate(w.Job, sel.M)
+	esp.End()
+	tr.Finish()
 	return RunReport{
 		Workload:        w,
 		Chosen:          sel.M,
@@ -213,6 +247,7 @@ func (s *System) Run(w *Workload) RunReport {
 		FallbackEvents:  sel.Fallbacks,
 		Attempts:        1,
 		Completed:       true,
+		TraceID:         tr.ID(),
 	}
 }
 
@@ -225,14 +260,33 @@ func (s *System) Run(w *Workload) RunReport {
 // injector injects nothing; a nil brs tracks health for this run only
 // (pass a shared *fault.Breakers to persist health across a batch).
 func (s *System) RunResilient(w *Workload, inj *fault.Injector, pol fault.Policy, brs *fault.Breakers) RunReport {
+	ctx, tr := s.tracer.StartTrace(context.Background(), "core.run-resilient")
+	tr.SetAttr("workload", w.Name())
+
 	start := time.Now()
-	sel := s.Chain().Select(w.Features)
+	pctx, psp := obs.StartSpan(ctx, "predict")
+	sel := s.Chain().SelectCtx(pctx, w.Features)
+	psp.SetAttr("used", sel.Used)
+	psp.End()
 	elapsed := time.Since(start)
+	if sel.Degraded() {
+		tr.Keep(obs.FlagFallback)
+	}
+
 	ov := s.PredictorOverhead()
 	if elapsed > ov {
 		ov = elapsed
 	}
+	_, esp := obs.StartSpan(ctx, "execute")
 	res := fault.Execute(s.Pair, s.Pair.Limits(), sel.M, w.Job, w.Name(), inj, pol, brs)
+	esp.SetAttr("accelerator", res.FinalM.Accelerator.String())
+	if !res.Completed {
+		tr.Keep(obs.FlagError)
+		esp.EndErr(fmt.Errorf("every attempt failed on both accelerators"))
+	} else {
+		esp.End()
+	}
+	tr.Finish()
 	return RunReport{
 		Workload:         w,
 		Chosen:           res.FinalM,
@@ -248,6 +302,7 @@ func (s *System) RunResilient(w *Workload, inj *fault.Injector, pol fault.Policy
 		BackoffSeconds:   res.BackoffSeconds,
 		MigrationSeconds: res.MigrationSeconds,
 		FaultEvents:      res.Events,
+		TraceID:          tr.ID(),
 	}
 }
 

@@ -1,10 +1,12 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 
 	"heteromap/internal/config"
 	"heteromap/internal/feature"
+	"heteromap/internal/obs"
 	"heteromap/internal/predict"
 )
 
@@ -62,21 +64,35 @@ func NewChain(limits config.Limits, preds ...predict.Predictor) *Chain {
 
 // Select walks the chain and returns the first valid prediction.
 func (c *Chain) Select(f feature.Vector) Selection {
+	return c.SelectCtx(context.Background(), f)
+}
+
+// SelectCtx is Select with per-link tracing: each predictor consult
+// runs under an obs span recording the link and outcome, so chain
+// degradation is visible stage-by-stage in a request trace, not just
+// as the flattened Fallbacks list. Untraced contexts cost one context
+// value lookup per link and nothing else.
+func (c *Chain) SelectCtx(ctx context.Context, f feature.Vector) Selection {
 	var events []string
 	for _, p := range c.Predictors {
 		if p == nil {
 			continue
 		}
+		_, sp := obs.StartSpan(ctx, "consult:"+p.Name())
 		m, err := tryPredict(p, f)
 		if err == nil {
 			err = m.Validate(c.Limits)
 		}
 		if err != nil {
+			sp.EndErr(err)
 			events = append(events, fmt.Sprintf("%s: %v", p.Name(), err))
 			continue
 		}
+		sp.End()
 		return Selection{M: m.Clamp(c.Limits), Used: p.Name(), Fallbacks: events}
 	}
+	_, sp := obs.StartSpan(ctx, "consult:"+c.DefaultLabel)
+	sp.End()
 	return Selection{M: c.Default.Clamp(c.Limits), Used: c.DefaultLabel, Fallbacks: events}
 }
 

@@ -21,7 +21,7 @@ func (nanPredictor) Predict(feature.Vector) config.M {
 // panicPredictor simulates a predictor crashing outright.
 type panicPredictor struct{}
 
-func (panicPredictor) Name() string              { return "Crashy" }
+func (panicPredictor) Name() string                    { return "Crashy" }
 func (panicPredictor) Predict(feature.Vector) config.M { panic("model file corrupted") }
 
 func TestChainPrimaryHealthy(t *testing.T) {

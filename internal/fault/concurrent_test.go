@@ -73,8 +73,8 @@ func TestChainSelectConcurrentlySafe(t *testing.T) {
 // errPred always reports failure through the checked interface.
 type errPred struct{}
 
-func (errPred) Name() string                          { return "AlwaysErr" }
-func (errPred) Predict(feature.Vector) config.M       { return config.M{} }
+func (errPred) Name() string                    { return "AlwaysErr" }
+func (errPred) Predict(feature.Vector) config.M { return config.M{} }
 func (errPred) PredictChecked(feature.Vector) (config.M, error) {
 	return config.M{}, errors.New("always fails")
 }

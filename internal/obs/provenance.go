@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"heteromap/internal/config"
+)
+
+// Provenance explains one served prediction after the fact: which
+// learner in the fallback chain answered, how it decided (decision-tree
+// path or NN margin), the exact M1 + M2–M20 knobs returned, and every
+// resilience event that altered the answer. Records are keyed by trace
+// id and served from /v1/explain/{trace-id}; a batch request yields one
+// record per item under the shared trace id.
+type Provenance struct {
+	TraceID string `json:"trace_id"`
+	Model   string `json:"model"`
+	Version uint64 `json:"version"`
+	// PredictorUsed is the fallback-chain link that produced the answer
+	// (e.g. "nn", "dtree", "default").
+	PredictorUsed string `json:"predictor_used"`
+	// DTreePath lists the decision-tree branches taken, when the
+	// answering link is the tree.
+	DTreePath []string `json:"dtree_path,omitempty"`
+	// NNMargin is the network's distance from the accelerator decision
+	// boundary, when the answering link is the NN.
+	NNMargin *float64 `json:"nn_margin,omitempty"`
+	// M is the full configuration returned to the client.
+	M config.M `json:"m"`
+	// Cached reports whether the answer came from the prediction cache
+	// (the knobs were computed by an earlier request).
+	Cached bool `json:"cached"`
+	// Events lists fallback-chain degradations and resilience decisions
+	// (hedge, breaker, safe-default) in pipeline order.
+	Events []string  `json:"events,omitempty"`
+	When   time.Time `json:"when"`
+}
+
+// ProvStore holds recent provenance records keyed by trace id, bounded
+// by record count with FIFO eviction of whole trace ids (batch items
+// under one id are evicted together).
+type ProvStore struct {
+	mu    sync.Mutex
+	max   int
+	count int
+	byID  map[string][]Provenance
+	order []string // trace ids oldest first, one entry per id
+}
+
+// NewProvStore builds a store retaining up to max records.
+func NewProvStore(max int) *ProvStore {
+	if max <= 0 {
+		max = 4096
+	}
+	return &ProvStore{max: max, byID: make(map[string][]Provenance)}
+}
+
+// Add retains one record, evicting the oldest trace ids as needed.
+// Records without a trace id are dropped (nothing could query them).
+func (s *ProvStore) Add(p Provenance) {
+	if s == nil || p.TraceID == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[p.TraceID]; !ok {
+		s.order = append(s.order, p.TraceID)
+	}
+	s.byID[p.TraceID] = append(s.byID[p.TraceID], p)
+	s.count++
+	for s.count > s.max && len(s.order) > 0 {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		s.count -= len(s.byID[oldest])
+		delete(s.byID, oldest)
+	}
+}
+
+// Get returns the records served under traceID (nil if unknown or
+// evicted).
+func (s *ProvStore) Get(traceID string) []Provenance {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := s.byID[traceID]
+	if len(recs) == 0 {
+		return nil
+	}
+	out := make([]Provenance, len(recs))
+	copy(out, recs)
+	return out
+}
+
+// Len reports the retained record count.
+func (s *ProvStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceRecord is the immutable JSON snapshot of a finished, retained
+// trace as served by /debug/traces.
+type TraceRecord struct {
+	ID         string            `json:"id"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationUS float64           `json:"duration_us"`
+	Flags      []string          `json:"flags,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Spans      []SpanRecord      `json:"spans"`
+}
+
+// SpanRecord is one stage within a TraceRecord. Parent is -1 for the
+// root; offsets are relative to the trace start.
+type SpanRecord struct {
+	ID         int               `json:"id"`
+	Parent     int               `json:"parent"`
+	Name       string            `json:"name"`
+	OffsetUS   float64           `json:"offset_us"`
+	DurationUS float64           `json:"duration_us"`
+	Outcome    string            `json:"outcome"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// Ring is a bounded buffer of retained trace records. Writers overwrite
+// the oldest entry once full; Snapshot copies matching records newest
+// first, so readers never see a record mid-write.
+type Ring struct {
+	total   atomic.Uint64 // finished traces, retained or not
+	flagged atomic.Uint64 // finished traces that carried a retention flag
+
+	mu   sync.Mutex
+	buf  []TraceRecord
+	next int
+	n    int
+	kept uint64
+}
+
+// NewRing builds a ring holding up to size records.
+func NewRing(size int) *Ring {
+	if size <= 0 {
+		size = 512
+	}
+	return &Ring{buf: make([]TraceRecord, size)}
+}
+
+// observe counts a finished trace before the sampling decision.
+func (r *Ring) observe(flagged bool) {
+	if r == nil {
+		return
+	}
+	r.total.Add(1)
+	if flagged {
+		r.flagged.Add(1)
+	}
+}
+
+// add retains one record, evicting the oldest when full.
+func (r *Ring) add(rec TraceRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.kept++
+	r.mu.Unlock()
+}
+
+// RingStats summarize retention for the /debug/traces envelope.
+type RingStats struct {
+	// Finished counts every completed trace, retained or not.
+	Finished uint64 `json:"finished"`
+	// Flagged counts completed traces that carried a retention flag.
+	Flagged uint64 `json:"flagged"`
+	// Kept counts traces that survived sampling (>= buffered: the ring
+	// overwrites, the counter does not).
+	Kept uint64 `json:"kept"`
+	// Buffered is how many records the ring currently holds.
+	Buffered int `json:"buffered"`
+}
+
+// Stats reports retention counters.
+func (r *Ring) Stats() RingStats {
+	if r == nil {
+		return RingStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RingStats{
+		Finished: r.total.Load(),
+		Flagged:  r.flagged.Load(),
+		Kept:     r.kept,
+		Buffered: r.n,
+	}
+}
+
+// TraceFilter selects records out of the ring; zero fields match
+// everything.
+type TraceFilter struct {
+	// MinDuration drops traces that completed faster than this.
+	MinDuration time.Duration
+	// Flagged keeps only traces retained by flag (errors, 5xx, hedge
+	// wins, ...), i.e. drops the probabilistically sampled rest.
+	Flagged bool
+	// Model keeps only traces whose "model" attribute equals this.
+	Model string
+	// Limit caps the returned records (newest first); 0 means all.
+	Limit int
+}
+
+func (f TraceFilter) match(rec *TraceRecord) bool {
+	if f.MinDuration > 0 && time.Duration(rec.DurationUS*1e3) < f.MinDuration {
+		return false
+	}
+	if f.Flagged && len(rec.Flags) == 0 {
+		return false
+	}
+	if f.Model != "" && rec.Attrs["model"] != f.Model {
+		return false
+	}
+	return true
+}
+
+// Snapshot copies matching records newest first.
+func (r *Ring) Snapshot(f TraceFilter) []TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceRecord, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		// next-1 is the newest entry; walk backwards.
+		idx := (r.next - 1 - i + len(r.buf)*2) % len(r.buf)
+		rec := &r.buf[idx]
+		if !f.match(rec) {
+			continue
+		}
+		out = append(out, *rec)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}

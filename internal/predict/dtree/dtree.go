@@ -81,6 +81,35 @@ func (t *Tree) Predict(f feature.Vector) config.M {
 // observed exceptions (PR-CA on the GPU, Frnd/Kron combinations on the
 // GPU because "they are large and require more threads").
 func (t *Tree) SelectAccelerator(f feature.Vector) config.Accel {
+	return t.decide(f, nil)
+}
+
+// ExplainAccelerator returns the M1 choice together with the branch
+// taken at each layer — the decision path the serving layer records as
+// provenance, queryable at /v1/explain/{trace-id}.
+func (t *Tree) ExplainAccelerator(f feature.Vector) (config.Accel, []string) {
+	var path []string
+	accel := t.decide(f, func(s string) { path = append(path, s) })
+	return accel, path
+}
+
+// ExplainPredict is Predict with the decision path attached: the M1
+// branches plus which intra-accelerator equation set produced M2-M20.
+func (t *Tree) ExplainPredict(f feature.Vector) (config.M, []string) {
+	accel, path := t.ExplainAccelerator(f)
+	if accel == config.GPU {
+		return t.GPUChoices(f), append(path, "equations: GPU M19-M20")
+	}
+	return t.MulticoreChoices(f), append(path, "equations: multicore M2-M18")
+}
+
+// decide walks the tree; when note is non-nil it receives one line per
+// branch taken. The explained and plain walks are the same code, so
+// the provenance path can never drift from the served decision.
+func (t *Tree) decide(f feature.Vector, note func(string)) config.Accel {
+	if note == nil {
+		note = func(string) {}
+	}
 	b, iv := f.B(), f.I()
 	th := t.threshold
 
@@ -88,8 +117,8 @@ func (t *Tree) SelectAccelerator(f feature.Vector) config.Accel {
 	// outgrow the multicore's coherent caches, handing the advantage to
 	// GPU thread counts (the paper's Frnd/Kron exceptions); "tiny"
 	// inputs are fully cache-resident on the multicore.
-	tiny := iv[0] <= 0.05
-	if tiny {
+	if iv[0] <= 0.05 {
+		note("layer1: tiny input (I1 <= 0.05), cache-resident -> multicore")
 		return config.Multicore
 	}
 
@@ -100,8 +129,10 @@ func (t *Tree) SelectAccelerator(f feature.Vector) config.Accel {
 		// caches and queues until the graph is large enough that the
 		// GPU's inner-loop threading dominates.
 		if iv[0] <= 0.3 {
+			note("layer2: pure push-pop (B>=0.8), small input -> multicore")
 			return config.Multicore
 		}
+		note("layer2: pure push-pop (B>=0.8), large input -> GPU")
 		return config.GPU
 	case b[feature.BPushPop] >= 0.3 && b[feature.BReduction] >= 0.2 &&
 		b[feature.BReadWrite] >= th:
@@ -109,8 +140,10 @@ func (t *Tree) SelectAccelerator(f feature.Vector) config.Accel {
 		// (SSSP-Delta): multicore, unless the graph is huge and needs
 		// GPU threading (Fig 7 selects the Xeon Phi for SSSP-Delta-CA).
 		if iv[0] < 0.65 {
+			note("layer2: push-pop + reduction over read-write data -> multicore")
 			return config.Multicore
 		}
+		note("layer2: push-pop + reduction, huge input -> GPU")
 		return config.GPU
 	}
 
@@ -121,27 +154,34 @@ func (t *Tree) SelectAccelerator(f feature.Vector) config.Accel {
 		// caches resolve complex pointers until the parent arrays
 		// outgrow them.
 		if iv[0] <= 0.55 {
+			note("layer3: indirect addressing, arrays fit caches -> multicore")
 			return config.Multicore
 		}
+		note("layer3: indirect addressing, arrays outgrow caches -> GPU")
 		return config.GPU
 	case b[feature.BFloatingPoint] >= th && b[feature.BContention] >= 0.4:
 		// FP with contended scatters (PageRank-DP, Comm): the
 		// multicore's cheap atomics and caches win below huge scales.
 		if iv[0] < 0.65 {
+			note("layer3: FP + contended scatters -> multicore")
 			return config.Multicore
 		}
+		note("layer3: FP + contended scatters, huge input -> GPU")
 		return config.GPU
 	case b[feature.BFloatingPoint] >= th:
 		// FP gather-style (PageRank): multicore only when strong hubs
 		// keep the rank vector hot in cache and the graph is small
 		// (PR-CA runs on the GPU in the paper: no density for SIMD).
 		if iv[2] >= 0.4 && iv[0] <= 0.2 {
+			note("layer3: FP gather, hubs keep rank hot -> multicore")
 			return config.Multicore
 		}
+		note("layer3: FP gather -> GPU")
 		return config.GPU
 	case b[feature.BReadOnly] >= 0.6 && b[feature.BReduction] >= 0.3:
 		// Heavy read-only reuse with a count reduction (Tri.Cnt):
 		// multicore cache reuse wins.
+		note("layer3: read-only reuse + reduction -> multicore")
 		return config.Multicore
 	}
 
@@ -152,16 +192,20 @@ func (t *Tree) SelectAccelerator(f feature.Vector) config.Accel {
 		// total work is large — many vertices or long convergence
 		// (diameter) — and loses to cache-resident multicore runs.
 		if iv[0] >= 0.5 || iv[3] >= 0.6 {
+			note("layer4: vertex division, large total work -> GPU")
 			return config.GPU
 		}
+		note("layer4: vertex division, cache-resident -> multicore")
 		return config.Multicore
 	}
 	if b[feature.BPareto] > th || b[feature.BParetoDynamic] > th {
 		// Frontier traversals (BFS): thin levels favour the multicore
 		// until the frontiers are wide enough for GPU threading.
 		if iv[0] >= 0.5 {
+			note("layer4: frontier traversal, wide frontiers -> GPU")
 			return config.GPU
 		}
+		note("layer4: frontier traversal, thin levels -> multicore")
 		return config.Multicore
 	}
 
@@ -171,8 +215,10 @@ func (t *Tree) SelectAccelerator(f feature.Vector) config.Accel {
 	mcScore := b[feature.BPushPop] + b[feature.BReduction] +
 		b[feature.BReadWrite] + b[feature.BIndirect] + b[feature.BContention]
 	if gpuScore >= mcScore {
+		note("layer5: scored fallback -> GPU")
 		return config.GPU
 	}
+	note("layer5: scored fallback -> multicore")
 	return config.Multicore
 }
 

@@ -118,6 +118,22 @@ func (n *Network) PredictChecked(f feature.Vector) (config.M, error) {
 	return config.FromNormalized(v, n.limits).Snapped(n.limits), nil
 }
 
+// M1Margin reports how far the raw inter-accelerator output (M1) sits
+// from the 0.5 decision boundary, in [0, 0.5] for a converged network —
+// the serving layer records it as the network's decision confidence in
+// provenance. Untrained or non-finite networks report 0.
+func (n *Network) M1Margin(f feature.Vector) float64 {
+	if !n.ready {
+		return 0
+	}
+	out := n.forward(f[:])
+	m := math.Abs(out[0] - 0.5)
+	if math.IsNaN(m) || math.IsInf(m, 0) {
+		return 0
+	}
+	return m
+}
+
 // Train implements predict.Trainable with mini-batch Adam on MSE.
 func (n *Network) Train(samples []predict.Sample) error {
 	if len(samples) == 0 {

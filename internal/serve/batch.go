@@ -10,6 +10,7 @@ import (
 
 	"heteromap/internal/fault"
 	"heteromap/internal/feature"
+	"heteromap/internal/obs"
 )
 
 // task is one prediction flowing through the batcher. The model pointer
@@ -24,7 +25,15 @@ type task struct {
 	cacheKey string
 	ctx      context.Context // carries the request deadline end to end
 	enqueued time.Time
-	done     chan taskResult // buffered(1); exactly one send per task
+	// dequeued is when a worker picked the task into a batch; with
+	// enqueued it splits observed latency into queue wait vs service
+	// time, for served and shed tasks alike.
+	dequeued time.Time
+	// qspan times the queue stage in the request trace. It is created
+	// before the enqueue attempt (the worker may dequeue and end it
+	// before Submit returns) and is nil for untraced requests.
+	qspan *obs.Span
+	done  chan taskResult // buffered(1); exactly one send per task
 }
 
 // deadlineExpired reports whether the task's caller has already given up.
@@ -186,12 +195,16 @@ func (b *Batcher) Submit(ctx context.Context, t *task) (PredictResponse, error) 
 	if b.cfg.Chaos.RejectQueue() {
 		b.metrics.ChaosQueueReject.Add(1)
 		b.metrics.QueueFull.Add(1)
+		obs.KeepTrace(ctx, obs.FlagShed)
 		return PredictResponse{}, ErrQueueFull
 	}
+	t.qspan = obs.NewSpan(ctx, "queue")
 	select {
 	case b.queue <- t:
 	default:
 		b.metrics.QueueFull.Add(1)
+		t.qspan.EndOutcome("shed")
+		obs.KeepTrace(ctx, obs.FlagShed)
 		return PredictResponse{}, ErrQueueFull
 	}
 	select {
@@ -225,6 +238,8 @@ func (b *Batcher) worker(ws *workerState) {
 			b.metrics.ChaosStalls.Add(1)
 			time.Sleep(d)
 		}
+		t.dequeued = time.Now()
+		t.qspan.End()
 		batch := []*task{t}
 		timer := time.NewTimer(b.cfg.MaxWait)
 	fill:
@@ -234,6 +249,8 @@ func (b *Batcher) worker(ws *workerState) {
 				if !ok {
 					break fill
 				}
+				next.dequeued = time.Now()
+				next.qspan.End()
 				batch = append(batch, next)
 			case <-timer.C:
 				break fill
@@ -287,10 +304,14 @@ func (b *Batcher) watchdog() {
 
 // process serves one batch: group by cache key, answer each unique key
 // once (cache first, then one hedged chain Select), and fan the result
-// back out to every waiting task.
+// back out to every waiting task. Stage timings (queue wait, batch
+// assembly, cache lookup, inference) are attributed to every member's
+// metrics and trace; shared stages carry their true shared cost.
 func (b *Batcher) process(batch []*task) {
 	b.metrics.Batches.Add(1)
 	b.metrics.BatchItems.Add(uint64(len(batch)))
+	processStart := time.Now()
+	batchSize := strconv.Itoa(len(batch))
 
 	groups := make(map[string][]*task, len(batch))
 	order := make([]string, 0, len(batch))
@@ -310,18 +331,47 @@ func (b *Batcher) process(batch []*task) {
 		for _, t := range tasks {
 			if t.deadlineExpired() {
 				b.metrics.DeadlineDrops.Add(1)
+				// The wait that ended in a drop: shed, not served.
+				b.metrics.ShedWait.ObserveTraced(t.dequeued.Sub(t.enqueued), obs.TraceID(t.ctx))
+				obs.KeepTrace(t.ctx, obs.FlagDeadline)
 				t.done <- taskResult{err: context.DeadlineExceeded}
 				continue
 			}
+			b.metrics.QueueWait.ObserveTraced(t.dequeued.Sub(t.enqueued), obs.TraceID(t.ctx))
+			b.metrics.BatchAssembly.ObserveTraced(processStart.Sub(t.dequeued), obs.TraceID(t.ctx))
+			obs.AddSpan(t.ctx, "batch", t.dequeued, processStart.Sub(t.dequeued),
+				obs.Attr{Key: "batch_size", Value: batchSize})
 			live = append(live, t)
 		}
 		if len(live) == 0 {
 			continue
 		}
 		lead := live[0]
+
+		cacheStart := time.Now()
 		resp, cached := b.lookup(lead)
+		cacheDur := time.Since(cacheStart)
+		b.metrics.CacheLookup.ObserveTraced(cacheDur, obs.TraceID(lead.ctx))
+		hit := strconv.FormatBool(cached)
+		for _, t := range live {
+			obs.AddSpan(t.ctx, "cache", cacheStart, cacheDur, obs.Attr{Key: "hit", Value: hit})
+		}
+
+		var events []string
 		if !cached {
-			sel, answered, hedged := b.selectHedged(lead)
+			inferStart := time.Now()
+			sel, answered, hedged, evs := b.selectHedged(lead)
+			inferDur := time.Since(inferStart)
+			events = evs
+			b.metrics.Inference.ObserveTraced(inferDur, obs.TraceID(lead.ctx))
+			modelTag := answered.Name + "@v" + strconv.FormatUint(answered.Version, 10)
+			for _, t := range live {
+				obs.AddSpan(t.ctx, "inference", inferStart, inferDur,
+					obs.Attr{Key: "model", Value: modelTag},
+					obs.Attr{Key: "used", Value: sel.Used},
+					obs.Attr{Key: "hedged", Value: strconv.FormatBool(hedged)},
+					obs.Attr{Key: "group_size", Value: strconv.Itoa(len(live))})
+			}
 			if n := len(sel.Fallbacks); n > 0 {
 				b.metrics.Fallbacks.Add(uint64(n))
 			}
@@ -332,6 +382,7 @@ func (b *Batcher) process(batch []*task) {
 				PredictorUsed: sel.Used,
 				M:             sel.M,
 				Fallbacks:     sel.Fallbacks,
+				Resilience:    events,
 			}
 			// Cache under the version that actually answered, so a
 			// hedged answer can never masquerade as the primary's.
@@ -350,10 +401,15 @@ func (b *Batcher) process(batch []*task) {
 			if i > 0 {
 				r.Cached = true
 			}
-			b.metrics.RequestLatency.Observe(time.Since(t.enqueued))
+			b.metrics.RequestLatency.ObserveTraced(time.Since(t.enqueued), obs.TraceID(t.ctx))
 			t.done <- taskResult{resp: r}
 		}
 	}
+}
+
+// modelVersionTag renders the "name@vN" label used in traces and events.
+func modelVersionTag(m *Model) string {
+	return m.Name + "@v" + strconv.FormatUint(m.Version, 10)
 }
 
 // selectHedged consults the task's model under the stage budget. An open
@@ -362,32 +418,50 @@ func (b *Batcher) process(batch []*task) {
 // last-known-good, records a breaker failure, and — when no hedge target
 // exists — falls to the chain's fixed safety default after a second
 // budget rather than wedging the worker. Returns the selection, the
-// model that answered, and whether the answer came from a hedge.
-func (b *Batcher) selectHedged(t *task) (fault.Selection, *Model, bool) {
+// model that answered, whether the answer came from a hedge, and the
+// resilience events that altered the dispatch (empty on the plain path).
+//
+// Tracing: the primary and hedge consultations each get a span on the
+// lead task's trace; the race winner's span ends "ok" and the loser is
+// marked cancelled, so the trace shows which attempt actually answered.
+// The losing goroutine may end its chain spans after the request trace
+// finishes — those land in the finished-trace guard and are dropped.
+func (b *Batcher) selectHedged(t *task) (fault.Selection, *Model, bool, []string) {
 	primary := t.model
 	if br := primary.Breaker(); br != nil && t.hedge != nil && !br.Allow() {
 		b.metrics.BreakerRouted.Add(1)
-		sel, dur := b.timedSelect(t.hedge, t.feat)
+		events := []string{fmt.Sprintf("breaker: %s open, routed to last-known-good %s",
+			modelVersionTag(primary), modelVersionTag(t.hedge))}
+		obs.KeepTrace(t.ctx, obs.FlagBreaker)
+		hctx, hsp := obs.StartSpan(t.ctx, "infer:breaker-route")
+		hsp.SetAttr("model", modelVersionTag(t.hedge))
+		start := time.Now()
+		sel := t.hedge.SelectCtx(hctx, t.feat)
+		dur := time.Since(start)
+		hsp.End()
 		b.recordOutcome(t.hedge, sel, dur)
-		return sel, t.hedge, true
+		return sel, t.hedge, true, events
 	}
 
 	start := time.Now()
+	pctx, psp := obs.StartSpan(t.ctx, "infer:primary")
+	psp.SetAttr("model", modelVersionTag(primary))
 	primaryCh := make(chan fault.Selection, 1)
 	go func() {
 		if d, slow := b.cfg.Chaos.SlowModel(); slow {
 			b.metrics.ChaosSlowModel.Add(1)
 			time.Sleep(d)
 		}
-		primaryCh <- primary.Select(t.feat)
+		primaryCh <- primary.SelectCtx(pctx, t.feat)
 	}()
 
 	budget := time.NewTimer(b.cfg.StageBudget)
 	select {
 	case sel := <-primaryCh:
 		budget.Stop()
+		psp.End()
 		b.recordOutcome(primary, sel, time.Since(start))
-		return sel, primary, false
+		return sel, primary, false, nil
 	case <-budget.C:
 	}
 
@@ -397,16 +471,27 @@ func (b *Batcher) selectHedged(t *task) (fault.Selection, *Model, bool) {
 	if br := primary.Breaker(); br != nil {
 		br.RecordFailure()
 	}
+	events := []string{fmt.Sprintf("hedge: %s over stage budget %v",
+		modelVersionTag(primary), b.cfg.StageBudget)}
 
 	if t.hedge != nil {
+		hctx, hsp := obs.StartSpan(t.ctx, "infer:hedge")
+		hsp.SetAttr("model", modelVersionTag(t.hedge))
 		hedgeCh := make(chan fault.Selection, 1)
-		go func() { hedgeCh <- t.hedge.Select(t.feat) }()
+		go func() { hedgeCh <- t.hedge.SelectCtx(hctx, t.feat) }()
 		select {
 		case sel := <-primaryCh:
-			return sel, primary, false
+			psp.End()
+			hsp.Cancel()
+			return sel, primary, false, events
 		case sel := <-hedgeCh:
 			b.metrics.HedgeWins.Add(1)
-			return sel, t.hedge, true
+			hsp.End()
+			psp.Cancel()
+			obs.KeepTrace(t.ctx, obs.FlagHedgeWin)
+			events = append(events, fmt.Sprintf("hedge-win: last-known-good %s answered",
+				modelVersionTag(t.hedge)))
+			return sel, t.hedge, true, events
 		}
 	}
 
@@ -421,19 +506,17 @@ func (b *Batcher) selectHedged(t *task) (fault.Selection, *Model, bool) {
 	}
 	select {
 	case sel := <-primaryCh:
-		return sel, primary, false
+		psp.End()
+		return sel, primary, false, events
 	case <-grace.C:
 	case <-done:
 	}
 	b.metrics.SafeDefaults.Add(1)
-	return primary.SafeDefault(), primary, false
-}
-
-// timedSelect runs one chain consultation, returning its duration.
-func (b *Batcher) timedSelect(m *Model, f feature.Vector) (fault.Selection, time.Duration) {
-	start := time.Now()
-	sel := m.Select(f)
-	return sel, time.Since(start)
+	psp.Cancel()
+	obs.KeepTrace(t.ctx, obs.FlagSafeDefault)
+	events = append(events, fmt.Sprintf("safe-default: %s unresponsive after two budgets, fixed choice served",
+		modelVersionTag(primary)))
+	return primary.SafeDefault(), primary, false, events
 }
 
 // recordOutcome feeds one completed inference into the model's breaker

@@ -37,6 +37,12 @@ type LoadGenOptions struct {
 	// Seed fixes the request mix.
 	Seed int64
 
+	// Stages keeps the server-side per-stage latency attribution
+	// (scraped from heteromap_stage_duration_seconds on /metrics) in the
+	// report, so client p50/p99 can be read next to where the server
+	// actually spent the time.
+	Stages bool
+
 	// Chaos flips the server's serve-fault profile mid-run (via POST
 	// /v1/chaos) so the report measures availability under rotating
 	// failure modes. The server must be running with chaos enabled.
@@ -111,6 +117,18 @@ type LoadGenResult struct {
 	DeadlineDrops  uint64
 	WorkerRestarts uint64
 	ChaosInjected  uint64
+
+	// Stages is the server-side latency attribution per predict-path
+	// stage, in exposition order (queue, shed, batch, cache, inference,
+	// total). Populated only when LoadGenOptions.Stages is set.
+	Stages []StageStat
+}
+
+// StageStat summarizes one heteromap_stage_duration_seconds series.
+type StageStat struct {
+	Stage    string
+	Count    uint64
+	P50, P99 time.Duration
 }
 
 // String renders the serving-benchmark report.
@@ -125,6 +143,13 @@ func (r LoadGenResult) String() string {
 	fmt.Fprintf(&sb, "  mean batch     : %.2f items\n", r.MeanBatchItems)
 	fmt.Fprintf(&sb, "  availability   : %.2f%% (%d server failures)\n",
 		r.Availability*100, r.ServerFailures)
+	if len(r.Stages) > 0 {
+		sb.WriteString("  server stages  :\n")
+		for _, st := range r.Stages {
+			fmt.Fprintf(&sb, "    %-10s p50 %v, p99 %v (n=%d)\n",
+				st.Stage, st.P50, st.P99, st.Count)
+		}
+	}
 	fmt.Fprintf(&sb, "  fallbacks      : %d, queue-full rejects: %d", r.FallbackEvents, r.QueueFullRejects)
 	if r.Hedges+r.BreakerRouted+r.SafeDefaults+r.DeadlineDrops+r.WorkerRestarts+r.ChaosInjected > 0 {
 		fmt.Fprintf(&sb, "\n  self-healing   : %d hedges, %d breaker reroutes, %d safe defaults, "+
@@ -264,6 +289,9 @@ func RunLoadGen(o LoadGenOptions) (LoadGenResult, error) {
 	if err := res.scrapeMetrics(client, o.URL); err != nil {
 		return res, fmt.Errorf("serve: loadgen metrics scrape: %w", err)
 	}
+	if !o.Stages {
+		res.Stages = nil
+	}
 	return res, nil
 }
 
@@ -272,9 +300,9 @@ func RunLoadGen(o LoadGenOptions) (LoadGenResult, error) {
 // window so the server must also be seen recovering.
 func chaosProfiles(rate float64) []chaosRequest {
 	return []chaosRequest{
-		{SlowModelRate: rate, SlowModelMS: 50},                    // slow model → hedging
-		{StallWorkerRate: rate / 2, StallWorkerMS: 100},           // wedged worker → watchdog
-		{QueueRejectRate: rate / 10, CorruptReloadRate: 1},        // saturation + bad reloads
+		{SlowModelRate: rate, SlowModelMS: 50},                                                // slow model → hedging
+		{StallWorkerRate: rate / 2, StallWorkerMS: 100},                                       // wedged worker → watchdog
+		{QueueRejectRate: rate / 10, CorruptReloadRate: 1},                                    // saturation + bad reloads
 		{SlowModelRate: rate, SlowModelMS: 50, StallWorkerRate: rate / 4, StallWorkerMS: 100}, // combined
 		{}, // calm: recovery window
 	}
@@ -315,6 +343,9 @@ func (r *LoadGenResult) scrapeMetrics(client *http.Client, base string) error {
 
 	var hits, misses, batches, batchItems float64
 	var buckets []promBucket
+	stageBuckets := map[string][]promBucket{}
+	stageCounts := map[string]uint64{}
+	var stageOrder []string
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		line := sc.Text()
@@ -354,14 +385,42 @@ func (r *LoadGenResult) scrapeMetrics(client *http.Client, base string) error {
 			if end < 0 {
 				continue
 			}
-			le := rest[:end]
-			var ub float64
-			if le == "+Inf" {
-				ub = -1 // sentinel: open-ended
-			} else if ub, err = strconv.ParseFloat(le, 64); err != nil {
+			ub, ok := parseLE(rest[:end])
+			if !ok {
 				continue
 			}
 			buckets = append(buckets, promBucket{le: ub, count: promValue(line)})
+		case strings.HasPrefix(line, `heteromap_stage_duration_seconds_bucket{stage="`):
+			rest := strings.TrimPrefix(line, `heteromap_stage_duration_seconds_bucket{stage="`)
+			end := strings.Index(rest, `"`)
+			if end < 0 {
+				continue
+			}
+			stage := rest[:end]
+			rest = rest[end:]
+			leStart := strings.Index(rest, `le="`)
+			if leStart < 0 {
+				continue
+			}
+			rest = rest[leStart+len(`le="`):]
+			if end = strings.Index(rest, `"`); end < 0 {
+				continue
+			}
+			ub, ok := parseLE(rest[:end])
+			if !ok {
+				continue
+			}
+			if _, seen := stageBuckets[stage]; !seen {
+				stageOrder = append(stageOrder, stage)
+			}
+			stageBuckets[stage] = append(stageBuckets[stage], promBucket{le: ub, count: promValue(line)})
+		case strings.HasPrefix(line, `heteromap_stage_duration_seconds_count{stage="`):
+			rest := strings.TrimPrefix(line, `heteromap_stage_duration_seconds_count{stage="`)
+			end := strings.Index(rest, `"`)
+			if end < 0 {
+				continue
+			}
+			stageCounts[rest[:end]] = uint64(promValue(line))
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -375,7 +434,25 @@ func (r *LoadGenResult) scrapeMetrics(client *http.Client, base string) error {
 	}
 	r.ServerP50 = quantileFromBuckets(buckets, 0.50)
 	r.ServerP99 = quantileFromBuckets(buckets, 0.99)
+	for _, stage := range stageOrder {
+		b := stageBuckets[stage]
+		r.Stages = append(r.Stages, StageStat{
+			Stage: stage,
+			Count: stageCounts[stage],
+			P50:   quantileFromBuckets(b, 0.50),
+			P99:   quantileFromBuckets(b, 0.99),
+		})
+	}
 	return nil
+}
+
+// parseLE parses a bucket upper bound; +Inf maps to the -1 sentinel.
+func parseLE(le string) (float64, bool) {
+	if le == "+Inf" {
+		return -1, true
+	}
+	ub, err := strconv.ParseFloat(le, 64)
+	return ub, err == nil
 }
 
 // promValue parses the value of a "name 123" or "name{...} 123" line.

@@ -23,6 +23,17 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(latencyBuckets)+1
 	total  atomic.Uint64
 	sumNS  atomic.Uint64
+
+	// exemplar remembers the most recent traced observation, linking the
+	// histogram to a concrete trace in /debug/traces. Text exposition
+	// 0.0.4 has no native exemplar syntax, so it is emitted as a
+	// separate untyped <name>_exemplar series carrying a trace_id label.
+	exemplar atomic.Pointer[histExemplar]
+}
+
+type histExemplar struct {
+	traceID string
+	seconds float64
 }
 
 // NewHistogram builds an empty histogram over latencyBuckets.
@@ -39,8 +50,28 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sumNS.Add(uint64(d.Nanoseconds()))
 }
 
+// ObserveTraced records one duration and, when the observation came from
+// a traced request, remembers its trace id as the histogram's exemplar.
+func (h *Histogram) ObserveTraced(d time.Duration, traceID string) {
+	h.Observe(d)
+	if traceID != "" {
+		h.exemplar.Store(&histExemplar{traceID: traceID, seconds: d.Seconds()})
+	}
+}
+
+// Exemplar returns the last traced observation ("" and 0 when none).
+func (h *Histogram) Exemplar() (traceID string, seconds float64) {
+	if ex := h.exemplar.Load(); ex != nil {
+		return ex.traceID, ex.seconds
+	}
+	return "", 0
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the total observed duration across all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
 
 // Quantile estimates the q-th quantile (0..1) by linear interpolation
 // within the containing bucket, the standard Prometheus histogram
@@ -88,6 +119,9 @@ func (h *Histogram) writeProm(w io.Writer, name, labels string) {
 	} else {
 		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(h.sumNS.Load())/1e9)
 		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.total.Load())
+	}
+	if ex := h.exemplar.Load(); ex != nil {
+		fmt.Fprintf(w, "%s_exemplar{%s%strace_id=%q} %g\n", name, labels, sep, ex.traceID, ex.seconds)
 	}
 }
 
@@ -142,12 +176,52 @@ type Metrics struct {
 	// RequestLatency is end-to-end (enqueue to response ready).
 	RequestLatency *Histogram
 
+	// Per-stage latency attribution for the predict path, exposed as
+	// heteromap_stage_duration_seconds{stage=...}. QueueWait covers
+	// enqueue to batch pickup for tasks that were served; ShedWait the
+	// same interval for tasks dropped because their deadline expired in
+	// the queue — recorded separately so shed and served wait are
+	// distinguishable. BatchAssembly is pickup to batch processing,
+	// CacheLookup and Inference the per-group stage costs.
+	QueueWait     *Histogram
+	ShedWait      *Histogram
+	BatchAssembly *Histogram
+	CacheLookup   *Histogram
+	Inference     *Histogram
+
 	perModel sync.Map // string -> *modelStats
 }
 
 // NewMetrics builds an empty metrics set.
 func NewMetrics() *Metrics {
-	return &Metrics{RequestLatency: NewHistogram()}
+	return &Metrics{
+		RequestLatency: NewHistogram(),
+		QueueWait:      NewHistogram(),
+		ShedWait:       NewHistogram(),
+		BatchAssembly:  NewHistogram(),
+		CacheLookup:    NewHistogram(),
+		Inference:      NewHistogram(),
+	}
+}
+
+// Stages enumerates the per-stage histograms in exposition order; the
+// "total" stage aliases RequestLatency so dashboards can stack stages
+// against the end-to-end figure from one metric family.
+func (m *Metrics) Stages() []struct {
+	Name string
+	H    *Histogram
+} {
+	return []struct {
+		Name string
+		H    *Histogram
+	}{
+		{"queue", m.QueueWait},
+		{"shed", m.ShedWait},
+		{"batch", m.BatchAssembly},
+		{"cache", m.CacheLookup},
+		{"inference", m.Inference},
+		{"total", m.RequestLatency},
+	}
 }
 
 // Model returns (creating on first use) the stats bucket for a model.
@@ -228,6 +302,12 @@ func (m *Metrics) WritePrometheus(w io.Writer, cache *Cache, queueDepth func() i
 	fmt.Fprintf(w, "# HELP heteromap_request_duration_seconds end-to-end prediction latency\n")
 	fmt.Fprintf(w, "# TYPE heteromap_request_duration_seconds histogram\n")
 	m.RequestLatency.writeProm(w, "heteromap_request_duration_seconds", "")
+
+	fmt.Fprintf(w, "# HELP heteromap_stage_duration_seconds per-stage predict-path latency\n")
+	fmt.Fprintf(w, "# TYPE heteromap_stage_duration_seconds histogram\n")
+	for _, st := range m.Stages() {
+		st.H.writeProm(w, "heteromap_stage_duration_seconds", fmt.Sprintf("stage=%q", st.Name))
+	}
 
 	// Per-model series, sorted for deterministic scrapes.
 	var names []string

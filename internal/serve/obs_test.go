@@ -1,0 +1,586 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"heteromap/internal/config"
+	"heteromap/internal/fault"
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+	"heteromap/internal/obs"
+	"heteromap/internal/predict/dtree"
+)
+
+// ---- helpers ---------------------------------------------------------
+
+// syncBuffer is a mutex-guarded log sink: slog writes from handler and
+// worker goroutines race a plain bytes.Buffer under -race.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// logLines parses the buffer's JSON slog lines.
+func (b *syncBuffer) logLines(t *testing.T) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad slog line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// newObsTracer builds a tracer that retains everything and logs JSON
+// into the returned buffer.
+func newObsTracer(rate float64) (*obs.Tracer, *syncBuffer) {
+	buf := &syncBuffer{}
+	tr := obs.NewTracer(obs.Options{
+		SampleRate: rate,
+		Logger:     slog.New(slog.NewJSONHandler(buf, nil)),
+	})
+	return tr, buf
+}
+
+// findTrace locates one retained trace by id.
+func findTrace(tr *obs.Tracer, id string) (obs.TraceRecord, bool) {
+	for _, rec := range tr.Ring().Snapshot(obs.TraceFilter{}) {
+		if rec.ID == id {
+			return rec, true
+		}
+	}
+	return obs.TraceRecord{}, false
+}
+
+func spanNames(rec obs.TraceRecord) map[string]string {
+	out := make(map[string]string, len(rec.Spans))
+	for _, sp := range rec.Spans {
+		out[sp.Name] = sp.Outcome
+	}
+	return out
+}
+
+func bfsRequest(model string) PredictRequest {
+	return PredictRequest{
+		Model: model, Bench: "BFS",
+		Vertices: 3_000_000, Edges: 90_000_000, MaxDegree: 9000, Diameter: 60,
+	}
+}
+
+// panickyPred simulates a crashed model file so the fallback chain
+// degrades onto the built-in decision tree.
+type panickyPred struct{}
+
+func (panickyPred) Name() string                    { return "Crashy" }
+func (panickyPred) Predict(feature.Vector) config.M { panic("model file corrupted") }
+
+// ---- tentpole: end-to-end trace propagation --------------------------
+
+// One /v1/predict request produces one retained trace whose id is
+// echoed in both the X-Heteromap-Trace header and the response body,
+// and whose span tree covers every pipeline stage.
+func TestTraceEndToEndCoversPipeline(t *testing.T) {
+	tracer, _ := newObsTracer(1)
+	_, ts := newTestServer(t, Options{Tracer: tracer})
+
+	resp, body := postJSON(t, ts.URL+"/v1/predict", bfsRequest("tree"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	header := resp.Header.Get("X-Heteromap-Trace")
+	if header == "" {
+		t.Fatal("X-Heteromap-Trace header missing")
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.TraceID != header {
+		t.Fatalf("body trace_id %q != header %q", pr.TraceID, header)
+	}
+
+	rec, ok := findTrace(tracer, header)
+	if !ok {
+		t.Fatalf("trace %s not retained (SampleRate 1)", header)
+	}
+	names := spanNames(rec)
+	for _, stage := range []string{
+		"predict", "decode", "resolve", "registry", "queue", "batch",
+		"cache", "inference", "infer:primary", "consult:Decision Tree",
+	} {
+		if _, ok := names[stage]; !ok {
+			t.Fatalf("stage span %q missing; trace has %v", stage, names)
+		}
+	}
+	for name, outcome := range names {
+		if outcome != "ok" {
+			t.Fatalf("span %q finished %q, want ok", name, outcome)
+		}
+	}
+	if rec.Attrs["model"] != "tree" {
+		t.Fatalf("trace model attr = %q", rec.Attrs["model"])
+	}
+
+	// The cached repeat still traces — but records a cache hit and no
+	// inference span.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/predict", bfsRequest("tree"))
+	var pr2 PredictResponse
+	if err := json.Unmarshal(body2, &pr2); err != nil {
+		t.Fatal(err)
+	}
+	if !pr2.Cached {
+		t.Fatalf("repeat request not cached: %s", body2)
+	}
+	rec2, ok := findTrace(tracer, resp2.Header.Get("X-Heteromap-Trace"))
+	if !ok {
+		t.Fatal("cached request's trace not retained")
+	}
+	names2 := spanNames(rec2)
+	if _, ok := names2["inference"]; ok {
+		t.Fatal("cache hit still recorded an inference span")
+	}
+	if _, ok := names2["cache"]; !ok {
+		t.Fatal("cache span missing on hit")
+	}
+}
+
+// ---- tentpole: /v1/explain provenance --------------------------------
+
+// The provenance record reachable at /v1/explain/{trace-id} reproduces
+// the exact M1 + M2-M20 knobs the response carried, names the chain
+// link that answered, and exposes the decision-tree path — which must
+// match an independent ExplainPredict on the same features.
+func TestExplainReproducesServedKnobs(t *testing.T) {
+	tracer, _ := newObsTracer(1)
+	_, ts := newTestServer(t, Options{Tracer: tracer})
+
+	req := bfsRequest("tree")
+	resp, body := postJSON(t, ts.URL+"/v1/predict", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+
+	eresp, err := http.Get(ts.URL + "/v1/explain/" + pr.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	if eresp.StatusCode != http.StatusOK {
+		t.Fatalf("explain status %d", eresp.StatusCode)
+	}
+	var explain struct {
+		TraceID     string           `json:"trace_id"`
+		Predictions []obs.Provenance `json:"predictions"`
+	}
+	if err := json.NewDecoder(eresp.Body).Decode(&explain); err != nil {
+		t.Fatal(err)
+	}
+	if explain.TraceID != pr.TraceID || len(explain.Predictions) != 1 {
+		t.Fatalf("explain = %+v", explain)
+	}
+	p := explain.Predictions[0]
+	if !reflect.DeepEqual(p.M, pr.M) {
+		t.Fatalf("provenance M differs from served M:\n got %v\nwant %v", p.M, pr.M)
+	}
+	if p.PredictorUsed != pr.PredictorUsed || p.PredictorUsed != "Decision Tree" {
+		t.Fatalf("predictor_used = %q (response said %q)", p.PredictorUsed, pr.PredictorUsed)
+	}
+	if p.Model != pr.Model || p.Version != pr.Version {
+		t.Fatalf("provenance identity %s@v%d, response %s@v%d", p.Model, p.Version, pr.Model, pr.Version)
+	}
+	if len(p.DTreePath) == 0 {
+		t.Fatal("dtree_path empty for a tree-served prediction")
+	}
+
+	// Independent re-derivation: the same features through a fresh tree
+	// must give the same knobs and the same decision path.
+	pair := machine.PrimaryPair()
+	feat, err := ResolveFeatures(&req, feature.DiscretizationStep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM, wantPath := dtree.New(pair.Limits()).ExplainPredict(feat)
+	if !reflect.DeepEqual(wantM, pr.M) {
+		t.Fatalf("re-derived M differs: %v vs %v", wantM, pr.M)
+	}
+	if !reflect.DeepEqual(wantPath, p.DTreePath) {
+		t.Fatalf("re-derived path differs:\n got %v\nwant %v", p.DTreePath, wantPath)
+	}
+}
+
+// ---- satellite: hedge race under tracing -----------------------------
+
+// When the hedge wins the dispatch race, its span tree attaches to the
+// request trace with outcome ok, the losing primary is marked
+// cancelled, the trace is flagged hedge-win, and /v1/explain names the
+// hedge's chain link as the answering learner.
+func TestHedgeWinnerSpanAttachesToRequestTrace(t *testing.T) {
+	tracer, _ := newObsTracer(-1) // only flagged traces survive
+	pair := machine.PrimaryPair()
+	limits := pair.Limits()
+	s, ts := newTestServer(t, Options{
+		Tracer: tracer, Workers: 1, MaxBatch: 1,
+		MaxWait: time.Microsecond, StageBudget: 5 * time.Millisecond,
+	})
+	fast, err := s.Registry().Register("live", "v1-fast", fixedPred{m: config.DefaultGPU(limits)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Registry().Register("live", "v2-slow",
+		&slowPred{m: config.DefaultMulticore(limits), delay: 80 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/predict", bfsRequest("live"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Version != fast.Version {
+		t.Fatalf("answered by v%d, want hedge v%d", pr.Version, fast.Version)
+	}
+	joined := strings.Join(pr.Resilience, "; ")
+	if !strings.Contains(joined, "hedge-win") {
+		t.Fatalf("resilience events missing hedge-win: %q", joined)
+	}
+
+	rec, ok := findTrace(tracer, pr.TraceID)
+	if !ok {
+		t.Fatal("hedge-win trace not retained by tail sampling")
+	}
+	flags := strings.Join(rec.Flags, ",")
+	if !strings.Contains(flags, "hedge-win") {
+		t.Fatalf("trace flags = %v, want hedge-win", rec.Flags)
+	}
+	names := spanNames(rec)
+	if names["infer:hedge"] != "ok" {
+		t.Fatalf("infer:hedge outcome = %q, want ok", names["infer:hedge"])
+	}
+	if names["infer:primary"] != "cancelled" {
+		t.Fatalf("infer:primary outcome = %q, want cancelled", names["infer:primary"])
+	}
+
+	// Provenance points at the version that actually answered.
+	eresp, err := http.Get(ts.URL + "/v1/explain/" + pr.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	var explain struct {
+		Predictions []obs.Provenance `json:"predictions"`
+	}
+	if err := json.NewDecoder(eresp.Body).Decode(&explain); err != nil {
+		t.Fatal(err)
+	}
+	if len(explain.Predictions) != 1 || explain.Predictions[0].Version != fast.Version {
+		t.Fatalf("provenance = %+v, want version %d", explain.Predictions, fast.Version)
+	}
+}
+
+// ---- acceptance: flagged slog lines resolve to retained traces -------
+
+// A deadline-expired request answers 504, logs "request failed" with a
+// trace id, and tail-based sampling retains that trace even at sample
+// rate zero.
+func TestDeadline504LogsRetainedTrace(t *testing.T) {
+	tracer, buf := newObsTracer(-1)
+	_, ts := newTestServer(t, Options{Tracer: tracer, RequestTimeout: time.Nanosecond})
+
+	resp, body := postJSON(t, ts.URL+"/v1/predict", bfsRequest("tree"))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+	id := logTraceID(t, buf, "request failed")
+	rec, ok := findTrace(tracer, id)
+	if !ok {
+		t.Fatalf("logged trace %s not retained", id)
+	}
+	flags := strings.Join(rec.Flags, ",")
+	if !strings.Contains(flags, "5xx") || !strings.Contains(flags, "deadline") {
+		t.Fatalf("flags = %v, want 5xx+deadline", rec.Flags)
+	}
+}
+
+// A predictor crash degrades through the fallback chain; the response
+// reports the degradation, the slog line carries the trace id, and the
+// trace is retained with the fallback flag.
+func TestFallbackLogsRetainedTrace(t *testing.T) {
+	tracer, buf := newObsTracer(-1)
+	s, ts := newTestServer(t, Options{Tracer: tracer})
+	if _, err := s.Registry().Register("crashy", "v1", panickyPred{}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/predict", bfsRequest("crashy"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Fallbacks) == 0 || pr.PredictorUsed != "Decision Tree" {
+		t.Fatalf("expected fallback to the tree: used=%q fallbacks=%v", pr.PredictorUsed, pr.Fallbacks)
+	}
+	id := logTraceID(t, buf, "predictor fallback")
+	if id != pr.TraceID {
+		t.Fatalf("logged trace %q != response trace %q", id, pr.TraceID)
+	}
+	rec, ok := findTrace(tracer, id)
+	if !ok {
+		t.Fatalf("fallback trace %s not retained", id)
+	}
+	if !strings.Contains(strings.Join(rec.Flags, ","), "fallback") {
+		t.Fatalf("flags = %v, want fallback", rec.Flags)
+	}
+}
+
+// A rejected reload (chaos-corrupted snapshot standing in for a canary
+// rejection) logs "reload rejected" with a trace id retained under the
+// canary-reject flag.
+func TestReloadRejectionLogsRetainedTrace(t *testing.T) {
+	tracer, buf := newObsTracer(-1)
+	_, ts := newTestServer(t, Options{Tracer: tracer, Chaos: fault.NewServeInjector(1)})
+
+	resp, _ := postJSON(t, ts.URL+"/v1/chaos", map[string]any{"corrupt_reload_rate": 1.0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chaos arm status %d", resp.StatusCode)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/reload", map[string]string{"model": "tree", "path": "does-not-matter.db"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, body)
+	}
+	id := logTraceID(t, buf, "reload rejected")
+	rec, ok := findTrace(tracer, id)
+	if !ok {
+		t.Fatalf("rejected-reload trace %s not retained", id)
+	}
+	if !strings.Contains(strings.Join(rec.Flags, ","), "canary-reject") {
+		t.Fatalf("flags = %v, want canary-reject", rec.Flags)
+	}
+}
+
+// logTraceID finds the first slog line with the given msg and returns
+// its non-empty trace_id.
+func logTraceID(t *testing.T, buf *syncBuffer, msg string) string {
+	t.Helper()
+	for _, line := range buf.logLines(t) {
+		if line["msg"] != msg {
+			continue
+		}
+		id, _ := line["trace_id"].(string)
+		if id == "" {
+			t.Fatalf("log line %v has no trace_id", line)
+		}
+		return id
+	}
+	t.Fatalf("no %q slog line emitted; log:\n%s", msg, buf.String())
+	return ""
+}
+
+// ---- satellite: queue-wait accounting --------------------------------
+
+// Served requests attribute their latency across stages: queue wait +
+// batch assembly + cache + inference accounts for (nearly all of) the
+// observed end-to-end total.
+func TestStageAccountingSumsToTotal(t *testing.T) {
+	pair := machine.PrimaryPair()
+	reg := NewRegistry(pair)
+	slow := &slowPred{m: config.DefaultGPU(pair.Limits()), delay: 20 * time.Millisecond}
+	model, err := reg.Register("slow", "test", slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := NewMetrics()
+	b := NewBatcher(NewCache(64, 2), metrics, BatcherConfig{
+		Workers: 1, MaxBatch: 1, MaxWait: time.Microsecond, StageBudget: time.Second,
+	})
+	t.Cleanup(b.Stop)
+
+	const n = 3
+	for i := 0; i < n; i++ {
+		if _, err := submit(context.Background(), b, model, testFeature(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, st := range []struct {
+		name  string
+		h     *Histogram
+		count uint64
+	}{
+		{"queue", metrics.QueueWait, n},
+		{"batch", metrics.BatchAssembly, n},
+		{"cache", metrics.CacheLookup, n},
+		{"inference", metrics.Inference, n},
+		{"total", metrics.RequestLatency, n},
+		{"shed", metrics.ShedWait, 0},
+	} {
+		if got := st.h.Count(); got != st.count {
+			t.Fatalf("%s count = %d, want %d", st.name, got, st.count)
+		}
+	}
+	total := metrics.RequestLatency.Sum()
+	stages := metrics.QueueWait.Sum() + metrics.BatchAssembly.Sum() +
+		metrics.CacheLookup.Sum() + metrics.Inference.Sum()
+	if stages > total {
+		t.Fatalf("stage sums %v exceed observed total %v", stages, total)
+	}
+	// The unattributed residue is fan-out bookkeeping — microseconds per
+	// request against ~20ms of inference each.
+	if gap := total - stages; gap > total/4+10*time.Millisecond {
+		t.Fatalf("stages account for too little: total %v, stages %v (gap %v)", total, stages, gap)
+	}
+	if metrics.Inference.Sum() < n*15*time.Millisecond {
+		t.Fatalf("inference sum %v implausibly small for %d 20ms predictions", metrics.Inference.Sum(), n)
+	}
+}
+
+// Shed and served queue waits land in separate histograms: a task whose
+// deadline expired in the queue is recorded as ShedWait (and counted as
+// a deadline drop), never as served QueueWait.
+func TestShedVsServedQueueWaitSeparated(t *testing.T) {
+	pair := machine.PrimaryPair()
+	reg := NewRegistry(pair)
+	slow := &slowPred{m: config.DefaultGPU(pair.Limits()), delay: 40 * time.Millisecond}
+	model, err := reg.Register("slow", "test", slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := NewMetrics()
+	b := NewBatcher(NewCache(64, 2), metrics, BatcherConfig{
+		Workers: 1, MaxBatch: 1, MaxWait: time.Microsecond, StageBudget: time.Second,
+	})
+	t.Cleanup(b.Stop)
+
+	// Occupy the single worker with a 40ms inference.
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := submit(context.Background(), b, model, testFeature(0))
+		firstDone <- err
+	}()
+	workerBusy := func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		for _, ws := range b.workers {
+			if ws.busy.Load() {
+				return true
+			}
+		}
+		return false
+	}
+	for deadline := time.Now().Add(time.Second); !workerBusy(); {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the occupying task")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Three tasks whose callers give up after 5ms: they expire while the
+	// worker is busy and must be dropped, not served.
+	const drops = 3
+	var wg sync.WaitGroup
+	for i := 0; i < drops; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+			defer cancel()
+			if _, err := submit(ctx, b, model, testFeature(10+i)); err == nil {
+				t.Error("expired task was served")
+			}
+		}(i)
+	}
+	wg.Wait() // callers observed their deadlines; tasks still queued
+
+	// A final served request behind them in FIFO order proves the queue
+	// drained past the drops.
+	if _, err := submit(context.Background(), b, model, testFeature(99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+
+	if got := metrics.DeadlineDrops.Load(); got != drops {
+		t.Fatalf("DeadlineDrops = %d, want %d", got, drops)
+	}
+	if got := metrics.ShedWait.Count(); got != drops {
+		t.Fatalf("ShedWait count = %d, want %d (one per drop)", got, drops)
+	}
+	if got := metrics.QueueWait.Count(); got != 2 {
+		t.Fatalf("QueueWait count = %d, want 2 (served only)", got)
+	}
+	// Each dropped task waited at least its own 5ms deadline.
+	if min := time.Duration(drops) * 5 * time.Millisecond; metrics.ShedWait.Sum() < min {
+		t.Fatalf("ShedWait sum %v < %v", metrics.ShedWait.Sum(), min)
+	}
+}
+
+// ---- tracing disabled stays inert ------------------------------------
+
+// With DisableTracing the predict path serves identically: no header,
+// no trace id, no ring — nil-safe instrumentation end to end.
+func TestDisableTracingServesWithoutTraces(t *testing.T) {
+	s, ts := newTestServer(t, Options{DisableTracing: true})
+	if s.Tracer() != nil {
+		t.Fatal("tracer built despite DisableTracing")
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/predict", bfsRequest("tree"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if h := resp.Header.Get("X-Heteromap-Trace"); h != "" {
+		t.Fatalf("trace header %q emitted with tracing disabled", h)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.TraceID != "" {
+		t.Fatalf("trace_id %q in response with tracing disabled", pr.TraceID)
+	}
+	eresp, err := http.Get(ts.URL + "/v1/explain/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, eresp.Body)
+	eresp.Body.Close()
+	if eresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("explain with tracing disabled: status %d, want 404", eresp.StatusCode)
+	}
+}

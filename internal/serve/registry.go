@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -41,8 +42,26 @@ func (m *Model) Select(f feature.Vector) fault.Selection {
 	return m.chain.Select(f)
 }
 
+// SelectCtx is Select with request tracing attached: each chain link
+// consulted appears as a span on the ctx's trace.
+func (m *Model) SelectCtx(ctx context.Context, f feature.Vector) fault.Selection {
+	return m.chain.SelectCtx(ctx, f)
+}
+
 // PredictorName names the chain's primary predictor.
 func (m *Model) PredictorName() string { return m.chain.Name() }
+
+// Link returns the chain predictor with the given name, or nil — the
+// provenance layer uses it to re-derive learner-specific detail (tree
+// decision path, NN margin) for the link that answered a request.
+func (m *Model) Link(name string) predict.Predictor {
+	for _, p := range m.chain.Predictors {
+		if p != nil && p.Name() == name {
+			return p
+		}
+	}
+	return nil
+}
 
 // Breaker returns the model version's circuit breaker.
 func (m *Model) Breaker() *fault.Breaker { return m.breaker }

@@ -145,5 +145,5 @@ func TestRegistryList(t *testing.T) {
 // fixedPred always answers one M.
 type fixedPred struct{ m config.M }
 
-func (f fixedPred) Name() string                            { return "FixedTest" }
-func (f fixedPred) Predict(feature.Vector) config.M         { return f.m }
+func (f fixedPred) Name() string                    { return "FixedTest" }
+func (f fixedPred) Predict(feature.Vector) config.M { return f.m }

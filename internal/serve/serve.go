@@ -72,6 +72,14 @@ type PredictResponse struct {
 	M config.M `json:"m"`
 	// Fallbacks records predictor degradation events, when any.
 	Fallbacks []string `json:"fallbacks,omitempty"`
+	// Resilience records dispatch-level events that altered how this
+	// answer was produced (hedge launched/won, breaker routing, safe
+	// default), in pipeline order.
+	Resilience []string `json:"resilience,omitempty"`
+	// TraceID identifies this request's trace (also echoed in the
+	// X-Heteromap-Trace response header); feed it to /v1/explain/{id}
+	// for the decision provenance. Empty when tracing is disabled.
+	TraceID string `json:"trace_id,omitempty"`
 	// Error is set (and M meaningless) only on per-item failures inside
 	// a batch response.
 	Error string `json:"error,omitempty"`

@@ -5,13 +5,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"heteromap/internal/fault"
 	"heteromap/internal/feature"
 	"heteromap/internal/machine"
+	"heteromap/internal/obs"
+	"heteromap/internal/predict/dtree"
+	"heteromap/internal/predict/nn"
 )
 
 // Options size the serving pipeline; zero values select the defaults in
@@ -64,6 +69,15 @@ type Options struct {
 	// Chaos injects serve-path faults for resilience testing (nil:
 	// none). The /v1/chaos endpoint is enabled only when this is set.
 	Chaos *fault.ServeInjector
+
+	// Tracer records per-request traces and provenance; nil builds a
+	// default tracer unless DisableTracing is set. Supply one explicitly
+	// to control sampling, ring size or the log sink.
+	Tracer *obs.Tracer
+	// DisableTracing turns request tracing off entirely (the
+	// obs-overhead benchmark measures this split; production servers
+	// should leave it on).
+	DisableTracing bool
 }
 
 func (o Options) withDefaults() Options {
@@ -112,6 +126,12 @@ func (o Options) withDefaults() Options {
 	if o.StallTimeout == 0 {
 		o.StallTimeout = time.Second
 	}
+	if o.Tracer == nil && !o.DisableTracing {
+		o.Tracer = obs.NewTracer(obs.Options{})
+	}
+	if o.DisableTracing {
+		o.Tracer = nil
+	}
 	return o
 }
 
@@ -128,6 +148,7 @@ type Server struct {
 	cache    *Cache
 	batcher  *Batcher
 	metrics  *Metrics
+	tracer   *obs.Tracer // nil when tracing is disabled
 	started  time.Time
 
 	http *http.Server
@@ -158,6 +179,7 @@ func New(opts Options) *Server {
 			Chaos:        opts.Chaos,
 		}),
 		metrics: metrics,
+		tracer:  opts.Tracer,
 		started: time.Now(),
 	}
 	s.http = &http.Server{Addr: opts.Addr, Handler: s.Handler()}
@@ -170,6 +192,9 @@ func (s *Server) Registry() *Registry { return s.registry }
 // Metrics returns the server's metrics set.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// Tracer returns the server's tracer (nil when tracing is disabled).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
 // Handler returns the API mux (usable under httptest without a socket).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -180,7 +205,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/chaos", s.handleChaos)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/v1/explain/", s.tracer.ExplainHandler("/v1/explain/"))
+	mux.Handle("/debug/traces", s.tracer.TracesHandler())
 	return mux
+}
+
+// DebugHandler returns the -debug-addr surface: net/http/pprof plus
+// /debug/traces, kept off the API mux's listener so profiling can bind
+// a loopback-only port while the API serves externally.
+func (s *Server) DebugHandler() http.Handler {
+	return obs.DebugMux(s.tracer)
 }
 
 // Start listens on Options.Addr and serves until Shutdown.
@@ -229,16 +263,27 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) (int,
 }
 
 // predictOne runs one request through admission, cache and batcher; the
-// returned status is the HTTP code an error should carry.
+// returned status is the HTTP code an error should carry. When ctx
+// carries a trace, each admission stage is recorded as a span and the
+// served answer leaves a provenance record behind.
 func (s *Server) predictOne(ctx context.Context, req *PredictRequest) (PredictResponse, int, error) {
+	rctx, sp := obs.StartSpan(ctx, "resolve")
 	feat, err := ResolveFeatures(req, s.opts.Step)
 	if err != nil {
+		sp.EndErr(err)
 		return PredictResponse{}, http.StatusBadRequest, err
 	}
+	sp.End()
+	_, sp = obs.StartSpan(rctx, "registry")
 	model, err := s.registry.Get(req.Model)
 	if err != nil {
+		sp.EndErr(err)
 		return PredictResponse{}, http.StatusNotFound, err
 	}
+	sp.SetAttr("model", modelVersionTag(model))
+	sp.End()
+	obs.TraceFromContext(ctx).SetAttr("model", model.Name)
+
 	s.metrics.Requests.Add(1)
 	t := &task{
 		model:    model,
@@ -257,26 +302,98 @@ func (s *Server) predictOne(ctx context.Context, req *PredictRequest) (PredictRe
 		}
 		return PredictResponse{}, status, err
 	}
+	resp.TraceID = obs.TraceID(ctx)
+	s.noteResilience(ctx, &resp)
+	s.recordProvenance(model, feat, &resp)
 	return resp, http.StatusOK, nil
+}
+
+// noteResilience flags the trace and logs a correlated slog line for
+// every event that altered the answer — fallback-chain degradations and
+// hedge/breaker/safe-default dispatch decisions — so flagged traces are
+// always retained and findable from the logs.
+func (s *Server) noteResilience(ctx context.Context, resp *PredictResponse) {
+	if s.tracer == nil {
+		return
+	}
+	if len(resp.Fallbacks) > 0 {
+		obs.KeepTrace(ctx, obs.FlagFallback)
+		s.tracer.Log(ctx, slog.LevelWarn, "predictor fallback",
+			"model", resp.Model, "used", resp.PredictorUsed,
+			"events", strings.Join(resp.Fallbacks, "; "))
+	}
+	for _, ev := range resp.Resilience {
+		level := slog.LevelInfo
+		if strings.HasPrefix(ev, "safe-default:") {
+			level = slog.LevelWarn
+		}
+		s.tracer.Log(ctx, level, "resilience event", "model", resp.Model, "event", ev)
+	}
+}
+
+// recordProvenance stores the decision record served from
+// /v1/explain/{trace-id}: the exact knobs returned plus how the
+// answering learner decided (tree path or NN margin, re-derived from
+// the immutable snapshot the request resolved).
+func (s *Server) recordProvenance(model *Model, feat feature.Vector, resp *PredictResponse) {
+	if s.tracer == nil || resp.TraceID == "" {
+		return
+	}
+	p := obs.Provenance{
+		TraceID:       resp.TraceID,
+		Model:         resp.Model,
+		Version:       resp.Version,
+		PredictorUsed: resp.PredictorUsed,
+		M:             resp.M,
+		Cached:        resp.Cached,
+		Events:        append(append([]string{}, resp.Fallbacks...), resp.Resilience...),
+		When:          time.Now(),
+	}
+	// A hedged answer came from a different snapshot; re-derive learner
+	// detail from the version that actually answered when we still hold
+	// it, otherwise from the admitted model's link of the same name.
+	link := model.Link(resp.PredictorUsed)
+	if lg := s.registry.LastGood(model.Name); lg != nil && lg.Version == resp.Version {
+		if l := lg.Link(resp.PredictorUsed); l != nil {
+			link = l
+		}
+	}
+	switch l := link.(type) {
+	case *dtree.Tree:
+		_, path := l.ExplainPredict(feat)
+		p.DTreePath = path
+	case *nn.Network:
+		margin := l.M1Margin(feat)
+		p.NNMargin = &margin
+	}
+	s.tracer.Prov().Add(p)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.errorJSON(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		s.errorJSON(r.Context(), w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
 	s.metrics.InFlight.Add(1)
 	defer s.metrics.InFlight.Add(-1)
+	ctx, tr := s.tracer.StartTrace(r.Context(), "predict")
+	defer tr.Finish()
+	if tr != nil {
+		w.Header().Set("X-Heteromap-Trace", tr.ID())
+	}
+	_, sp := obs.StartSpan(ctx, "decode")
 	var req PredictRequest
 	if status, err := s.decodeJSON(w, r, &req); err != nil {
-		s.errorJSON(w, status, err)
+		sp.EndErr(err)
+		s.errorJSON(ctx, w, status, err)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	sp.End()
+	ctx, cancel := context.WithTimeout(ctx, s.opts.RequestTimeout)
 	defer cancel()
 	resp, status, err := s.predictOne(ctx, &req)
 	if err != nil {
-		s.errorJSON(w, status, err)
+		s.errorJSON(ctx, w, status, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resp)
@@ -284,21 +401,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.errorJSON(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		s.errorJSON(r.Context(), w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
 	s.metrics.InFlight.Add(1)
 	defer s.metrics.InFlight.Add(-1)
+	// One trace covers the whole batch; every item's spans and
+	// provenance records attach to it.
+	tctx, tr := s.tracer.StartTrace(r.Context(), "predict-batch")
+	defer tr.Finish()
+	if tr != nil {
+		w.Header().Set("X-Heteromap-Trace", tr.ID())
+	}
 	var req BatchRequest
 	if status, err := s.decodeJSON(w, r, &req); err != nil {
-		s.errorJSON(w, status, err)
+		s.errorJSON(tctx, w, status, err)
 		return
 	}
 	if len(req.Requests) == 0 {
-		s.errorJSON(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		s.errorJSON(tctx, w, http.StatusBadRequest, fmt.Errorf("empty batch"))
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	ctx, cancel := context.WithTimeout(tctx, s.opts.RequestTimeout)
 	defer cancel()
 
 	// Fan the whole batch into the queue concurrently so the batcher
@@ -322,7 +446,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, BatchResponse{Responses: resps})
 }
 
-func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"models":     s.registry.List(),
 		"quarantine": s.registry.Quarantined(),
@@ -339,18 +463,24 @@ type reloadRequest struct {
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.errorJSON(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		s.errorJSON(r.Context(), w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
+	}
+	ctx, tr := s.tracer.StartTrace(r.Context(), "reload")
+	defer tr.Finish()
+	if tr != nil {
+		w.Header().Set("X-Heteromap-Trace", tr.ID())
 	}
 	var req reloadRequest
 	if status, err := s.decodeJSON(w, r, &req); err != nil {
-		s.errorJSON(w, status, err)
+		s.errorJSON(ctx, w, status, err)
 		return
 	}
 	if req.Model == "" || req.Path == "" {
-		s.errorJSON(w, http.StatusBadRequest, fmt.Errorf("reload needs model and path"))
+		s.errorJSON(ctx, w, http.StatusBadRequest, fmt.Errorf("reload needs model and path"))
 		return
 	}
+	tr.SetAttr("model", req.Model)
 	if s.opts.Chaos.CorruptReload() {
 		// Injected corrupt snapshot: quarantine the attempt exactly as a
 		// real corruption would be, leaving the active model untouched.
@@ -359,15 +489,20 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			Reason: "chaos: snapshot corrupted in flight",
 		})
 		s.metrics.ReloadRejected.Add(1)
-		s.errorJSON(w, http.StatusUnprocessableEntity,
+		tr.Keep(obs.FlagCanaryReject)
+		s.tracer.Log(ctx, slog.LevelError, "reload rejected",
+			"model", req.Model, "reason", "chaos: snapshot corrupted in flight")
+		s.errorJSON(ctx, w, http.StatusUnprocessableEntity,
 			fmt.Errorf("reload %q: snapshot corrupted in flight (chaos)", req.Model))
 		return
 	}
 	if s.opts.Canary != nil {
 		s.metrics.CanaryRuns.Add(1)
 	}
+	_, sp := obs.StartSpan(ctx, "canary")
 	m, canary, err := s.registry.ReloadDBValidated(req.Model, req.Path, s.opts.Canary)
 	if err != nil {
+		sp.EndErr(err)
 		s.metrics.ReloadRejected.Add(1)
 		// Defensive: a rejected candidate never served, so its version
 		// can have no cache entries — purge proves it stays that way.
@@ -375,10 +510,14 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusBadRequest
 		if errors.Is(err, ErrCanaryRejected) {
 			status = http.StatusUnprocessableEntity
+			tr.Keep(obs.FlagCanaryReject)
 		}
-		s.errorJSON(w, status, err)
+		s.tracer.Log(ctx, slog.LevelError, "reload rejected",
+			"model", req.Model, "path", req.Path, "reason", err.Error())
+		s.errorJSON(ctx, w, status, err)
 		return
 	}
+	sp.End()
 	s.metrics.ReloadCount.Add(1)
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"model": ModelInfo{
@@ -404,7 +543,7 @@ type chaosRequest struct {
 // live only when the server was started with a chaos injector.
 func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Chaos == nil {
-		s.errorJSON(w, http.StatusConflict,
+		s.errorJSON(r.Context(), w, http.StatusConflict,
 			fmt.Errorf("chaos injection not enabled (start with -chaos-serve)"))
 		return
 	}
@@ -422,7 +561,7 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		var req chaosRequest
 		if status, err := s.decodeJSON(w, r, &req); err != nil {
-			s.errorJSON(w, status, err)
+			s.errorJSON(r.Context(), w, status, err)
 			return
 		}
 		s.opts.Chaos.SetServeProfile(fault.ServeProfile{
@@ -437,7 +576,7 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 			"profile": s.opts.Chaos.ServeProfile().String(),
 		})
 	default:
-		s.errorJSON(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+		s.errorJSON(r.Context(), w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
 	}
 }
 
@@ -451,8 +590,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// The full text-exposition 0.0.4 Content-Type, charset included —
+	// some scrapers fall back to protobuf negotiation or mis-decode
+	// without it.
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePrometheus(w, s.cache, s.batcher.QueueDepth, s.registry.List())
 }
 
@@ -465,7 +607,20 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func (s *Server) errorJSON(w http.ResponseWriter, status int, err error) {
+// errorJSON answers an error response; server-side failures (5xx) flag
+// the ctx's trace for retention and emit a correlated slog line, so
+// every 5xx and deadline drop is findable in /debug/traces by trace id.
+func (s *Server) errorJSON(ctx context.Context, w http.ResponseWriter, status int, err error) {
 	s.metrics.HTTPErrors.Add(1)
+	if status >= 500 {
+		obs.KeepTrace(ctx, obs.Flag5xx)
+		if errors.Is(err, context.DeadlineExceeded) {
+			obs.KeepTrace(ctx, obs.FlagDeadline)
+		}
+		if s.tracer != nil {
+			s.tracer.Log(ctx, slog.LevelError, "request failed",
+				"status", status, "error", err.Error())
+		}
+	}
 	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }
