@@ -32,6 +32,17 @@
 //	    fault injector behind /v1/chaos; -debug-addr exposes the debug
 //	    surface (/debug/pprof, /debug/traces) on a second address and
 //	    -trace-sample tunes how many unflagged traces the ring retains
+//	heteromap serve -cluster -addr 127.0.0.1:8101
+//	    run as a cluster node: SIGINT/SIGTERM announces a drain on
+//	    /healthz (routers deregister the node) and keeps serving for
+//	    -drain-grace before exiting — a planned shutdown with zero 5xx
+//	heteromap serve -peers 127.0.0.1:8101,127.0.0.1:8102,127.0.0.1:8103
+//	    run the cluster *router* on -addr: consistent-hash routing over
+//	    the peers' shard keyspace with -replicas per shard, peer-aware
+//	    failover via per-peer circuit breakers, version-gated hedging
+//	    after -hedge-after, health probes every -probe-interval;
+//	    /v1/cluster shows membership, -chaos-serve arms the
+//	    forwarding-layer fault injector behind /v1/chaos
 //	heteromap run -bench BFS -input FB -trace
 //	    record the run's trace and print its id and span timeline
 //	heteromap list
@@ -49,10 +60,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"heteromap"
+	"heteromap/internal/cluster"
 	"heteromap/internal/config"
 	"heteromap/internal/core"
 	"heteromap/internal/fault"
@@ -96,6 +109,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	canarySet := fs.String("canary-set", "", "serve: golden-set JSON file gating /v1/reload (empty: record one from the default model at startup)")
 	reloadSLO := fs.Duration("reload-slo", 10*time.Millisecond, "serve: per-prediction canary latency budget for /v1/reload (0 disables)")
 	chaosServe := fs.Bool("chaos-serve", false, "serve: enable the serve-path chaos injector and /v1/chaos endpoint")
+	clusterMode := fs.Bool("cluster", false, "serve: run as a cluster node — SIGINT/SIGTERM drains gracefully (healthz announces, routers deregister) before exit")
+	peers := fs.String("peers", "", "serve: comma-separated node addresses; non-empty runs the cluster *router* on -addr instead of a node")
+	replicas := fs.Int("replicas", 2, "serve router: replica-group size per shard (primary included)")
+	probeInterval := fs.Duration("probe-interval", 250*time.Millisecond, "serve router: peer health-probe cadence")
+	hedgeAfter := fs.Duration("hedge-after", 25*time.Millisecond, "serve router: how long the primary may take before hedging against the replica")
+	drainGrace := fs.Duration("drain-grace", 2*time.Second, "serve -cluster: how long to keep serving after the drain announcement before shutting down")
 	stageBudget := fs.Duration("stage-budget", 25*time.Millisecond, "serve: per-inference budget before hedged dispatch")
 	debugAddr := fs.String("debug-addr", "", "serve: extra listen address for the debug surface (/debug/pprof, /debug/traces)")
 	traceSample := fs.Float64("trace-sample", 0, "serve: retention rate for unflagged traces in /debug/traces (0: server default 0.1, 1: keep all; flagged traces are always kept)")
@@ -130,14 +149,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if cmd == "serve" {
-		err := runServe(opts, serveOptions{
-			addr: *addr, cacheSize: *cacheSize, workers: *workers,
-			maxBatch: *maxBatch, maxWait: *maxWait, queueSize: *queueSize,
-			canarySet: *canarySet, reloadSLO: *reloadSLO,
-			chaosServe: *chaosServe, chaosSeed: *chaosSeed,
-			stageBudget: *stageBudget, debugAddr: *debugAddr,
-			traceSample: *traceSample,
-		}, stdout, stderr)
+		var err error
+		if *peers != "" {
+			err = runRouter(routerOptions{
+				addr: *addr, peers: *peers, replicas: *replicas,
+				probeInterval: *probeInterval, hedgeAfter: *hedgeAfter,
+				chaosServe: *chaosServe, chaosSeed: *chaosSeed,
+			}, stdout)
+		} else {
+			err = runServe(opts, serveOptions{
+				addr: *addr, cacheSize: *cacheSize, workers: *workers,
+				maxBatch: *maxBatch, maxWait: *maxWait, queueSize: *queueSize,
+				canarySet: *canarySet, reloadSLO: *reloadSLO,
+				chaosServe: *chaosServe, chaosSeed: *chaosSeed,
+				stageBudget: *stageBudget, debugAddr: *debugAddr,
+				traceSample: *traceSample,
+				cluster:     *clusterMode, drainGrace: *drainGrace,
+			}, stdout, stderr)
+		}
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -301,6 +330,19 @@ type serveOptions struct {
 	stageBudget time.Duration
 	debugAddr   string
 	traceSample float64
+	cluster     bool
+	drainGrace  time.Duration
+}
+
+// routerOptions collects the cluster-router flags.
+type routerOptions struct {
+	addr          string
+	peers         string
+	replicas      int
+	probeInterval time.Duration
+	hedgeAfter    time.Duration
+	chaosServe    bool
+	chaosSeed     int64
 }
 
 // printTrace renders the retained span timeline of one CLI run.
@@ -434,10 +476,66 @@ func runServe(o systemOptions, so serveOptions, stdout, stderr io.Writer) error 
 	case err := <-errCh:
 		return err
 	case s := <-sig:
-		fmt.Fprintf(stdout, "received %s, draining...\n", s)
+		if so.cluster {
+			// Cluster drain protocol: announce first (healthz flips to
+			// "draining" so routers deregister this node from their
+			// rings), keep serving through the grace window, then stop.
+			// The two-step exit is what makes a planned node shutdown
+			// produce zero 5xx cluster-wide.
+			fmt.Fprintf(stdout, "received %s, announcing drain (grace %v)...\n", s, so.drainGrace)
+			srv.BeginDrain()
+			time.Sleep(so.drainGrace)
+		} else {
+			fmt.Fprintf(stdout, "received %s, draining...\n", s)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return <-errCh
+	}
+}
+
+// runRouter runs the cluster front-end: consistent-hash routing over the
+// given peers with failover, hedging and health-probe membership.
+func runRouter(ro routerOptions, stdout io.Writer) error {
+	peerList := strings.Split(ro.peers, ",")
+	for i := range peerList {
+		peerList[i] = strings.TrimSpace(peerList[i])
+	}
+	var injector *fault.ServeInjector
+	if ro.chaosServe {
+		injector = fault.NewServeInjector(ro.chaosSeed)
+		fmt.Fprintf(stdout, "chaos: router injector armed (seed %d); drive it via POST /v1/chaos\n", ro.chaosSeed)
+	}
+	rt, err := cluster.NewRouter(cluster.RouterOptions{
+		Addr:          ro.addr,
+		Peers:         peerList,
+		Replicas:      ro.replicas,
+		ProbeInterval: ro.probeInterval,
+		HedgeAfter:    ro.hedgeAfter,
+		Chaos:         injector,
+	})
+	if err != nil {
+		return err
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- rt.Start() }()
+
+	fmt.Fprintf(stdout, "routing on http://%s over %d peers (replicas %d, probe %v, hedge %v)\n",
+		ro.addr, len(peerList), ro.replicas, ro.probeInterval, ro.hedgeAfter)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(stdout, "received %s, stopping router...\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := rt.Shutdown(ctx); err != nil {
 			return err
 		}
 		return <-errCh

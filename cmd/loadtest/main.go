@@ -7,8 +7,17 @@
 //	loadtest -duration 2s
 //	    with no -addr, start an in-process server (decision-tree
 //	    model, ephemeral port), load it, and shut it down
+//	loadtest -cluster -nodes 3 -chaos -kill-after 1s
+//	    with no -addr, start an in-process cluster (N nodes behind a
+//	    router), storm it with cluster chaos profiles, hard-kill one
+//	    node mid-run, and gate on -min-availability
+//	loadtest -cluster -addr 127.0.0.1:8100 -chaos
+//	    storm an already-running cluster router: the chaos flipper
+//	    posts router-layer fault profiles (slow-peer, partition,
+//	    node-kill) to its /v1/chaos
 //
-// Exit code 0 when the run completes with zero request errors.
+// Exit code 0 when the run completes with zero request errors (or, in
+// chaos mode, with availability at or above -min-availability).
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"heteromap/internal/cluster"
 	"heteromap/internal/fault"
 	"heteromap/internal/machine"
 	"heteromap/internal/predict/dtree"
@@ -43,12 +53,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	chaos := fs.Bool("chaos", false, "flip serve-fault profiles mid-run and gate on availability (server must enable chaos)")
 	chaosRate := fs.Float64("chaos-rate", 0.3, "chaos fault-profile intensity in [0,1]")
 	minAvail := fs.Float64("min-availability", 0.99, "chaos mode: fail the run below this availability")
+	clusterMode := fs.Bool("cluster", false, "target a cluster router: with no -addr start an in-process N-node cluster; chaos posts router-layer fault profiles")
+	nodes := fs.Int("nodes", 3, "cluster mode: in-process serve-node count")
+	killAfter := fs.Duration("kill-after", 0, "cluster mode: hard-kill one in-process node this long into the run (0: never)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	url := "http://" + *addr
-	if *addr == "" {
+	if *addr == "" && *clusterMode {
+		lc, err := cluster.StartLocal(cluster.LocalOptions{
+			Nodes: *nodes,
+			Seed:  *seed,
+			Chaos: *chaos,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer lc.Stop()
+		url = lc.URL()
+		fmt.Fprintf(stdout, "started in-process cluster: router %s over %d nodes\n", lc.Router.Addr(), *nodes)
+		if *killAfter > 0 {
+			victim := *nodes - 1
+			time.AfterFunc(*killAfter, func() {
+				fmt.Fprintf(stdout, "kill -9 (in-process): node %d (%s) at +%v\n",
+					victim, lc.NodeAddr(victim), *killAfter)
+				lc.KillNode(victim)
+			})
+		}
+	} else if *addr == "" {
 		opts := serve.Options{Addr: "127.0.0.1:0"}
 		if *chaos {
 			// The in-process server needs an injector for /v1/chaos.
@@ -92,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Model:       *model,
 		Stages:      *stages,
 		Chaos:       *chaos,
+		Cluster:     *clusterMode,
 		ChaosRate:   *chaosRate,
 	})
 	if err != nil {

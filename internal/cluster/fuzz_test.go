@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// FuzzRingLookup drives Lookup with arbitrary hashes, replica counts and
+// node-set shapes: it must never panic, and every returned node must be
+// a live ring member, distinct within the group, with the primary stable
+// under membership of unrelated nodes.
+func FuzzRingLookup(f *testing.F) {
+	f.Add(uint64(0), 1, uint8(1), uint8(1))
+	f.Add(uint64(1<<63), 2, uint8(3), uint8(64))
+	f.Add(^uint64(0), 5, uint8(7), uint8(3))
+	f.Add(uint64(42), -1, uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, hash uint64, n int, nodeCount, vnodes uint8) {
+		nodes := ringNodes(int(nodeCount % 12))
+		r := New(nodes, int(vnodes%130))
+		got := r.Lookup(hash, n)
+
+		if len(nodes) == 0 || n <= 0 {
+			if got != nil {
+				t.Fatalf("degenerate lookup returned %v, want nil", got)
+			}
+			return
+		}
+		want := n
+		if want > len(nodes) {
+			want = len(nodes)
+		}
+		if len(got) != want {
+			t.Fatalf("Lookup(%#x, %d) over %d nodes returned %d owners, want %d",
+				hash, n, len(nodes), len(got), want)
+		}
+		seen := map[string]bool{}
+		for _, owner := range got {
+			if !r.Has(owner) {
+				t.Fatalf("lookup landed on off-ring node %q", owner)
+			}
+			if seen[owner] {
+				t.Fatalf("duplicate owner %q in %v", owner, got)
+			}
+			seen[owner] = true
+		}
+		// Removing a node that is not the primary must keep the primary.
+		if len(nodes) > 1 {
+			var other string
+			for _, cand := range nodes {
+				if cand != got[0] {
+					other = cand
+					break
+				}
+			}
+			after := r.Without(other).Lookup(hash, 1)
+			if len(after) != 1 || after[0] != got[0] {
+				t.Fatalf("removing non-owner %q moved the primary: %v -> %v", other, got[0], after)
+			}
+		}
+	})
+}

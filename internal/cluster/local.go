@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"heteromap/internal/fault"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict/dtree"
+	"heteromap/internal/serve"
+)
+
+// LocalOptions size an in-process cluster (see StartLocal).
+type LocalOptions struct {
+	// Nodes is the serve-node count (3).
+	Nodes int
+	// Replicas is the per-shard replica-group size (2).
+	Replicas int
+	// ProbeInterval is the router's health-probe cadence (50ms — local
+	// clusters exist to exercise failover fast).
+	ProbeInterval time.Duration
+	// HedgeAfter is the router's hedge threshold (25ms).
+	HedgeAfter time.Duration
+	// Seed seeds the chaos injectors when Chaos is set (42).
+	Seed int64
+	// Chaos arms fault injectors on the router (forwarding-layer
+	// profiles) and every node (serve-path profiles).
+	Chaos bool
+	// NodeOptions, when set, adapts each node's serve options before the
+	// node starts (the addr and chaos injector are already filled in).
+	NodeOptions func(i int, opts serve.Options) serve.Options
+}
+
+func (o LocalOptions) withDefaults() LocalOptions {
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 50 * time.Millisecond
+	}
+	if o.HedgeAfter <= 0 {
+		o.HedgeAfter = 25 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Local is an in-process cluster: N serve nodes on ephemeral ports
+// behind one router, each node carrying the builtin decision-tree model.
+// It backs the cluster tests and `loadtest -cluster`, and doubles as the
+// kill -9 stand-in: KillNode closes a node's listener and connections
+// without any drain, exactly what the chaos harness needs.
+type Local struct {
+	Router *Router
+	Nodes  []*serve.Server
+
+	nodeErr   []chan error
+	routerErr chan error
+}
+
+// startServer starts a serve.Server on an ephemeral port and waits for
+// the bind (Start listens synchronously, but from another goroutine).
+func startServer(srv *serve.Server, errCh chan error) error {
+	go func() { errCh <- srv.Start() }()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Addr() == "127.0.0.1:0" && time.Now().Before(deadline) {
+		select {
+		case err := <-errCh:
+			return fmt.Errorf("cluster: node failed to start: %w", err)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if srv.Addr() == "127.0.0.1:0" {
+		return fmt.Errorf("cluster: node did not bind within 2s")
+	}
+	return nil
+}
+
+// newLocalNode starts a serve node on a fixed address with the builtin
+// decision-tree model — the restart half of recovery tests, where a
+// killed node's replacement must come up on the old address for the
+// prober to readmit it.
+func newLocalNode(addr string) (*serve.Server, error) {
+	srv := serve.New(serve.Options{Addr: addr})
+	pair := machine.PrimaryPair()
+	if _, err := srv.Registry().Register("tree", "builtin decision tree", dtree.New(pair.Limits())); err != nil {
+		return nil, err
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Start() }()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-errCh:
+			return nil, fmt.Errorf("cluster: node failed to start on %s: %w", addr, err)
+		default:
+		}
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			c.Close()
+			return srv, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("cluster: node did not bind %s within 2s", addr)
+}
+
+// StartLocal boots an in-process cluster and blocks until every node and
+// the router are listening. Callers own Stop.
+func StartLocal(opts LocalOptions) (*Local, error) {
+	opts = opts.withDefaults()
+	lc := &Local{}
+	pair := machine.PrimaryPair()
+	for i := 0; i < opts.Nodes; i++ {
+		sopts := serve.Options{Addr: "127.0.0.1:0"}
+		if opts.Chaos {
+			sopts.Chaos = fault.NewServeInjector(opts.Seed + int64(i))
+		}
+		if opts.NodeOptions != nil {
+			sopts = opts.NodeOptions(i, sopts)
+		}
+		srv := serve.New(sopts)
+		if _, err := srv.Registry().Register("tree", "builtin decision tree", dtree.New(pair.Limits())); err != nil {
+			lc.Stop()
+			return nil, err
+		}
+		errCh := make(chan error, 1)
+		if err := startServer(srv, errCh); err != nil {
+			lc.Stop()
+			return nil, err
+		}
+		lc.Nodes = append(lc.Nodes, srv)
+		lc.nodeErr = append(lc.nodeErr, errCh)
+	}
+
+	peers := make([]string, len(lc.Nodes))
+	for i, n := range lc.Nodes {
+		peers[i] = n.Addr()
+	}
+	ropts := RouterOptions{
+		Addr:          "127.0.0.1:0",
+		Peers:         peers,
+		Replicas:      opts.Replicas,
+		ProbeInterval: opts.ProbeInterval,
+		HedgeAfter:    opts.HedgeAfter,
+	}
+	if opts.Chaos {
+		ropts.Chaos = fault.NewServeInjector(opts.Seed - 1)
+	}
+	rt, err := NewRouter(ropts)
+	if err != nil {
+		lc.Stop()
+		return nil, err
+	}
+	lc.Router = rt
+	lc.routerErr = make(chan error, 1)
+	go func() { lc.routerErr <- rt.Start() }()
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.Addr() == "127.0.0.1:0" && time.Now().Before(deadline) {
+		select {
+		case err := <-lc.routerErr:
+			lc.Stop()
+			return nil, fmt.Errorf("cluster: router failed to start: %w", err)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	return lc, nil
+}
+
+// URL returns the router's base URL.
+func (lc *Local) URL() string { return "http://" + lc.Router.Addr() }
+
+// NodeAddr returns node i's listen address.
+func (lc *Local) NodeAddr(i int) string { return lc.Nodes[i].Addr() }
+
+// KillNode hard-kills node i: listener and live connections close
+// immediately, with no drain — the in-process kill -9.
+func (lc *Local) KillNode(i int) { lc.Nodes[i].Kill() }
+
+// DrainNode starts a graceful drain on node i: its /healthz flips to
+// draining so the router deregisters it, while in-flight (and
+// detection-window) requests keep succeeding. Call ShutdownNode once the
+// router has moved on.
+func (lc *Local) DrainNode(i int) { lc.Nodes[i].BeginDrain() }
+
+// ShutdownNode gracefully stops node i.
+func (lc *Local) ShutdownNode(ctx context.Context, i int) error {
+	return lc.Nodes[i].Shutdown(ctx)
+}
+
+// Stop tears the cluster down, router first.
+func (lc *Local) Stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if lc.Router != nil {
+		lc.Router.Shutdown(ctx)
+	}
+	for _, n := range lc.Nodes {
+		n.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"heteromap/internal/serve"
+)
+
+// RouterMetrics counts the router's routing decisions. Counters are
+// monotonic and lock-free; the exposition format mirrors the serve
+// node's (Prometheus text, heteromap_router_* namespace) so the same
+// scrape pipeline covers both tiers.
+type RouterMetrics struct {
+	// Requests is client requests accepted for routing (batch items
+	// count individually).
+	Requests atomic.Uint64
+	// Forwards is attempts dispatched to peers (includes hedges,
+	// failovers and chaos-killed attempts).
+	Forwards atomic.Uint64
+	// Failovers is requests answered by a non-primary rung of the
+	// ladder after the primary failed hard or shed.
+	Failovers atomic.Uint64
+	// Hedges is hedge attempts launched against a slow primary.
+	Hedges atomic.Uint64
+	// HedgeWins is hedges whose answer was served.
+	HedgeWins atomic.Uint64
+	// HedgeVersionSkips is hedges suppressed because the replica's last
+	// observed model version differed from (or was unknown relative to)
+	// the primary's — the rolling-reload safety gate engaging.
+	HedgeVersionSkips atomic.Uint64
+	// HedgeMixedDiscards is hedge answers thrown away post hoc because
+	// the actual answering version differed from the expected one.
+	HedgeMixedDiscards atomic.Uint64
+	// NoReplica is requests refused because no live peer owned the
+	// shard.
+	NoReplica atomic.Uint64
+	// PeerErrors is hard peer failures (transport error or non-shed
+	// 5xx) fed to breakers.
+	PeerErrors atomic.Uint64
+	// HTTPErrors is >=400 responses the router returned to clients.
+	HTTPErrors atomic.Uint64
+	// Deregistered / Readmitted count ring membership transitions.
+	Deregistered atomic.Uint64
+	Readmitted   atomic.Uint64
+	// Chaos* count injected forwarding-layer faults.
+	ChaosNodeKills  atomic.Uint64
+	ChaosPartitions atomic.Uint64
+	ChaosSlowPeers  atomic.Uint64
+
+	// RouteLatency is end-to-end routed-request latency (same bucket
+	// layout as the serve node's histograms).
+	RouteLatency *serve.Histogram
+
+	mu     sync.Mutex
+	events []string // recent membership events, newest last
+}
+
+// NewRouterMetrics builds an empty metrics set.
+func NewRouterMetrics() *RouterMetrics {
+	return &RouterMetrics{RouteLatency: serve.NewHistogram()}
+}
+
+// maxEvents bounds the membership event log kept for /v1/cluster.
+const maxEvents = 32
+
+func (m *RouterMetrics) noteEvent(e string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, e)
+	if len(m.events) > maxEvents {
+		m.events = m.events[len(m.events)-maxEvents:]
+	}
+}
+
+// Events returns the recent membership events, oldest first.
+func (m *RouterMetrics) Events() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// WritePrometheus emits the router's metrics in Prometheus text format,
+// including a per-peer state gauge (0 live, 1 draining, 2 dead) and
+// ring-membership gauge derived from the given peer snapshot.
+func (m *RouterMetrics) WritePrometheus(w io.Writer, peers []PeerInfo) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("heteromap_router_requests_total", "Client requests accepted for routing.", m.Requests.Load())
+	counter("heteromap_router_forwards_total", "Attempts dispatched to peers.", m.Forwards.Load())
+	counter("heteromap_router_failovers_total", "Requests answered by a failover replica.", m.Failovers.Load())
+	counter("heteromap_router_hedges_total", "Hedge attempts launched.", m.Hedges.Load())
+	counter("heteromap_router_hedge_wins_total", "Hedge answers served.", m.HedgeWins.Load())
+	counter("heteromap_router_hedge_version_skips_total", "Hedges suppressed by the version gate.", m.HedgeVersionSkips.Load())
+	counter("heteromap_router_hedge_mixed_discards_total", "Hedge answers discarded for version mismatch.", m.HedgeMixedDiscards.Load())
+	counter("heteromap_router_no_replica_total", "Requests refused with no live replica.", m.NoReplica.Load())
+	counter("heteromap_router_peer_errors_total", "Hard peer failures fed to breakers.", m.PeerErrors.Load())
+	counter("heteromap_router_http_errors_total", "Error responses returned to clients.", m.HTTPErrors.Load())
+	counter("heteromap_router_deregistered_total", "Peers taken off the ring.", m.Deregistered.Load())
+	counter("heteromap_router_readmitted_total", "Peers readmitted to the ring.", m.Readmitted.Load())
+	counter("heteromap_router_chaos_node_kills_total", "Chaos-injected dead-node attempts.", m.ChaosNodeKills.Load())
+	counter("heteromap_router_chaos_partitions_total", "Chaos-injected partitioned attempts.", m.ChaosPartitions.Load())
+	counter("heteromap_router_chaos_slow_peers_total", "Chaos-injected slow-link attempts.", m.ChaosSlowPeers.Load())
+
+	fmt.Fprintf(w, "# HELP heteromap_router_peer_state Peer lifecycle state (0 live, 1 draining, 2 dead).\n")
+	fmt.Fprintf(w, "# TYPE heteromap_router_peer_state gauge\n")
+	for _, p := range peers {
+		state := 0
+		switch p.State {
+		case PeerDraining.String():
+			state = 1
+		case PeerDead.String():
+			state = 2
+		}
+		fmt.Fprintf(w, "heteromap_router_peer_state{peer=%q} %d\n", p.Addr, state)
+	}
+	fmt.Fprintf(w, "# HELP heteromap_router_peer_on_ring Whether the peer currently owns ring keyspace.\n")
+	fmt.Fprintf(w, "# TYPE heteromap_router_peer_on_ring gauge\n")
+	for _, p := range peers {
+		on := 0
+		if p.OnRing {
+			on = 1
+		}
+		fmt.Fprintf(w, "heteromap_router_peer_on_ring{peer=%q} %d\n", p.Addr, on)
+	}
+	m.RouteLatency.WriteProm(w, "heteromap_router_route_latency_seconds", "")
+}

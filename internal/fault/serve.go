@@ -27,19 +27,40 @@ type ServeProfile struct {
 	// QueueRejectRate is the per-submission probability that admission
 	// behaves as if the bounded queue were saturated.
 	QueueRejectRate float64
+
+	// Cluster fault modes, injected at the router's forwarding layer
+	// rather than inside one node. SlowPeerRate is the per-forward
+	// probability that the network path to the target peer adds
+	// SlowPeerDelay before the request goes out (a congested or
+	// throttled link); PeerPartitionRate the per-forward probability
+	// that the request blackholes — it hangs until the caller's
+	// deadline, the signature of a network partition; NodeKillRate the
+	// per-forward probability that the target behaves dead and the
+	// connection is refused immediately, the signature of a crashed
+	// process.
+	SlowPeerRate      float64
+	SlowPeerDelay     time.Duration
+	PeerPartitionRate float64
+	NodeKillRate      float64
 }
 
 // Active reports whether the profile injects any serve fault at all.
 func (p ServeProfile) Active() bool {
 	return p.SlowModelRate > 0 || p.StallWorkerRate > 0 ||
-		p.CorruptReloadRate > 0 || p.QueueRejectRate > 0
+		p.CorruptReloadRate > 0 || p.QueueRejectRate > 0 ||
+		p.SlowPeerRate > 0 || p.PeerPartitionRate > 0 || p.NodeKillRate > 0
 }
 
 // String implements fmt.Stringer.
 func (p ServeProfile) String() string {
-	return fmt.Sprintf("slow=%.2f@%v stall=%.2f@%v corrupt-reload=%.2f queue-reject=%.2f",
+	s := fmt.Sprintf("slow=%.2f@%v stall=%.2f@%v corrupt-reload=%.2f queue-reject=%.2f",
 		p.SlowModelRate, p.SlowModelDelay, p.StallWorkerRate, p.StallWorkerDelay,
 		p.CorruptReloadRate, p.QueueRejectRate)
+	if p.SlowPeerRate > 0 || p.PeerPartitionRate > 0 || p.NodeKillRate > 0 {
+		s += fmt.Sprintf(" slow-peer=%.2f@%v partition=%.2f node-kill=%.2f",
+			p.SlowPeerRate, p.SlowPeerDelay, p.PeerPartitionRate, p.NodeKillRate)
+	}
+	return s
 }
 
 // ScaledServeProfile derives a whole-pipeline serve chaos profile from a
@@ -64,12 +85,35 @@ func ScaledServeProfile(rate float64) ServeProfile {
 	}
 }
 
+// ScaledClusterProfile derives a router-side chaos profile from a single
+// rate in [0,1], the cluster analog of ScaledServeProfile: slow peers at
+// the rate itself, partitions and node deaths rarer (they cost a full
+// failover each), with the slow-peer delay sized to trip the router's
+// hedge budget without outliving a request deadline.
+func ScaledClusterProfile(rate float64) ServeProfile {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return ServeProfile{
+		SlowPeerRate:      rate,
+		SlowPeerDelay:     50 * time.Millisecond,
+		PeerPartitionRate: 0.1 * rate,
+		NodeKillRate:      0.1 * rate,
+	}
+}
+
 // serve-injection draw kinds, also the per-kind sequence-counter index.
 const (
 	serveKindSlowModel = iota
 	serveKindStallWorker
 	serveKindCorruptReload
 	serveKindQueueReject
+	serveKindSlowPeer
+	serveKindPeerPartition
+	serveKindNodeKill
 	numServeKinds
 )
 
@@ -179,4 +223,40 @@ func (in *ServeInjector) RejectQueue() bool {
 	}
 	p := in.ServeProfile()
 	return p.QueueRejectRate > 0 && in.draw(serveKindQueueReject) < p.QueueRejectRate
+}
+
+// SlowPeer decides whether the next forwarded request's network path
+// stalls, and for how long.
+func (in *ServeInjector) SlowPeer() (time.Duration, bool) {
+	if in == nil {
+		return 0, false
+	}
+	p := in.ServeProfile()
+	if p.SlowPeerRate <= 0 || p.SlowPeerDelay <= 0 {
+		return 0, false
+	}
+	if in.draw(serveKindSlowPeer) < p.SlowPeerRate {
+		return p.SlowPeerDelay, true
+	}
+	return 0, false
+}
+
+// PartitionPeer decides whether the next forwarded request blackholes:
+// it hangs until the caller's deadline instead of ever reaching the peer.
+func (in *ServeInjector) PartitionPeer() bool {
+	if in == nil {
+		return false
+	}
+	p := in.ServeProfile()
+	return p.PeerPartitionRate > 0 && in.draw(serveKindPeerPartition) < p.PeerPartitionRate
+}
+
+// KillNode decides whether the next forwarded request finds the target
+// dead: the connection is refused immediately, as to a crashed process.
+func (in *ServeInjector) KillNode() bool {
+	if in == nil {
+		return false
+	}
+	p := in.ServeProfile()
+	return p.NodeKillRate > 0 && in.draw(serveKindNodeKill) < p.NodeKillRate
 }

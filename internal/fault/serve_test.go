@@ -97,3 +97,60 @@ func TestServeInjectorProfileFlip(t *testing.T) {
 		t.Fatalf("profile readback = %v", got)
 	}
 }
+
+func TestClusterProfileDrawsAndScaling(t *testing.T) {
+	if (ServeProfile{SlowPeerRate: 0.2, SlowPeerDelay: time.Millisecond}).Active() == false {
+		t.Fatal("slow-peer profile inactive")
+	}
+	if !ScaledClusterProfile(0.4).Active() || ScaledClusterProfile(0).Active() {
+		t.Fatal("cluster scaling active/inactive wrong")
+	}
+	lo, hi := ScaledClusterProfile(0.2), ScaledClusterProfile(0.9)
+	if hi.SlowPeerRate <= lo.SlowPeerRate || hi.NodeKillRate <= lo.NodeKillRate {
+		t.Fatalf("cluster scaling not monotone: %v vs %v", lo, hi)
+	}
+
+	var nilIn *ServeInjector
+	if _, ok := nilIn.SlowPeer(); ok || nilIn.PartitionPeer() || nilIn.KillNode() {
+		t.Fatal("nil injector injected a cluster fault")
+	}
+
+	in := NewServeInjector(11)
+	in.SetServeProfile(ServeProfile{
+		SlowPeerRate: 1, SlowPeerDelay: time.Millisecond,
+		PeerPartitionRate: 1, NodeKillRate: 1,
+	})
+	if d, ok := in.SlowPeer(); !ok || d != time.Millisecond {
+		t.Fatalf("rate-1 slow peer: %v %v", d, ok)
+	}
+	if !in.PartitionPeer() || !in.KillNode() {
+		t.Fatal("rate-1 partition/node-kill did not fire")
+	}
+	in.SetServeProfile(ServeProfile{})
+	if _, ok := in.SlowPeer(); ok || in.PartitionPeer() || in.KillNode() {
+		t.Fatal("cleared profile still fired a cluster fault")
+	}
+}
+
+// Cluster draws are deterministic per seed, like every other kind.
+func TestClusterDrawsDeterministic(t *testing.T) {
+	run := func() []bool {
+		in := NewServeInjector(17)
+		in.SetServeProfile(ServeProfile{
+			SlowPeerRate: 0.5, SlowPeerDelay: time.Millisecond,
+			PeerPartitionRate: 0.5, NodeKillRate: 0.5,
+		})
+		var out []bool
+		for i := 0; i < 48; i++ {
+			_, slow := in.SlowPeer()
+			out = append(out, slow, in.PartitionPeer(), in.KillNode())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cluster draw %d differs between identical seeded runs", i)
+		}
+	}
+}

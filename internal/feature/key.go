@@ -2,6 +2,8 @@ package feature
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math"
 	"strconv"
 	"strings"
@@ -51,6 +53,18 @@ func ParseKey(key string) (Vector, error) {
 		v[i] = x
 	}
 	return v, nil
+}
+
+// ShardHash reduces the canonical Key to a stable 64-bit FNV-1a hash —
+// the cluster tier's shard key. Equal (B, I) characterizations (and only
+// those) hash equally, so a consistent-hash ring over ShardHash keeps
+// each node's prediction cache hot on its own slice of the discretized
+// keyspace. The hash is a pure function of Key(), never of process
+// state, so every router instance places a key identically.
+func (v Vector) ShardHash() uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, v.Key())
+	return h.Sum64()
 }
 
 // Discretized snaps every component to the given step after clamping to

@@ -1,6 +1,8 @@
 package feature
 
 import (
+	"hash/fnv"
+	"io"
 	"math/rand"
 	"strings"
 	"testing"
@@ -134,5 +136,25 @@ func TestDiscretizedSnapsAndClamps(t *testing.T) {
 	}
 	if got[1] != 0 || got[2] != 1 {
 		t.Fatalf("clamp failed: %g %g", got[1], got[2])
+	}
+}
+
+func TestShardHashTracksKeyEquality(t *testing.T) {
+	var a, b Vector
+	a[0], a[5] = 0.3, 0.7
+	b = a
+	if a.ShardHash() != b.ShardHash() {
+		t.Fatalf("equal vectors hash differently: %x vs %x", a.ShardHash(), b.ShardHash())
+	}
+	b[5] = 0.8
+	if a.ShardHash() == b.ShardHash() {
+		t.Fatalf("distinct grid points collided: %x", a.ShardHash())
+	}
+	// The hash is a pure function of the canonical key string, which is
+	// the contract that lets every router place a key identically.
+	h := fnv.New64a()
+	io.WriteString(h, a.Key())
+	if a.ShardHash() != h.Sum64() {
+		t.Fatalf("ShardHash %x != fnv64a(Key) %x", a.ShardHash(), h.Sum64())
 	}
 }

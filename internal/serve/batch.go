@@ -123,6 +123,11 @@ type Batcher struct {
 	workers  []*workerState
 	stopping bool
 
+	// sendMu serializes enqueue attempts against the queue close in
+	// Stop: writers (Submit) hold it shared for the non-blocking send,
+	// Stop holds it exclusively across close(queue).
+	sendMu sync.RWMutex
+
 	wg      sync.WaitGroup
 	stopped chan struct{}
 	once    sync.Once
@@ -167,13 +172,18 @@ func (b *Batcher) spawnWorker() {
 func (b *Batcher) QueueDepth() int { return len(b.queue) }
 
 // Stop drains and shuts the workers down; queued tasks are still served.
+// The queue closes under sendMu so an abrupt Server.Kill — which, unlike
+// Shutdown, does not wait for in-flight handlers — cannot race a
+// concurrent Submit's enqueue.
 func (b *Batcher) Stop() {
 	b.once.Do(func() {
 		b.mu.Lock()
 		b.stopping = true
 		b.mu.Unlock()
+		b.sendMu.Lock()
 		close(b.stopped)
 		close(b.queue)
+		b.sendMu.Unlock()
 	})
 	b.wg.Wait()
 }
@@ -199,9 +209,23 @@ func (b *Batcher) Submit(ctx context.Context, t *task) (PredictResponse, error) 
 		return PredictResponse{}, ErrQueueFull
 	}
 	t.qspan = obs.NewSpan(ctx, "queue")
+	// Re-check stopped under the send lock: a Submit that passed the
+	// fast-path check above may otherwise send on a queue Stop is
+	// closing. The enqueue attempt is non-blocking, so the read lock is
+	// held only momentarily.
+	b.sendMu.RLock()
+	select {
+	case <-b.stopped:
+		b.sendMu.RUnlock()
+		t.qspan.EndOutcome("shutdown")
+		return PredictResponse{}, fmt.Errorf("serve: server shutting down")
+	default:
+	}
 	select {
 	case b.queue <- t:
+		b.sendMu.RUnlock()
 	default:
+		b.sendMu.RUnlock()
 		b.metrics.QueueFull.Add(1)
 		t.qspan.EndOutcome("shed")
 		obs.KeepTrace(ctx, obs.FlagShed)

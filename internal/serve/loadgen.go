@@ -47,6 +47,11 @@ type LoadGenOptions struct {
 	// /v1/chaos) so the report measures availability under rotating
 	// failure modes. The server must be running with chaos enabled.
 	Chaos bool
+	// Cluster switches the chaos flipper to cluster fault profiles
+	// (slow-peer, partition, node-kill) — the shapes a router front-end
+	// injects at its forwarding layer. Use when URL points at a cluster
+	// router rather than a single node.
+	Cluster bool
 	// ChaosRate scales the injected fault profiles (default 0.3).
 	ChaosRate float64
 	// ChaosFlip is the interval between profile changes (default
@@ -100,6 +105,11 @@ type LoadGenResult struct {
 	Throughput float64 // predictions per second
 	P50, P99   time.Duration
 
+	// Backoffs counts 503 responses whose Retry-After hint the client
+	// honored by sleeping (capped, jittered) instead of retrying
+	// immediately — the anti-stampede half of load shedding.
+	Backoffs uint64
+
 	// Scraped from /metrics after the run.
 	CacheHitRate     float64
 	ServerP50        time.Duration
@@ -150,7 +160,8 @@ func (r LoadGenResult) String() string {
 				st.Stage, st.P50, st.P99, st.Count)
 		}
 	}
-	fmt.Fprintf(&sb, "  fallbacks      : %d, queue-full rejects: %d", r.FallbackEvents, r.QueueFullRejects)
+	fmt.Fprintf(&sb, "  fallbacks      : %d, queue-full rejects: %d, honored backoffs: %d",
+		r.FallbackEvents, r.QueueFullRejects, r.Backoffs)
 	if r.Hedges+r.BreakerRouted+r.SafeDefaults+r.DeadlineDrops+r.WorkerRestarts+r.ChaosInjected > 0 {
 		fmt.Fprintf(&sb, "\n  self-healing   : %d hedges, %d breaker reroutes, %d safe defaults, "+
 			"%d deadline drops, %d worker restarts, %d injected faults",
@@ -208,7 +219,7 @@ func RunLoadGen(o LoadGenOptions) (LoadGenResult, error) {
 	mix := buildMix(o)
 	client := &http.Client{Timeout: 10 * time.Second}
 
-	var requests, predictions, errors, serverFailures atomic.Uint64
+	var requests, predictions, errors, serverFailures, backoffs atomic.Uint64
 	latencies := make([][]time.Duration, o.Concurrency)
 	deadline := time.Now().Add(o.Duration)
 
@@ -250,9 +261,20 @@ func RunLoadGen(o LoadGenOptions) (LoadGenResult, error) {
 					if err != nil || resp.StatusCode >= 500 {
 						serverFailures.Add(1)
 					}
+					var retryHint time.Duration
 					if resp != nil {
+						if resp.StatusCode == http.StatusServiceUnavailable {
+							retryHint = retryAfterFrom(resp)
+						}
 						io.Copy(io.Discard, resp.Body)
 						resp.Body.Close()
+					}
+					if retryHint > 0 {
+						// A saturated node asked us to back off; honoring the
+						// hint (capped, jittered) is what keeps a shed from
+						// turning into a retry stampede.
+						backoffs.Add(1)
+						sleepJittered(rng, retryHint, deadline)
 					}
 					continue
 				}
@@ -276,6 +298,7 @@ func RunLoadGen(o LoadGenOptions) (LoadGenResult, error) {
 		Predictions:    predictions.Load(),
 		Errors:         errors.Load(),
 		ServerFailures: serverFailures.Load(),
+		Backoffs:       backoffs.Load(),
 		Throughput:     float64(predictions.Load()) / o.Duration.Seconds(),
 		Availability:   1,
 	}
@@ -295,6 +318,43 @@ func RunLoadGen(o LoadGenOptions) (LoadGenResult, error) {
 	return res, nil
 }
 
+// maxRetryBackoff caps how long a client honors a Retry-After hint: a
+// misconfigured or hostile server must not be able to park the client.
+const maxRetryBackoff = 250 * time.Millisecond
+
+// retryAfterFrom reads the backoff hint from a 503, preferring the
+// millisecond-precision header and falling back to standard Retry-After
+// seconds. Zero when the response carries neither.
+func retryAfterFrom(resp *http.Response) time.Duration {
+	if ms := resp.Header.Get(RetryAfterMSHeader); ms != "" {
+		if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+			return time.Duration(v) * time.Millisecond
+		}
+	}
+	if sec := resp.Header.Get("Retry-After"); sec != "" {
+		if v, err := strconv.ParseInt(sec, 10, 64); err == nil && v > 0 {
+			return time.Duration(v) * time.Second
+		}
+	}
+	return 0
+}
+
+// sleepJittered sleeps for the hint capped at maxRetryBackoff, jittered
+// uniformly over [d/2, d) so backed-off clients do not re-arrive in one
+// synchronized wave, and never past the run deadline.
+func sleepJittered(rng *rand.Rand, d time.Duration, deadline time.Time) {
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+	if remain := time.Until(deadline); d > remain {
+		d = remain
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
 // chaosProfiles are the fault shapes the flipper rotates through: each
 // cycle exercises a different serve failure mode, ending on a calm
 // window so the server must also be seen recovering.
@@ -308,16 +368,43 @@ func chaosProfiles(rate float64) []chaosRequest {
 	}
 }
 
+// clusterChaosProfiles are the router-layer fault shapes the flipper
+// rotates through in cluster mode: slow peers (hedging), partitions
+// (per-try timeouts + failover), node deaths (fast failover), a combined
+// storm, then calm. Field names match the router's /v1/chaos body.
+func clusterChaosProfiles(rate float64) []map[string]float64 {
+	return []map[string]float64{
+		{"slow_peer_rate": rate, "slow_peer_ms": 50},
+		{"partition_rate": rate / 4},
+		// Kill rates stay below rate/3: a synthetic kill on BOTH rungs of
+		// the failover ladder fails the request outright, and that
+		// compound probability is what eats the availability budget.
+		{"node_kill_rate": rate / 3},
+		{"slow_peer_rate": rate, "slow_peer_ms": 50, "node_kill_rate": rate / 4},
+		{}, // calm: recovery window
+	}
+}
+
 // runChaosFlipper rotates the server's fault profile every ChaosFlip
 // until stop closes, then resets it to calm so the server is left clean.
+// In cluster mode the profiles are the router-layer fault shapes.
 func runChaosFlipper(client *http.Client, o LoadGenOptions, stop <-chan struct{}) {
-	profiles := chaosProfiles(o.ChaosRate)
-	post := func(p chaosRequest) {
+	post := func(p any) {
 		buf, _ := json.Marshal(p)
 		resp, err := client.Post(o.URL+"/v1/chaos", "application/json", bytes.NewReader(buf))
 		if err == nil {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
+		}
+	}
+	var profiles []any
+	if o.Cluster {
+		for _, p := range clusterChaosProfiles(o.ChaosRate) {
+			profiles = append(profiles, p)
+		}
+	} else {
+		for _, p := range chaosProfiles(o.ChaosRate) {
+			profiles = append(profiles, p)
 		}
 	}
 	ticker := time.NewTicker(o.ChaosFlip)
@@ -326,7 +413,11 @@ func runChaosFlipper(client *http.Client, o LoadGenOptions, stop <-chan struct{}
 		post(profiles[i%len(profiles)])
 		select {
 		case <-stop:
-			post(chaosRequest{})
+			if o.Cluster {
+				post(map[string]float64{})
+			} else {
+				post(chaosRequest{})
+			}
 			return
 		case <-ticker.C:
 		}

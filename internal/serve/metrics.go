@@ -100,6 +100,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return latencyBuckets[len(latencyBuckets)-1]
 }
 
+// WriteProm emits the histogram in Prometheus text exposition format —
+// exported so other serving layers (the cluster router) can reuse the
+// bucket layout and exemplar convention in their own expositions.
+func (h *Histogram) WriteProm(w io.Writer, name, labels string) {
+	h.writeProm(w, name, labels)
+}
+
 // writeProm emits the histogram in Prometheus text exposition format.
 func (h *Histogram) writeProm(w io.Writer, name, labels string) {
 	sep := ""

@@ -232,6 +232,19 @@ func (r *Registry) LastGood(name string) *Model {
 	return r.lastGood[name]
 }
 
+// DefaultVersion returns the version of the default model (0 when the
+// registry is empty) — the generation number cluster routers compare
+// across peers so a rolling reload never hedges one request against two
+// different model versions.
+func (r *Registry) DefaultVersion() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if m, ok := r.models[r.defaultName]; ok {
+		return m.Version
+	}
+	return 0
+}
+
 // SetDefault changes which model the empty name resolves to.
 func (r *Registry) SetDefault(name string) error {
 	r.mu.Lock()

@@ -8,7 +8,9 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"heteromap/internal/fault"
@@ -151,8 +153,16 @@ type Server struct {
 	tracer   *obs.Tracer // nil when tracing is disabled
 	started  time.Time
 
+	// draining flips on BeginDrain: /healthz reports "draining" so a
+	// cluster router deregisters this node from its ring, while
+	// predictions keep being served — planned shutdown must produce zero
+	// 5xx for the window the routers need to move traffic away.
+	draining atomic.Bool
+
 	http *http.Server
-	ln   net.Listener
+	// ln is set once by Start and read by Addr, commonly from the
+	// goroutine polling for the ephemeral port to bind.
+	ln atomic.Pointer[net.Listener]
 }
 
 // New assembles a server (without listening; see Start and Handler).
@@ -223,7 +233,7 @@ func (s *Server) Start() error {
 	if err != nil {
 		return fmt.Errorf("serve: listen %s: %w", s.opts.Addr, err)
 	}
-	s.ln = ln
+	s.ln.Store(&ln)
 	err = s.http.Serve(ln)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
@@ -233,10 +243,11 @@ func (s *Server) Start() error {
 
 // Addr returns the bound listen address (valid after Start's Listen).
 func (s *Server) Addr() string {
-	if s.ln == nil {
+	ln := s.ln.Load()
+	if ln == nil {
 		return s.opts.Addr
 	}
-	return s.ln.Addr().String()
+	return (*ln).Addr().String()
 }
 
 // Shutdown gracefully stops the HTTP listener, then drains the batcher
@@ -245,6 +256,27 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.http.Shutdown(ctx)
 	s.batcher.Stop()
 	return err
+}
+
+// BeginDrain marks the server as draining: /healthz starts reporting
+// status "draining" (so cluster routers deregister the node) while
+// predictions continue to be served. Call Shutdown once the routers have
+// had time to move traffic — the two-step dance is what makes a planned
+// node exit produce zero 5xx.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Kill abruptly stops the server without draining: the listener and all
+// active connections are closed immediately, resetting in-flight
+// requests. It is the in-process stand-in for kill -9 in the cluster
+// chaos harness — callers see transport errors, exactly like a crashed
+// node. The batcher is stopped asynchronously; Kill itself returns at
+// once.
+func (s *Server) Kill() {
+	s.http.Close()
+	go s.batcher.Stop()
 }
 
 // decodeJSON decodes a body capped at MaxBodyBytes, distinguishing
@@ -393,10 +425,63 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	resp, status, err := s.predictOne(ctx, &req)
 	if err != nil {
+		if status == http.StatusServiceUnavailable && errors.Is(err, ErrQueueFull) {
+			s.setRetryAfter(w)
+		}
 		s.errorJSON(ctx, w, status, err)
 		return
 	}
+	// The answering model version rides a header so cluster routers can
+	// track peer registry generations without decoding the body.
+	w.Header().Set(VersionHeader, strconv.FormatUint(resp.Version, 10))
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// VersionHeader carries the registry version of the model that answered
+// (on predictions) or would answer (on /healthz probes). Cluster routers
+// compare it across peers so hedged pairs never mix model versions
+// mid-rolling-reload.
+const VersionHeader = "X-Heteromap-Model-Version"
+
+// RetryAfterMSHeader is the millisecond-precision companion to the
+// standard Retry-After header on 503 responses — Retry-After only speaks
+// integer seconds, far too coarse for a queue that drains in
+// milliseconds.
+const RetryAfterMSHeader = "X-Heteromap-Retry-After-Ms"
+
+// RetryAfterHint estimates how long a shed caller should wait before
+// retrying, derived from the live queue depth: the number of micro-batch
+// rounds needed to drain the backlog times the per-batch deadline. A
+// saturated node thereby spreads its retry wave instead of inviting an
+// immediate stampede.
+func (s *Server) RetryAfterHint() time.Duration {
+	depth := s.batcher.QueueDepth()
+	perRound := s.opts.Workers * s.opts.MaxBatch
+	if perRound < 1 {
+		perRound = 1
+	}
+	rounds := depth/perRound + 1
+	d := time.Duration(rounds) * s.opts.MaxWait
+	if d < 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// setRetryAfter stamps the backoff hint on a 503: standard Retry-After
+// in whole seconds (rounded up, as the RFC requires) plus the precise
+// millisecond header well-behaved clients prefer.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	d := s.RetryAfterHint()
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	w.Header().Set(RetryAfterMSHeader, strconv.FormatInt(d.Milliseconds(), 10))
 }
 
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
@@ -581,12 +666,19 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	version := s.registry.DefaultVersion()
+	w.Header().Set(VersionHeader, strconv.FormatUint(version, 10))
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"pair":           s.registry.Pair().Name(),
-		"models":         len(s.registry.List()),
-		"quarantined":    len(s.registry.Quarantined()),
-		"uptime_seconds": time.Since(s.started).Seconds(),
+		"status":           status,
+		"pair":             s.registry.Pair().Name(),
+		"models":           len(s.registry.List()),
+		"quarantined":      len(s.registry.Quarantined()),
+		"registry_version": version,
+		"uptime_seconds":   time.Since(s.started).Seconds(),
 	})
 }
 
