@@ -32,6 +32,14 @@
 //	    fault injector behind /v1/chaos; -debug-addr exposes the debug
 //	    surface (/debug/pprof, /debug/traces) on a second address and
 //	    -trace-sample tunes how many unflagged traces the ring retains
+//	heteromap serve -online -shadow-dir /tmp/shadows -uncertainty-floor 0.3
+//	    close the predict -> execute -> learn loop: every served
+//	    prediction is realized against the machine models and its cost
+//	    gap feeds per-cell drift detection (heteromap_drift_* metrics,
+//	    /v1/online snapshot); on drift the manager retrains a shadow
+//	    model on the feedback window and promotes it only through the
+//	    canary-validated reload path; low-confidence predictions
+//	    reroute to a bounded exhaustive probe (-uncertainty-floor)
 //	heteromap serve -cluster -addr 127.0.0.1:8101
 //	    run as a cluster node: SIGINT/SIGTERM announces a drain on
 //	    /healthz (routers deregister the node) and keeps serving for
@@ -70,6 +78,7 @@ import (
 	"heteromap/internal/core"
 	"heteromap/internal/fault"
 	"heteromap/internal/obs"
+	"heteromap/internal/online"
 	"heteromap/internal/sched"
 	"heteromap/internal/serve"
 	"heteromap/internal/train"
@@ -119,6 +128,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	debugAddr := fs.String("debug-addr", "", "serve: extra listen address for the debug surface (/debug/pprof, /debug/traces)")
 	traceSample := fs.Float64("trace-sample", 0, "serve: retention rate for unflagged traces in /debug/traces (0: server default 0.1, 1: keep all; flagged traces are always kept)")
 	trace := fs.Bool("trace", false, "run: record a per-run trace and print its id and span timeline")
+	onlineMode := fs.Bool("online", false, "serve: close the predict->execute->learn loop — feedback collection, drift detection, uncertainty routing and canary-gated shadow retraining (/v1/online)")
+	driftWindow := fs.Int("drift-window", 0, "serve -online: consecutive over-threshold observations before the drift signal arms (0: default 16)")
+	driftThreshold := fs.Float64("drift-threshold", 0, "serve -online: EWMA cost-gap level that counts as drifting (0: default 0.25)")
+	uncertaintyFloor := fs.Float64("uncertainty-floor", 0, "serve -online: confidence below which a prediction reroutes to the bounded exhaustive probe (0 disables routing)")
+	shadowDir := fs.String("shadow-dir", "", "serve -online: directory for shadow retrain databases (empty: retraining disabled, drift is detect-only)")
+	probeCap := fs.Int("probe-cap", 0, "serve -online: candidate-grid bound for an uncertainty probe (0: default 32)")
+	retrainMin := fs.Int("retrain-min", 0, "serve -online: minimum feedback-window size before a shadow retrain (0: default 256)")
 
 	switch cmd {
 	case "list", "characterize", "predict", "run", "sweep", "phased", "explain", "batch", "serve":
@@ -165,6 +181,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				stageBudget: *stageBudget, debugAddr: *debugAddr,
 				traceSample: *traceSample,
 				cluster:     *clusterMode, drainGrace: *drainGrace,
+				online:      *onlineMode, driftWindow: *driftWindow,
+				driftThreshold: *driftThreshold, uncertaintyFloor: *uncertaintyFloor,
+				shadowDir: *shadowDir, probeCap: *probeCap, retrainMin: *retrainMin,
 			}, stdout, stderr)
 		}
 		if err != nil {
@@ -332,6 +351,14 @@ type serveOptions struct {
 	traceSample float64
 	cluster     bool
 	drainGrace  time.Duration
+
+	online           bool
+	driftWindow      int
+	driftThreshold   float64
+	uncertaintyFloor float64
+	shadowDir        string
+	probeCap         int
+	retrainMin       int
 }
 
 // routerOptions collects the cluster-router flags.
@@ -438,6 +465,31 @@ func runServe(o systemOptions, so serveOptions, stdout, stderr io.Writer) error 
 	if so.traceSample != 0 {
 		tracer = obs.NewTracer(obs.Options{SampleRate: so.traceSample})
 	}
+
+	// The online manager closes the loop for the default model family:
+	// serve.New binds its promotion path to the registry's validated
+	// reload, so a shadow retrain clears the same canary gate as a
+	// hand-triggered /v1/reload.
+	var mgr *online.Manager
+	if so.online {
+		obj := train.Performance
+		if o.energy {
+			obj = train.Energy
+		}
+		mgr = online.New(online.Options{
+			Pair:             pair,
+			Objective:        obj,
+			Model:            defaultModelName(reg),
+			DriftWindow:      so.driftWindow,
+			DriftThreshold:   so.driftThreshold,
+			UncertaintyFloor: so.uncertaintyFloor,
+			ShadowDir:        so.shadowDir,
+			ProbeCap:         so.probeCap,
+			RetrainMin:       so.retrainMin,
+			Tracer:           tracer,
+		})
+	}
+
 	srv := serve.New(serve.Options{
 		Addr:        so.addr,
 		Pair:        pair,
@@ -451,7 +503,20 @@ func runServe(o systemOptions, so serveOptions, stdout, stderr io.Writer) error 
 		StageBudget: so.stageBudget,
 		Canary:      canary,
 		Chaos:       injector,
+		Online:      mgr,
 	})
+	if mgr != nil {
+		// serve.New bound the promotion and live-choice hooks; only now
+		// may the background collector run.
+		mgr.Start()
+		defer mgr.Stop()
+		retrain := "detect-only (no -shadow-dir)"
+		if so.shadowDir != "" {
+			retrain = "shadow retraining to " + so.shadowDir
+		}
+		fmt.Fprintf(stdout, "online: learning loop on model %q, %s; snapshot at /v1/online\n",
+			mgr.Model(), retrain)
+	}
 
 	if so.debugAddr != "" {
 		// The debug surface (pprof + trace ring) listens separately so it

@@ -58,16 +58,9 @@ func main() {
 	fmt.Printf("database built in %.1fs (%d samples)\n", time.Since(start).Seconds(), len(db.Samples))
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := db.Save(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
+		// Atomic write-temp + rename: a crash mid-write can never leave a
+		// torn database under the output name.
+		if err := db.SaveFile(*out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -15,6 +15,10 @@
 //	    storm an already-running cluster router: the chaos flipper
 //	    posts router-layer fault profiles (slow-peer, partition,
 //	    node-kill) to its /v1/chaos
+//	loadtest -addr 127.0.0.1:8080 -drift -duration 6s
+//	    shift the request mix mid-run from social-network-style to
+//	    road-network-style graphs — the workload-shift stimulus for a
+//	    server running with -online — and gate on -min-availability
 //
 // Exit code 0 when the run completes with zero request errors (or, in
 // chaos mode, with availability at or above -min-availability).
@@ -50,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 42, "mix-generation seed")
 	model := fs.String("model", "", "model name to request (empty: server default)")
 	stages := fs.Bool("stages", false, "report the server-side per-stage latency breakdown next to client percentiles")
+	drift := fs.Bool("drift", false, "shift the request mix mid-run to a road-network-style pool (workload-shift stimulus for serve -online) and gate on availability")
+	driftAfter := fs.Duration("drift-after", 0, "drift mode: when the mix shifts (0: half the run)")
 	chaos := fs.Bool("chaos", false, "flip serve-fault profiles mid-run and gate on availability (server must enable chaos)")
 	chaosRate := fs.Float64("chaos-rate", 0.3, "chaos fault-profile intensity in [0,1]")
 	minAvail := fs.Float64("min-availability", 0.99, "chaos mode: fail the run below this availability")
@@ -125,6 +131,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:        *seed,
 		Model:       *model,
 		Stages:      *stages,
+		Drift:       *drift,
+		DriftAfter:  *driftAfter,
 		Chaos:       *chaos,
 		Cluster:     *clusterMode,
 		ChaosRate:   *chaosRate,
@@ -134,9 +142,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintln(stdout, res)
-	if *chaos {
-		// Under injected faults, shed/hedged requests are expected; the
-		// pass criterion is availability, not zero errors.
+	if *chaos || *drift {
+		// Under injected faults (or a mid-run workload shift feeding the
+		// online learning loop, whose promotion purges the cache), shed
+		// requests are expected; the pass criterion is availability.
 		if res.Availability < *minAvail {
 			fmt.Fprintf(stderr, "loadtest: availability %.2f%% below the %.2f%% floor\n",
 				res.Availability*100, *minAvail*100)

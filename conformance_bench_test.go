@@ -51,3 +51,11 @@ func BenchmarkConformanceServePredictE2E(b *testing.B) {
 func BenchmarkConformanceTrainBuildDB(b *testing.B) {
 	conformanceTarget(b, "train/build-db")
 }
+
+func BenchmarkConformanceOnlineFeedbackIngest(b *testing.B) {
+	conformanceTarget(b, "online/feedback-ingest")
+}
+
+func BenchmarkConformanceOnlineDriftCheck(b *testing.B) {
+	conformanceTarget(b, "online/drift-check")
+}

@@ -15,6 +15,7 @@ import (
 	"heteromap/internal/config"
 	"heteromap/internal/feature"
 	"heteromap/internal/machine"
+	"heteromap/internal/online"
 	"heteromap/internal/predict/dtree"
 	"heteromap/internal/predict/nn"
 	"heteromap/internal/serve"
@@ -79,6 +80,16 @@ func BenchTargets(short bool) []BenchTarget {
 			Name: "train/build-db",
 			Doc:  "offline database build throughput (exhaustive sweep per sample)",
 			Run:  benchTrainBuildDB(short),
+		},
+		{
+			Name: "online/feedback-ingest",
+			Doc:  "predict e2e with the learning-loop hook (ns/op) vs without (plain_ns/op, overhead_pct)",
+			Run:  benchOnlineFeedbackIngest,
+		},
+		{
+			Name: "online/drift-check",
+			Doc:  "one drift-detector observation (EWMA + cell stats + signal window) plus the arming check",
+			Run:  benchOnlineDriftCheck,
 		},
 	}
 }
@@ -300,6 +311,82 @@ func benchTrainBuildDB(short bool) func(b *testing.B) {
 		}
 		if built != b.N*samples {
 			b.Fatalf("built %d samples, want %d", built, b.N*samples)
+		}
+	}
+}
+
+// benchOnlineFeedbackIngest prices the serve-path cost of closing the
+// learning loop: ns/op is the steady-state predict e2e with the online
+// manager's feedback hook enqueueing every decision, plain_ns/op a
+// matched reference run without the hook, and overhead_pct their
+// relative cost. The acceptance budget is 2%: the hook is a sharded
+// overwrite-oldest ring enqueue, and every expensive step (machine-model
+// realization, drift accounting, retraining) happens in the background
+// collector — which stays stopped here so the measurement isolates what
+// the request path pays.
+func benchOnlineFeedbackIngest(b *testing.B) {
+	mgr := online.New(online.Options{Pair: machine.PrimaryPair(), Model: "tree"})
+	hooked, hookedBodies, stopHooked := benchServeSetup(b, serve.Options{Online: mgr})
+	defer stopHooked()
+	plain, plainBodies, stopPlain := benchServeSetup(b, serve.Options{})
+	defer stopPlain()
+	hc, pc := hooked.Client(), plain.Client()
+
+	// Warm both caches so both measurements cover the cache-hit path.
+	for i := range hookedBodies {
+		servePredictOnce(b, hc, hooked.URL+"/v1/predict", hookedBodies[i])
+		servePredictOnce(b, pc, plain.URL+"/v1/predict", plainBodies[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		servePredictOnce(b, hc, hooked.URL+"/v1/predict", hookedBodies[i%len(hookedBodies)])
+	}
+	b.StopTimer()
+	hookedNS := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	if got := mgr.Snapshot().Ingested; got < uint64(b.N) {
+		b.Fatalf("hook enqueued %d samples, want at least %d", got, b.N)
+	}
+
+	refN := b.N
+	if refN > 4096 {
+		refN = 4096
+	}
+	if refN < 256 {
+		refN = 256
+	}
+	start := time.Now()
+	for i := 0; i < refN; i++ {
+		servePredictOnce(b, pc, plain.URL+"/v1/predict", plainBodies[i%len(plainBodies)])
+	}
+	plainNS := float64(time.Since(start).Nanoseconds()) / float64(refN)
+	b.ReportMetric(plainNS, "plain_ns/op")
+	if plainNS > 0 {
+		b.ReportMetric((hookedNS-plainNS)/plainNS*100, "overhead_pct")
+	}
+}
+
+// benchOnlineDriftCheck prices the collector-side drift accounting per
+// outcome: one Detector.Observe (family EWMA, per-cell stats, the
+// consecutive-over-threshold window) plus the Drifting check the
+// retrain scheduler makes. Gaps stay below threshold so the signal
+// never arms and every iteration walks the same path.
+func benchOnlineDriftCheck(b *testing.B) {
+	det := online.NewDetector(0.1, 0.25, 16)
+	pts := benchPoints(64)
+	keys := make([]string, len(pts))
+	for i, p := range pts {
+		keys[i] = p.Features.Discretized(feature.DiscretizationStep).Key()
+	}
+	rng := rand.New(rand.NewSource(31))
+	gaps := make([]float64, 256)
+	for i := range gaps {
+		gaps[i] = rng.Float64() * 0.2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Observe("tree", keys[i%len(keys)], gaps[i%len(gaps)])
+		if det.Drifting("tree") {
+			b.Fatal("sub-threshold gaps armed the drift signal")
 		}
 	}
 }

@@ -1,0 +1,52 @@
+package online
+
+import (
+	"heteromap/internal/feature"
+	"heteromap/internal/predict"
+	"heteromap/internal/predict/dtree"
+	"heteromap/internal/predict/nn"
+)
+
+// neutralConfidence is the margin assigned to predictors whose geometry
+// the package cannot introspect (lookup, regressions, fixed fallback):
+// neither trusted nor distrusted a priori; the conformal residual term
+// still deflates them when the feedback window says they are wrong.
+const neutralConfidence = 0.5
+
+// Assess computes the confidence of one served prediction and decides
+// whether it should be re-derived by an exhaustive probe instead.
+//
+// Confidence is margin / (1 + residual): the served predictor's own
+// geometric margin around the decision — how far the characterization
+// sits from a decision boundary — deflated by the conformal residual
+// quantile of that predictor's recent realized gaps. A predictor that
+// is confidently wrong (large margin, large residuals) loses its
+// routing privilege just like one that is honestly unsure.
+//
+// link is the chain predictor that produced the decision (nil is fine:
+// fallback labels and unknown links assess at the neutral margin).
+func (m *Manager) Assess(link predict.Predictor, f feature.Vector) (confidence float64, probe bool) {
+	floor := m.opts.UncertaintyFloor
+	if floor <= 0 {
+		return 1, false
+	}
+	margin := neutralConfidence
+	name := ""
+	if link != nil {
+		name = link.Name()
+		switch p := link.(type) {
+		case *dtree.Tree:
+			// Normalize the grid-probe margin into (0, 1].
+			margin = p.DecisionMargin(f) / dtree.MaxDecisionMargin
+		case *nn.Network:
+			// Squash the unbounded M1 output margin into [0, 1).
+			v := p.M1Margin(f)
+			if v < 0 {
+				v = -v
+			}
+			margin = v / (1 + v)
+		}
+	}
+	confidence = margin / (1 + m.residualQuantile(name))
+	return confidence, confidence < floor
+}

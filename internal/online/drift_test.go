@@ -1,0 +1,122 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDetectorGoldenEWMA pins the exact EWMA trajectory for alpha=0.5
+// on a fixed gap sequence. With seeding-from-first-observation the
+// closed form is hand-checkable: e_1 = g_1, e_k = e_{k-1} + 0.5*(g_k -
+// e_{k-1}).
+func TestDetectorGoldenEWMA(t *testing.T) {
+	d := NewDetector(0.5, 0.25, 3)
+	gaps := []float64{0.8, 0.4, 0.2, 0.0, 0.0, 0.0}
+	// Hand-computed: 0.8, 0.6, 0.4, 0.2, 0.1, 0.05.
+	want := []float64{0.8, 0.6, 0.4, 0.2, 0.1, 0.05}
+	for i, g := range gaps {
+		d.Observe("tree", "cell", g)
+		if got := d.EWMA("tree"); math.Abs(got-want[i]) > 1e-12 {
+			t.Fatalf("after gap %d: ewma = %v, want %v", i+1, got, want[i])
+		}
+	}
+	// The first three observations all kept the EWMA above 0.25, so the
+	// window=3 signal rose exactly once...
+	if got := d.Signals("tree"); got != 1 {
+		t.Fatalf("signals = %d, want 1", got)
+	}
+	// ...and the decay through 0.125 (< threshold/2) disarmed it.
+	if d.Drifting("tree") {
+		t.Fatal("signal still armed after recovery below hysteresis floor")
+	}
+}
+
+// TestDetectorSignalsAfterWindow checks the arming rule precisely: the
+// signal rises on the Window-th consecutive over-threshold observation,
+// not before.
+func TestDetectorSignalsAfterWindow(t *testing.T) {
+	d := NewDetector(0.5, 0.25, 4)
+	for i := 0; i < 3; i++ {
+		if rising := d.Observe("tree", "cell", 1.0); rising {
+			t.Fatalf("signal rose on observation %d, want only on 4", i+1)
+		}
+	}
+	if !d.Observe("tree", "cell", 1.0) {
+		t.Fatal("signal did not rise on the 4th over-threshold observation")
+	}
+	if !d.Drifting("tree") {
+		t.Fatal("family not drifting after rising edge")
+	}
+	// A second episode needs ClearSignal plus a fresh full window.
+	d.ClearSignal("tree")
+	if d.Drifting("tree") {
+		t.Fatal("ClearSignal left the signal armed")
+	}
+	for i := 0; i < 3; i++ {
+		d.Observe("tree", "cell", 1.0)
+	}
+	if d.Drifting("tree") {
+		t.Fatal("signal re-armed before a fresh full window")
+	}
+	d.Observe("tree", "cell", 1.0)
+	if !d.Drifting("tree") || d.Signals("tree") != 2 {
+		t.Fatalf("second episode: drifting=%v signals=%d, want true/2",
+			d.Drifting("tree"), d.Signals("tree"))
+	}
+}
+
+// TestZeroErrorNeverDrifts is the property the loop's safety rests on:
+// a predictor that always serves the exhaustive optimum (gap 0) must
+// never signal drift, for any detector parameterization.
+func TestZeroErrorNeverDrifts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		alpha := 0.05 + 0.95*rng.Float64()
+		threshold := 0.01 + rng.Float64()
+		window := 1 + rng.Intn(32)
+		d := NewDetector(alpha, threshold, window)
+		n := 100 + rng.Intn(400)
+		for i := 0; i < n; i++ {
+			if d.Observe("m", "c", 0) {
+				t.Fatalf("trial %d (alpha=%v threshold=%v window=%d): zero-gap feedback signalled drift",
+					trial, alpha, threshold, window)
+			}
+		}
+		if d.Drifting("m") || d.Signals("m") != 0 || d.EWMA("m") != 0 {
+			t.Fatalf("trial %d: drift state polluted by zero-gap feedback", trial)
+		}
+	}
+}
+
+// Negative gaps are clamped (the exhaustive best is a lower bound, so a
+// negative gap can only be numeric noise) and must not disarm progress.
+func TestDetectorClampsNegativeGaps(t *testing.T) {
+	d := NewDetector(0.5, 0.25, 2)
+	d.Observe("m", "c", -3)
+	if got := d.EWMA("m"); got != 0 {
+		t.Fatalf("ewma after negative gap = %v, want 0", got)
+	}
+}
+
+func TestDetectorCellStats(t *testing.T) {
+	d := NewDetector(0.5, 0.25, 4)
+	d.Observe("m", "a", 0.2)
+	d.Observe("m", "a", 0.4)
+	d.Observe("m", "b", 1.0)
+	n, mean, ewma := d.CellGap("a")
+	if n != 2 || math.Abs(mean-0.3) > 1e-12 || math.Abs(ewma-0.3) > 1e-12 {
+		t.Fatalf("cell a: n=%d mean=%v ewma=%v, want 2/0.3/0.3", n, mean, ewma)
+	}
+	if d.Cells() != 2 {
+		t.Fatalf("cells = %d, want 2", d.Cells())
+	}
+	d.ResetCells()
+	if d.Cells() != 0 {
+		t.Fatal("ResetCells left cells behind")
+	}
+	// Family stats survive a cell reset.
+	if d.EWMA("m") == 0 {
+		t.Fatal("family stats lost on cell reset")
+	}
+}

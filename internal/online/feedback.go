@@ -1,0 +1,235 @@
+package online
+
+import (
+	"sync"
+	"time"
+
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict"
+	"heteromap/internal/train"
+)
+
+// Sample is what the serve-path hook enqueues for one served prediction:
+// just the decision and its identifiers, nothing computed. Keeping the
+// hook this thin is what keeps its cost invisible next to the serve path
+// (the online/feedback-ingest benchmark gates it).
+type Sample struct {
+	// Key is the discretized feature key the prediction was served under.
+	Key string
+	// Features is the discretized characterization.
+	Features feature.Vector
+	// M is the configuration that was served.
+	M config.M
+	// Model is the registry family that answered (drift is tracked per
+	// family).
+	Model string
+	// Predictor is the chain link (or "probe") that produced M.
+	Predictor string
+	// TraceID links the outcome back to /v1/explain and /debug/traces.
+	TraceID string
+	// Probed marks write-backs from the uncertainty-routed probe path.
+	Probed bool
+}
+
+// Outcome is a Sample the collector has executed against the machine
+// models: the realized makespan of the served configuration, the
+// exhaustive best over the candidate grid for the same cell, and the
+// cost gap between them — the same statistic the conformance oracle
+// computes offline.
+type Outcome struct {
+	Sample
+	// ChosenCost is the realized makespan (or energy, under the energy
+	// objective) of the served M on the cell's synthesized job.
+	ChosenCost float64
+	// BestCost and BestM are the exhaustive-sweep optimum for the cell.
+	BestCost float64
+	BestM    config.M
+	// Gap is ChosenCost/BestCost - 1: zero when the served configuration
+	// was optimal.
+	Gap float64
+	// When stamps collection time (not used by any statistic, so the
+	// learning loop stays deterministic under test).
+	When time.Time
+}
+
+// ingestRing is the bounded, sharded append log between the serve-path
+// hook and the background collector. Each shard is an overwrite-oldest
+// ring under its own mutex: the hook never blocks and never allocates,
+// and a stalled collector costs dropped feedback (counted), never serve
+// latency.
+type ingestRing struct {
+	shards []*ingestShard
+}
+
+type ingestShard struct {
+	mu    sync.Mutex
+	buf   []Sample
+	head  int // next write position
+	count int // live entries (<= len(buf))
+	drops uint64
+}
+
+func newIngestRing(capacity, shards int) *ingestRing {
+	if shards < 1 {
+		shards = 1
+	}
+	if capacity < shards {
+		capacity = shards
+	}
+	r := &ingestRing{shards: make([]*ingestShard, shards)}
+	per := capacity / shards
+	for i := range r.shards {
+		r.shards[i] = &ingestShard{buf: make([]Sample, per)}
+	}
+	return r
+}
+
+// Add appends a sample, overwriting the oldest pending entry when the
+// shard is full (the overwritten entry counts as a drop).
+func (r *ingestRing) Add(s Sample) {
+	sh := r.shards[int(s.Features.ShardHash()%uint64(len(r.shards)))]
+	sh.mu.Lock()
+	sh.buf[sh.head] = s
+	sh.head = (sh.head + 1) % len(sh.buf)
+	if sh.count < len(sh.buf) {
+		sh.count++
+	} else {
+		sh.drops++
+	}
+	sh.mu.Unlock()
+}
+
+// Drain removes and returns up to max pending samples, oldest first
+// within each shard, round-robining across shards so no shard starves.
+func (r *ingestRing) Drain(max int) []Sample {
+	if max <= 0 {
+		max = 1
+	}
+	out := make([]Sample, 0, max)
+	for _, sh := range r.shards {
+		if len(out) >= max {
+			break
+		}
+		sh.mu.Lock()
+		take := sh.count
+		if take > max-len(out) {
+			take = max - len(out)
+		}
+		start := (sh.head - sh.count + len(sh.buf)*2) % len(sh.buf)
+		for i := 0; i < take; i++ {
+			out = append(out, sh.buf[(start+i)%len(sh.buf)])
+		}
+		sh.count -= take
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Pending reports how many samples await collection.
+func (r *ingestRing) Pending() int {
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		n += sh.count
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Drops reports how many samples were overwritten before collection.
+func (r *ingestRing) Drops() uint64 {
+	var n uint64
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		n += sh.drops
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Window is the sliding window of completed outcomes: the retraining
+// set, the conformal-residual source, and the drift evidence. It is a
+// bounded ring (oldest evicted) with copy-out snapshots, so a shadow
+// retrain reads a stable view while ingest keeps appending.
+type Window struct {
+	mu    sync.Mutex
+	buf   []Outcome
+	head  int
+	count int
+	total uint64
+}
+
+// NewWindow builds a window holding up to capacity outcomes.
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Window{buf: make([]Outcome, capacity)}
+}
+
+// Add appends an outcome, evicting the oldest at capacity.
+func (w *Window) Add(o Outcome) {
+	w.mu.Lock()
+	w.buf[w.head] = o
+	w.head = (w.head + 1) % len(w.buf)
+	if w.count < len(w.buf) {
+		w.count++
+	}
+	w.total++
+	w.mu.Unlock()
+}
+
+// Len reports the live outcome count.
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
+
+// Total reports outcomes ever added (including evicted ones).
+func (w *Window) Total() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
+
+// Snapshot copies the live outcomes, oldest first.
+func (w *Window) Snapshot() []Outcome {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Outcome, 0, w.count)
+	start := (w.head - w.count + len(w.buf)*2) % len(w.buf)
+	for i := 0; i < w.count; i++ {
+		out = append(out, w.buf[(start+i)%len(w.buf)])
+	}
+	return out
+}
+
+// TrainingSamples converts outcomes into offline-format training
+// samples: the characterization paired with the exhaustive best M,
+// normalized exactly as train.BuildDatabase normalizes its targets — so
+// a window database is indistinguishable from an hmtrain database to
+// every consumer (LoadDB, LookupPredictor, /v1/reload).
+func TrainingSamples(outs []Outcome, limits config.Limits) []predict.Sample {
+	samples := make([]predict.Sample, len(outs))
+	for i, o := range outs {
+		samples[i] = predict.Sample{
+			Features: o.Features,
+			Target:   o.BestM.Normalize(limits),
+		}
+	}
+	return samples
+}
+
+// windowDB assembles a train.DB from a window snapshot.
+func windowDB(pair machine.Pair, objective train.Objective, outs []Outcome) *train.DB {
+	limits := pair.Limits()
+	return &train.DB{
+		Pair:      pair,
+		Limits:    limits,
+		Objective: objective,
+		Samples:   TrainingSamples(outs, limits),
+	}
+}

@@ -1,0 +1,50 @@
+package online
+
+import (
+	"heteromap/internal/config"
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+	"heteromap/internal/tune"
+)
+
+// ProbePredictor is the predictor label served predictions carry when
+// uncertainty routing re-derived them by exhaustive sweep. It appears
+// in /v1/explain provenance and in the feedback stream.
+const ProbePredictor = "probe"
+
+// Probe re-derives the configuration for a characterization by bounded
+// exhaustive sweep: the cell's job is synthesized deterministically and
+// every candidate in the capped, stride-sampled probe set is evaluated
+// on the machine models. It returns the winning configuration and its
+// realized cost. Once the background collector has seen the cell, the
+// cached full-grid optimum answers instead — a probe of a known cell is
+// exact and free.
+//
+// The sweep is ProbeCap candidate evaluations (default 32 of the
+// primary pair's 696) — single-digit microseconds on the analytic
+// models — which is why low-confidence requests can afford measured
+// truth instead of a guess. The caller writes the result back into the
+// feedback stream (Probed=true), so every probe also teaches the next
+// retrain.
+func (m *Manager) Probe(f feature.Vector) (config.M, float64) {
+	truth, ok := m.cellLookup(Sample{Key: f.Key(), Features: f})
+	if ok {
+		m.probes.Add(1)
+		return truth.bestM, truth.bestCost
+	}
+	job := m.probeJob(f)
+	res := tune.ExhaustiveSerial(m.probeSet, func(c config.M) float64 {
+		return m.opts.Realize(job, c)
+	})
+	m.probes.Add(1)
+	return res.Best, res.Score
+}
+
+// probeJob synthesizes the deterministic job for a cell (same seeding
+// as the collector, so probe and collection agree on ground truth).
+func (m *Manager) probeJob(f feature.Vector) machine.Job {
+	return synthesizeJob(f)
+}
+
+// Probes reports how many probes have run.
+func (m *Manager) Probes() uint64 { return m.probes.Load() }

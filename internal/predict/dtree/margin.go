@@ -1,0 +1,49 @@
+package dtree
+
+import (
+	"heteromap/internal/feature"
+)
+
+// MaxDecisionMargin is the saturation value DecisionMargin reports when
+// no probed perturbation flips the inter-accelerator choice: the point
+// sits at least one full probe sweep away from every decision boundary.
+const MaxDecisionMargin = 0.4
+
+// DecisionMargin measures how far a characterization sits from the
+// nearest M1 decision boundary: the smallest single-feature perturbation
+// on the 0.1 discretization grid (±0.1, ±0.2, ±0.3, clamped to [0,1])
+// that flips the tree's inter-accelerator choice. A margin of 0.1 means
+// one grid step of characterization noise changes the accelerator — the
+// tree's analog of a leaf with low purity — while MaxDecisionMargin
+// marks a point deep inside one region. The serving layer folds this
+// into per-prediction confidence for uncertainty routing.
+//
+// Probing the served tree itself (rather than re-deriving thresholds)
+// keeps the margin exact under threshold tuning (NewWithThreshold,
+// FitThreshold) and under future rule edits: whatever decide does, the
+// margin measures it.
+func (t *Tree) DecisionMargin(f feature.Vector) float64 {
+	base := t.SelectAccelerator(f)
+	for _, delta := range []float64{0.1, 0.2, 0.3} {
+		for i := range f {
+			for _, sign := range []float64{1, -1} {
+				v := f[i] + sign*delta
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				if v == f[i] {
+					continue // clamped back onto itself: no probe
+				}
+				probe := f
+				probe[i] = v
+				if t.SelectAccelerator(probe) != base {
+					return delta
+				}
+			}
+		}
+	}
+	return MaxDecisionMargin
+}

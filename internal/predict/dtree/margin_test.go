@@ -1,0 +1,85 @@
+package dtree
+
+import (
+	"testing"
+
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+)
+
+// boundaryVector sits one grid step from the layer-4 vertex-division
+// input-size gate (I1 >= 0.5 -> GPU): lowering I1 by 0.1 flips the
+// choice to multicore.
+func boundaryVector() feature.Vector {
+	var f feature.Vector
+	f[feature.BVertexDivision] = 1.0
+	f[feature.BDataAddressing] = 0.8
+	f[feature.BReadOnly] = 0.5
+	f[feature.BReadWrite] = 0.5
+	f[13] = 0.5 // I1 exactly at the layer-4 gate
+	f[14] = 0.6 // I2
+	f[15] = 0.2 // I3
+	f[16] = 0.2 // I4 (below the 0.6 long-convergence gate)
+	return f
+}
+
+// interiorVector sits deep inside the GPU region: every single-feature
+// probe within 0.3 keeps the same choice.
+func interiorVector() feature.Vector {
+	var f feature.Vector
+	f[feature.BVertexDivision] = 1.0
+	f[feature.BDataAddressing] = 0.8
+	f[feature.BReadOnly] = 0.5
+	f[feature.BReadWrite] = 0.5
+	f[13] = 0.9 // I1 far above every input-size gate
+	f[14] = 1.0
+	f[15] = 0.1
+	f[16] = 0.9
+	return f
+}
+
+func TestDecisionMarginBoundaryAndInterior(t *testing.T) {
+	tree := New(machine.PrimaryPair().Limits())
+
+	b := boundaryVector()
+	if got := tree.SelectAccelerator(b); got.String() != "GPU" {
+		t.Fatalf("boundary vector picked %s, want GPU", got)
+	}
+	if m := tree.DecisionMargin(b); m != 0.1 {
+		t.Fatalf("boundary margin = %v, want 0.1 (one grid step flips the choice)", m)
+	}
+
+	in := interiorVector()
+	if m := tree.DecisionMargin(in); m != MaxDecisionMargin {
+		t.Fatalf("interior margin = %v, want saturated %v", m, MaxDecisionMargin)
+	}
+}
+
+// The margin must agree with the tree it probes: for every tested
+// vector, a perturbation smaller than the margin never flips the choice.
+func TestDecisionMarginIsAFloor(t *testing.T) {
+	tree := New(machine.PrimaryPair().Limits())
+	for _, f := range []feature.Vector{boundaryVector(), interiorVector()} {
+		base := tree.SelectAccelerator(f)
+		margin := tree.DecisionMargin(f)
+		for i := range f {
+			for _, sign := range []float64{1, -1} {
+				for delta := 0.1; delta < margin-1e-9; delta += 0.1 {
+					probe := f
+					v := f[i] + sign*delta
+					if v < 0 {
+						v = 0
+					}
+					if v > 1 {
+						v = 1
+					}
+					probe[i] = v
+					if tree.SelectAccelerator(probe) != base {
+						t.Fatalf("feature %d %+.1f flips the choice inside the reported margin %v",
+							i, sign*delta, margin)
+					}
+				}
+			}
+		}
+	}
+}

@@ -43,6 +43,16 @@ type LoadGenOptions struct {
 	// actually spent the time.
 	Stages bool
 
+	// Drift shifts the request mix mid-run: workers start on the calm
+	// social-network-style pool and switch to a road-network-style pool
+	// (sparse, high-diameter graphs — the paper's FB-vs-CA dataset
+	// split). Offline-trained predictors realize much larger cost gaps
+	// on the shifted pool, so a run with Drift set is the workload-shift
+	// stimulus for the online learning loop's drift detector.
+	Drift bool
+	// DriftAfter is when the shift happens (default Duration/2).
+	DriftAfter time.Duration
+
 	// Chaos flips the server's serve-fault profile mid-run (via POST
 	// /v1/chaos) so the report measures availability under rotating
 	// failure modes. The server must be running with chaos enabled.
@@ -77,6 +87,9 @@ func (o LoadGenOptions) withDefaults() LoadGenOptions {
 	}
 	if o.ChaosRate <= 0 {
 		o.ChaosRate = 0.3
+	}
+	if o.Drift && o.DriftAfter <= 0 {
+		o.DriftAfter = o.Duration / 2
 	}
 	if o.ChaosFlip <= 0 {
 		o.ChaosFlip = o.Duration / 6
@@ -196,6 +209,29 @@ func buildMix(o LoadGenOptions) []synthCombo {
 	return combos
 }
 
+// buildDriftMix synthesizes the shifted pool: road-network-shaped
+// graphs — few edges per vertex, modest maximum degree, very high
+// diameter — whose best configurations sit far from what the calm
+// pool's traffic rewards.
+func buildDriftMix(o LoadGenOptions) []synthCombo {
+	rng := rand.New(rand.NewSource(o.Seed + 104729))
+	benches := algo.All()
+	combos := make([]synthCombo, o.Combos)
+	for i := range combos {
+		b := benches[rng.Intn(len(benches))]
+		v := int64(1e6 * (1 + rng.Float64()*29)) // 1M..30M vertices
+		combos[i] = synthCombo{req: PredictRequest{
+			Model:     o.Model,
+			Bench:     b.Name,
+			Vertices:  v,
+			Edges:     v * (2 + int64(rng.Intn(3))),  // 2-4 edges/vertex
+			MaxDegree: 3 + int64(rng.Intn(8)),        // 3-10
+			Diameter:  int64(3000 + rng.Intn(27000)), // 3k-30k
+		}}
+	}
+	return combos
+}
+
 // pick returns a mix index with a hot-set skew: 80% of picks land in the
 // first 20% of the pool.
 func pick(rng *rand.Rand, n int) int {
@@ -217,11 +253,16 @@ func RunLoadGen(o LoadGenOptions) (LoadGenResult, error) {
 		return LoadGenResult{}, fmt.Errorf("serve: loadgen needs a server URL")
 	}
 	mix := buildMix(o)
+	var driftMix []synthCombo
+	if o.Drift {
+		driftMix = buildDriftMix(o)
+	}
 	client := &http.Client{Timeout: 10 * time.Second}
 
 	var requests, predictions, errors, serverFailures, backoffs atomic.Uint64
 	latencies := make([][]time.Duration, o.Concurrency)
 	deadline := time.Now().Add(o.Duration)
+	driftAt := time.Now().Add(o.DriftAfter)
 
 	stopChaos := make(chan struct{})
 	if o.Chaos {
@@ -236,19 +277,23 @@ func RunLoadGen(o LoadGenOptions) (LoadGenResult, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(o.Seed + int64(g)*7919))
 			for time.Now().Before(deadline) {
+				pool := mix
+				if o.Drift && time.Now().After(driftAt) {
+					pool = driftMix
+				}
 				var body any
 				var url string
 				n := 1
 				if o.BatchSize > 1 {
 					reqs := make([]PredictRequest, o.BatchSize)
 					for i := range reqs {
-						reqs[i] = mix[pick(rng, len(mix))].req
+						reqs[i] = pool[pick(rng, len(pool))].req
 					}
 					body = BatchRequest{Requests: reqs}
 					url = o.URL + "/v1/predict/batch"
 					n = o.BatchSize
 				} else {
-					body = mix[pick(rng, len(mix))].req
+					body = pool[pick(rng, len(pool))].req
 					url = o.URL + "/v1/predict"
 				}
 				buf, _ := json.Marshal(body)

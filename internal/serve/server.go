@@ -13,10 +13,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"heteromap/internal/config"
 	"heteromap/internal/fault"
 	"heteromap/internal/feature"
 	"heteromap/internal/machine"
 	"heteromap/internal/obs"
+	"heteromap/internal/online"
 	"heteromap/internal/predict/dtree"
 	"heteromap/internal/predict/nn"
 )
@@ -71,6 +73,14 @@ type Options struct {
 	// Chaos injects serve-path faults for resilience testing (nil:
 	// none). The /v1/chaos endpoint is enabled only when this is set.
 	Chaos *fault.ServeInjector
+
+	// Online closes the predict -> execute -> learn loop: every served
+	// prediction is fed back for outcome collection and drift detection,
+	// low-confidence answers are re-derived by exhaustive probe, and
+	// drift-triggered shadow retrains promote through the same
+	// canary-gated reload path as /v1/reload (nil: no online learning).
+	// The /v1/online endpoint is enabled only when this is set.
+	Online *online.Manager
 
 	// Tracer records per-request traces and provenance; nil builds a
 	// default tracer unless DisableTracing is set. Supply one explicitly
@@ -193,6 +203,34 @@ func New(opts Options) *Server {
 		started: time.Now(),
 	}
 	s.http = &http.Server{Addr: opts.Addr, Handler: s.Handler()}
+	if on := opts.Online; on != nil {
+		// The learning loop's promotion path IS the operator reload path:
+		// a shadow database goes through ReloadDBValidated with the same
+		// canary config, so a bad retrain quarantines exactly like a bad
+		// file reload and can never serve.
+		on.BindPromote(func(model, path string) (uint64, error) {
+			if model == "" {
+				model = on.Model()
+			}
+			m, _, err := s.registry.ReloadDBValidated(model, path, s.opts.Canary)
+			if err != nil {
+				s.metrics.ReloadRejected.Add(1)
+				// Same defensive purge as a rejected /v1/reload.
+				s.cache.PurgePrefix(model + "@")
+				return 0, err
+			}
+			s.metrics.ReloadCount.Add(1)
+			s.cache.PurgePrefix(model + "@")
+			return m.Version, nil
+		})
+		on.BindLive(func(f feature.Vector) config.M {
+			m, err := s.registry.Get(on.Model())
+			if err != nil {
+				return config.DefaultGPU(s.registry.Pair().Limits())
+			}
+			return m.Select(f).M
+		})
+	}
 	return s
 }
 
@@ -213,6 +251,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/reload", s.handleReload)
 	mux.HandleFunc("/v1/chaos", s.handleChaos)
+	mux.HandleFunc("/v1/online", s.handleOnline)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.Handle("/v1/explain/", s.tracer.ExplainHandler("/v1/explain/"))
@@ -335,9 +374,61 @@ func (s *Server) predictOne(ctx context.Context, req *PredictRequest) (PredictRe
 		return PredictResponse{}, status, err
 	}
 	resp.TraceID = obs.TraceID(ctx)
+	if s.opts.Online != nil {
+		s.observeOnline(ctx, model, feat, &resp)
+	}
 	s.noteResilience(ctx, &resp)
 	s.recordProvenance(model, feat, &resp)
 	return resp, http.StatusOK, nil
+}
+
+// observeOnline is the serve-path end of the learning loop: it assesses
+// the answer's confidence, re-derives low-confidence answers by bounded
+// exhaustive probe, and enqueues the final decision into the feedback
+// stream for background outcome collection.
+func (s *Server) observeOnline(ctx context.Context, model *Model, feat feature.Vector, resp *PredictResponse) {
+	on := s.opts.Online
+	if !resp.Cached && on.UncertaintyFloor() > 0 {
+		conf, probe := on.Assess(model.Link(resp.PredictorUsed), feat)
+		if probe {
+			_, sp := obs.StartSpan(ctx, "probe")
+			pm, _ := on.Probe(feat)
+			sp.SetAttr("confidence", strconv.FormatFloat(conf, 'g', 3, 64))
+			sp.End()
+			ev := fmt.Sprintf("probe: %s confidence %.3f below floor %.3f; exhaustive probe served",
+				resp.PredictorUsed, conf, on.UncertaintyFloor())
+			resp.M = pm
+			resp.PredictorUsed = online.ProbePredictor
+			resp.Resilience = append(resp.Resilience, ev)
+			// Overwrite the cache so repeats of this cell serve the probed
+			// answer without re-sweeping.
+			s.cache.Put(cacheKeyFor(model, feat), cachedPrediction{M: pm, Used: online.ProbePredictor})
+		}
+	}
+	on.Observe(online.Sample{
+		Key:       resp.Key,
+		Features:  feat,
+		M:         resp.M,
+		Model:     resp.Model,
+		Predictor: resp.PredictorUsed,
+		TraceID:   resp.TraceID,
+		Probed:    resp.PredictorUsed == online.ProbePredictor,
+	})
+}
+
+// handleOnline reports the learning loop's state; it is live only when
+// the server was started with online learning enabled.
+func (s *Server) handleOnline(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Online == nil {
+		s.errorJSON(r.Context(), w, http.StatusConflict,
+			fmt.Errorf("online learning not enabled (start with -online)"))
+		return
+	}
+	if r.Method != http.MethodGet {
+		s.errorJSON(r.Context(), w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.opts.Online.Snapshot())
 }
 
 // noteResilience flags the trace and logs a correlated slog line for
@@ -688,6 +779,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// without it.
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePrometheus(w, s.cache, s.batcher.QueueDepth, s.registry.List())
+	// The online exposition is appended after the core one so the core's
+	// byte-exact golden test stays untouched.
+	if s.opts.Online != nil {
+		s.opts.Online.WritePrometheus(w)
+	}
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {

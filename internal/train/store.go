@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"heteromap/internal/config"
 	"heteromap/internal/feature"
@@ -54,6 +56,51 @@ func (db *DB) Save(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// SaveFile writes the database to path atomically: the bytes go to a
+// temporary file in the same directory (same filesystem, so the final
+// rename cannot degrade into a copy), are fsynced, and only then replace
+// path in one rename. A crash at any point leaves either the previous
+// database or no file at all — never a torn prefix under the real name.
+// LoadDB independently rejects truncated input, so even a torn temp file
+// can never be mistaken for a database.
+func (db *DB) SaveFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".hmdb-*")
+	if err != nil {
+		return fmt.Errorf("train: save %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = db.Save(tmp); err != nil {
+		return fmt.Errorf("train: save %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("train: save %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("train: save %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("train: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadDBFile opens and deserializes a database written by SaveFile (or
+// any writer of the Save format).
+func LoadDBFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("train: load %s: %w", path, err)
+	}
+	defer f.Close()
+	return LoadDB(f)
 }
 
 // LoadDB deserializes a database saved by Save. The accelerator pair is
