@@ -68,6 +68,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -128,6 +129,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	debugAddr := fs.String("debug-addr", "", "serve: extra listen address for the debug surface (/debug/pprof, /debug/traces)")
 	traceSample := fs.Float64("trace-sample", 0, "serve: retention rate for unflagged traces in /debug/traces (0: server default 0.1, 1: keep all; flagged traces are always kept)")
 	trace := fs.Bool("trace", false, "run: record a per-run trace and print its id and span timeline")
+	durableDir := fs.String("durable-dir", "", "serve: root directory for crash-safe state — cache snapshots under <dir>/serve, the feedback WAL and window snapshots under <dir>/online; a restart replays and comes back warm (empty: volatile)")
+	snapshotInterval := fs.Duration("snapshot-interval", 30*time.Second, "serve -durable-dir: prediction-cache snapshot cadence")
+	windowFlush := fs.Duration("window-flush", 0, "serve -online: auto-flush the feedback window to -window-path this often (0: never)")
+	windowPath := fs.String("window-path", "", "serve -online: feedback-window flush destination, a valid hmtrain database (empty with -window-flush: <durable-dir>/online/window.db)")
 	onlineMode := fs.Bool("online", false, "serve: close the predict->execute->learn loop — feedback collection, drift detection, uncertainty routing and canary-gated shadow retraining (/v1/online)")
 	driftWindow := fs.Int("drift-window", 0, "serve -online: consecutive over-threshold observations before the drift signal arms (0: default 16)")
 	driftThreshold := fs.Float64("drift-threshold", 0, "serve -online: EWMA cost-gap level that counts as drifting (0: default 0.25)")
@@ -184,6 +189,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				online:      *onlineMode, driftWindow: *driftWindow,
 				driftThreshold: *driftThreshold, uncertaintyFloor: *uncertaintyFloor,
 				shadowDir: *shadowDir, probeCap: *probeCap, retrainMin: *retrainMin,
+				durableDir: *durableDir, snapshotInterval: *snapshotInterval,
+				windowFlush: *windowFlush, windowPath: *windowPath,
 			}, stdout, stderr)
 		}
 		if err != nil {
@@ -359,6 +366,11 @@ type serveOptions struct {
 	shadowDir        string
 	probeCap         int
 	retrainMin       int
+
+	durableDir       string
+	snapshotInterval time.Duration
+	windowFlush      time.Duration
+	windowPath       string
 }
 
 // routerOptions collects the cluster-router flags.
@@ -476,7 +488,14 @@ func runServe(o systemOptions, so serveOptions, stdout, stderr io.Writer) error 
 		if o.energy {
 			obj = train.Energy
 		}
-		mgr = online.New(online.Options{
+		flushPath := so.windowPath
+		if so.windowFlush > 0 && flushPath == "" {
+			if so.durableDir == "" {
+				return fmt.Errorf("-window-flush needs -window-path or -durable-dir")
+			}
+			flushPath = filepath.Join(so.durableDir, "online", "window.db")
+		}
+		oopts := online.Options{
 			Pair:             pair,
 			Objective:        obj,
 			Model:            defaultModelName(reg),
@@ -487,10 +506,23 @@ func runServe(o systemOptions, so serveOptions, stdout, stderr io.Writer) error 
 			ProbeCap:         so.probeCap,
 			RetrainMin:       so.retrainMin,
 			Tracer:           tracer,
-		})
+			WindowFlushEvery: so.windowFlush,
+			WindowFlushPath:  flushPath,
+		}
+		if so.durableDir != "" {
+			// Feedback WAL + window snapshots: the learning state a crash
+			// would otherwise erase replays at the next startup.
+			oopts.DurableDir = filepath.Join(so.durableDir, "online")
+		}
+		mgr = online.New(oopts)
+		if oopts.DurableDir != "" {
+			ds := mgr.DurableStats()
+			fmt.Fprintf(stdout, "durable: online recovery — snapshot_restored=%v wal_replayed=%d corrupt=%d quarantined=%d\n",
+				ds.SnapshotRestored, ds.Replayed, ds.CorruptRecords, ds.Quarantines)
+		}
 	}
 
-	srv := serve.New(serve.Options{
+	sopts := serve.Options{
 		Addr:        so.addr,
 		Pair:        pair,
 		Registry:    reg,
@@ -504,7 +536,20 @@ func runServe(o systemOptions, so serveOptions, stdout, stderr io.Writer) error 
 		Canary:      canary,
 		Chaos:       injector,
 		Online:      mgr,
-	})
+	}
+	if so.durableDir != "" {
+		sopts.DurableDir = filepath.Join(so.durableDir, "serve")
+		sopts.CacheSnapshotEvery = so.snapshotInterval
+	}
+	srv := serve.New(sopts)
+	if so.durableDir != "" {
+		// Every model is registered by now, so the recovery ladder can
+		// restamp them above the restored version floor and readmit the
+		// persisted cache before the listener opens.
+		ds := srv.RecoverDurable()
+		fmt.Fprintf(stdout, "durable: serve recovery — snapshot_restored=%v cache_restored=%d version_floor=%d restamped=%d\n",
+			ds.SnapshotRestored, ds.CacheRestored, ds.VersionFloor, ds.Restamped)
+	}
 	if mgr != nil {
 		// serve.New bound the promotion and live-choice hooks; only now
 		// may the background collector run.

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"heteromap/internal/conformance"
+	"heteromap/internal/durable"
 	"heteromap/internal/machine"
 	"heteromap/internal/obs"
 )
@@ -160,18 +161,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *out != "" {
-		f, err := os.Create(*out)
+		// Atomic temp+fsync+rename: a crash mid-write can never leave a
+		// torn BENCH report where CI expects the committed baseline.
+		err := durable.WriteFileAtomic(*out, "bench", nil, func(w io.Writer) error {
+			return conformance.WriteBench(w, report)
+		})
 		if err != nil {
-			fmt.Fprintf(stderr, "hmbench: %v\n", err)
-			return 1
-		}
-		if err := conformance.WriteBench(f, report); err != nil {
-			f.Close()
 			fmt.Fprintf(stderr, "hmbench: write %s: %v\n", *out, err)
-			return 1
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(stderr, "hmbench: close %s: %v\n", *out, err)
 			return 1
 		}
 		fmt.Fprintf(stdout, "wrote %s (%d targets)\n", *out, len(report.Results))

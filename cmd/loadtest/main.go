@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"heteromap/internal/cluster"
@@ -62,17 +63,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 	clusterMode := fs.Bool("cluster", false, "target a cluster router: with no -addr start an in-process N-node cluster; chaos posts router-layer fault profiles")
 	nodes := fs.Int("nodes", 3, "cluster mode: in-process serve-node count")
 	killAfter := fs.Duration("kill-after", 0, "cluster mode: hard-kill one in-process node this long into the run (0: never)")
+	restartAfter := fs.Duration("restart", 0, "cluster mode: restart the killed node this long after -kill-after, on its old address (0: never; gates on -min-availability)")
+	durableDir := fs.String("durable-dir", "", "cluster mode: per-node durable state root, so a -restart node comes back warm (empty with -restart: a private temp dir)")
+	snapshotEvery := fs.Duration("snapshot-interval", 200*time.Millisecond, "cluster mode: per-node cache snapshot cadence when durability is on")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *restartAfter > 0 && (!*clusterMode || *addr != "" || *killAfter <= 0) {
+		fmt.Fprintln(stderr, "loadtest: -restart needs an in-process cluster (-cluster, no -addr) and -kill-after")
 		return 2
 	}
 
 	url := "http://" + *addr
 	if *addr == "" && *clusterMode {
-		lc, err := cluster.StartLocal(cluster.LocalOptions{
+		dur := *durableDir
+		if dur == "" && *restartAfter > 0 {
+			tmp, err := os.MkdirTemp("", "loadtest-durable-")
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			defer os.RemoveAll(tmp)
+			dur = tmp
+		}
+		lopts := cluster.LocalOptions{
 			Nodes: *nodes,
 			Seed:  *seed,
 			Chaos: *chaos,
-		})
+		}
+		if dur != "" {
+			lopts.NodeOptions = func(i int, opts serve.Options) serve.Options {
+				opts.DurableDir = filepath.Join(dur, fmt.Sprintf("node-%d", i))
+				opts.CacheSnapshotEvery = *snapshotEvery
+				return opts
+			}
+		}
+		lc, err := cluster.StartLocal(lopts)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -87,6 +113,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 					victim, lc.NodeAddr(victim), *killAfter)
 				lc.KillNode(victim)
 			})
+			if *restartAfter > 0 {
+				time.AfterFunc(*killAfter+*restartAfter, func() {
+					if err := lc.RestartNode(victim); err != nil {
+						fmt.Fprintf(stderr, "restart node %d: %v\n", victim, err)
+						return
+					}
+					st := lc.Nodes[victim].DurableStats()
+					fmt.Fprintf(stdout, "restarted node %d (%s) at +%v: snapshot_restored=%v cache_restored=%d version_floor=%d\n",
+						victim, lc.NodeAddr(victim), *killAfter+*restartAfter,
+						st.SnapshotRestored, st.CacheRestored, st.VersionFloor)
+				})
+			}
 		}
 	} else if *addr == "" {
 		opts := serve.Options{Addr: "127.0.0.1:0"}
@@ -142,10 +180,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintln(stdout, res)
-	if *chaos || *drift {
-		// Under injected faults (or a mid-run workload shift feeding the
-		// online learning loop, whose promotion purges the cache), shed
-		// requests are expected; the pass criterion is availability.
+	if *chaos || *drift || *restartAfter > 0 {
+		// Under injected faults, a mid-run workload shift, or a node
+		// kill/restart cycle, shed requests are expected; the pass
+		// criterion is availability.
 		if res.Availability < *minAvail {
 			fmt.Fprintf(stderr, "loadtest: availability %.2f%% below the %.2f%% floor\n",
 				res.Availability*100, *minAvail*100)

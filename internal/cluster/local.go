@@ -63,6 +63,13 @@ type Local struct {
 
 	nodeErr   []chan error
 	routerErr chan error
+
+	// Per-node base options and bound addresses, recorded at StartLocal
+	// so RestartNode can bring a killed node back as the same node: same
+	// address (the prober readmits it through half-open), same durable
+	// directory (the recovery ladder warms it back up).
+	nodeOpts  []serve.Options
+	nodeAddrs []string
 }
 
 // startServer starts a serve.Server on an ephemeral port and waits for
@@ -88,10 +95,22 @@ func startServer(srv *serve.Server, errCh chan error) error {
 // killed node's replacement must come up on the old address for the
 // prober to readmit it.
 func newLocalNode(addr string) (*serve.Server, error) {
-	srv := serve.New(serve.Options{Addr: addr})
+	return newLocalNodeOpts(serve.Options{Addr: addr})
+}
+
+// newLocalNodeOpts is newLocalNode with full serve options: the restart
+// path uses it to revive a node with its original durability settings,
+// running the recovery ladder before the listener accepts traffic so
+// the first probe already sees the warmed cache.
+func newLocalNodeOpts(opts serve.Options) (*serve.Server, error) {
+	addr := opts.Addr
+	srv := serve.New(opts)
 	pair := machine.PrimaryPair()
 	if _, err := srv.Registry().Register("tree", "builtin decision tree", dtree.New(pair.Limits())); err != nil {
 		return nil, err
+	}
+	if opts.DurableDir != "" {
+		srv.RecoverDurable()
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Start() }()
@@ -131,6 +150,9 @@ func StartLocal(opts LocalOptions) (*Local, error) {
 			lc.Stop()
 			return nil, err
 		}
+		if sopts.DurableDir != "" {
+			srv.RecoverDurable()
+		}
 		errCh := make(chan error, 1)
 		if err := startServer(srv, errCh); err != nil {
 			lc.Stop()
@@ -138,6 +160,8 @@ func StartLocal(opts LocalOptions) (*Local, error) {
 		}
 		lc.Nodes = append(lc.Nodes, srv)
 		lc.nodeErr = append(lc.nodeErr, errCh)
+		lc.nodeOpts = append(lc.nodeOpts, sopts)
+		lc.nodeAddrs = append(lc.nodeAddrs, srv.Addr())
 	}
 
 	peers := make([]string, len(lc.Nodes))
@@ -183,6 +207,36 @@ func (lc *Local) NodeAddr(i int) string { return lc.Nodes[i].Addr() }
 // KillNode hard-kills node i: listener and live connections close
 // immediately, with no drain — the in-process kill -9.
 func (lc *Local) KillNode(i int) { lc.Nodes[i].Kill() }
+
+// RestartNode replaces a killed node i with a fresh server on the same
+// address and the same base options, so the router's half-open prober
+// readmits it as the node it knew. A node started with a durable
+// directory comes back through the recovery ladder — cache warmed,
+// registry version floor raised — before the listener accepts traffic.
+// The freed port can linger briefly after a hard kill, so the bind is
+// retried for a short window.
+func (lc *Local) RestartNode(i int) error {
+	if i < 0 || i >= len(lc.Nodes) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	opts := lc.nodeOpts[i]
+	opts.Addr = lc.nodeAddrs[i]
+	var srv *serve.Server
+	var err error
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		srv, err = newLocalNodeOpts(opts)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: restart node %d: %w", i, err)
+	}
+	lc.Nodes[i] = srv
+	return nil
+}
 
 // DrainNode starts a graceful drain on node i: its /healthz flips to
 // draining so the router deregisters it, while in-flight (and

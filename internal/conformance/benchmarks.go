@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"heteromap/internal/config"
+	"heteromap/internal/durable"
 	"heteromap/internal/feature"
 	"heteromap/internal/machine"
 	"heteromap/internal/online"
@@ -80,6 +81,16 @@ func BenchTargets(short bool) []BenchTarget {
 			Name: "train/build-db",
 			Doc:  "offline database build throughput (exhaustive sweep per sample)",
 			Run:  benchTrainBuildDB(short),
+		},
+		{
+			Name: "train/load-db",
+			Doc:  "checksummed database load (ns/op) vs the unchecksummed legacy format (legacy_ns/op, verify_overhead_pct)",
+			Run:  benchTrainLoadDB(short),
+		},
+		{
+			Name: "durable/wal-append",
+			Doc:  "one framed+checksummed feedback-WAL append (outcome-sized payload), fsync amortized per 16-record batch",
+			Run:  benchDurableWALAppend,
 		},
 		{
 			Name: "online/feedback-ingest",
@@ -311,6 +322,87 @@ func benchTrainBuildDB(short bool) func(b *testing.B) {
 		}
 		if built != b.N*samples {
 			b.Fatalf("built %d samples, want %d", built, b.N*samples)
+		}
+	}
+}
+
+// benchTrainLoadDB prices the durability tax on model loads: ns/op is a
+// full checksummed (HMD2) database load — every record CRC-verified and
+// the sealed footer checked — while a stopped-timer reference load of
+// the same samples in the legacy unchecksummed format yields
+// legacy_ns/op and verify_overhead_pct. The acceptance budget is 5%.
+func benchTrainLoadDB(short bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		pair := machine.PrimaryPair()
+		samples := 512
+		if short {
+			samples = 128
+		}
+		db := train.BuildDatabase(pair, train.Config{Samples: samples, Seed: 7})
+		var v2, legacy bytes.Buffer
+		if err := db.Save(&v2); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.SaveLegacy(&legacy); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got, err := train.LoadDB(bytes.NewReader(v2.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got.Samples) != samples {
+				b.Fatalf("loaded %d samples, want %d", len(got.Samples), samples)
+			}
+		}
+		b.StopTimer()
+		v2NS := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+
+		refN := b.N
+		if refN > 512 {
+			refN = 512
+		}
+		if refN < 16 {
+			refN = 16
+		}
+		start := time.Now()
+		for i := 0; i < refN; i++ {
+			if _, err := train.LoadDB(bytes.NewReader(legacy.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+		legacyNS := float64(time.Since(start).Nanoseconds()) / float64(refN)
+		b.ReportMetric(legacyNS, "legacy_ns/op")
+		if legacyNS > 0 {
+			b.ReportMetric((v2NS-legacyNS)/legacyNS*100, "verify_overhead_pct")
+		}
+	}
+}
+
+// benchDurableWALAppend prices one feedback-journal append as the
+// collector tick pays it: frame + CRC an outcome-sized payload into the
+// active segment, with the batch-boundary fsync amortized over
+// 16-record batches (the tick seals once per batch, not per record).
+func benchDurableWALAppend(b *testing.B) {
+	w, err := durable.OpenWAL(durable.WALOptions{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	payload := make([]byte, 600) // ~ encoded Outcome size
+	rng := rand.New(rand.NewSource(17))
+	rng.Read(payload)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%16 == 15 {
+			if err := w.Sync(); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -1,0 +1,208 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// A container is the snapshot format: a typed, checksummed, sealed
+// record file. Unlike the WAL — which tolerates a torn tail because
+// appends race crashes — a container is written atomically, so any
+// integrity failure means corruption (bit rot, truncation after the
+// fact) and the whole artifact is rejected; callers quarantine it and
+// fall back down the recovery ladder.
+//
+//	"HMCF" | u16 version | u16 kindLen | kind
+//	record: u32 len | u32 crc32c(payload) | payload   (repeated)
+//	footer: u32 0xFFFFFFFF | u64 count
+//	        u32 crc32c(all bytes from magic through count) | "HMCE"
+const (
+	containerMagic    = "HMCF"
+	containerEndMagic = "HMCE"
+	containerVersion  = 1
+	// containerSentinel is the length value that can never open a real
+	// record and therefore introduces the footer.
+	containerSentinel = ^uint32(0)
+	// maxContainerRecord bounds one record so a corrupt length cannot
+	// drive an allocation bomb.
+	maxContainerRecord = 64 << 20
+)
+
+// castagnoli is the CRC32-C polynomial table shared by every checksum
+// in this package (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcWriter forwards writes while accumulating a running CRC32-C and a
+// byte count over everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, castagnoli, p[:n])
+	cw.n += int64(n)
+	return n, err
+}
+
+// crcReader forwards reads while accumulating the same running CRC the
+// writer computed, so the reader can verify the footer's whole-file
+// checksum without buffering the file.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// WriteContainer atomically writes records as a sealed container of the
+// given kind. target labels the write for the crash-injection seam.
+func WriteContainer(path, kind string, records [][]byte, target string, kill KillFunc) error {
+	if len(kind) > 1<<15 {
+		return fmt.Errorf("durable: container kind too long")
+	}
+	return WriteFileAtomic(path, target, kill, func(w io.Writer) error {
+		bw := bufio.NewWriter(w)
+		cw := &crcWriter{w: bw}
+		le := binary.LittleEndian
+		var scratch [12]byte
+		if _, err := io.WriteString(cw, containerMagic); err != nil {
+			return err
+		}
+		le.PutUint16(scratch[0:2], containerVersion)
+		le.PutUint16(scratch[2:4], uint16(len(kind)))
+		if _, err := cw.Write(scratch[:4]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(cw, kind); err != nil {
+			return err
+		}
+		for _, rec := range records {
+			if int64(len(rec)) > maxContainerRecord {
+				return fmt.Errorf("durable: container record of %d bytes exceeds limit", len(rec))
+			}
+			le.PutUint32(scratch[0:4], uint32(len(rec)))
+			le.PutUint32(scratch[4:8], crc32.Checksum(rec, castagnoli))
+			if _, err := cw.Write(scratch[:8]); err != nil {
+				return err
+			}
+			if _, err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		le.PutUint32(scratch[0:4], containerSentinel)
+		le.PutUint64(scratch[4:12], uint64(len(records)))
+		if _, err := cw.Write(scratch[:12]); err != nil {
+			return err
+		}
+		// Everything through the count is covered by the seal; the seal
+		// itself and the end magic are written outside the running CRC.
+		le.PutUint32(scratch[0:4], cw.crc)
+		if _, err := bw.Write(scratch[:4]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(containerEndMagic); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
+}
+
+// ReadContainer reads and strictly verifies a sealed container,
+// returning its records. Any integrity failure — wrong magic or kind,
+// a record checksum mismatch, a missing or wrong footer, trailing
+// bytes — is an error; containers are never partially believed.
+func ReadContainer(path, kind string) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readContainer(f, kind)
+}
+
+func readContainer(r io.Reader, kind string) ([][]byte, error) {
+	br := bufio.NewReader(r)
+	cr := &crcReader{r: br}
+	le := binary.LittleEndian
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("durable: container: "+format, args...)
+	}
+	head := make([]byte, 4+4)
+	if _, err := io.ReadFull(cr, head); err != nil {
+		return nil, corrupt("truncated header: %v", err)
+	}
+	if string(head[:4]) != containerMagic {
+		return nil, corrupt("bad magic %q", head[:4])
+	}
+	if v := le.Uint16(head[4:6]); v != containerVersion {
+		return nil, corrupt("unsupported version %d", v)
+	}
+	kindLen := int(le.Uint16(head[6:8]))
+	kindBytes := make([]byte, kindLen)
+	if _, err := io.ReadFull(cr, kindBytes); err != nil {
+		return nil, corrupt("truncated kind: %v", err)
+	}
+	if string(kindBytes) != kind {
+		return nil, corrupt("kind %q, want %q", kindBytes, kind)
+	}
+	var records [][]byte
+	var scratch [12]byte
+	for {
+		if _, err := io.ReadFull(cr, scratch[:4]); err != nil {
+			return nil, corrupt("truncated before footer: %v", err)
+		}
+		length := le.Uint32(scratch[:4])
+		if length == containerSentinel {
+			break
+		}
+		if int64(length) > maxContainerRecord {
+			return nil, corrupt("implausible record length %d", length)
+		}
+		if _, err := io.ReadFull(cr, scratch[4:8]); err != nil {
+			return nil, corrupt("truncated record header: %v", err)
+		}
+		want := le.Uint32(scratch[4:8])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(cr, payload); err != nil {
+			return nil, corrupt("truncated record payload: %v", err)
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			return nil, corrupt("record %d checksum mismatch", len(records))
+		}
+		records = append(records, payload)
+	}
+	if _, err := io.ReadFull(cr, scratch[4:12]); err != nil {
+		return nil, corrupt("truncated footer count: %v", err)
+	}
+	count := le.Uint64(scratch[4:12])
+	if count != uint64(len(records)) {
+		return nil, corrupt("footer count %d, read %d records", count, len(records))
+	}
+	sealed := cr.crc
+	// The seal and end magic sit outside the running CRC.
+	tail := make([]byte, 4+4)
+	if _, err := io.ReadFull(br, tail); err != nil {
+		return nil, corrupt("unsealed: missing footer checksum: %v", err)
+	}
+	if le.Uint32(tail[:4]) != sealed {
+		return nil, corrupt("file checksum mismatch")
+	}
+	if string(tail[4:8]) != containerEndMagic {
+		return nil, corrupt("bad end magic %q", tail[4:8])
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, corrupt("trailing bytes after seal")
+	}
+	return records, nil
+}

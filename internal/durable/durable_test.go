@@ -1,0 +1,207 @@
+package durable
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// armedAt returns a KillFunc arming every target at the given offset.
+func armedAt(offset int64) KillFunc {
+	return func(string) (int64, bool) { return offset, true }
+}
+
+func writeBlob(t *testing.T, path string, blob []byte, kill KillFunc) error {
+	t.Helper()
+	return WriteFileAtomic(path, "test", kill, func(w io.Writer) error {
+		_, err := w.Write(blob)
+		return err
+	})
+}
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	want := []byte("the committed generation")
+	if err := writeBlob(t, path, want, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %q, want %q", got, want)
+	}
+}
+
+// TestWriteFileAtomicKillSweep arms a kill at every byte offset of the
+// write, including the commit window between the last byte and the
+// rename, and asserts the committed file is byte-identical to the
+// previous generation after each injected crash.
+func TestWriteFileAtomicKillSweep(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	prev := []byte("previous generation")
+	if err := writeBlob(t, path, prev, nil); err != nil {
+		t.Fatal(err)
+	}
+	next := []byte("next generation, somewhat longer")
+	for off := int64(0); off <= int64(len(next)); off++ {
+		err := writeBlob(t, path, next, armedAt(off))
+		if err == nil {
+			t.Fatalf("offset %d: killed write reported success", off)
+		}
+		got, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("offset %d: committed file unreadable: %v", off, rerr)
+		}
+		if !bytes.Equal(got, prev) {
+			t.Fatalf("offset %d: committed file mutated by killed write", off)
+		}
+	}
+	// The dead process left temp litter; recovery sweeps it.
+	if n := RemoveStaleTemps(dir); n == 0 {
+		t.Fatal("kill sweep left no temp litter to sweep")
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), TempPrefix) {
+			t.Fatalf("stale temp %s survived the sweep", e.Name())
+		}
+	}
+	// With the injector disarmed the same write commits.
+	if err := writeBlob(t, path, next, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if !bytes.Equal(got, next) {
+		t.Fatal("post-recovery write did not commit")
+	}
+}
+
+func TestQuarantineFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact")
+	if err := os.WriteFile(path, []byte("corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := QuarantineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Lstat(path); !os.IsNotExist(err) {
+		t.Fatal("quarantined file still present under its real name")
+	}
+	if _, err := os.Lstat(moved); err != nil {
+		t.Fatalf("quarantine evidence missing: %v", err)
+	}
+	// A second quarantine of the same name must not clobber the first.
+	if err := os.WriteFile(path, []byte("corrupt again"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	moved2, err := QuarantineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved2 == moved {
+		t.Fatal("second quarantine clobbered the first")
+	}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	records := [][]byte{[]byte("meta"), []byte(""), []byte("payload two"), bytes.Repeat([]byte{0xAB}, 4096)}
+	if err := WriteContainer(path, "test-kind", records, "snapshot/test", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadContainer(path, "test-kind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("read %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if !bytes.Equal(got[i], records[i]) {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	if _, err := ReadContainer(path, "other-kind"); err == nil {
+		t.Fatal("container accepted under the wrong kind")
+	}
+}
+
+func TestContainerEmptyRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	if err := WriteContainer(path, "k", nil, "snapshot/test", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadContainer(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty container read %d records", len(got))
+	}
+}
+
+// TestContainerRejectsAnyCorruption is the strict-verification sweep: a
+// container with any single byte flipped, or truncated at any length,
+// must be rejected outright.
+func TestContainerRejectsAnyCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	records := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	if err := WriteContainer(path, "k", records, "snapshot/test", nil); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		mutated := append([]byte(nil), full...)
+		mutated[i] ^= 0x40
+		if _, err := readContainer(bytes.NewReader(mutated), "k"); err == nil {
+			t.Fatalf("byte flip at %d accepted", i)
+		}
+	}
+	for n := 0; n < len(full); n++ {
+		if _, err := readContainer(bytes.NewReader(full[:n]), "k"); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	if _, err := readContainer(bytes.NewReader(append(full, 0)), "k"); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestContainerKillSweep: an injected crash at every offset of a
+// container write leaves the previous container readable and intact.
+func TestContainerKillSweep(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	prev := [][]byte{[]byte("old state")}
+	if err := WriteContainer(path, "k", prev, "snapshot/test", nil); err != nil {
+		t.Fatal(err)
+	}
+	next := [][]byte{[]byte("new state"), []byte("more state")}
+	info, _ := os.Stat(path)
+	// Sweep past the file size into the commit window.
+	for off := int64(0); off <= info.Size()+32; off += 1 {
+		err := WriteContainer(path, "k", next, "snapshot/test", armedAt(off))
+		if err == nil {
+			t.Fatalf("offset %d: killed snapshot write reported success", off)
+		}
+		got, rerr := ReadContainer(path, "k")
+		if rerr != nil {
+			t.Fatalf("offset %d: previous snapshot unreadable: %v", off, rerr)
+		}
+		if len(got) != 1 || !bytes.Equal(got[0], prev[0]) {
+			t.Fatalf("offset %d: previous snapshot mutated", off)
+		}
+	}
+	RemoveStaleTemps(dir)
+}

@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heteromap/internal/durable"
+)
+
+func TestWriteKillArmDisarm(t *testing.T) {
+	in := NewServeInjector(1)
+	if _, ok := in.WriteKill("store"); ok {
+		t.Fatal("fresh injector has an armed kill-point")
+	}
+	in.ArmWriteKill("store", 17)
+	if off, ok := in.WriteKill("store"); !ok || off != 17 {
+		t.Fatalf("WriteKill(store) = %d %v, want 17 true", off, ok)
+	}
+	if _, ok := in.WriteKill("wal"); ok {
+		t.Fatal("arming one target armed another")
+	}
+	in.ArmWriteKill("store", 99) // re-arm replaces
+	if off, _ := in.WriteKill("store"); off != 99 {
+		t.Fatalf("re-arm kept old offset %d", off)
+	}
+	armed := in.ArmedWriteKills()
+	if len(armed) != 1 || armed["store"] != 99 {
+		t.Fatalf("ArmedWriteKills = %v", armed)
+	}
+	in.DisarmWriteKill("store")
+	if _, ok := in.WriteKill("store"); ok {
+		t.Fatal("disarm did not disarm")
+	}
+	if in.ArmedWriteKills() != nil {
+		t.Fatal("disarmed injector still reports kills")
+	}
+	// Nil injector: every method is a safe no-op.
+	var nilIn *ServeInjector
+	nilIn.ArmWriteKill("x", 1)
+	nilIn.DisarmWriteKill("x")
+	if _, ok := nilIn.WriteKill("x"); ok {
+		t.Fatal("nil injector armed")
+	}
+}
+
+// TestWriteKillDrivesDurableWriter: in.WriteKill plugs straight into the
+// durable layer as its KillFunc and actually kills the write at the
+// armed byte, leaving the committed file untouched.
+func TestWriteKillDrivesDurableWriter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact")
+	in := NewServeInjector(1)
+	write := func(w io.Writer) error {
+		_, err := w.Write(bytes.Repeat([]byte{0xAB}, 64))
+		return err
+	}
+	if err := durable.WriteFileAtomic(path, "store", in.WriteKill, write); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.ReadFile(path)
+
+	in.ArmWriteKill("store", 10)
+	err := durable.WriteFileAtomic(path, "store", in.WriteKill, write)
+	if !errors.Is(err, durable.ErrKilled) {
+		t.Fatalf("armed write returned %v, want ErrKilled", err)
+	}
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(before, after) {
+		t.Fatal("killed write mutated the committed file")
+	}
+	in.DisarmWriteKill("store")
+	if err := durable.WriteFileAtomic(path, "store", in.WriteKill, write); err != nil {
+		t.Fatal(err)
+	}
+}

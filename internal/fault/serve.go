@@ -3,6 +3,7 @@ package fault
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -128,6 +129,11 @@ type ServeInjector struct {
 	seed    int64
 	profile atomic.Pointer[ServeProfile]
 	seq     [numServeKinds]atomic.Uint64
+
+	// Armed write kill-points (see kill.go): target name -> byte offset
+	// at which the next durable write to that target must die.
+	killMu sync.Mutex
+	kills  map[string]int64
 }
 
 // NewServeInjector returns an injector with an empty profile; the seed

@@ -1,6 +1,9 @@
 package online
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Detector tracks realized-vs-predicted cost gaps per model family and
 // per discretized feature cell, and raises a drift signal when a
@@ -218,4 +221,53 @@ func (d *Detector) familySnapshots() []familySnapshot {
 		})
 	}
 	return out
+}
+
+// cellSnapshot is one discretized cell's exported gap statistics.
+type cellSnapshot struct {
+	Cell string  `json:"cell"`
+	N    uint64  `json:"observations"`
+	Sum  float64 `json:"gap_sum"`
+	EWMA float64 `json:"ewma"`
+}
+
+// detectorState is the detector's full serializable state, embedded in
+// the durable window snapshot so drift evidence survives a restart.
+// Both slices are sorted by key, so equal states marshal identically —
+// the equivalence the warm-restart tests assert.
+type detectorState struct {
+	Families []familySnapshot `json:"families"`
+	Cells    []cellSnapshot   `json:"cells"`
+}
+
+// state exports the detector for a snapshot.
+func (d *Detector) state() detectorState {
+	st := detectorState{Families: d.familySnapshots()}
+	sort.Slice(st.Families, func(i, j int) bool { return st.Families[i].Model < st.Families[j].Model })
+	d.mu.Lock()
+	st.Cells = make([]cellSnapshot, 0, len(d.cells))
+	for cell, cs := range d.cells {
+		st.Cells = append(st.Cells, cellSnapshot{Cell: cell, N: cs.n, Sum: cs.sum, EWMA: cs.ewma})
+	}
+	d.mu.Unlock()
+	sort.Slice(st.Cells, func(i, j int) bool { return st.Cells[i].Cell < st.Cells[j].Cell })
+	return st
+}
+
+// restore replaces the detector's state with a snapshot's. Observations
+// replayed from the WAL afterwards continue the statistics exactly as
+// if the process had never died.
+func (d *Detector) restore(st detectorState) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.families = make(map[string]*familyStats, len(st.Families))
+	for _, f := range st.Families {
+		d.families[f.Model] = &familyStats{
+			ewma: f.EWMA, n: f.N, over: f.Over, drifting: f.Drifting, signals: f.Signals,
+		}
+	}
+	d.cells = make(map[string]*cellStats, len(st.Cells))
+	for _, c := range st.Cells {
+		d.cells[c.Cell] = &cellStats{n: c.N, sum: c.Sum, ewma: c.EWMA}
+	}
 }

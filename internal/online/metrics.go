@@ -22,13 +22,19 @@ type Snapshot struct {
 	DriftCells int              `json:"drift_cells"`
 	Families   []familySnapshot `json:"families"`
 	Last       *RetrainReport   `json:"last_retrain,omitempty"`
+	Durable    *DurableStats    `json:"durable,omitempty"`
 }
 
 // Snapshot captures the loop's current state.
 func (m *Manager) Snapshot() Snapshot {
 	fams := m.drift.familySnapshots()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].Model < fams[j].Model })
+	var dur *DurableStats
+	if d := m.DurableStats(); d.Enabled {
+		dur = &d
+	}
 	return Snapshot{
+		Durable: dur,
 		Ingested:   m.ingested.Load(),
 		Dropped:    m.ingest.Drops(),
 		Processed:  m.processed.Load(),
@@ -100,6 +106,40 @@ func (m *Manager) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "# TYPE heteromap_shadow_last_gap gauge\n")
 		fmt.Fprintf(w, "heteromap_shadow_last_gap{side=\"candidate\"} %g\n", s.Last.CandidateGap)
 		fmt.Fprintf(w, "heteromap_shadow_last_gap{side=\"live\"} %g\n", s.Last.LiveGap)
+	}
+	if s.Durable != nil {
+		d := s.Durable
+		fmt.Fprintf(w, "# HELP heteromap_durable_wal_last_seq Last appended feedback-WAL sequence number.\n")
+		fmt.Fprintf(w, "# TYPE heteromap_durable_wal_last_seq gauge\n")
+		fmt.Fprintf(w, "heteromap_durable_wal_last_seq %d\n", d.LastSeq)
+		fmt.Fprintf(w, "# HELP heteromap_durable_wal_replayed_total Outcomes replayed from the WAL at last startup.\n")
+		fmt.Fprintf(w, "# TYPE heteromap_durable_wal_replayed_total gauge\n")
+		fmt.Fprintf(w, "heteromap_durable_wal_replayed_total %d\n", d.Replayed)
+		fmt.Fprintf(w, "# HELP heteromap_durable_wal_corrupt_total WAL records skipped for checksum mismatch at last startup.\n")
+		fmt.Fprintf(w, "# TYPE heteromap_durable_wal_corrupt_total gauge\n")
+		fmt.Fprintf(w, "heteromap_durable_wal_corrupt_total %d\n", d.CorruptRecords)
+		fmt.Fprintf(w, "# HELP heteromap_durable_wal_torn_segments WAL segments abandoned at a torn tail at last startup.\n")
+		fmt.Fprintf(w, "# TYPE heteromap_durable_wal_torn_segments gauge\n")
+		fmt.Fprintf(w, "heteromap_durable_wal_torn_segments %d\n", d.TornSegments)
+		fmt.Fprintf(w, "# HELP heteromap_durable_snapshots_total Durable window snapshots taken since start.\n")
+		fmt.Fprintf(w, "# TYPE heteromap_durable_snapshots_total counter\n")
+		fmt.Fprintf(w, "heteromap_durable_snapshots_total %d\n", d.Snapshots)
+		fmt.Fprintf(w, "# HELP heteromap_durable_snapshot_errors_total Failed durable snapshot attempts.\n")
+		fmt.Fprintf(w, "# TYPE heteromap_durable_snapshot_errors_total counter\n")
+		fmt.Fprintf(w, "heteromap_durable_snapshot_errors_total %d\n", d.SnapshotErrors)
+		fmt.Fprintf(w, "# HELP heteromap_durable_quarantines_total Artifacts quarantined for failing integrity verification.\n")
+		fmt.Fprintf(w, "# TYPE heteromap_durable_quarantines_total counter\n")
+		fmt.Fprintf(w, "heteromap_durable_quarantines_total %d\n", d.Quarantines)
+		restored := 0
+		if d.SnapshotRestored {
+			restored = 1
+		}
+		fmt.Fprintf(w, "# HELP heteromap_durable_snapshot_restored Whether the last startup restored a window snapshot.\n")
+		fmt.Fprintf(w, "# TYPE heteromap_durable_snapshot_restored gauge\n")
+		fmt.Fprintf(w, "heteromap_durable_snapshot_restored %d\n", restored)
+		fmt.Fprintf(w, "# HELP heteromap_durable_window_flushes_total Periodic feedback-window flushes to disk.\n")
+		fmt.Fprintf(w, "# TYPE heteromap_durable_window_flushes_total counter\n")
+		fmt.Fprintf(w, "heteromap_durable_window_flushes_total %d\n", d.WindowFlushes)
 	}
 }
 

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"heteromap/internal/config"
+	"heteromap/internal/durable"
 	"heteromap/internal/feature"
 	"heteromap/internal/machine"
 	"heteromap/internal/obs"
@@ -65,6 +66,7 @@ const (
 	DefaultHoldoutFrac    = 0.25
 	DefaultDrainBatch     = 512
 	DefaultInterval       = 250 * time.Millisecond
+	DefaultSnapshotTicks  = 32
 )
 
 // PromoteFunc installs a shadow database for a model family through the
@@ -138,6 +140,26 @@ type Options struct {
 	DrainBatch int
 	// Interval is the background collector period (default 250ms).
 	Interval time.Duration
+
+	// DurableDir enables crash-safe persistence of the learning state:
+	// collected outcomes journal to a WAL under <dir>/wal and the window
+	// plus drift state snapshot periodically to <dir>/window.snap, with
+	// the full recovery ladder run at construction. Empty disables.
+	DurableDir string
+	// WALSegmentBytes overrides the feedback WAL's rotation threshold.
+	WALSegmentBytes int64
+	// SnapshotTicks is the durable-snapshot cadence in collector ticks
+	// (default DefaultSnapshotTicks when DurableDir is set).
+	SnapshotTicks int
+	// WindowFlushEvery enables the periodic window auto-flush: every
+	// interval the window is persisted to WindowFlushPath as a training
+	// database with outcomes attached (FlushWindow). Zero disables.
+	WindowFlushEvery time.Duration
+	// WindowFlushPath is where the auto-flush writes.
+	WindowFlushPath string
+	// Kill is the crash-injection seam threaded through every durable
+	// write (nil in production).
+	Kill durable.KillFunc
 }
 
 func (o Options) withDefaults() Options {
@@ -173,6 +195,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Interval <= 0 {
 		o.Interval = DefaultInterval
+	}
+	if o.DurableDir != "" && o.SnapshotTicks <= 0 {
+		o.SnapshotTicks = DefaultSnapshotTicks
 	}
 	return o
 }
@@ -213,6 +238,10 @@ type Manager struct {
 	promotions atomic.Uint64
 	rejections atomic.Uint64
 
+	// dur is the durability bookkeeping (durable.go); touched only at
+	// construction and from the collector tick.
+	dur durableState
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -242,6 +271,7 @@ func New(opts Options) *Manager {
 		// per-cell truth caching (keyed on the default realize) is off.
 		m.cells = nil
 	}
+	m.recoverDurable()
 	return m
 }
 
@@ -282,12 +312,20 @@ func (m *Manager) Start() {
 		defer close(done)
 		t := time.NewTicker(m.opts.Interval)
 		defer t.Stop()
+		var flush <-chan time.Time
+		if m.opts.WindowFlushEvery > 0 && m.opts.WindowFlushPath != "" {
+			ft := time.NewTicker(m.opts.WindowFlushEvery)
+			defer ft.Stop()
+			flush = ft.C
+		}
 		for {
 			select {
 			case <-stop:
 				return
 			case <-t.C:
 				m.Tick()
+			case <-flush:
+				m.FlushWindow(m.opts.WindowFlushPath)
 			}
 		}
 	}()
@@ -312,8 +350,10 @@ func (m *Manager) Stop() {
 func (m *Manager) Tick() int {
 	batch := m.ingest.Drain(m.opts.DrainBatch)
 	for _, s := range batch {
-		m.collect(s)
+		o := m.collect(s)
+		m.journal(o)
 	}
+	m.sealBatch(len(batch))
 	if len(batch) > 0 {
 		m.refreshResiduals()
 	}
@@ -323,8 +363,9 @@ func (m *Manager) Tick() int {
 
 // collect turns one pending sample into an outcome: synthesize the
 // cell's job, realize the served configuration's cost, sweep the
-// exhaustive best, and feed the gap to the window and detector.
-func (m *Manager) collect(s Sample) {
+// exhaustive best, and feed the gap to the window and detector. The
+// outcome is returned so the tick can journal it.
+func (m *Manager) collect(s Sample) Outcome {
 	truth, ok := m.cellLookup(s)
 	if !ok {
 		job, bestM, bestCost := m.groundTruth(s.Features)
@@ -350,6 +391,7 @@ func (m *Manager) collect(s Sample) {
 	m.window.Add(o)
 	m.drift.Observe(s.Model, s.Key, gap)
 	m.processed.Add(1)
+	return o
 }
 
 // synthesizeJob materializes the deterministic job for a discretized
@@ -463,13 +505,12 @@ func (m *Manager) Drift() *Detector { return m.drift }
 func (m *Manager) Pending() int { return m.ingest.Pending() }
 
 // SaveWindow persists the current feedback window as a training
-// database in the offline store format: hmtrain output and online
-// feedback become interchangeable artifacts.
+// database in the offline store format — hmtrain output and online
+// feedback are interchangeable artifacts — with every outcome attached
+// as an aux blob so LoadWindowFile can rebuild the full drift picture.
 func (m *Manager) SaveWindow(path string) error {
-	outs := m.window.Snapshot()
-	if len(outs) == 0 {
+	if m.window.Len() == 0 {
 		return fmt.Errorf("online: feedback window is empty")
 	}
-	db := windowDB(m.opts.Pair, m.opts.Objective, outs)
-	return db.SaveFile(path)
+	return m.FlushWindow(path)
 }

@@ -141,3 +141,24 @@ func (c *Cache) Len() int {
 func (c *Cache) Stats() (hits, misses, evictions uint64) {
 	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
 }
+
+// exportEntry is one cache entry in snapshot form.
+type exportEntry struct {
+	key string
+	val cachedPrediction
+}
+
+// export copies every live entry, least recently used first, so a
+// restore that replays them in order leaves the recency order intact.
+func (c *Cache) export() []exportEntry {
+	var out []exportEntry
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.ll.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*cacheEntry)
+			out = append(out, exportEntry{key: e.key, val: e.val})
+		}
+		s.mu.Unlock()
+	}
+	return out
+}

@@ -3,12 +3,14 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"time"
 
 	"heteromap/internal/algo"
 	"heteromap/internal/config"
+	"heteromap/internal/durable"
 )
 
 // GoldenCase is one held-out validation pair for canary reloads: a
@@ -112,13 +114,18 @@ func LoadGoldenSet(path string) ([]GoldenCase, error) {
 	return cases, nil
 }
 
-// SaveGoldenSet writes cases as the JSON format LoadGoldenSet reads.
+// SaveGoldenSet writes cases as the JSON format LoadGoldenSet reads,
+// through the atomic temp+fsync+rename path: a golden set — the gate
+// every future reload must pass — can never be left half-written.
 func SaveGoldenSet(path string, cases []GoldenCase) error {
 	data, err := json.MarshalIndent(cases, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return durable.WriteFileAtomic(path, "golden", nil, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	})
 }
 
 // RecordGoldenSet snapshots a reference model's answers over the given

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"heteromap/internal/config"
+	"heteromap/internal/durable"
+)
+
+// Serving-tier durability: the prediction cache and the registry's
+// version counter snapshot periodically to <DurableDir>/cache.snap (a
+// sealed durable container), and RecoverDurable restores both on
+// restart so a rebooted node answers its first requests warm instead of
+// sweeping the predictor for every cell again.
+//
+// Cache entries are persisted under (model name, feature key) — not the
+// live cache key, which embeds a version number that will not survive
+// the restart. Recovery first raises the registry version counter to
+// the persisted floor and restamps every already-registered model above
+// it, then rebuilds each entry's key against the model's post-restart
+// version. Entries for models no longer registered are dropped and
+// counted.
+const (
+	cacheSnapshotKind = "serve-cache"
+	cacheSnapshotFile = "cache.snap"
+)
+
+// serveSnapshotMeta is record 0 of a cache snapshot.
+type serveSnapshotMeta struct {
+	// VersionFloor is the registry version counter at snapshot time.
+	VersionFloor uint64 `json:"version_floor"`
+}
+
+// cacheSnapshotEntry is one persisted prediction (records 1..n).
+type cacheSnapshotEntry struct {
+	Model   string   `json:"model"`
+	FeatKey string   `json:"feat_key"`
+	Used    string   `json:"used"`
+	M       config.M `json:"m"`
+}
+
+// ServeDurableStats is the serving tier's durability picture, exposed
+// at /metrics and returned by RecoverDurable.
+type ServeDurableStats struct {
+	Enabled bool `json:"enabled"`
+	// CacheRestored / CacheDropped count snapshot entries readmitted to
+	// the cache vs dropped (unregistered model, undecodable record).
+	CacheRestored int `json:"cache_restored"`
+	CacheDropped  int `json:"cache_dropped"`
+	// SnapshotRestored reports whether a cache snapshot was restored.
+	SnapshotRestored bool `json:"snapshot_restored"`
+	// VersionFloor is the registry version counter restored from the
+	// snapshot (0: none).
+	VersionFloor uint64 `json:"version_floor"`
+	// Restamped counts models reissued above the restored floor.
+	Restamped int `json:"restamped"`
+	// Snapshots / SnapshotErrors count periodic cache snapshots since
+	// start.
+	Snapshots      uint64 `json:"snapshots"`
+	SnapshotErrors uint64 `json:"snapshot_errors"`
+	// Quarantines counts snapshot files moved aside for failing
+	// integrity verification.
+	Quarantines uint64 `json:"quarantines"`
+	// StaleTemps counts orphaned temp files swept at startup.
+	StaleTemps int `json:"stale_temps_removed"`
+}
+
+// serveDurable is the server's durability bookkeeping.
+type serveDurable struct {
+	mu    sync.Mutex
+	stats ServeDurableStats
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// RecoverDurable climbs the serving tier's recovery ladder: sweep stale
+// temps, restore the cache snapshot (quarantining it on any integrity
+// failure), raise the registry version floor and restamp models above
+// it, readmit cache entries against post-restart versions, and start
+// the periodic snapshot loop. Call it after registering models; without
+// a DurableDir it is a no-op. Safe to call once per server.
+func (s *Server) RecoverDurable() ServeDurableStats {
+	dir := s.opts.DurableDir
+	if dir == "" {
+		return ServeDurableStats{}
+	}
+	var st ServeDurableStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return st
+	}
+	st.Enabled = true
+	st.StaleTemps = durable.RemoveStaleTemps(dir)
+
+	path := filepath.Join(dir, cacheSnapshotFile)
+	recs, err := durable.ReadContainer(path, cacheSnapshotKind)
+	switch {
+	case err == nil && len(recs) >= 1:
+		var meta serveSnapshotMeta
+		if jerr := json.Unmarshal(recs[0], &meta); jerr != nil {
+			if _, qerr := durable.QuarantineFile(path); qerr == nil {
+				st.Quarantines++
+			}
+			break
+		}
+		st.SnapshotRestored = true
+		st.VersionFloor = meta.VersionFloor
+		s.registry.EnsureVersionFloor(meta.VersionFloor)
+		for _, info := range s.registry.List() {
+			if info.Version <= meta.VersionFloor {
+				if _, rerr := s.registry.Restamp(info.Name); rerr == nil {
+					st.Restamped++
+				}
+			}
+		}
+		for _, rec := range recs[1:] {
+			var e cacheSnapshotEntry
+			if jerr := json.Unmarshal(rec, &e); jerr != nil {
+				st.CacheDropped++
+				continue
+			}
+			m, gerr := s.registry.Get(e.Model)
+			if gerr != nil {
+				st.CacheDropped++
+				continue
+			}
+			s.cache.Put(cachePrefixFor(m)+e.FeatKey, cachedPrediction{M: e.M, Used: e.Used})
+			st.CacheRestored++
+		}
+	case err != nil && !os.IsNotExist(err):
+		if _, qerr := durable.QuarantineFile(path); qerr == nil {
+			st.Quarantines++
+		}
+	}
+
+	s.dur.mu.Lock()
+	s.dur.stats = st
+	s.dur.mu.Unlock()
+	if s.opts.CacheSnapshotEvery > 0 {
+		s.startSnapshotLoop()
+	}
+	return st
+}
+
+// SnapshotCache persists the prediction cache and the registry version
+// counter as one sealed container. A crash at any byte of the write
+// leaves the previous snapshot byte-intact.
+func (s *Server) SnapshotCache() error {
+	dir := s.opts.DurableDir
+	if dir == "" {
+		return fmt.Errorf("serve: durability disabled")
+	}
+	meta := serveSnapshotMeta{VersionFloor: s.registry.VersionCounter()}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	entries := s.cache.export()
+	recs := make([][]byte, 0, len(entries)+1)
+	recs = append(recs, metaJSON)
+	for _, e := range entries {
+		name, featKey, ok := splitCacheKey(e.key)
+		if !ok {
+			continue
+		}
+		rec, jerr := json.Marshal(cacheSnapshotEntry{
+			Model: name, FeatKey: featKey, Used: e.val.Used, M: e.val.M,
+		})
+		if jerr != nil {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	path := filepath.Join(dir, cacheSnapshotFile)
+	err = durable.WriteContainer(path, cacheSnapshotKind, recs, "cache", s.opts.Kill)
+	s.dur.mu.Lock()
+	if err != nil {
+		s.dur.stats.SnapshotErrors++
+	} else {
+		s.dur.stats.Snapshots++
+	}
+	s.dur.mu.Unlock()
+	return err
+}
+
+// splitCacheKey decomposes "name@version|featkey" into its name and
+// feature key, dropping the version (it will not survive a restart).
+func splitCacheKey(key string) (name, featKey string, ok bool) {
+	pipe := strings.IndexByte(key, '|')
+	if pipe < 0 {
+		return "", "", false
+	}
+	at := strings.LastIndexByte(key[:pipe], '@')
+	if at < 0 {
+		return "", "", false
+	}
+	if _, err := strconv.ParseUint(key[at+1:pipe], 10, 64); err != nil {
+		return "", "", false
+	}
+	return key[:at], key[pipe+1:], true
+}
+
+// DurableStats returns the serving tier's current durability picture.
+func (s *Server) DurableStats() ServeDurableStats {
+	s.dur.mu.Lock()
+	defer s.dur.mu.Unlock()
+	return s.dur.stats
+}
+
+// startSnapshotLoop runs SnapshotCache on the configured cadence until
+// stopSnapshotLoop (Shutdown takes a final snapshot; Kill just aborts,
+// exactly like the crash it stands in for).
+func (s *Server) startSnapshotLoop() {
+	s.dur.mu.Lock()
+	if s.dur.stop != nil {
+		s.dur.mu.Unlock()
+		return
+	}
+	s.dur.stop = make(chan struct{})
+	s.dur.done = make(chan struct{})
+	stop, done := s.dur.stop, s.dur.done
+	s.dur.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(s.opts.CacheSnapshotEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.SnapshotCache()
+			}
+		}
+	}()
+}
+
+func (s *Server) stopSnapshotLoop() {
+	s.dur.mu.Lock()
+	stop, done := s.dur.stop, s.dur.done
+	s.dur.stop, s.dur.done = nil, nil
+	s.dur.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// writeDurableMetrics appends the serving tier's durability exposition
+// (additive, after the core and online expositions).
+func (s *Server) writeDurableMetrics(w interface{ Write([]byte) (int, error) }) {
+	d := s.DurableStats()
+	fmt.Fprintf(w, "# HELP heteromap_serve_cache_restored Cache entries readmitted from the durable snapshot at startup.\n")
+	fmt.Fprintf(w, "# TYPE heteromap_serve_cache_restored gauge\n")
+	fmt.Fprintf(w, "heteromap_serve_cache_restored %d\n", d.CacheRestored)
+	fmt.Fprintf(w, "# HELP heteromap_serve_cache_snapshots_total Periodic cache snapshots taken since start.\n")
+	fmt.Fprintf(w, "# TYPE heteromap_serve_cache_snapshots_total counter\n")
+	fmt.Fprintf(w, "heteromap_serve_cache_snapshots_total %d\n", d.Snapshots)
+	fmt.Fprintf(w, "# HELP heteromap_serve_cache_snapshot_errors_total Failed cache snapshot attempts.\n")
+	fmt.Fprintf(w, "# TYPE heteromap_serve_cache_snapshot_errors_total counter\n")
+	fmt.Fprintf(w, "heteromap_serve_cache_snapshot_errors_total %d\n", d.SnapshotErrors)
+	fmt.Fprintf(w, "# HELP heteromap_serve_version_floor_restored Registry version floor restored from the durable snapshot.\n")
+	fmt.Fprintf(w, "# TYPE heteromap_serve_version_floor_restored gauge\n")
+	fmt.Fprintf(w, "heteromap_serve_version_floor_restored %d\n", d.VersionFloor)
+	fmt.Fprintf(w, "# HELP heteromap_serve_durable_quarantines_total Serving-tier artifacts quarantined for failing verification.\n")
+	fmt.Fprintf(w, "# TYPE heteromap_serve_durable_quarantines_total counter\n")
+	fmt.Fprintf(w, "heteromap_serve_durable_quarantines_total %d\n", d.Quarantines)
+}

@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heteromap/internal/config"
+	"heteromap/internal/durable"
+	"heteromap/internal/feature"
+	"heteromap/internal/machine"
+	"heteromap/internal/predict/dtree"
+)
+
+// durableServer builds a server with the decision tree registered and
+// durability enabled on dir, then runs the recovery ladder.
+func durableServer(t *testing.T, dir string, kill durable.KillFunc) *Server {
+	t.Helper()
+	pair := machine.PrimaryPair()
+	s := New(Options{Pair: pair, DurableDir: dir, Kill: kill})
+	if _, err := s.Registry().Register("tree", "builtin decision tree",
+		dtree.New(pair.Limits())); err != nil {
+		t.Fatal(err)
+	}
+	s.RecoverDurable()
+	return s
+}
+
+// fillCache puts n predictions into the server's cache under the
+// registered tree model's live version and returns the feature vectors.
+func fillCache(t *testing.T, s *Server, n int) []feature.Vector {
+	t.Helper()
+	model, err := s.Registry().Get("tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	limits := s.Registry().Pair().Limits()
+	feats := make([]feature.Vector, n)
+	for i := range feats {
+		var f feature.Vector
+		f[0] = float64(i%7) / 10
+		f[1] = float64(i%5) / 10
+		f[13] = float64(i % 3)
+		feats[i] = f
+		s.cache.Put(cacheKeyFor(model, f), cachedPrediction{
+			M: config.DefaultGPU(limits), Used: "DTree",
+		})
+	}
+	return feats
+}
+
+func TestSplitCacheKey(t *testing.T) {
+	name, feat, ok := splitCacheKey("tree@17|b1:0.3|i2:0.5")
+	if !ok || name != "tree" || feat != "b1:0.3|i2:0.5" {
+		t.Fatalf("splitCacheKey = %q %q %v", name, feat, ok)
+	}
+	if _, _, ok := splitCacheKey("noversion"); ok {
+		t.Fatal("malformed key accepted")
+	}
+	if _, _, ok := splitCacheKey("tree@notanumber|k"); ok {
+		t.Fatal("non-numeric version accepted")
+	}
+}
+
+// TestCacheSnapshotWarmRestart: a restarted server restores its cache
+// entries remapped to post-restart model versions, and the registry
+// version counter never falls below the pre-crash floor.
+func TestCacheSnapshotWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := durableServer(t, dir, nil)
+	feats := fillCache(t, s, 24)
+	preVersion := s.Registry().VersionCounter()
+	if err := s.SnapshotCache(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulated kill -9: the server is abandoned, no Shutdown.
+
+	s2 := durableServer(t, dir, nil)
+	st := s2.DurableStats()
+	if !st.SnapshotRestored {
+		t.Fatal("restart did not restore the cache snapshot")
+	}
+	if st.CacheRestored != 24 {
+		t.Fatalf("restored %d cache entries, want 24", st.CacheRestored)
+	}
+	if st.VersionFloor != preVersion {
+		t.Fatalf("version floor %d, want %d", st.VersionFloor, preVersion)
+	}
+	// Version monotonicity across the crash: the restamped model's
+	// version exceeds every pre-crash version.
+	m2, err := s2.Registry().Get("tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Version <= preVersion {
+		t.Fatalf("post-restart version %d did not clear pre-crash floor %d", m2.Version, preVersion)
+	}
+	if st.Restamped == 0 {
+		t.Fatal("no model was restamped above the restored floor")
+	}
+	// The restored entries are live hits under the NEW version's keys.
+	hitsBefore, _, _ := s2.cache.Stats()
+	for _, f := range feats {
+		if _, ok := s2.cache.Get(cacheKeyFor(m2, f)); !ok {
+			t.Fatalf("restored cache missed feature %v", f)
+		}
+	}
+	hitsAfter, _, _ := s2.cache.Stats()
+	if hitsAfter-hitsBefore != uint64(len(feats)) {
+		t.Fatalf("warm restart hit %d of %d restored cells", hitsAfter-hitsBefore, len(feats))
+	}
+}
+
+// TestCacheSnapshotDropsUnknownModels: entries for a model the restarted
+// process never registered are dropped and counted, not resurrected.
+func TestCacheSnapshotDropsUnknownModels(t *testing.T) {
+	dir := t.TempDir()
+	s := durableServer(t, dir, nil)
+	fillCache(t, s, 4)
+	// A second model's entries ride the same snapshot.
+	pair := s.Registry().Pair()
+	if _, err := s.Registry().Register("ghost", "test", dtree.New(pair.Limits())); err != nil {
+		t.Fatal(err)
+	}
+	ghost, _ := s.Registry().Get("ghost")
+	var f feature.Vector
+	f[2] = 0.9
+	s.cache.Put(cacheKeyFor(ghost, f), cachedPrediction{M: config.DefaultGPU(pair.Limits()), Used: "DTree"})
+	if err := s.SnapshotCache(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := durableServer(t, dir, nil) // registers only "tree"
+	st := s2.DurableStats()
+	if st.CacheRestored != 4 {
+		t.Fatalf("restored %d entries, want 4", st.CacheRestored)
+	}
+	if st.CacheDropped != 1 {
+		t.Fatalf("dropped %d entries, want 1 (the ghost model's)", st.CacheDropped)
+	}
+}
+
+// TestCacheSnapshotKillSweep: a crash at every byte offset of the cache
+// snapshot write leaves the committed snapshot byte-intact; a final
+// unkilled snapshot commits cleanly over the litter.
+func TestCacheSnapshotKillSweep(t *testing.T) {
+	dir := t.TempDir()
+	s := durableServer(t, dir, nil)
+	fillCache(t, s, 8)
+	if err := s.SnapshotCache(); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, cacheSnapshotFile)
+	before, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(len(before))
+	stride := int64(1)
+	if testing.Short() {
+		stride = 41
+	}
+	for off := int64(0); off <= size; off += stride {
+		armed := off
+		s.opts.Kill = func(target string) (int64, bool) {
+			if target != "cache" {
+				return 0, false
+			}
+			return armed, true
+		}
+		err := s.SnapshotCache()
+		if err == nil {
+			t.Fatalf("offset %d: killed snapshot reported success", off)
+		}
+		if !errors.Is(err, durable.ErrKilled) {
+			t.Fatalf("offset %d: unexpected error %v", off, err)
+		}
+		after, rerr := os.ReadFile(snapPath)
+		if rerr != nil {
+			t.Fatalf("offset %d: committed snapshot unreadable: %v", off, rerr)
+		}
+		if !bytes.Equal(before, after) {
+			t.Fatalf("offset %d: killed snapshot mutated the committed snapshot", off)
+		}
+	}
+	s.opts.Kill = nil
+	if err := s.SnapshotCache(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := durableServer(t, dir, nil)
+	if st := s2.DurableStats(); !st.SnapshotRestored || st.CacheRestored != 8 {
+		t.Fatalf("post-sweep restart stats %+v, want 8 restored", st)
+	}
+}
+
+// TestCorruptCacheSnapshotQuarantined: bit rot in the snapshot means a
+// cold (but correct) start, with the evidence moved aside.
+func TestCorruptCacheSnapshotQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := durableServer(t, dir, nil)
+	fillCache(t, s, 6)
+	if err := s.SnapshotCache(); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, cacheSnapshotFile)
+	data, _ := os.ReadFile(snapPath)
+	data[len(data)/3] ^= 0x10
+	if err := os.WriteFile(snapPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := durableServer(t, dir, nil)
+	st := s2.DurableStats()
+	if st.SnapshotRestored {
+		t.Fatal("corrupt snapshot restored as valid")
+	}
+	if st.Quarantines != 1 {
+		t.Fatalf("quarantines = %d, want 1", st.Quarantines)
+	}
+	if s2.cache.Len() != 0 {
+		t.Fatal("corrupt snapshot populated the cache")
+	}
+	if _, err := os.Stat(snapPath); !os.IsNotExist(err) {
+		t.Fatal("corrupt snapshot still at its serving path")
+	}
+}
+
+// TestGoldenSetSaveAtomic: SaveGoldenSet goes through the atomic write
+// path — round-trips, leaves no temp litter, and a failed save leaves
+// the previous set untouched.
+func TestGoldenSetSaveAtomic(t *testing.T) {
+	pair := machine.PrimaryPair()
+	reg := NewRegistry(pair)
+	ref, err := reg.Register("tree", "test", dtree.New(pair.Limits()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := RecordGoldenSet(ref, DefaultGoldenRequests(8, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "golden.json")
+	if err := SaveGoldenSet(path, cases); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadGoldenSet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(cases) {
+		t.Fatalf("loaded %d cases, want %d", len(loaded), len(cases))
+	}
+	before, _ := os.ReadFile(path)
+	// A save into a missing directory fails before any rename...
+	if err := SaveGoldenSet(filepath.Join(dir, "missing", "golden.json"), cases); err == nil {
+		t.Fatal("save into missing directory succeeded")
+	}
+	// ...and the committed set is untouched, with no temp litter.
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed save mutated the committed golden set")
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.Name() != "golden.json" {
+			t.Fatalf("unexpected file %s after atomic save", e.Name())
+		}
+	}
+}

@@ -320,6 +320,46 @@ func (r *Registry) List() []ModelInfo {
 	return out
 }
 
+// VersionCounter returns the registry-wide monotonic version counter's
+// current value — the floor a durable cache snapshot records so a
+// restarted registry never reissues a pre-crash version number.
+func (r *Registry) VersionCounter() uint64 { return r.version.Load() }
+
+// EnsureVersionFloor raises the version counter to at least v. Restart
+// recovery calls it with the persisted pre-crash counter, so versions
+// stay monotone across the crash: a router that saw version 40 die can
+// never meet a reborn version 2.
+func (r *Registry) EnsureVersionFloor(v uint64) {
+	for {
+		cur := r.version.Load()
+		if cur >= v || r.version.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Restamp reissues a name's active entry under a fresh version number
+// without touching its predictor chain, breaker, or last-known-good
+// entry. Recovery restamps models registered before the version floor
+// was restored, lifting them above every pre-crash version.
+func (r *Registry) Restamp(name string) (*Model, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.models[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown model %q", name)
+	}
+	nm := &Model{
+		Name:    m.Name,
+		Version: r.version.Add(1),
+		Source:  m.Source,
+		chain:   m.chain,
+		breaker: m.breaker,
+	}
+	r.models[name] = nm
+	return nm, nil
+}
+
 // loadDBPredictor loads and sanity-checks a profiler database file.
 func (r *Registry) loadDBPredictor(name, path string) (predict.Predictor, error) {
 	f, err := os.Open(path)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"heteromap/internal/config"
+	"heteromap/internal/durable"
 	"heteromap/internal/fault"
 	"heteromap/internal/feature"
 	"heteromap/internal/machine"
@@ -81,6 +82,18 @@ type Options struct {
 	// canary-gated reload path as /v1/reload (nil: no online learning).
 	// The /v1/online endpoint is enabled only when this is set.
 	Online *online.Manager
+
+	// DurableDir enables serving-tier durability: the prediction cache
+	// and registry version counter snapshot to <dir>/cache.snap, and
+	// RecoverDurable restores them on restart so a rebooted node answers
+	// warm. Empty disables.
+	DurableDir string
+	// CacheSnapshotEvery is the periodic cache-snapshot cadence started
+	// by RecoverDurable (zero: only explicit and shutdown snapshots).
+	CacheSnapshotEvery time.Duration
+	// Kill is the crash-injection seam threaded through durable writes
+	// (nil in production).
+	Kill durable.KillFunc
 
 	// Tracer records per-request traces and provenance; nil builds a
 	// default tracer unless DisableTracing is set. Supply one explicitly
@@ -168,6 +181,9 @@ type Server struct {
 	// predictions keep being served — planned shutdown must produce zero
 	// 5xx for the window the routers need to move traffic away.
 	draining atomic.Bool
+
+	// dur is the durability bookkeeping (durable.go).
+	dur serveDurable
 
 	http *http.Server
 	// ln is set once by Start and read by Addr, commonly from the
@@ -290,10 +306,15 @@ func (s *Server) Addr() string {
 }
 
 // Shutdown gracefully stops the HTTP listener, then drains the batcher
-// so every queued prediction is still answered.
+// so every queued prediction is still answered, and — when durability
+// is enabled — takes a final cache snapshot so the next boot is warm.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.http.Shutdown(ctx)
 	s.batcher.Stop()
+	s.stopSnapshotLoop()
+	if s.opts.DurableDir != "" {
+		s.SnapshotCache()
+	}
 	return err
 }
 
@@ -313,9 +334,13 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // chaos harness — callers see transport errors, exactly like a crashed
 // node. The batcher is stopped asynchronously; Kill itself returns at
 // once.
+// No snapshot is taken and the snapshot loop is simply abandoned: a
+// dead process gets no shutdown courtesies, and recovery must work from
+// whatever the last completed snapshot and WAL left behind.
 func (s *Server) Kill() {
 	s.http.Close()
 	go s.batcher.Stop()
+	go s.stopSnapshotLoop()
 }
 
 // decodeJSON decodes a body capped at MaxBodyBytes, distinguishing
@@ -783,6 +808,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// byte-exact golden test stays untouched.
 	if s.opts.Online != nil {
 		s.opts.Online.WritePrometheus(w)
+	}
+	if s.opts.DurableDir != "" {
+		s.writeDurableMetrics(w)
 	}
 }
 

@@ -3,12 +3,15 @@ package train
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 	"os"
-	"path/filepath"
 
 	"heteromap/internal/config"
+	"heteromap/internal/durable"
 	"heteromap/internal/feature"
 	"heteromap/internal/machine"
 	"heteromap/internal/predict"
@@ -19,74 +22,163 @@ import (
 // system, which is indexed using B,I tuples to get M solutions." The
 // binary format stores the pair identity, objective and all samples;
 // Lookup answers queries by nearest characterization.
+//
+// Two on-disk generations exist:
+//
+//	HMDB (legacy)  header | raw samples — no integrity protection.
+//	HMD2 (current) header | per-sample record + CRC32-C | sealed footer
+//
+//	"HMD2" | u32 nameLen | name | u32 objective | u64 count
+//	sample: 17 f64 features | 20 f64 target | u32 auxLen | aux
+//	        | u32 crc32c(record)
+//	footer: u32 crc32c(magic..last record) | u64 count | "HMDE"
+//
+// Save writes HMD2; LoadDB dispatches on the magic so legacy databases
+// stay readable (parse-checked only — they carry no checksums to
+// verify). Every HMD2 load verifies per-record and whole-file checksums
+// before a byte is believed: a torn or bit-rotted database fails with
+// ErrCorrupt and is quarantined by its consumer, never parse-and-prayed
+// into serving. The optional per-sample aux blob carries consumer
+// private data (the online layer stores full feedback outcomes there);
+// LoadDB ignores it, so a window snapshot is still a valid database to
+// every existing reader.
+const (
+	storeMagic    = "HMDB" // legacy, unchecksummed
+	storeMagicV2  = "HMD2"
+	storeEndMagic = "HMDE"
+)
 
-const storeMagic = "HMDB"
+// ErrCorrupt marks a database that failed integrity verification:
+// checksum mismatch, truncation, or a missing seal. Callers quarantine
+// the file and keep serving the predecessor.
+var ErrCorrupt = errors.New("train: database failed integrity verification")
 
-// Save serializes the database.
+var storeCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// storeCRCWriter accumulates the whole-file CRC over everything written
+// through it.
+type storeCRCWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *storeCRCWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, storeCRCTable, p[:n])
+	return n, err
+}
+
+// storeCRCReader accumulates the same running CRC the writer computed.
+type storeCRCReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (cr *storeCRCReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, storeCRCTable, p[:n])
+	return n, err
+}
+
+// Save serializes the database in the checksummed HMD2 format.
 func (db *DB) Save(w io.Writer) error {
+	return db.SaveAux(w, nil)
+}
+
+// SaveAux serializes the database with one optional aux blob per sample
+// (aux may be nil, or shorter than the sample count; missing entries
+// write as empty). Aux rides inside the per-sample checksummed record,
+// so it shares the format's integrity guarantees.
+func (db *DB) SaveAux(w io.Writer, aux [][]byte) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(storeMagic); err != nil {
+	cw := &storeCRCWriter{w: bw}
+	le := binary.LittleEndian
+	if _, err := io.WriteString(cw, storeMagicV2); err != nil {
 		return err
 	}
-	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	var scratch [12]byte
 	pairName := db.Pair.Name()
-	if err := write(uint32(len(pairName))); err != nil {
+	le.PutUint32(scratch[0:4], uint32(len(pairName)))
+	if _, err := cw.Write(scratch[:4]); err != nil {
 		return err
 	}
-	if _, err := bw.WriteString(pairName); err != nil {
+	if _, err := io.WriteString(cw, pairName); err != nil {
 		return err
 	}
-	if err := write(uint32(db.Objective)); err != nil {
+	le.PutUint32(scratch[0:4], uint32(db.Objective))
+	le.PutUint64(scratch[4:12], uint64(len(db.Samples)))
+	if _, err := cw.Write(scratch[:12]); err != nil {
 		return err
 	}
-	if err := write(uint64(len(db.Samples))); err != nil {
-		return err
-	}
+	rec := make([]byte, 0, sampleRecordBase)
 	for i := range db.Samples {
 		s := &db.Samples[i]
-		for _, f := range s.Features {
-			if err := write(f); err != nil {
-				return err
-			}
+		var a []byte
+		if i < len(aux) {
+			a = aux[i]
 		}
-		for _, t := range s.Target {
-			if err := write(t); err != nil {
-				return err
-			}
+		rec = appendSampleRecord(rec[:0], s, a)
+		if _, err := cw.Write(rec); err != nil {
+			return err
 		}
+		le.PutUint32(scratch[0:4], crc32.Checksum(rec, storeCRCTable))
+		if _, err := cw.Write(scratch[:4]); err != nil {
+			return err
+		}
+	}
+	// Seal: whole-file CRC through the last record, the count again, and
+	// the end magic. The seal itself sits outside the running CRC.
+	le.PutUint32(scratch[0:4], cw.crc)
+	le.PutUint64(scratch[4:12], uint64(len(db.Samples)))
+	if _, err := bw.Write(scratch[:12]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(storeEndMagic); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
-// SaveFile writes the database to path atomically: the bytes go to a
-// temporary file in the same directory (same filesystem, so the final
-// rename cannot degrade into a copy), are fsynced, and only then replace
-// path in one rename. A crash at any point leaves either the previous
-// database or no file at all — never a torn prefix under the real name.
-// LoadDB independently rejects truncated input, so even a torn temp file
-// can never be mistaken for a database.
-func (db *DB) SaveFile(path string) (err error) {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".hmdb-*")
+// sampleRecordBase is a sample record's size before its aux blob: the
+// features, the target, and the aux length prefix.
+const sampleRecordBase = len(feature.Vector{})*8 + len(predict.Sample{}.Target)*8 + 4
+
+// appendSampleRecord appends one sample's record bytes (sans CRC).
+func appendSampleRecord(rec []byte, s *predict.Sample, aux []byte) []byte {
+	le := binary.LittleEndian
+	var b [8]byte
+	for _, f := range s.Features {
+		le.PutUint64(b[:], math.Float64bits(f))
+		rec = append(rec, b[:]...)
+	}
+	for _, t := range s.Target {
+		le.PutUint64(b[:], math.Float64bits(t))
+		rec = append(rec, b[:]...)
+	}
+	le.PutUint32(b[:4], uint32(len(aux)))
+	rec = append(rec, b[:4]...)
+	rec = append(rec, aux...)
+	return rec
+}
+
+// SaveFile writes the database to path atomically (write-temp + fsync +
+// rename): a crash at any point leaves either the previous database or
+// no file at all — never a torn prefix under the real name. LoadDB
+// independently rejects torn input, so even a stray temp file can never
+// be mistaken for a database.
+func (db *DB) SaveFile(path string) error {
+	return db.SaveFileAux(path, nil, nil)
+}
+
+// SaveFileAux is SaveFile with per-sample aux blobs and the
+// crash-injection seam: kill (nil in production) can die the write at a
+// deterministic byte offset under the "store" target, leaving exactly
+// the torn temp a real kill -9 would.
+func (db *DB) SaveFileAux(path string, aux [][]byte, kill durable.KillFunc) error {
+	err := durable.WriteFileAtomic(path, "store", kill, func(w io.Writer) error {
+		return db.SaveAux(w, aux)
+	})
 	if err != nil {
-		return fmt.Errorf("train: save %s: %w", path, err)
-	}
-	defer func() {
-		if err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	if err = db.Save(tmp); err != nil {
-		return fmt.Errorf("train: save %s: %w", path, err)
-	}
-	if err = tmp.Sync(); err != nil {
-		return fmt.Errorf("train: save %s: %w", path, err)
-	}
-	if err = tmp.Close(); err != nil {
-		return fmt.Errorf("train: save %s: %w", path, err)
-	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("train: save %s: %w", path, err)
 	}
 	return nil
@@ -103,18 +195,170 @@ func LoadDBFile(path string) (*DB, error) {
 	return LoadDB(f)
 }
 
-// LoadDB deserializes a database saved by Save. The accelerator pair is
-// re-resolved by name against the built-in catalog so the cost-model
-// coefficients always come from the running binary, not the file.
+// VerifyFile fully loads and checksum-verifies a database file without
+// keeping it: the recovery ladder's artifact check. A nil error means
+// every record parsed and (for HMD2) every checksum held; ErrCorrupt
+// (wrapped) means the artifact must be quarantined.
+func VerifyFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("train: verify %s: %w", path, err)
+	}
+	defer f.Close()
+	if _, _, err := loadDBAux(f); err != nil {
+		return fmt.Errorf("train: verify %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadDB deserializes a database saved by Save (either generation). The
+// accelerator pair is re-resolved by name against the built-in catalog
+// so the cost-model coefficients always come from the running binary,
+// not the file.
 func LoadDB(r io.Reader) (*DB, error) {
+	db, _, err := loadDBAux(r)
+	return db, err
+}
+
+// LoadDBAux is LoadDB returning the per-sample aux blobs too (nil for
+// legacy databases, and nil entries for samples written without aux).
+func LoadDBAux(r io.Reader) (*DB, [][]byte, error) {
+	return loadDBAux(r)
+}
+
+// LoadDBAuxFile is LoadDBAux over a file.
+func LoadDBAuxFile(path string) (*DB, [][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("train: load %s: %w", path, err)
+	}
+	defer f.Close()
+	return loadDBAux(f)
+}
+
+func loadDBAux(r io.Reader) (*DB, [][]byte, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("train: reading magic: %w", err)
+		return nil, nil, fmt.Errorf("train: reading magic: %w", err)
 	}
-	if string(magic) != storeMagic {
-		return nil, fmt.Errorf("train: bad magic %q", magic)
+	switch string(magic) {
+	case storeMagic:
+		db, err := loadLegacy(br)
+		return db, nil, err
+	case storeMagicV2:
+		return loadV2(br)
 	}
+	return nil, nil, fmt.Errorf("train: bad magic %q", magic)
+}
+
+// loadV2 reads the checksummed format. Integrity failures wrap
+// ErrCorrupt; format/catalog failures (unknown pair, implausible sizes)
+// stay plain errors.
+func loadV2(br *bufio.Reader) (*DB, [][]byte, error) {
+	cr := &storeCRCReader{r: br}
+	// The magic was consumed before dispatch; fold it back into the
+	// running CRC so the seal covers the whole file.
+	cr.crc = crc32.Update(0, storeCRCTable, []byte(storeMagicV2))
+	le := binary.LittleEndian
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+	var scratch [16]byte
+	if _, err := io.ReadFull(cr, scratch[:4]); err != nil {
+		return nil, nil, corrupt("truncated header: %v", err)
+	}
+	nameLen := le.Uint32(scratch[:4])
+	if nameLen > 1<<12 {
+		return nil, nil, fmt.Errorf("train: implausible pair-name length %d", nameLen)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(cr, nameBytes); err != nil {
+		return nil, nil, corrupt("truncated header: %v", err)
+	}
+	pair, err := pairByName(string(nameBytes))
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := io.ReadFull(cr, scratch[:12]); err != nil {
+		return nil, nil, corrupt("truncated header: %v", err)
+	}
+	objective := le.Uint32(scratch[0:4])
+	count := le.Uint64(scratch[4:12])
+	if count > 1<<24 {
+		return nil, nil, fmt.Errorf("train: implausible sample count %d", count)
+	}
+	db := &DB{
+		Pair:      pair,
+		Limits:    pair.Limits(),
+		Objective: Objective(objective),
+		Samples:   make([]predict.Sample, count),
+	}
+	var aux [][]byte
+	rec := make([]byte, sampleRecordBase)
+	for i := range db.Samples {
+		if _, err := io.ReadFull(cr, rec[:sampleRecordBase]); err != nil {
+			return nil, nil, corrupt("truncated at sample %d: %v", i, err)
+		}
+		auxLen := le.Uint32(rec[sampleRecordBase-4 : sampleRecordBase])
+		if auxLen > 1<<20 {
+			return nil, nil, corrupt("sample %d: implausible aux length %d", i, auxLen)
+		}
+		recCRC := crc32.Checksum(rec[:sampleRecordBase], storeCRCTable)
+		var auxBytes []byte
+		if auxLen > 0 {
+			auxBytes = make([]byte, auxLen)
+			if _, err := io.ReadFull(cr, auxBytes); err != nil {
+				return nil, nil, corrupt("truncated at sample %d aux: %v", i, err)
+			}
+			recCRC = crc32.Update(recCRC, storeCRCTable, auxBytes)
+		}
+		if _, err := io.ReadFull(cr, scratch[:4]); err != nil {
+			return nil, nil, corrupt("truncated at sample %d checksum: %v", i, err)
+		}
+		if le.Uint32(scratch[:4]) != recCRC {
+			return nil, nil, corrupt("sample %d checksum mismatch", i)
+		}
+		s := &db.Samples[i]
+		off := 0
+		for j := range s.Features {
+			s.Features[j] = math.Float64frombits(le.Uint64(rec[off : off+8]))
+			off += 8
+		}
+		for j := range s.Target {
+			s.Target[j] = math.Float64frombits(le.Uint64(rec[off : off+8]))
+			off += 8
+		}
+		if auxBytes != nil {
+			if aux == nil {
+				aux = make([][]byte, count)
+			}
+			aux[i] = auxBytes
+		}
+	}
+	sealed := cr.crc
+	// Footer sits outside the running CRC: seal, count echo, end magic.
+	if _, err := io.ReadFull(br, scratch[:16]); err != nil {
+		return nil, nil, corrupt("unsealed: missing footer: %v", err)
+	}
+	if le.Uint32(scratch[0:4]) != sealed {
+		return nil, nil, corrupt("file checksum mismatch")
+	}
+	if le.Uint64(scratch[4:12]) != count {
+		return nil, nil, corrupt("footer count mismatch")
+	}
+	if string(scratch[12:16]) != storeEndMagic {
+		return nil, nil, corrupt("bad end magic %q", scratch[12:16])
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, nil, corrupt("trailing bytes after seal")
+	}
+	return db, aux, nil
+}
+
+// loadLegacy reads the pre-checksum HMDB format (compat path): parse
+// checks only, since the generation carries nothing to verify.
+func loadLegacy(br *bufio.Reader) (*DB, error) {
 	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
 	var nameLen uint32
 	if err := read(&nameLen); err != nil {
@@ -162,6 +406,44 @@ func LoadDB(r io.Reader) (*DB, error) {
 		}
 	}
 	return db, nil
+}
+
+// SaveLegacy writes the pre-checksum HMDB generation — kept so the
+// compat tests and the load-overhead benchmark can produce authentic
+// legacy files. New databases must use Save.
+func (db *DB) SaveLegacy(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(storeMagic); err != nil {
+		return err
+	}
+	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	pairName := db.Pair.Name()
+	if err := write(uint32(len(pairName))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(pairName); err != nil {
+		return err
+	}
+	if err := write(uint32(db.Objective)); err != nil {
+		return err
+	}
+	if err := write(uint64(len(db.Samples))); err != nil {
+		return err
+	}
+	for i := range db.Samples {
+		s := &db.Samples[i]
+		for _, f := range s.Features {
+			if err := write(f); err != nil {
+				return err
+			}
+		}
+		for _, t := range s.Target {
+			if err := write(t); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
 }
 
 // pairByName resolves a saved pair identity against the Table II catalog.

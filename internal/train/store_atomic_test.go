@@ -93,7 +93,7 @@ func TestSaveFileFailureLeavesTargetIntact(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
-		if strings.HasPrefix(e.Name(), ".hmdb-") {
+		if strings.HasPrefix(e.Name(), ".hmdb-") || strings.HasPrefix(e.Name(), ".durable-") {
 			t.Fatalf("temp file %s left behind", e.Name())
 		}
 	}

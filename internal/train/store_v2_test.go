@@ -1,0 +1,270 @@
+package train
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"heteromap/internal/durable"
+	"heteromap/internal/machine"
+)
+
+// TestLegacyCompatLoad: a database written in the pre-checksum HMDB
+// generation still loads, sample-for-sample.
+func TestLegacyCompatLoad(t *testing.T) {
+	db := testDB(t)
+	var buf bytes.Buffer
+	if err := db.SaveLegacy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, aux, err := LoadDBAux(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("legacy database rejected: %v", err)
+	}
+	if aux != nil {
+		t.Fatal("legacy database reported aux blobs")
+	}
+	if len(got.Samples) != len(db.Samples) {
+		t.Fatalf("loaded %d samples, want %d", len(got.Samples), len(db.Samples))
+	}
+	for i := range db.Samples {
+		if got.Samples[i] != db.Samples[i] {
+			t.Fatalf("sample %d differs after legacy round trip", i)
+		}
+	}
+}
+
+// TestSaveAuxRoundTrip: per-sample aux blobs ride inside the sealed
+// format and come back byte-identical, while plain LoadDB ignores them.
+func TestSaveAuxRoundTrip(t *testing.T) {
+	db := testDB(t)
+	aux := make([][]byte, len(db.Samples))
+	for i := range aux {
+		if i%2 == 0 {
+			aux[i] = []byte(fmt.Sprintf("outcome-%d", i))
+		}
+	}
+	path := filepath.Join(t.TempDir(), "db.hmdb")
+	if err := db.SaveFileAux(path, aux, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, gotAux, err := LoadDBAuxFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != len(db.Samples) {
+		t.Fatalf("loaded %d samples, want %d", len(got.Samples), len(db.Samples))
+	}
+	for i := range aux {
+		if !bytes.Equal(gotAux[i], aux[i]) {
+			t.Fatalf("aux %d differs: %q != %q", i, gotAux[i], aux[i])
+		}
+	}
+	// The same file is a perfectly ordinary database to aux-blind readers.
+	plain, err := LoadDBFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range db.Samples {
+		if plain.Samples[i] != db.Samples[i] {
+			t.Fatalf("sample %d differs for aux-blind reader", i)
+		}
+	}
+}
+
+// TestV2RejectsEveryByteFlip: HMD2 is never parse-and-prayed — any
+// single corrupted byte fails the load with ErrCorrupt (or a parse
+// error for bytes that break framing before a checksum is reached).
+func TestV2RejectsEveryByteFlip(t *testing.T) {
+	db := testDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for i := range full {
+		mutated := append([]byte(nil), full...)
+		mutated[i] ^= 0x20
+		if _, err := LoadDB(bytes.NewReader(mutated)); err == nil {
+			t.Fatalf("byte flip at offset %d/%d loaded as a valid database", i, len(full))
+		}
+	}
+	// Truncation at every length is likewise rejected (the seal is
+	// missing), and trailing bytes after the seal are rejected too.
+	for n := 0; n < len(full); n++ {
+		if _, err := LoadDB(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes loaded as a valid database", n, len(full))
+		}
+	}
+	if _, err := LoadDB(bytes.NewReader(append(append([]byte(nil), full...), 0))); err == nil {
+		t.Fatal("trailing garbage after the seal accepted")
+	}
+}
+
+func TestVerifyFile(t *testing.T) {
+	db := testDB(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.hmdb")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFile(path); err != nil {
+		t.Fatalf("pristine database failed verification: %v", err)
+	}
+	// Bit-rot a payload byte in place (past the header).
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0x08
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := VerifyFile(path)
+	if err == nil {
+		t.Fatal("bit-rotted database passed verification")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("verification error %v does not wrap ErrCorrupt", err)
+	}
+}
+
+// TestStoreKillPointSweep is the crash-safety property for the model
+// store: a kill injected at every byte offset of a SaveFileAux — plus
+// the commit window before the rename — leaves the committed predecessor
+// loadable and byte-intact, with only quarantinable temp litter behind.
+func TestStoreKillPointSweep(t *testing.T) {
+	db := testDB(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.hmdb")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(len(before))
+	stride := int64(1)
+	if testing.Short() {
+		stride = 37
+	}
+	for off := int64(0); off <= size; off += stride {
+		kill := func(string) (int64, bool) { return off, true }
+		err := db.SaveFileAux(path, nil, kill)
+		if err == nil {
+			t.Fatalf("offset %d: killed save reported success", off)
+		}
+		if !errors.Is(err, durable.ErrKilled) {
+			t.Fatalf("offset %d: unexpected error %v", off, err)
+		}
+		after, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("offset %d: committed database unreadable: %v", off, rerr)
+		}
+		if !bytes.Equal(before, after) {
+			t.Fatalf("offset %d: killed save mutated the committed database", off)
+		}
+		if _, lerr := LoadDBFile(path); lerr != nil {
+			t.Fatalf("offset %d: committed database no longer loads: %v", off, lerr)
+		}
+	}
+	if n := durable.RemoveStaleTemps(dir); n == 0 {
+		t.Fatal("kill sweep left no temp litter (kills did not land mid-write)")
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), durable.TempPrefix) {
+			t.Fatalf("stale temp %s survived recovery sweep", e.Name())
+		}
+	}
+}
+
+// TestRegenerateFuzzCorpus rewrites the checked-in seed corpus for
+// FuzzLoadDB when HM_WRITE_FUZZ_CORPUS=1; otherwise it verifies the
+// corpus directory exists (CI's bounded fuzz run starts from it).
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	corpusDir := filepath.Join("testdata", "fuzz", "FuzzLoadDB")
+	if os.Getenv("HM_WRITE_FUZZ_CORPUS") == "" {
+		if _, err := os.Stat(corpusDir); err != nil {
+			t.Fatalf("checked-in corpus missing (regenerate with HM_WRITE_FUZZ_CORPUS=1): %v", err)
+		}
+		return
+	}
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(entry string, data []byte) {
+		t.Helper()
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(corpusDir, entry), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := BuildDatabase(machine.PrimaryPair(), Config{Samples: 3, Seed: 7})
+	var v2 bytes.Buffer
+	if err := db.Save(&v2); err != nil {
+		t.Fatal(err)
+	}
+	var legacy bytes.Buffer
+	if err := db.SaveLegacy(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	write("sealed-v2", v2.Bytes())
+	write("legacy-hmdb", legacy.Bytes())
+	write("truncated-v2", v2.Bytes()[:len(v2.Bytes())/2])
+	mut := append([]byte(nil), v2.Bytes()...)
+	mut[len(mut)-6] ^= 0x01
+	write("footer-bit-rot", mut)
+}
+
+// FuzzLoadDB feeds arbitrary bytes through both store generations'
+// loaders: no input may panic, and no HMD2 input missing a valid seal
+// may be accepted.
+func FuzzLoadDB(f *testing.F) {
+	db := BuildDatabase(machine.PrimaryPair(), Config{Samples: 3, Seed: 7})
+	var v2 bytes.Buffer
+	if err := db.Save(&v2); err != nil {
+		f.Fatal(err)
+	}
+	var legacy bytes.Buffer
+	if err := db.SaveLegacy(&legacy); err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(v2.Bytes())
+	f.Add(legacy.Bytes())
+	f.Add(v2.Bytes()[:len(v2.Bytes())/2])
+	mut := append([]byte(nil), v2.Bytes()...)
+	mut[len(mut)-6] ^= 0x01
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, aux, err := LoadDBAux(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got == nil {
+			t.Fatal("nil database accepted without error")
+		}
+		// An accepted HMD2 input re-saves to a database with identical
+		// samples (the loader only accepts what the writer produces).
+		if len(data) >= 4 && string(data[:4]) == storeMagicV2 {
+			var rt bytes.Buffer
+			auxSlice := aux
+			if auxSlice == nil {
+				auxSlice = make([][]byte, len(got.Samples))
+			}
+			if err := got.SaveAux(&rt, auxSlice); err != nil {
+				t.Fatalf("accepted database failed re-save: %v", err)
+			}
+			back, err := LoadDB(bytes.NewReader(rt.Bytes()))
+			if err != nil {
+				t.Fatalf("re-saved database failed reload: %v", err)
+			}
+			if len(back.Samples) != len(got.Samples) {
+				t.Fatal("sample count changed across round trip")
+			}
+		}
+	})
+}
