@@ -48,6 +48,10 @@ func BenchmarkConformanceServePredictE2E(b *testing.B) {
 	conformanceTarget(b, "serve/predict-e2e")
 }
 
+func BenchmarkConformanceServePredictCacheHit(b *testing.B) {
+	conformanceTarget(b, "serve/predict-cachehit")
+}
+
 func BenchmarkConformanceTrainBuildDB(b *testing.B) {
 	conformanceTarget(b, "train/build-db")
 }

@@ -52,26 +52,33 @@ func DefaultGPU(l Limits) M {
 // levels returns about k geometrically spaced values in [1, maxV],
 // always including 1 and maxV.
 func levels(maxV, k int) []int {
+	return appendLevels(nil, maxV, k)
+}
+
+// appendLevels is levels into a caller-provided buffer: the decode hot
+// path (Snapped, on every NN inference) passes a stack array so grid
+// snapping costs no heap allocations.
+func appendLevels(dst []int, maxV, k int) []int {
 	if maxV <= 1 {
-		return []int{1}
+		return append(dst, 1)
 	}
 	if k < 2 {
 		k = 2
 	}
-	out := []int{1}
+	dst = append(dst, 1)
 	step := math.Pow(float64(maxV), 1/float64(k-1))
 	cur := 1.0
 	for i := 1; i < k-1; i++ {
 		cur *= step
 		v := int(cur)
-		if v > out[len(out)-1] {
-			out = append(out, v)
+		if v > dst[len(dst)-1] {
+			dst = append(dst, v)
 		}
 	}
-	if out[len(out)-1] != maxV {
-		out = append(out, maxV)
+	if dst[len(dst)-1] != maxV {
+		dst = append(dst, maxV)
 	}
-	return out
+	return dst
 }
 
 // EnumerateGPU returns the coarse GPU sweep grid: geometric levels of
@@ -159,13 +166,14 @@ func EnumerateFor(a Accel, l Limits) []M {
 func (m M) Snapped(l Limits) M {
 	l = l.withDefaults()
 	m = m.Clamp(l)
-	m.Cores = snapTo(m.Cores, levels(l.MaxCores, 6))
-	m.ThreadsPerCore = snapTo(m.ThreadsPerCore, levels(l.MaxThreadsPerCore, 3))
-	m.SIMDWidth = snapTo(m.SIMDWidth, levels(l.MaxSIMD, 2))
-	m.GlobalThreads = snapTo(m.GlobalThreads, levels(l.MaxGlobalThreads, 8))
-	m.LocalThreads = snapTo(m.LocalThreads, levels(l.MaxLocalThreads, 6))
-	m.BlocktimeMS = snapTo(m.BlocktimeMS, []int{1, 200, l.MaxBlocktimeMS})
-	m.ChunkSize = snapTo(m.ChunkSize, []int{1, 64, 512, l.MaxChunk})
+	var buf [8]int
+	m.Cores = snapTo(m.Cores, appendLevels(buf[:0], l.MaxCores, 6))
+	m.ThreadsPerCore = snapTo(m.ThreadsPerCore, appendLevels(buf[:0], l.MaxThreadsPerCore, 3))
+	m.SIMDWidth = snapTo(m.SIMDWidth, appendLevels(buf[:0], l.MaxSIMD, 2))
+	m.GlobalThreads = snapTo(m.GlobalThreads, appendLevels(buf[:0], l.MaxGlobalThreads, 8))
+	m.LocalThreads = snapTo(m.LocalThreads, appendLevels(buf[:0], l.MaxLocalThreads, 6))
+	m.BlocktimeMS = snapTo(m.BlocktimeMS, append(buf[:0], 1, 200, l.MaxBlocktimeMS))
+	m.ChunkSize = snapTo(m.ChunkSize, append(buf[:0], 1, 64, 512, l.MaxChunk))
 	return m
 }
 

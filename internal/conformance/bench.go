@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -111,8 +112,9 @@ func (r Regression) String() string {
 }
 
 // CompareBench gates cur against base: any target whose ns/op grew by
-// more than maxRegress (0.20 = 20%), or whose allocs/op grew at all
-// beyond slack, is returned as a regression. Targets present in only
+// more than maxRegress (0.20 = 20%), whose allocs/op grew at all
+// beyond slack, or that allocates at all where the baseline records
+// zero allocs/op, is returned as a regression. Targets present in only
 // one report are skipped (additions and retirements are not
 // regressions — the committed baseline is refreshed alongside them).
 func CompareBench(base, cur *BenchReport, maxRegress float64) []Regression {
@@ -136,6 +138,17 @@ func CompareBench(base, cur *BenchReport, maxRegress float64) []Regression {
 				Name: b.Name, Metric: "allocs/op",
 				Base: float64(b.AllocsPerOp), Cur: float64(c.AllocsPerOp),
 				Ratio: float64(c.AllocsPerOp) / float64(b.AllocsPerOp),
+			})
+		}
+		// A zero-alloc baseline is a hard floor, not a ratio: the first
+		// allocation on a path committed at 0 allocs/op (the cache-hit
+		// fast path, the binary-key hash) is a regression no matter how
+		// small, because it means the path escapes to the heap again.
+		if b.AllocsPerOp == 0 && c.AllocsPerOp > 0 {
+			out = append(out, Regression{
+				Name: b.Name, Metric: "allocs/op",
+				Base: 0, Cur: float64(c.AllocsPerOp),
+				Ratio: math.Inf(1),
 			})
 		}
 	}

@@ -86,6 +86,15 @@ func TestCompareBenchGates(t *testing.T) {
 		t.Fatalf("expected one allocs/op regression, got %v", regs)
 	}
 
+	// A zero-alloc baseline is a hard floor: one allocation fails the
+	// gate regardless of the relative slack.
+	cur = sampleReport()
+	cur.Results[1].AllocsPerOp = 1
+	regs = CompareBench(base, cur, 100)
+	if len(regs) != 1 || regs[0].Name != "a/one" || regs[0].Metric != "allocs/op" {
+		t.Fatalf("expected one zero-floor allocs/op regression on a/one, got %v", regs)
+	}
+
 	// Targets only in one report are not regressions.
 	cur = sampleReport()
 	cur.Results = cur.Results[:1]

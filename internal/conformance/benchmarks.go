@@ -73,6 +73,11 @@ func BenchTargets(short bool) []BenchTarget {
 			Run:  benchServePredict,
 		},
 		{
+			Name: "serve/predict-cachehit",
+			Doc:  "in-process cache-hit fast path (binary key build + sharded LRU hit); gated at 0 allocs/op",
+			Run:  benchServeCacheHit,
+		},
+		{
 			Name: "serve/obs-overhead",
 			Doc:  "predict e2e with tracing on (ns/op) vs off (untraced_ns/op, overhead_pct)",
 			Run:  benchServeObsOverhead,
@@ -256,6 +261,45 @@ func benchServePredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		servePredictOnce(b, client, ts.URL+"/v1/predict", bodies[i%len(bodies)])
+	}
+}
+
+// benchServeCacheHit prices the cache-hit fast path with the HTTP and
+// JSON layers peeled off: one PredictCached call — registry resolve,
+// binary cache-key build, sharded-LRU hit, latency accounting — per
+// iteration. This is the floor the e2e number decomposes onto, and the
+// target the allocs/op gate pins at zero: any per-hit allocation that
+// sneaks onto this path (a string key, an escaping closure, a trace
+// exemplar) fails the baseline comparison.
+func benchServeCacheHit(b *testing.B) {
+	pair := machine.PrimaryPair()
+	s := serve.New(serve.Options{Pair: pair, DisableTracing: true})
+	defer s.Shutdown(context.Background())
+	if _, err := s.Registry().Register("tree", "bench", dtree.New(pair.Limits())); err != nil {
+		b.Fatal(err)
+	}
+	pts := benchPoints(64)
+	feats := make([]feature.Vector, len(pts))
+	h := s.Handler()
+	for i, p := range pts {
+		feats[i] = p.Features.Discretized(feature.DiscretizationStep)
+		// Warm each key through the full predict path once.
+		body, err := json.Marshal(serve.PredictRequest{Model: "tree", Features: feats[i][:]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("warmup predict returned %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, ok := s.PredictCached("tree", feats[i%len(feats)]); !ok {
+			b.Fatal("warmed key missed the cache")
+		}
 	}
 }
 

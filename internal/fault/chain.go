@@ -96,6 +96,76 @@ func (c *Chain) SelectCtx(ctx context.Context, f feature.Vector) Selection {
 	return Selection{M: c.Default.Clamp(c.Limits), Used: c.DefaultLabel, Fallbacks: events}
 }
 
+// BatchCapable reports whether the chain's primary predictor can answer
+// whole micro-batches in one pass. The serving batcher checks it before
+// routing a deduplicated batch through SelectBatchCtx.
+func (c *Chain) BatchCapable() bool {
+	for _, p := range c.Predictors {
+		if p != nil {
+			_, ok := p.(predict.BatchPredictor)
+			return ok
+		}
+	}
+	return false
+}
+
+// SelectBatchCtx consults the chain for a whole micro-batch, filling
+// dst[i] with the selection for feats[i] (dst must hold len(feats)
+// entries). When the primary predictor is batch-capable and every row of
+// its single-pass answer validates, each selection is exactly what
+// SelectCtx would have produced — same raw prediction bits, same
+// validation, same clamp — under one consult span instead of one per
+// row. Any batch error, panic or invalid row abandons the batch answer
+// and re-derives every row through the per-item path, so batching can
+// change latency but never results.
+func (c *Chain) SelectBatchCtx(ctx context.Context, feats []feature.Vector, dst []Selection) {
+	if len(feats) == 0 {
+		return
+	}
+	var primary predict.Predictor
+	for _, p := range c.Predictors {
+		if p != nil {
+			primary = p
+			break
+		}
+	}
+	if bp, ok := primary.(predict.BatchPredictor); ok {
+		_, sp := obs.StartSpan(ctx, "consult:"+primary.Name())
+		ms := make([]config.M, len(feats))
+		err := tryPredictBatch(bp, feats, ms)
+		if err == nil {
+			for i := range ms {
+				if verr := ms[i].Validate(c.Limits); verr != nil {
+					err = fmt.Errorf("row %d: %w", i, verr)
+					break
+				}
+			}
+		}
+		if err == nil {
+			sp.End()
+			for i := range feats {
+				dst[i] = Selection{M: ms[i].Clamp(c.Limits), Used: primary.Name()}
+			}
+			return
+		}
+		sp.EndErr(err)
+	}
+	for i := range feats {
+		dst[i] = c.SelectCtx(ctx, feats[i])
+	}
+}
+
+// tryPredictBatch consults the batch interface, converting panics into
+// errors like tryPredict does for the per-item path.
+func tryPredictBatch(bp predict.BatchPredictor, feats []feature.Vector, dst []config.M) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("predictor panicked: %v", r)
+		}
+	}()
+	return bp.PredictBatchChecked(feats, dst)
+}
+
 // Name implements predict.Predictor, labelled by the primary link.
 func (c *Chain) Name() string {
 	for _, p := range c.Predictors {

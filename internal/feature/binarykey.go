@@ -1,0 +1,79 @@
+package feature
+
+import (
+	"fmt"
+	"math"
+)
+
+// BinaryKey is the fixed-size, comparable binary form of a vector: the
+// raw IEEE-754 bits of every component. It is the serve hot path's cache
+// key — a plain Go value usable directly as a map key, built and hashed
+// without a single allocation, where the string Key costs ~19 allocs per
+// render/parse round trip. Key()/ParseKey() remain the wire and debug
+// format; Binary/FromBinary convert at that boundary.
+//
+// Equality tracks Key equality exactly: two vectors have equal BinaryKeys
+// iff their components are bitwise equal, which is also when their
+// shortest-exact-float string keys are equal.
+type BinaryKey [NumFeatures]uint64
+
+// FNV-1a constants, shared by the key hashes below. ShardHash's values
+// are pinned by tests and by the cluster ring's placement contract, so
+// these must stay the standard 64-bit FNV parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Binary packs the vector into its binary key. Zero allocations.
+func (v Vector) Binary() BinaryKey {
+	var k BinaryKey
+	for i, x := range v {
+		k[i] = math.Float64bits(x)
+	}
+	return k
+}
+
+// FromBinary inverts Binary. Binary keys come in from cache snapshots
+// and peers, so like ParseKey it validates that every component is a
+// finite normalized value.
+func FromBinary(k BinaryKey) (Vector, error) {
+	var v Vector
+	for i, bits := range k {
+		x := math.Float64frombits(bits)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return Vector{}, fmt.Errorf("feature: binary key component %d is not finite", i)
+		}
+		if x < 0 || x > 1 {
+			return Vector{}, fmt.Errorf("feature: binary key component %d = %g outside [0,1]", i, x)
+		}
+		v[i] = x
+	}
+	return v, nil
+}
+
+// Hash reduces the key to a 64-bit FNV-1a over its little-endian bytes,
+// without allocating. It is NOT ShardHash: ShardHash is the externally
+// pinned placement contract (a hash of the canonical key string), while
+// Hash is free to hash the raw bits directly and exists for in-process
+// uses — cache shard selection, map seeding — where only distribution
+// matters.
+func (k BinaryKey) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	for _, bits := range k {
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ uint64(byte(bits>>s))) * fnvPrime64
+		}
+	}
+	return h
+}
+
+// String renders the key in the canonical wire format when it decodes to
+// a valid vector, and a raw hex dump otherwise (debug output only).
+func (k BinaryKey) String() string {
+	v, err := FromBinary(k)
+	if err != nil {
+		return fmt.Sprintf("binarykey(%x)", [NumFeatures]uint64(k))
+	}
+	return v.Key()
+}

@@ -1,0 +1,210 @@
+package feature
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"heteromap/internal/algo"
+)
+
+// gridVector returns a random vector on the 0.1 discretization grid.
+func gridVector(rng *rand.Rand) Vector {
+	var v Vector
+	for j := range v {
+		v[j] = float64(rng.Intn(11)) / 10
+	}
+	return v.Discretized(DiscretizationStep)
+}
+
+// Binary ∘ FromBinary is a bijection on the discretized grid: every grid
+// vector round-trips exactly, and distinct vectors get distinct keys —
+// the property that lets the binary key replace the string key as the
+// prediction cache's identity.
+func TestBinaryKeyBijectionOnGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seen := map[BinaryKey]Vector{}
+	for i := 0; i < 1000; i++ {
+		v := gridVector(rng)
+		k := v.Binary()
+		got, err := FromBinary(k)
+		if err != nil {
+			t.Fatalf("FromBinary(Binary(%v)): %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("round trip %v != %v", got, v)
+		}
+		if prev, ok := seen[k]; ok && prev != v {
+			t.Fatalf("binary key collides: %v and %v", prev, v)
+		}
+		seen[k] = v
+	}
+	// The catalog crossed with I spreads round-trips too.
+	for _, b := range algo.All() {
+		v := Combine(MustCatalog(b.Name), IVector{0.1, 0.4, 0.7, 1})
+		got, err := FromBinary(v.Binary())
+		if err != nil || got != v {
+			t.Fatalf("%s: round trip %v != %v (%v)", b.Name, got, v, err)
+		}
+	}
+}
+
+// Binary-key equality must track string-key equality exactly: the two
+// formats are different encodings of the same identity, so a cache keyed
+// on one answers precisely the requests the other would.
+func TestBinaryKeyEqualityMatchesStringKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 500; i++ {
+		a, b := gridVector(rng), gridVector(rng)
+		if (a.Binary() == b.Binary()) != (a.Key() == b.Key()) {
+			t.Fatalf("binary/string key equality diverge for %v vs %v", a, b)
+		}
+	}
+}
+
+func TestFromBinaryRejectsInvalid(t *testing.T) {
+	valid := gridVector(rand.New(rand.NewSource(17))).Binary()
+	for name, bits := range map[string]uint64{
+		"NaN":      math.Float64bits(math.NaN()),
+		"+Inf":     math.Float64bits(math.Inf(1)),
+		"-Inf":     math.Float64bits(math.Inf(-1)),
+		"negative": math.Float64bits(-0.5),
+		"above1":   math.Float64bits(1.5),
+	} {
+		k := valid
+		k[3] = bits
+		if _, err := FromBinary(k); err == nil {
+			t.Fatalf("FromBinary accepted %s component", name)
+		}
+	}
+}
+
+// ShardHash must stay exactly fnv64a of the canonical key string — the
+// placement contract the cluster ring, the online loop's job seeding and
+// every persisted layout rely on — even though it no longer builds the
+// string. Checked across the catalog and random grid points.
+func TestShardHashEqualsStringKeyHash(t *testing.T) {
+	check := func(v Vector) {
+		t.Helper()
+		h := fnv.New64a()
+		io.WriteString(h, v.Key())
+		if got, want := v.ShardHash(), h.Sum64(); got != want {
+			t.Fatalf("ShardHash(%v) = %x, want fnv64a(Key) = %x", v, got, want)
+		}
+	}
+	check(Vector{})
+	for _, b := range algo.All() {
+		check(Combine(MustCatalog(b.Name), IVector{0.3, 0.6, 0.9, 0.1}))
+	}
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 500; i++ {
+		check(gridVector(rng))
+	}
+	// Off-grid values exercise long shortest-float renderings.
+	for i := 0; i < 100; i++ {
+		var v Vector
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		check(v)
+	}
+}
+
+// The binary key is only worth having if building and hashing it costs
+// nothing: these are hard gates, not benchmarks, so a regression fails
+// `go test` even when nobody reruns hmbench.
+func TestBinaryKeyZeroAlloc(t *testing.T) {
+	v := Combine(MustCatalog(algo.NameBFS), IVector{0.1, 0.2, 0.3, 0.4})
+	k := v.Binary()
+	if n := testing.AllocsPerRun(1000, func() {
+		k = v.Binary()
+	}); n != 0 {
+		t.Fatalf("Vector.Binary allocates %.1f times per call, want 0", n)
+	}
+	var sink uint64
+	if n := testing.AllocsPerRun(1000, func() {
+		sink += k.Hash()
+	}); n != 0 {
+		t.Fatalf("BinaryKey.Hash allocates %.1f times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		sink += v.ShardHash()
+	}); n != 0 {
+		t.Fatalf("Vector.ShardHash allocates %.1f times per call, want 0", n)
+	}
+	_ = sink
+}
+
+// binaryKeyFromBytes decodes a fuzz payload into a BinaryKey (little-
+// endian, 8 bytes per component).
+func binaryKeyFromBytes(data []byte) (BinaryKey, bool) {
+	var k BinaryKey
+	if len(data) != NumFeatures*8 {
+		return k, false
+	}
+	for i := range k {
+		k[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	return k, true
+}
+
+// FuzzBinaryKey: arbitrary 136-byte payloads decode into a BinaryKey
+// that must either be rejected by FromBinary or yield a valid vector
+// that round-trips through both the binary and the string key format,
+// with ShardHash agreeing with the canonical string hash — never panic,
+// never launder a non-finite or out-of-range component.
+func FuzzBinaryKey(f *testing.F) {
+	seed := func(v Vector) {
+		k := v.Binary()
+		buf := make([]byte, NumFeatures*8)
+		for i, bits := range k {
+			binary.LittleEndian.PutUint64(buf[i*8:], bits)
+		}
+		f.Add(buf)
+	}
+	seed(Vector{})
+	seed(Combine(MustCatalog(algo.NameBFS), IVector{0.1, 0.2, 0.3, 0.4}))
+	poison := Combine(MustCatalog(algo.NamePageRank), IVector{1, 1, 1, 1})
+	pk := poison.Binary()
+	pk[0] = math.Float64bits(math.NaN())
+	buf := make([]byte, NumFeatures*8)
+	for i, bits := range pk {
+		binary.LittleEndian.PutUint64(buf[i*8:], bits)
+	}
+	f.Add(buf)
+	f.Add([]byte("short"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, ok := binaryKeyFromBytes(data)
+		if !ok {
+			return
+		}
+		v, err := FromBinary(k)
+		if err != nil {
+			return
+		}
+		for i, x := range v {
+			if x != x || x < 0 || x > 1 {
+				t.Fatalf("FromBinary accepted component %d = %g", i, x)
+			}
+		}
+		if v.Binary() != k {
+			t.Fatalf("Binary(FromBinary(k)) != k for %v", v)
+		}
+		// The string wire format must agree on identity and placement.
+		parsed, err := ParseKey(v.Key())
+		if err != nil {
+			t.Fatalf("canonical key %q failed to re-parse: %v", v.Key(), err)
+		}
+		if parsed.Binary() != k {
+			t.Fatalf("string round trip changed the binary key for %v", v)
+		}
+		h := fnv.New64a()
+		io.WriteString(h, v.Key())
+		if v.ShardHash() != h.Sum64() {
+			t.Fatalf("ShardHash diverged from fnv64a(Key) for %v", v)
+		}
+	})
+}

@@ -2,8 +2,6 @@ package feature
 
 import (
 	"fmt"
-	"hash/fnv"
-	"io"
 	"math"
 	"strconv"
 	"strings"
@@ -61,10 +59,25 @@ func ParseKey(key string) (Vector, error) {
 // each node's prediction cache hot on its own slice of the discretized
 // keyspace. The hash is a pure function of Key(), never of process
 // state, so every router instance places a key identically.
+//
+// The value is exactly fnv64a(Key()) — ring placement, the online
+// loop's deterministic job seeding and persisted layouts all depend on
+// it — but computed by streaming each component's shortest-exact-float
+// bytes through the hash from a stack buffer, so the per-request cost
+// is zero allocations instead of materializing the key string.
 func (v Vector) ShardHash() uint64 {
-	h := fnv.New64a()
-	io.WriteString(h, v.Key())
-	return h.Sum64()
+	h := uint64(fnvOffset64)
+	var buf [32]byte
+	for i, x := range v {
+		if i > 0 {
+			h = (h ^ uint64(',')) * fnvPrime64
+		}
+		b := strconv.AppendFloat(buf[:0], x, 'g', -1, 64)
+		for _, c := range b {
+			h = (h ^ uint64(c)) * fnvPrime64
+		}
+	}
+	return h
 }
 
 // Discretized snaps every component to the given step after clamping to

@@ -227,9 +227,11 @@ type Manager struct {
 	promote PromoteFunc
 	live    LiveFunc
 	residQ  map[string]float64 // predictor name -> residual gap quantile
-	cells   map[string]cellTruth
-	last    *RetrainReport
-	seq     uint64 // shadow file sequence
+	// cells caches per-cell ground truth keyed on the binary feature key
+	// — built on the serve path, so the key must cost nothing to make.
+	cells map[feature.BinaryKey]cellTruth
+	last  *RetrainReport
+	seq   uint64 // shadow file sequence
 
 	ingested   atomic.Uint64
 	processed  atomic.Uint64
@@ -260,7 +262,7 @@ func New(opts Options) *Manager {
 		window:     NewWindow(opts.WindowSize),
 		drift:      NewDetector(opts.DriftAlpha, opts.DriftThreshold, opts.DriftWindow),
 		residQ:     make(map[string]float64),
-		cells:      make(map[string]cellTruth),
+		cells:      make(map[feature.BinaryKey]cellTruth),
 	}
 	if m.opts.Realize == nil {
 		m.opts.Realize = func(job machine.Job, cfg config.M) float64 {
@@ -366,11 +368,11 @@ func (m *Manager) Tick() int {
 // exhaustive best, and feed the gap to the window and detector. The
 // outcome is returned so the tick can journal it.
 func (m *Manager) collect(s Sample) Outcome {
-	truth, ok := m.cellLookup(s)
+	truth, ok := m.cellLookup(s.Features)
 	if !ok {
 		job, bestM, bestCost := m.groundTruth(s.Features)
 		truth = cellTruth{job: job, bestM: bestM, bestCost: bestCost}
-		m.cellStore(s, truth)
+		m.cellStore(s.Features, truth)
 	}
 	chosen := m.opts.Realize(truth.job, s.M)
 	gap := 0.0
@@ -417,21 +419,23 @@ func (m *Manager) groundTruth(f feature.Vector) (machine.Job, config.M, float64)
 	return job, bestM, bestCost
 }
 
-func (m *Manager) cellLookup(s Sample) (cellTruth, bool) {
+func (m *Manager) cellLookup(f feature.Vector) (cellTruth, bool) {
+	key := f.Binary()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.cells == nil {
 		return cellTruth{}, false
 	}
-	t, ok := m.cells[s.Key]
+	t, ok := m.cells[key]
 	return t, ok
 }
 
-func (m *Manager) cellStore(s Sample, t cellTruth) {
+func (m *Manager) cellStore(f feature.Vector, t cellTruth) {
+	key := f.Binary()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.cells != nil {
-		m.cells[s.Key] = t
+		m.cells[key] = t
 	}
 }
 

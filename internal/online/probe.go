@@ -27,7 +27,7 @@ const ProbePredictor = "probe"
 // feedback stream (Probed=true), so every probe also teaches the next
 // retrain.
 func (m *Manager) Probe(f feature.Vector) (config.M, float64) {
-	truth, ok := m.cellLookup(Sample{Key: f.Key(), Features: f})
+	truth, ok := m.cellLookup(f)
 	if ok {
 		m.probes.Add(1)
 		return truth.bestM, truth.bestCost

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"heteromap/internal/config"
 	"heteromap/internal/feature"
@@ -64,7 +65,10 @@ type Network struct {
 	ready  bool
 }
 
-var _ predict.Trainable = (*Network)(nil)
+var (
+	_ predict.Trainable      = (*Network)(nil)
+	_ predict.BatchPredictor = (*Network)(nil)
+)
 
 // New builds an untrained network for the given deployment limits.
 func New(limits config.Limits, opts Options) *Network {
@@ -93,9 +97,8 @@ func (n *Network) Hidden() int { return n.opts.Hidden }
 // targets). Calling Predict before Train returns the decoded zero vector
 // (predictors are validated as Trainable first).
 func (n *Network) Predict(f feature.Vector) config.M {
-	out := n.forward(f[:])
 	var v [config.NumVariables]float64
-	copy(v[:], out)
+	n.forwardInto(f[:], v[:])
 	return config.FromNormalized(v, n.limits).Snapped(n.limits)
 }
 
@@ -107,15 +110,67 @@ func (n *Network) PredictChecked(f feature.Vector) (config.M, error) {
 	if !n.ready {
 		return config.M{}, errors.New("nn: predict before Train")
 	}
-	out := n.forward(f[:])
-	for i, x := range out {
+	var v [config.NumVariables]float64
+	n.forwardInto(f[:], v[:])
+	for i, x := range v {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
 			return config.M{}, fmt.Errorf("nn: non-finite output %v at M%d", x, i+1)
 		}
 	}
-	var v [config.NumVariables]float64
-	copy(v[:], out)
 	return config.FromNormalized(v, n.limits).Snapped(n.limits), nil
+}
+
+// PredictBatchChecked implements predict.BatchPredictor: one pass over
+// pooled activation matrices answers the whole micro-batch. Per row it
+// performs exactly the operations PredictChecked performs — same layer
+// order, same inner-loop accumulation order — so every dst[i] is
+// bit-identical to PredictChecked(feats[i]); the conformance fastpath
+// suite and TestPredictBatchMatchesSingle hold it to that. Any row with
+// a non-finite raw output fails the whole batch (the caller re-derives
+// per item through the fallback chain, which is where partial-failure
+// policy lives).
+func (n *Network) PredictBatchChecked(feats []feature.Vector, dst []config.M) error {
+	if !n.ready {
+		return errors.New("nn: predict before Train")
+	}
+	rows := len(feats)
+	if rows == 0 {
+		return nil
+	}
+	if len(dst) < rows {
+		return fmt.Errorf("nn: dst holds %d rows, batch has %d", len(dst), rows)
+	}
+	w := n.maxWidth()
+	sc := scratchPool.Get().(*scratch)
+	sc.grow(rows * w)
+	cur, prev := sc.a, sc.b
+	last := len(n.layers) - 1
+	for li, l := range n.layers {
+		relu := li < last
+		for r := 0; r < rows; r++ {
+			in := feats[r][:]
+			if li > 0 {
+				in = prev[r*w : r*w+n.layers[li-1].out]
+			}
+			l.applyInto(in, cur[r*w:r*w+l.out], relu)
+		}
+		cur, prev = prev, cur
+	}
+	outW := n.layers[last].out
+	for r := 0; r < rows; r++ {
+		out := prev[r*w : r*w+outW]
+		for j, x := range out {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				scratchPool.Put(sc)
+				return fmt.Errorf("nn: non-finite output %v at row %d M%d", x, r, j+1)
+			}
+		}
+		var v [config.NumVariables]float64
+		copy(v[:], out)
+		dst[r] = config.FromNormalized(v, n.limits).Snapped(n.limits)
+	}
+	scratchPool.Put(sc)
+	return nil
 }
 
 // M1Margin reports how far the raw inter-accelerator output (M1) sits
@@ -126,8 +181,9 @@ func (n *Network) M1Margin(f feature.Vector) float64 {
 	if !n.ready {
 		return 0
 	}
-	out := n.forward(f[:])
-	m := math.Abs(out[0] - 0.5)
+	var v [config.NumVariables]float64
+	n.forwardInto(f[:], v[:])
+	m := math.Abs(v[0] - 0.5)
 	if math.IsNaN(m) || math.IsInf(m, 0) {
 		return 0
 	}
@@ -171,7 +227,8 @@ func (n *Network) Loss(samples []predict.Sample) float64 {
 	}
 	var sum float64
 	for i := range samples {
-		out := n.forward(samples[i].Features[:])
+		var out [config.NumVariables]float64
+		n.forwardInto(samples[i].Features[:], out[:])
 		for j, y := range samples[i].Target {
 			d := out[j] - y
 			sum += d * d
@@ -190,17 +247,64 @@ func (n *Network) ParamCount() int {
 	return total
 }
 
-// forward is the inference pass. It is pure — no layer state is written —
-// so a trained Network may serve concurrent Predict/PredictChecked calls
-// (the serving layer shares one model across a worker pool). Training is
-// the only mutating phase; a Network must not be trained while serving.
-func (n *Network) forward(in []float64) []float64 {
-	act := in
-	last := len(n.layers) - 1
-	for i, l := range n.layers {
-		act, _ = l.apply(act, i < last)
+// scratch holds pooled activation rows for the inference passes; a and b
+// ping-pong between consecutive layers. Pooling keeps steady-state
+// inference off the heap — the historical per-call implementation paid
+// two slice allocations per layer.
+type scratch struct{ a, b []float64 }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func (s *scratch) grow(n int) {
+	if cap(s.a) < n {
+		s.a = make([]float64, n)
 	}
-	return act
+	s.a = s.a[:cap(s.a)]
+	if cap(s.b) < n {
+		s.b = make([]float64, n)
+	}
+	s.b = s.b[:cap(s.b)]
+}
+
+// maxWidth is the widest activation row any layer produces (floored at
+// the input width) — the per-row stride of the pooled scratch matrices.
+func (n *Network) maxWidth() int {
+	w := feature.NumFeatures
+	for _, l := range n.layers {
+		if l.out > w {
+			w = l.out
+		}
+	}
+	return w
+}
+
+// forwardInto is the inference pass, writing the output layer's
+// activations into out (len >= the output width). It is pure with
+// respect to layer state — only pooled scratch is written — so a trained
+// Network may serve concurrent Predict/PredictChecked calls (the serving
+// layer shares one model across a worker pool). Training is the only
+// mutating phase; a Network must not be trained while serving. The
+// floating-point operation order is identical to the historical
+// allocate-per-layer implementation: pooling must never change a
+// prediction bit.
+func (n *Network) forwardInto(in []float64, out []float64) {
+	sc := scratchPool.Get().(*scratch)
+	sc.grow(n.maxWidth())
+	cur := sc.a
+	alt := sc.b
+	last := len(n.layers) - 1
+	src := in
+	for i, l := range n.layers {
+		if i == last {
+			l.applyInto(src, out[:l.out], false)
+			break
+		}
+		dst := cur[:l.out]
+		l.applyInto(src, dst, true)
+		src = dst
+		cur, alt = alt, cur
+	}
+	scratchPool.Put(sc)
 }
 
 func (n *Network) backward(in, target []float64) {
@@ -292,6 +396,30 @@ func (d *dense) apply(in []float64, relu bool) (out, pre []float64) {
 		}
 	}
 	return out, pre
+}
+
+// applyInto is apply writing post-activations into caller-owned (pooled)
+// storage instead of allocating, for the inference path. The accumulation
+// runs in exactly apply's order — same sum seed, same index order — so the
+// two produce bitwise-identical activations; out may hold stale values
+// from a previous batch and is fully overwritten.
+func (d *dense) applyInto(in, out []float64, relu bool) {
+	for o := 0; o < d.out; o++ {
+		sum := d.b[o]
+		row := d.w[o*d.in : (o+1)*d.in]
+		for i, x := range in {
+			sum += row[i] * x
+		}
+		if relu {
+			if sum > 0 {
+				out[o] = sum
+			} else {
+				out[o] = 0
+			}
+		} else {
+			out[o] = sigmoid(sum)
+		}
+	}
 }
 
 // forward is the training-time pass: apply plus caching the

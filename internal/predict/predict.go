@@ -47,3 +47,18 @@ type Checked interface {
 	// model output is unusable (non-finite, untrained, ...).
 	PredictChecked(f feature.Vector) (config.M, error)
 }
+
+// BatchPredictor is implemented by predictors that can answer a whole
+// micro-batch in one preallocated pass instead of per-request loops —
+// the serving batcher routes deduplicated micro-batches through it.
+type BatchPredictor interface {
+	Checked
+	// PredictBatchChecked fills dst[i] with the prediction for feats[i]
+	// (dst must hold at least len(feats) rows). Every row must be
+	// bit-identical to what PredictChecked would return for that row
+	// alone — batching may change latency, never results; the serve
+	// differential suite holds implementations to it. Any unanswerable
+	// row fails the whole batch with an error rather than returning
+	// partial results, and the caller re-derives per item.
+	PredictBatchChecked(feats []feature.Vector, dst []config.M) error
+}

@@ -22,7 +22,7 @@ type task struct {
 	model    *Model
 	hedge    *Model // may be nil: no previous healthy version
 	feat     feature.Vector
-	cacheKey string
+	cacheKey CacheKey
 	ctx      context.Context // carries the request deadline end to end
 	enqueued time.Time
 	// dequeued is when a worker picked the task into a batch; with
@@ -327,18 +327,21 @@ func (b *Batcher) watchdog() {
 }
 
 // process serves one batch: group by cache key, answer each unique key
-// once (cache first, then one hedged chain Select), and fan the result
-// back out to every waiting task. Stage timings (queue wait, batch
-// assembly, cache lookup, inference) are attributed to every member's
-// metrics and trace; shared stages carry their true shared cost.
+// once (cache first, then chain inference), and fan the result back out
+// to every waiting task. Groups that miss the cache go through one
+// batch-native chain consult when the whole batch qualifies (see
+// processBatchNative), and otherwise through per-group hedged dispatch.
+// Stage timings (queue wait, batch assembly, cache lookup, inference)
+// are attributed to every member's metrics and trace; shared stages
+// carry their true shared cost.
 func (b *Batcher) process(batch []*task) {
 	b.metrics.Batches.Add(1)
 	b.metrics.BatchItems.Add(uint64(len(batch)))
 	processStart := time.Now()
 	batchSize := strconv.Itoa(len(batch))
 
-	groups := make(map[string][]*task, len(batch))
-	order := make([]string, 0, len(batch))
+	groups := make(map[CacheKey][]*task, len(batch))
+	order := make([]CacheKey, 0, len(batch))
 	for _, t := range batch {
 		if _, seen := groups[t.cacheKey]; !seen {
 			order = append(order, t.cacheKey)
@@ -346,6 +349,10 @@ func (b *Batcher) process(batch []*task) {
 		groups[t.cacheKey] = append(groups[t.cacheKey], t)
 	}
 
+	// Pass 1: drop expired callers, attribute the shared queue/assembly
+	// stages, and consult the cache. Hit groups answer immediately;
+	// missed groups collect for inference in pass 2.
+	var missed [][]*task
 	for _, key := range order {
 		tasks := groups[key]
 		// Deadline propagation: tasks whose caller already gave up are
@@ -380,55 +387,180 @@ func (b *Batcher) process(batch []*task) {
 		for _, t := range live {
 			obs.AddSpan(t.ctx, "cache", cacheStart, cacheDur, obs.Attr{Key: "hit", Value: hit})
 		}
-
-		var events []string
 		if !cached {
-			inferStart := time.Now()
-			sel, answered, hedged, evs := b.selectHedged(lead)
-			inferDur := time.Since(inferStart)
-			events = evs
-			b.metrics.Inference.ObserveTraced(inferDur, obs.TraceID(lead.ctx))
-			modelTag := answered.Name + "@v" + strconv.FormatUint(answered.Version, 10)
-			for _, t := range live {
-				obs.AddSpan(t.ctx, "inference", inferStart, inferDur,
-					obs.Attr{Key: "model", Value: modelTag},
-					obs.Attr{Key: "used", Value: sel.Used},
-					obs.Attr{Key: "hedged", Value: strconv.FormatBool(hedged)},
-					obs.Attr{Key: "group_size", Value: strconv.Itoa(len(live))})
-			}
-			if n := len(sel.Fallbacks); n > 0 {
-				b.metrics.Fallbacks.Add(uint64(n))
-			}
-			resp = PredictResponse{
-				Model:         answered.Name,
-				Version:       answered.Version,
-				Key:           lead.feat.Key(),
-				PredictorUsed: sel.Used,
-				M:             sel.M,
-				Fallbacks:     sel.Fallbacks,
-				Resilience:    events,
-			}
-			// Cache under the version that actually answered, so a
-			// hedged answer can never masquerade as the primary's.
-			if !hedged {
-				b.cache.Put(lead.cacheKey, cachedPrediction{M: sel.M, Used: sel.Used})
-			} else {
-				b.cache.Put(cacheKeyFor(answered, lead.feat), cachedPrediction{M: sel.M, Used: sel.Used})
-			}
+			missed = append(missed, live)
+			continue
 		}
-		for i, t := range live {
-			r := resp
-			// Tasks beyond the first in a group were answered by the
-			// leader's inference — for them it is a (intra-batch) cache
-			// hit in all but name; report Cached so callers can see
-			// dedup working. The leader reports the true cache outcome.
-			if i > 0 {
-				r.Cached = true
-			}
-			b.metrics.RequestLatency.ObserveTraced(time.Since(t.enqueued), obs.TraceID(t.ctx))
-			t.done <- taskResult{resp: r}
+		b.fanOut(live, resp)
+	}
+	if len(missed) == 0 {
+		return
+	}
+
+	// Pass 2: inference for the missed groups — one batch-native pass
+	// when the batch qualifies, per-group hedged dispatch otherwise.
+	if b.processBatchNative(missed) {
+		return
+	}
+	for _, live := range missed {
+		b.inferGroup(live)
+	}
+}
+
+// fanOut delivers one group's response to every waiting task.
+func (b *Batcher) fanOut(live []*task, resp PredictResponse) {
+	for i, t := range live {
+		r := resp
+		// Tasks beyond the first in a group were answered by the
+		// leader's inference — for them it is a (intra-batch) cache
+		// hit in all but name; report Cached so callers can see
+		// dedup working. The leader reports the true cache outcome.
+		if i > 0 {
+			r.Cached = true
+		}
+		b.metrics.RequestLatency.ObserveTraced(time.Since(t.enqueued), obs.TraceID(t.ctx))
+		t.done <- taskResult{resp: r}
+	}
+}
+
+// inferGroup answers one cache-missed group through the hedged per-group
+// dispatch path.
+func (b *Batcher) inferGroup(live []*task) {
+	lead := live[0]
+	inferStart := time.Now()
+	sel, answered, hedged, events := b.selectHedged(lead)
+	inferDur := time.Since(inferStart)
+	b.metrics.Inference.ObserveTraced(inferDur, obs.TraceID(lead.ctx))
+	modelTag := modelVersionTag(answered)
+	for _, t := range live {
+		obs.AddSpan(t.ctx, "inference", inferStart, inferDur,
+			obs.Attr{Key: "model", Value: modelTag},
+			obs.Attr{Key: "used", Value: sel.Used},
+			obs.Attr{Key: "hedged", Value: strconv.FormatBool(hedged)},
+			obs.Attr{Key: "group_size", Value: strconv.Itoa(len(live))})
+	}
+	if n := len(sel.Fallbacks); n > 0 {
+		b.metrics.Fallbacks.Add(uint64(n))
+	}
+	resp := PredictResponse{
+		Model:         answered.Name,
+		Version:       answered.Version,
+		Key:           lead.feat.Key(),
+		PredictorUsed: sel.Used,
+		M:             sel.M,
+		Fallbacks:     sel.Fallbacks,
+		Resilience:    events,
+	}
+	// Cache under the version that actually answered, so a
+	// hedged answer can never masquerade as the primary's.
+	if !hedged {
+		b.cache.Put(lead.cacheKey, cachedPrediction{M: sel.M, Used: sel.Used})
+	} else {
+		b.cache.Put(cacheKeyFor(answered, lead.feat), cachedPrediction{M: sel.M, Used: sel.Used})
+	}
+	b.fanOut(live, resp)
+}
+
+// processBatchNative answers every missed group with one batch-native
+// chain consult — a single preallocated forward pass over the whole
+// micro-batch instead of one inference per group. The batch qualifies
+// only when the win is real and no resilience behaviour would be
+// skipped: at least two distinct missed groups, all admitted under the
+// same model snapshot, a batch-capable chain, a closed (or absent)
+// breaker and no chaos injector — breaker routing, hedging and fault
+// injection stay exclusively on the per-group path. One stage budget
+// covers the whole pass; on overrun the attempt is abandoned and the
+// caller falls back to per-group hedged dispatch, exactly as if the
+// batch path did not exist. Reports whether the groups were answered.
+func (b *Batcher) processBatchNative(missed [][]*task) bool {
+	if len(missed) < 2 || b.cfg.Chaos != nil {
+		return false
+	}
+	m := missed[0][0].model
+	for _, live := range missed[1:] {
+		if live[0].model != m {
+			return false
 		}
 	}
+	if !m.BatchCapable() {
+		return false
+	}
+	if br := m.Breaker(); br != nil && br.State() != fault.BreakerClosed {
+		return false
+	}
+
+	feats := make([]feature.Vector, len(missed))
+	for i, live := range missed {
+		feats[i] = live[0].feat
+	}
+	lead := missed[0][0]
+	inferStart := time.Now()
+	pctx, psp := obs.StartSpan(lead.ctx, "infer:batch")
+	psp.SetAttr("model", modelVersionTag(m))
+	psp.SetAttr("rows", strconv.Itoa(len(missed)))
+	sels := make([]fault.Selection, len(missed))
+	done := make(chan struct{})
+	go func() {
+		m.SelectBatchCtx(pctx, feats, sels)
+		close(done)
+	}()
+	budget := time.NewTimer(b.cfg.StageBudget)
+	select {
+	case <-done:
+		budget.Stop()
+	case <-budget.C:
+		// Budget blown: abandon the batch attempt (the goroutine's
+		// results are discarded; its late spans hit the finished-trace
+		// guard) and let the per-group path run its full hedging
+		// machinery, which also owns the breaker bookkeeping.
+		psp.Cancel()
+		return false
+	}
+	inferDur := time.Since(inferStart)
+	psp.End()
+	degraded := false
+	for i := range sels {
+		if sels[i].Degraded() {
+			degraded = true
+			break
+		}
+	}
+	b.metrics.ObserveModel(m.Name, inferDur)
+	if br := m.Breaker(); br != nil {
+		if degraded || inferDur > b.cfg.StageBudget {
+			br.RecordFailure()
+		} else {
+			br.RecordSuccess()
+		}
+	}
+
+	modelTag := modelVersionTag(m)
+	for i, live := range missed {
+		sel := sels[i]
+		b.metrics.Inference.ObserveTraced(inferDur, obs.TraceID(live[0].ctx))
+		for _, t := range live {
+			obs.AddSpan(t.ctx, "inference", inferStart, inferDur,
+				obs.Attr{Key: "model", Value: modelTag},
+				obs.Attr{Key: "used", Value: sel.Used},
+				obs.Attr{Key: "hedged", Value: "false"},
+				obs.Attr{Key: "group_size", Value: strconv.Itoa(len(live))},
+				obs.Attr{Key: "batch_rows", Value: strconv.Itoa(len(missed))})
+		}
+		if n := len(sel.Fallbacks); n > 0 {
+			b.metrics.Fallbacks.Add(uint64(n))
+		}
+		resp := PredictResponse{
+			Model:         m.Name,
+			Version:       m.Version,
+			Key:           live[0].feat.Key(),
+			PredictorUsed: sel.Used,
+			M:             sel.M,
+			Fallbacks:     sel.Fallbacks,
+		}
+		b.cache.Put(live[0].cacheKey, cachedPrediction{M: sel.M, Used: sel.Used})
+		b.fanOut(live, resp)
+	}
+	return true
 }
 
 // modelVersionTag renders the "name@vN" label used in traces and events.
@@ -574,14 +706,9 @@ func (b *Batcher) lookup(t *task) (PredictResponse, bool) {
 }
 
 // cacheKeyFor builds the composite cache key: model identity (name and
-// version) plus the discretized feature key, so hot-swapped model
-// versions can never serve each other's cached predictions.
-func cacheKeyFor(m *Model, f feature.Vector) string {
-	return cachePrefixFor(m) + f.Key()
-}
-
-// cachePrefixFor is the "model@version|" cache-key prefix, the unit of
-// targeted invalidation (Cache.PurgePrefix).
-func cachePrefixFor(m *Model) string {
-	return m.Name + "@" + strconv.FormatUint(m.Version, 10) + "|"
+// version) plus the binary feature key. Pure value construction — no
+// allocation — which is what keeps the admission path and the cache-hit
+// fast path off the heap.
+func cacheKeyFor(m *Model, f feature.Vector) CacheKey {
+	return CacheKey{Model: m.Name, Version: m.Version, Feat: f.Binary()}
 }

@@ -8,21 +8,27 @@ import (
 	"heteromap/internal/config"
 )
 
+// ck builds a distinct CacheKey from a label; cache unit tests only need
+// distinct identities, not realistic feature vectors.
+func ck(label string) CacheKey {
+	return CacheKey{Model: label}
+}
+
 func TestCacheHitMissEvict(t *testing.T) {
 	c := NewCache(4, 1) // single shard: deterministic LRU order
 	m := config.M{Cores: 7}
 
-	if _, ok := c.Get("a"); ok {
+	if _, ok := c.Get(ck("a")); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.Put("a", cachedPrediction{M: m, Used: "tree"})
-	got, ok := c.Get("a")
+	c.Put(ck("a"), cachedPrediction{M: m, Used: "tree"})
+	got, ok := c.Get(ck("a"))
 	if !ok || got.M != m || got.Used != "tree" {
 		t.Fatalf("bad hit: %+v ok=%v", got, ok)
 	}
 
 	for i := 0; i < 4; i++ {
-		c.Put(fmt.Sprintf("fill%d", i), cachedPrediction{})
+		c.Put(ck(fmt.Sprintf("fill%d", i)), cachedPrediction{})
 	}
 	// "a" was recently used before the fills; the first fill is LRU now,
 	// and inserting 4 new keys into cap-4 must have evicted exactly one.
@@ -40,30 +46,72 @@ func TestCacheHitMissEvict(t *testing.T) {
 
 func TestCacheLRUOrder(t *testing.T) {
 	c := NewCache(2, 1)
-	c.Put("old", cachedPrediction{})
-	c.Put("mid", cachedPrediction{})
-	if _, ok := c.Get("old"); !ok { // refresh "old"; "mid" becomes LRU
+	c.Put(ck("old"), cachedPrediction{})
+	c.Put(ck("mid"), cachedPrediction{})
+	if _, ok := c.Get(ck("old")); !ok { // refresh "old"; "mid" becomes LRU
 		t.Fatal("old missing")
 	}
-	c.Put("new", cachedPrediction{})
-	if _, ok := c.Get("mid"); ok {
+	c.Put(ck("new"), cachedPrediction{})
+	if _, ok := c.Get(ck("mid")); ok {
 		t.Fatal("mid should have been evicted")
 	}
-	if _, ok := c.Get("old"); !ok {
+	if _, ok := c.Get(ck("old")); !ok {
 		t.Fatal("old should have survived")
 	}
 }
 
 func TestCachePutRefreshesExisting(t *testing.T) {
 	c := NewCache(2, 1)
-	c.Put("k", cachedPrediction{Used: "v1"})
-	c.Put("k", cachedPrediction{Used: "v2"})
+	c.Put(ck("k"), cachedPrediction{Used: "v1"})
+	c.Put(ck("k"), cachedPrediction{Used: "v2"})
 	if c.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", c.Len())
 	}
-	got, _ := c.Get("k")
+	got, _ := c.Get(ck("k"))
 	if got.Used != "v2" {
 		t.Fatalf("Used = %q, want v2", got.Used)
+	}
+}
+
+// GetFast must count hits exactly like Get but never count a miss: a
+// fast-path miss proceeds into the batcher, whose authoritative lookup
+// records it — counting both would double every miss.
+func TestCacheGetFastCountsHitsOnly(t *testing.T) {
+	c := NewCache(4, 1)
+	if _, ok := c.GetFast(ck("a")); ok {
+		t.Fatal("hit on empty cache")
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 0 || misses != 0 {
+		t.Fatalf("after fast miss: hits=%d misses=%d, want 0/0", hits, misses)
+	}
+	c.Put(ck("a"), cachedPrediction{Used: "tree"})
+	if v, ok := c.GetFast(ck("a")); !ok || v.Used != "tree" {
+		t.Fatalf("fast hit: %+v ok=%v", v, ok)
+	}
+	hits, misses, _ = c.Stats()
+	if hits != 1 || misses != 0 {
+		t.Fatalf("after fast hit: hits=%d misses=%d, want 1/0", hits, misses)
+	}
+}
+
+// PurgeModel removes every version of exactly the named model.
+func TestCachePurgeModel(t *testing.T) {
+	c := NewCache(16, 4)
+	c.Put(CacheKey{Model: "tree", Version: 1}, cachedPrediction{})
+	c.Put(CacheKey{Model: "tree", Version: 2}, cachedPrediction{})
+	c.Put(CacheKey{Model: "deep", Version: 1}, cachedPrediction{})
+	if n := c.PurgeModel("tree"); n != 2 {
+		t.Fatalf("PurgeModel(tree) = %d, want 2", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if _, ok := c.Get(CacheKey{Model: "deep", Version: 1}); !ok {
+		t.Fatal("unrelated model purged")
+	}
+	if n := c.PurgeModel("tree"); n != 0 {
+		t.Fatalf("second purge = %d, want 0", n)
 	}
 }
 
@@ -78,12 +126,13 @@ func TestCacheConcurrent(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < ops; i++ {
-				key := fmt.Sprintf("k%d", (g*31+i)%200)
+				label := fmt.Sprintf("k%d", (g*31+i)%200)
+				key := ck(label)
 				if i%3 == 0 {
-					c.Put(key, cachedPrediction{Used: key})
+					c.Put(key, cachedPrediction{Used: label})
 				} else {
-					if v, ok := c.Get(key); ok && v.Used != key {
-						t.Errorf("key %s returned value %q", key, v.Used)
+					if v, ok := c.Get(key); ok && v.Used != label {
+						t.Errorf("key %s returned value %q", label, v.Used)
 						return
 					}
 				}

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
-	"strconv"
 	"testing"
 	"time"
 
@@ -155,18 +154,18 @@ func TestReloadRollbackOnCorruptAndEmptyDB(t *testing.T) {
 	}
 
 	// No rejected version may have touched the cache: quarantined
-	// versions are strictly greater than the active one, and purging
-	// their prefixes removes nothing.
+	// versions are strictly greater than the active one, so the only
+	// "live" entry a purge can find is the active version's.
+	if n := cache.PurgeModel("live"); n != 1 {
+		t.Fatalf("cache held %d live entries, want only the active version's", n)
+	}
 	for _, q := range r.Quarantined() {
-		if q.Version > 0 {
-			prefix := "live@" + strconv.FormatUint(q.Version, 10) + "|"
-			if n := cache.PurgePrefix(prefix); n != 0 {
-				t.Fatalf("rejected version %d left %d cache entries", q.Version, n)
-			}
+		if _, ok := cache.Get(CacheKey{Model: "live", Version: q.Version, Feat: feat.Binary()}); ok {
+			t.Fatalf("rejected version %d left a cache entry", q.Version)
 		}
 	}
-	if cache.Len() != 1 {
-		t.Fatalf("active version's cache entry lost: len=%d", cache.Len())
+	if cache.Len() != 0 {
+		t.Fatalf("cache not empty after purging the only model: len=%d", cache.Len())
 	}
 	if len(r.Quarantined()) != 2 {
 		t.Fatalf("quarantine = %+v", r.Quarantined())

@@ -5,13 +5,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
 	"heteromap/internal/config"
 	"heteromap/internal/durable"
+	"heteromap/internal/feature"
 )
 
 // Serving-tier durability: the prediction cache and the registry's
@@ -130,7 +129,15 @@ func (s *Server) RecoverDurable() ServeDurableStats {
 				st.CacheDropped++
 				continue
 			}
-			s.cache.Put(cachePrefixFor(m)+e.FeatKey, cachedPrediction{M: e.M, Used: e.Used})
+			// The snapshot carries the wire-format string key; the live
+			// cache is keyed on its binary form. An unparsable key is a
+			// corrupt record, not a fatal snapshot.
+			feat, perr := feature.ParseKey(e.FeatKey)
+			if perr != nil {
+				st.CacheDropped++
+				continue
+			}
+			s.cache.Put(cacheKeyFor(m, feat), cachedPrediction{M: e.M, Used: e.Used})
 			st.CacheRestored++
 		}
 	case err != nil && !os.IsNotExist(err):
@@ -165,12 +172,16 @@ func (s *Server) SnapshotCache() error {
 	recs := make([][]byte, 0, len(entries)+1)
 	recs = append(recs, metaJSON)
 	for _, e := range entries {
-		name, featKey, ok := splitCacheKey(e.key)
-		if !ok {
+		// Persist the wire-format string key (the snapshot format
+		// predates the binary key and must survive restarts across
+		// versions); an entry whose binary key does not decode to a
+		// valid vector cannot be represented and is skipped.
+		feat, ferr := feature.FromBinary(e.key.Feat)
+		if ferr != nil {
 			continue
 		}
 		rec, jerr := json.Marshal(cacheSnapshotEntry{
-			Model: name, FeatKey: featKey, Used: e.val.Used, M: e.val.M,
+			Model: e.key.Model, FeatKey: feat.Key(), Used: e.val.Used, M: e.val.M,
 		})
 		if jerr != nil {
 			continue
@@ -187,23 +198,6 @@ func (s *Server) SnapshotCache() error {
 	}
 	s.dur.mu.Unlock()
 	return err
-}
-
-// splitCacheKey decomposes "name@version|featkey" into its name and
-// feature key, dropping the version (it will not survive a restart).
-func splitCacheKey(key string) (name, featKey string, ok bool) {
-	pipe := strings.IndexByte(key, '|')
-	if pipe < 0 {
-		return "", "", false
-	}
-	at := strings.LastIndexByte(key[:pipe], '@')
-	if at < 0 {
-		return "", "", false
-	}
-	if _, err := strconv.ParseUint(key[at+1:pipe], 10, 64); err != nil {
-		return "", "", false
-	}
-	return key[:at], key[pipe+1:], true
 }
 
 // DurableStats returns the serving tier's current durability picture.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -42,7 +43,7 @@ func fillCache(t *testing.T, s *Server, n int) []feature.Vector {
 		var f feature.Vector
 		f[0] = float64(i%7) / 10
 		f[1] = float64(i%5) / 10
-		f[13] = float64(i % 3)
+		f[13] = float64(i%3) / 10
 		feats[i] = f
 		s.cache.Put(cacheKeyFor(model, f), cachedPrediction{
 			M: config.DefaultGPU(limits), Used: "DTree",
@@ -51,16 +52,43 @@ func fillCache(t *testing.T, s *Server, n int) []feature.Vector {
 	return feats
 }
 
-func TestSplitCacheKey(t *testing.T) {
-	name, feat, ok := splitCacheKey("tree@17|b1:0.3|i2:0.5")
-	if !ok || name != "tree" || feat != "b1:0.3|i2:0.5" {
-		t.Fatalf("splitCacheKey = %q %q %v", name, feat, ok)
+// The snapshot wire format carries the string feature key while the live
+// cache is keyed binary; a snapshot record whose key does not parse is
+// dropped and counted rather than poisoning the restore.
+func TestCacheSnapshotRejectsBadFeatKey(t *testing.T) {
+	dir := t.TempDir()
+	s := durableServer(t, dir, nil)
+	fillCache(t, s, 2)
+	if err := s.SnapshotCache(); err != nil {
+		t.Fatal(err)
 	}
-	if _, _, ok := splitCacheKey("noversion"); ok {
-		t.Fatal("malformed key accepted")
+	// Rewrite the snapshot with one record's key corrupted.
+	path := filepath.Join(dir, cacheSnapshotFile)
+	recs, err := durable.ReadContainer(path, cacheSnapshotKind)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, _, ok := splitCacheKey("tree@notanumber|k"); ok {
-		t.Fatal("non-numeric version accepted")
+	var e cacheSnapshotEntry
+	if err := json.Unmarshal(recs[1], &e); err != nil {
+		t.Fatal(err)
+	}
+	e.FeatKey = "not,a,key"
+	bad, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs[1] = bad
+	if err := durable.WriteContainer(path, cacheSnapshotKind, recs, "cache", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := durableServer(t, dir, nil)
+	st := s2.DurableStats()
+	if st.CacheRestored != 1 {
+		t.Fatalf("restored %d entries, want 1", st.CacheRestored)
+	}
+	if st.CacheDropped != 1 {
+		t.Fatalf("dropped %d entries, want 1 (the corrupted key)", st.CacheDropped)
 	}
 }
 

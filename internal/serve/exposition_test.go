@@ -51,9 +51,9 @@ func goldenMetrics() (*Metrics, *Cache, []ModelInfo) {
 	m.ObserveModel(nastyModelName, time.Millisecond)
 
 	c := NewCache(8, 2)
-	c.Put("k1", cachedPrediction{})
-	c.Get("k1")
-	c.Get("absent")
+	c.Put(ck("k1"), cachedPrediction{})
+	c.Get(ck("k1"))
+	c.Get(ck("absent"))
 
 	models := []ModelInfo{
 		{Name: "tree", Version: 1, Breaker: "closed"},

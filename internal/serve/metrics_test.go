@@ -39,9 +39,9 @@ func TestWritePrometheusFormat(t *testing.T) {
 	m.ObserveModel("tree", 50*time.Microsecond)
 	m.RequestLatency.Observe(time.Millisecond)
 	c := NewCache(8, 2)
-	c.Put("k", cachedPrediction{})
-	c.Get("k")
-	c.Get("absent")
+	c.Put(ck("k"), cachedPrediction{})
+	c.Get(ck("k"))
+	c.Get(ck("absent"))
 
 	var sb strings.Builder
 	m.WritePrometheus(&sb, c, func() int { return 5 }, []ModelInfo{

@@ -48,6 +48,16 @@ func (m *Model) SelectCtx(ctx context.Context, f feature.Vector) fault.Selection
 	return m.chain.SelectCtx(ctx, f)
 }
 
+// BatchCapable reports whether the chain's primary predictor answers
+// whole micro-batches in one pass (implements predict.BatchPredictor).
+func (m *Model) BatchCapable() bool { return m.chain.BatchCapable() }
+
+// SelectBatchCtx consults the chain once for a whole micro-batch; see
+// fault.Chain.SelectBatchCtx for the equivalence contract.
+func (m *Model) SelectBatchCtx(ctx context.Context, feats []feature.Vector, dst []fault.Selection) {
+	m.chain.SelectBatchCtx(ctx, feats, dst)
+}
+
 // PredictorName names the chain's primary predictor.
 func (m *Model) PredictorName() string { return m.chain.Name() }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -10,6 +11,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -232,11 +234,11 @@ func New(opts Options) *Server {
 			if err != nil {
 				s.metrics.ReloadRejected.Add(1)
 				// Same defensive purge as a rejected /v1/reload.
-				s.cache.PurgePrefix(model + "@")
+				s.cache.PurgeModel(model)
 				return 0, err
 			}
 			s.metrics.ReloadCount.Add(1)
-			s.cache.PurgePrefix(model + "@")
+			s.cache.PurgeModel(model)
 			return m.Version, nil
 		})
 		on.BindLive(func(f feature.Vector) config.M {
@@ -343,16 +345,41 @@ func (s *Server) Kill() {
 	go s.stopSnapshotLoop()
 }
 
-// decodeJSON decodes a body capped at MaxBodyBytes, distinguishing
-// oversized bodies (413) from malformed ones (400).
+// jsonBuf is one pooled JSON scratch buffer with a bound encoder. The
+// hot handlers decode every request into and encode every response out
+// of one of these, so steady-state JSON framing reuses buffers that have
+// already grown to working-set size instead of allocating fresh ones per
+// request.
+type jsonBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonBufPool = sync.Pool{New: func() any {
+	jb := &jsonBuf{}
+	jb.enc = json.NewEncoder(&jb.buf)
+	return jb
+}}
+
+// decodeJSON decodes a body capped at MaxBodyBytes through a pooled
+// buffer, distinguishing oversized bodies (413) from malformed ones
+// (400).
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) (int, error) {
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	if err := json.NewDecoder(body).Decode(v); err != nil {
+	jb := jsonBufPool.Get().(*jsonBuf)
+	jb.buf.Reset()
+	if _, err := jb.buf.ReadFrom(body); err != nil {
+		jsonBufPool.Put(jb)
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			return http.StatusRequestEntityTooLarge,
 				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
 		}
+		return http.StatusBadRequest, fmt.Errorf("decode request: %w", err)
+	}
+	err := json.Unmarshal(jb.buf.Bytes(), v)
+	jsonBufPool.Put(jb)
+	if err != nil {
 		return http.StatusBadRequest, fmt.Errorf("decode request: %w", err)
 	}
 	return http.StatusOK, nil
@@ -381,11 +408,47 @@ func (s *Server) predictOne(ctx context.Context, req *PredictRequest) (PredictRe
 	obs.TraceFromContext(ctx).SetAttr("model", model.Name)
 
 	s.metrics.Requests.Add(1)
+
+	// Cache-hit fast path: answer straight from the LRU before any
+	// batcher, queue or span-heavy machinery is touched. The binary key
+	// build and the lookup are allocation-free, so a warm request's serve
+	// cost is one shard lock — it never pays the micro-batch fill wait.
+	// The response is built exactly as the batcher's cache-hit branch
+	// builds it, and the same post-serve hooks (online observation,
+	// resilience notes, provenance) run, so the two paths are
+	// byte-indistinguishable to callers; the differential fastpath suite
+	// in internal/conformance enforces that. A miss falls through to the
+	// batcher, whose authoritative cache lookup counts it.
+	key := cacheKeyFor(model, feat)
+	cacheStart := time.Now()
+	if val, ok := s.cache.GetFast(key); ok {
+		cacheDur := time.Since(cacheStart)
+		tid := obs.TraceID(ctx)
+		s.metrics.CacheLookup.ObserveTraced(cacheDur, tid)
+		obs.AddSpan(rctx, "cache", cacheStart, cacheDur, obs.Attr{Key: "hit", Value: "true"})
+		s.metrics.RequestLatency.ObserveTraced(time.Since(cacheStart), tid)
+		resp := PredictResponse{
+			Model:         model.Name,
+			Version:       model.Version,
+			Key:           feat.Key(),
+			PredictorUsed: val.Used,
+			Cached:        true,
+			M:             val.M,
+			TraceID:       tid,
+		}
+		if s.opts.Online != nil {
+			s.observeOnline(ctx, model, feat, &resp)
+		}
+		s.noteResilience(ctx, &resp)
+		s.recordProvenance(model, feat, &resp)
+		return resp, http.StatusOK, nil
+	}
+
 	t := &task{
 		model:    model,
 		hedge:    s.registry.LastGood(req.Model),
 		feat:     feat,
-		cacheKey: cacheKeyFor(model, feat),
+		cacheKey: key,
 		done:     make(chan taskResult, 1),
 	}
 	resp, err := s.batcher.Submit(ctx, t)
@@ -405,6 +468,35 @@ func (s *Server) predictOne(ctx context.Context, req *PredictRequest) (PredictRe
 	s.noteResilience(ctx, &resp)
 	s.recordProvenance(model, feat, &resp)
 	return resp, http.StatusOK, nil
+}
+
+// PredictCached answers one already-resolved characterization from the
+// prediction cache alone: the in-process form of the cache-hit fast
+// path, for embedders (and the conformance benchmark harness) that need
+// the serve-path answer without HTTP or JSON framing. It performs the
+// same registry resolve, lookup and metric accounting as a warm
+// /v1/predict and is guaranteed allocation-free — the hmbench
+// serve/predict-cachehit target and TestPredictCachedZeroAlloc gate it
+// at exactly zero allocs per call. A cold key reports ok=false without
+// touching the batcher (and without counting a cache miss; callers fall
+// back to the full path, which counts it once).
+func (s *Server) PredictCached(model string, feat feature.Vector) (m config.M, used string, version uint64, ok bool) {
+	mod, err := s.registry.Get(model)
+	if err != nil {
+		return config.M{}, "", 0, false
+	}
+	start := time.Now()
+	val, hit := s.cache.GetFast(cacheKeyFor(mod, feat))
+	if !hit {
+		// Not counted as a request (or a miss): the caller re-issues
+		// through the full path, which does both exactly once.
+		return config.M{}, "", 0, false
+	}
+	dur := time.Since(start)
+	s.metrics.Requests.Add(1)
+	s.metrics.CacheLookup.ObserveTraced(dur, "")
+	s.metrics.RequestLatency.ObserveTraced(dur, "")
+	return val.M, val.Used, mod.Version, true
 }
 
 // observeOnline is the serve-path end of the learning loop: it assesses
@@ -707,7 +799,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.metrics.ReloadRejected.Add(1)
 		// Defensive: a rejected candidate never served, so its version
 		// can have no cache entries — purge proves it stays that way.
-		s.cache.PurgePrefix(req.Model + "@")
+		s.cache.PurgeModel(req.Model)
 		status := http.StatusBadRequest
 		if errors.Is(err, ErrCanaryRejected) {
 			status = http.StatusUnprocessableEntity
@@ -815,12 +907,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	jb := jsonBufPool.Get().(*jsonBuf)
+	jb.buf.Reset()
+	if err := jb.enc.Encode(v); err != nil {
+		// Unlike the old stream-to-socket encoder, nothing has been sent
+		// yet, so an unencodable value can still answer a clean 500.
+		jsonBufPool.Put(jb)
+		s.metrics.HTTPErrors.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(jb.buf.Len()))
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	if _, err := w.Write(jb.buf.Bytes()); err != nil {
 		// Headers are gone; nothing more useful to do than count it.
 		s.metrics.HTTPErrors.Add(1)
 	}
+	jsonBufPool.Put(jb)
 }
 
 // errorJSON answers an error response; server-side failures (5xx) flag
