@@ -127,6 +127,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	drainGrace := fs.Duration("drain-grace", 2*time.Second, "serve -cluster: how long to keep serving after the drain announcement before shutting down")
 	stageBudget := fs.Duration("stage-budget", 25*time.Millisecond, "serve: per-inference budget before hedged dispatch")
 	debugAddr := fs.String("debug-addr", "", "serve: extra listen address for the debug surface (/debug/pprof, /debug/traces)")
+	sloAvailability := fs.Float64("slo-availability", 0, "serve: availability objective, e.g. 0.999 — enables the SLO burn-rate engine, /v1/slo and the heteromap_slo_* gauges (0: disabled unless -slo-p99 is set)")
+	sloP99 := fs.Duration("slo-p99", 0, "serve: p99 latency objective, e.g. 50ms — at most 1% of requests may exceed it (0: engine default 250ms once enabled)")
+	sloFastWindow := fs.Duration("slo-fast-window", 0, "serve: fast burn-rate window for SLO alerting (0: default 5m)")
+	sloSlowWindow := fs.Duration("slo-slow-window", 0, "serve: slow burn-rate window for SLO alerting (0: default 1h)")
 	traceSample := fs.Float64("trace-sample", 0, "serve: retention rate for unflagged traces in /debug/traces (0: server default 0.1, 1: keep all; flagged traces are always kept)")
 	trace := fs.Bool("trace", false, "run: record a per-run trace and print its id and span timeline")
 	durableDir := fs.String("durable-dir", "", "serve: root directory for crash-safe state — cache snapshots under <dir>/serve, the feedback WAL and window snapshots under <dir>/online; a restart replays and comes back warm (empty: volatile)")
@@ -176,6 +180,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				addr: *addr, peers: *peers, replicas: *replicas,
 				probeInterval: *probeInterval, hedgeAfter: *hedgeAfter,
 				chaosServe: *chaosServe, chaosSeed: *chaosSeed,
+				sloAvailability: *sloAvailability, sloP99: *sloP99,
+				sloFastWindow: *sloFastWindow, sloSlowWindow: *sloSlowWindow,
+				traceSample: *traceSample,
 			}, stdout)
 		} else {
 			err = runServe(opts, serveOptions{
@@ -185,6 +192,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				chaosServe: *chaosServe, chaosSeed: *chaosSeed,
 				stageBudget: *stageBudget, debugAddr: *debugAddr,
 				traceSample: *traceSample,
+				sloAvailability: *sloAvailability, sloP99: *sloP99,
+				sloFastWindow: *sloFastWindow, sloSlowWindow: *sloSlowWindow,
 				cluster:     *clusterMode, drainGrace: *drainGrace,
 				online:      *onlineMode, driftWindow: *driftWindow,
 				driftThreshold: *driftThreshold, uncertaintyFloor: *uncertaintyFloor,
@@ -359,6 +368,11 @@ type serveOptions struct {
 	cluster     bool
 	drainGrace  time.Duration
 
+	sloAvailability float64
+	sloP99          time.Duration
+	sloFastWindow   time.Duration
+	sloSlowWindow   time.Duration
+
 	online           bool
 	driftWindow      int
 	driftThreshold   float64
@@ -382,6 +396,26 @@ type routerOptions struct {
 	hedgeAfter    time.Duration
 	chaosServe    bool
 	chaosSeed     int64
+
+	sloAvailability float64
+	sloP99          time.Duration
+	sloFastWindow   time.Duration
+	sloSlowWindow   time.Duration
+	traceSample     float64
+}
+
+// newSLOFromFlags builds the SLO tracker the flags describe; both
+// objectives unset means SLO tracking is disabled (nil).
+func newSLOFromFlags(avail float64, p99, fast, slow time.Duration) *obs.SLO {
+	if avail <= 0 && p99 <= 0 {
+		return nil
+	}
+	return obs.NewSLO(obs.SLOOptions{
+		Availability: avail,
+		P99Latency:   p99,
+		FastWindow:   fast,
+		SlowWindow:   slow,
+	})
 }
 
 // printTrace renders the retained span timeline of one CLI run.
@@ -536,6 +570,11 @@ func runServe(o systemOptions, so serveOptions, stdout, stderr io.Writer) error 
 		Canary:      canary,
 		Chaos:       injector,
 		Online:      mgr,
+		SLO:         newSLOFromFlags(so.sloAvailability, so.sloP99, so.sloFastWindow, so.sloSlowWindow),
+	}
+	if sopts.SLO != nil {
+		fmt.Fprintf(stdout, "slo: burn-rate engine armed (availability %g, p99 %v); snapshot at /v1/slo\n",
+			so.sloAvailability, so.sloP99)
 	}
 	if so.durableDir != "" {
 		sopts.DurableDir = filepath.Join(so.durableDir, "serve")
@@ -619,6 +658,11 @@ func runRouter(ro routerOptions, stdout io.Writer) error {
 		injector = fault.NewServeInjector(ro.chaosSeed)
 		fmt.Fprintf(stdout, "chaos: router injector armed (seed %d); drive it via POST /v1/chaos\n", ro.chaosSeed)
 	}
+	slo := newSLOFromFlags(ro.sloAvailability, ro.sloP99, ro.sloFastWindow, ro.sloSlowWindow)
+	var tracer *obs.Tracer
+	if ro.traceSample != 0 {
+		tracer = obs.NewTracer(obs.Options{SampleRate: ro.traceSample})
+	}
 	rt, err := cluster.NewRouter(cluster.RouterOptions{
 		Addr:          ro.addr,
 		Peers:         peerList,
@@ -626,9 +670,15 @@ func runRouter(ro routerOptions, stdout io.Writer) error {
 		ProbeInterval: ro.probeInterval,
 		HedgeAfter:    ro.hedgeAfter,
 		Chaos:         injector,
+		SLO:           slo,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		return err
+	}
+	if slo != nil {
+		fmt.Fprintf(stdout, "slo: burn-rate engine armed (availability %g, p99 %v); snapshot at /v1/slo, hedging tightens on budget exhaustion\n",
+			ro.sloAvailability, ro.sloP99)
 	}
 
 	sig := make(chan os.Signal, 1)

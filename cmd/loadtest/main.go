@@ -26,9 +26,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"time"
@@ -36,6 +38,7 @@ import (
 	"heteromap/internal/cluster"
 	"heteromap/internal/fault"
 	"heteromap/internal/machine"
+	"heteromap/internal/obs"
 	"heteromap/internal/predict/dtree"
 	"heteromap/internal/serve"
 )
@@ -66,6 +69,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	restartAfter := fs.Duration("restart", 0, "cluster mode: restart the killed node this long after -kill-after, on its old address (0: never; gates on -min-availability)")
 	durableDir := fs.String("durable-dir", "", "cluster mode: per-node durable state root, so a -restart node comes back warm (empty with -restart: a private temp dir)")
 	snapshotEvery := fs.Duration("snapshot-interval", 200*time.Millisecond, "cluster mode: per-node cache snapshot cadence when durability is on")
+	sloGate := fs.Bool("slo", false, "gate the run on the target's /v1/slo: fail when the multiwindow burn-rate alert is active or an error budget is exhausted at run end (in-process targets get an SLO engine with windows scaled to -duration)")
+	sloAvail := fs.Float64("slo-availability", 0.995, "-slo: availability objective armed on in-process targets")
+	sloP99 := fs.Duration("slo-p99", 250*time.Millisecond, "-slo: p99 latency objective armed on in-process targets")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -96,6 +102,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				opts.DurableDir = filepath.Join(dur, fmt.Sprintf("node-%d", i))
 				opts.CacheSnapshotEvery = *snapshotEvery
 				return opts
+			}
+		}
+		if *sloGate {
+			lopts.RouterOptions = func(ro cluster.RouterOptions) cluster.RouterOptions {
+				ro.SLO = newRunSLO(*sloAvail, *sloP99, *duration)
+				return ro
 			}
 		}
 		lc, err := cluster.StartLocal(lopts)
@@ -131,6 +143,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *chaos {
 			// The in-process server needs an injector for /v1/chaos.
 			opts.Chaos = fault.NewServeInjector(*seed)
+		}
+		if *sloGate {
+			opts.SLO = newRunSLO(*sloAvail, *sloP99, *duration)
 		}
 		srv := serve.New(opts)
 		pair := machine.PrimaryPair()
@@ -180,6 +195,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintln(stdout, res)
+	if *sloGate {
+		if code := gateSLO(stdout, stderr, url); code != 0 {
+			return code
+		}
+	}
 	if *chaos || *drift || *restartAfter > 0 {
 		// Under injected faults, a mid-run workload shift, or a node
 		// kill/restart cycle, shed requests are expected; the pass
@@ -195,5 +215,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "loadtest: %d request errors\n", res.Errors)
 		return 1
 	}
+	return 0
+}
+
+// newRunSLO arms an SLO engine whose windows fit inside one load run,
+// so burn rates (and the multiwindow alert) are observable within
+// -duration instead of needing an hour of traffic.
+func newRunSLO(avail float64, p99, dur time.Duration) *obs.SLO {
+	fast := dur / 4
+	if fast < time.Second {
+		fast = time.Second
+	}
+	slow := dur
+	if slow < fast {
+		slow = fast
+	}
+	return obs.NewSLO(obs.SLOOptions{
+		Availability: avail,
+		P99Latency:   p99,
+		FastWindow:   fast,
+		SlowWindow:   slow,
+	})
+}
+
+// gateSLO fetches the target's /v1/slo snapshot at run end and fails
+// the run when any objective's alert is firing or its budget is spent.
+func gateSLO(stdout, stderr io.Writer, url string) int {
+	resp, err := http.Get(url + "/v1/slo")
+	if err != nil {
+		fmt.Fprintf(stderr, "loadtest: -slo gate: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(stderr, "loadtest: -slo gate: %s/v1/slo answered %d (start the target with -slo-availability / -slo-p99)\n",
+			url, resp.StatusCode)
+		return 1
+	}
+	var snap obs.SLOSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		fmt.Fprintf(stderr, "loadtest: -slo gate: decode /v1/slo: %v\n", err)
+		return 1
+	}
+	for _, o := range snap.Objectives {
+		fmt.Fprintf(stdout, "slo %-12s budget_remaining=%.3f burn fast=%.2f slow=%.2f alert=%v (%d/%d violations)\n",
+			o.Name, o.BudgetRemaining, o.FastBurn, o.SlowBurn, o.AlertActive, o.Violations, o.Requests)
+	}
+	if snap.AlertActive || snap.Exhausted {
+		fmt.Fprintf(stderr, "loadtest: SLO gate failed: alert_active=%v exhausted=%v\n",
+			snap.AlertActive, snap.Exhausted)
+		return 1
+	}
+	fmt.Fprintln(stdout, "slo gate: ok")
 	return 0
 }

@@ -31,6 +31,10 @@ type LocalOptions struct {
 	// NodeOptions, when set, adapts each node's serve options before the
 	// node starts (the addr and chaos injector are already filled in).
 	NodeOptions func(i int, opts serve.Options) serve.Options
+	// RouterOptions, when set, adapts the router's options before it
+	// starts (peers and chaos injector are already filled in) — how
+	// tests install a keep-everything tracer or a tight SLO.
+	RouterOptions func(opts RouterOptions) RouterOptions
 }
 
 func (o LocalOptions) withDefaults() LocalOptions {
@@ -177,6 +181,9 @@ func StartLocal(opts LocalOptions) (*Local, error) {
 	}
 	if opts.Chaos {
 		ropts.Chaos = fault.NewServeInjector(opts.Seed - 1)
+	}
+	if opts.RouterOptions != nil {
+		ropts = opts.RouterOptions(ropts)
 	}
 	rt, err := NewRouter(ropts)
 	if err != nil {

@@ -10,12 +10,14 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"heteromap/internal/fault"
 	"heteromap/internal/feature"
+	"heteromap/internal/obs"
 	"heteromap/internal/serve"
 )
 
@@ -65,6 +67,20 @@ type RouterOptions struct {
 	// node-kill) for the cluster chaos harness (nil: none). The
 	// /v1/chaos endpoint is enabled only when this is set.
 	Chaos *fault.ServeInjector
+
+	// Tracer records routed-request traces (hop spans for every
+	// forward, hedge and failover) into the router's own sampling ring;
+	// nil builds a default tracer unless DisableTracing is set. The
+	// trace id is propagated to peers on every forward so
+	// /v1/trace/{id} can stitch the cross-process timeline.
+	Tracer *obs.Tracer
+	// DisableTracing turns router tracing (and propagation) off.
+	DisableTracing bool
+	// SLO tracks the cluster-level availability and p99 objectives over
+	// routed requests, exposes /v1/slo and the heteromap_slo_* gauges,
+	// and — once the error budget exhausts — tightens HedgeAfter so the
+	// router spends spare capacity defending the tail. Nil disables.
+	SLO *obs.SLO
 }
 
 func (o RouterOptions) withDefaults() RouterOptions {
@@ -101,6 +117,12 @@ func (o RouterOptions) withDefaults() RouterOptions {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 1 << 20
 	}
+	if o.Tracer == nil && !o.DisableTracing {
+		o.Tracer = obs.NewTracer(obs.Options{})
+	}
+	if o.DisableTracing {
+		o.Tracer = nil
+	}
 	return o
 }
 
@@ -123,6 +145,8 @@ type Router struct {
 	peers   map[string]*Peer
 	metrics *RouterMetrics
 	client  *http.Client
+	tracer  *obs.Tracer // nil when tracing is disabled
+	slo     *obs.SLO    // nil when SLO tracking is disabled
 
 	mu   sync.Mutex // guards ring read-modify-write
 	ring atomicRing
@@ -169,7 +193,9 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		client: &http.Client{Transport: &http.Transport{
 			MaxIdleConnsPerHost: 64,
 		}},
-		stop: make(chan struct{}),
+		tracer: opts.Tracer,
+		slo:    opts.SLO,
+		stop:   make(chan struct{}),
 	}
 	for _, addr := range opts.Peers {
 		if addr == "" {
@@ -230,10 +256,20 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/predict/batch", rt.handlePredictBatch)
 	mux.HandleFunc("/v1/cluster", rt.handleCluster)
 	mux.HandleFunc("/v1/chaos", rt.handleChaos)
+	mux.HandleFunc("/v1/trace/", rt.handleTrace)
+	mux.Handle("/v1/slo", rt.slo.Handler())
 	mux.HandleFunc("/healthz", rt.handleHealthz)
 	mux.HandleFunc("/metrics", rt.handleMetrics)
+	mux.HandleFunc("/metrics/cluster", rt.handleMetricsCluster)
+	mux.Handle("/debug/traces", rt.tracer.TracesHandler())
 	return mux
 }
+
+// Tracer returns the router's tracer (nil when tracing is disabled).
+func (rt *Router) Tracer() *obs.Tracer { return rt.tracer }
+
+// SLO returns the router's SLO tracker (nil when disabled).
+func (rt *Router) SLO() *obs.SLO { return rt.slo }
 
 // Start listens on Options.Addr and serves until Shutdown.
 func (rt *Router) Start() error {
@@ -369,6 +405,24 @@ type fwdResult struct {
 	retryAfterSec string
 	retryAfterMS  string
 	err           error
+	// span is the attempt's hop span, left open by forwardTo so the
+	// caller can settle its outcome (a hedge answer may be discarded
+	// after the transport succeeded).
+	span *obs.Span
+}
+
+// settle closes the attempt's hop span with the transport outcome.
+func (r fwdResult) settle() {
+	switch {
+	case r.err != nil:
+		r.span.EndErr(r.err)
+	case r.status == http.StatusServiceUnavailable:
+		r.span.EndOutcome("shed")
+	case r.status >= 500:
+		r.span.EndOutcome("5xx")
+	default:
+		r.span.End()
+	}
 }
 
 // ok reports a usable answer: the peer responded and did not fail
@@ -394,12 +448,26 @@ var errNodeKilled = errors.New("cluster: connection refused (chaos node-kill)")
 
 // forwardTo sends the body to one peer's /v1/predict under the per-try
 // timeout, applying the chaos profile's forwarding-layer faults first.
-// It does no bookkeeping; callers settle the breaker via finish.
-func (rt *Router) forwardTo(ctx context.Context, p *Peer, body []byte) fwdResult {
+// Each attempt is a hop span ("forward:"+route) and carries the trace
+// id, this span's id and an incremented hop count on the wire, so the
+// peer's own trace joins this one and /v1/trace/{id} can re-parent its
+// span set under this hop. The span is returned open in fwdResult.span;
+// callers settle it (and the breaker, via finish) once the attempt's
+// fate — served, discarded, abandoned — is known.
+func (rt *Router) forwardTo(ctx context.Context, p *Peer, body []byte, route string) fwdResult {
+	sp := obs.NewSpan(ctx, "forward:"+route)
+	sp.SetAttr("peer", p.Addr)
+	return rt.forwardSpan(ctx, p, body, sp)
+}
+
+// forwardSpan is forwardTo with a caller-owned hop span, so hedgedForward
+// can hold the primary attempt's span and mark it abandoned the moment a
+// hedge answer is served instead.
+func (rt *Router) forwardSpan(ctx context.Context, p *Peer, body []byte, sp *obs.Span) fwdResult {
 	rt.metrics.Forwards.Add(1)
 	if rt.opts.Chaos.KillNode() {
 		rt.metrics.ChaosNodeKills.Add(1)
-		return fwdResult{err: errNodeKilled}
+		return fwdResult{err: errNodeKilled, span: sp}
 	}
 	if rt.opts.Chaos.PartitionPeer() {
 		// A partition hangs until the attempt deadline, never reaching
@@ -409,9 +477,9 @@ func (rt *Router) forwardTo(ctx context.Context, p *Peer, body []byte) fwdResult
 		defer t.Stop()
 		select {
 		case <-ctx.Done():
-			return fwdResult{err: ctx.Err()}
+			return fwdResult{err: ctx.Err(), span: sp}
 		case <-t.C:
-			return fwdResult{err: errPartitioned}
+			return fwdResult{err: errPartitioned, span: sp}
 		}
 	}
 	if d, slow := rt.opts.Chaos.SlowPeer(); slow {
@@ -420,7 +488,7 @@ func (rt *Router) forwardTo(ctx context.Context, p *Peer, body []byte) fwdResult
 		defer t.Stop()
 		select {
 		case <-ctx.Done():
-			return fwdResult{err: ctx.Err()}
+			return fwdResult{err: ctx.Err(), span: sp}
 		case <-t.C:
 		}
 	}
@@ -429,23 +497,35 @@ func (rt *Router) forwardTo(ctx context.Context, p *Peer, body []byte) fwdResult
 	req, err := http.NewRequestWithContext(tctx, http.MethodPost,
 		"http://"+p.Addr+"/v1/predict", bytes.NewReader(body))
 	if err != nil {
-		return fwdResult{err: err}
+		return fwdResult{err: err, span: sp}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tid := obs.TraceID(ctx); tid != "" {
+		req.Header.Set(obs.TraceHeader, tid)
+		req.Header.Set(obs.ParentSpanHeader, strconv.Itoa(sp.ID()))
+		hop := 1
+		if h := obs.TraceFromContext(ctx).Attr("hop"); h != "" {
+			if n, err := strconv.Atoi(h); err == nil {
+				hop = n + 1
+			}
+		}
+		req.Header.Set(obs.HopHeader, strconv.Itoa(hop))
+	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
-		return fwdResult{err: err}
+		return fwdResult{err: err, span: sp}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, rt.opts.MaxBodyBytes))
 	if err != nil {
-		return fwdResult{err: err}
+		return fwdResult{err: err, span: sp}
 	}
 	res := fwdResult{
 		status:        resp.StatusCode,
 		body:          data,
 		retryAfterSec: resp.Header.Get("Retry-After"),
 		retryAfterMS:  resp.Header.Get(serve.RetryAfterMSHeader),
+		span:          sp,
 	}
 	if v := resp.Header.Get(serve.VersionHeader); v != "" {
 		res.version, _ = strconv.ParseUint(v, 10, 64)
@@ -474,18 +554,30 @@ func (rt *Router) finish(p *Peer, res fwdResult) {
 // post hoc: a hedge answer whose actual version differs from the
 // expected one is discarded, never served.
 func (rt *Router) hedgedForward(ctx context.Context, primary, hedge *Peer, body []byte) (fwdResult, *Peer, string) {
+	psp := obs.NewSpan(ctx, "forward:primary")
+	psp.SetAttr("peer", primary.Addr)
 	pch := make(chan fwdResult, 1)
-	go func() { pch <- rt.forwardTo(ctx, primary, body) }()
+	go func() { pch <- rt.forwardSpan(ctx, primary, body, psp) }()
 
+	hedgeAfter := rt.opts.HedgeAfter
+	if rt.slo.Exhausted() {
+		// Error budget spent: hedge four times sooner, trading spare
+		// replica capacity for tail latency while the budget recovers.
+		hedgeAfter /= 4
+	}
 	expect := primary.Version()
 	var timerC <-chan time.Time
 	if hedge != nil {
 		if expect != 0 && hedge.Version() == expect {
-			t := time.NewTimer(rt.opts.HedgeAfter)
+			t := time.NewTimer(hedgeAfter)
 			defer t.Stop()
 			timerC = t.C
 		} else {
 			rt.metrics.HedgeVersionSkips.Add(1)
+			obs.AddSpan(ctx, "hedge:version-skip", time.Now(), 0,
+				obs.Attr{Key: "peer", Value: hedge.Addr},
+				obs.Attr{Key: "primary_version", Value: strconv.FormatUint(expect, 10)},
+				obs.Attr{Key: "hedge_version", Value: strconv.FormatUint(hedge.Version(), 10)})
 		}
 	}
 
@@ -494,6 +586,7 @@ func (rt *Router) hedgedForward(ctx context.Context, primary, hedge *Peer, body 
 		select {
 		case res := <-pch:
 			rt.finish(primary, res)
+			res.settle()
 			if res.ok() || hch == nil {
 				return res, primary, "primary"
 			}
@@ -504,10 +597,16 @@ func (rt *Router) hedgedForward(ctx context.Context, primary, hedge *Peer, body 
 				rt.finish(hedge, hres)
 				if hres.ok() && hres.version == expect {
 					rt.metrics.HedgeWins.Add(1)
+					obs.KeepTrace(ctx, obs.FlagHedgeWin)
+					hres.settle()
 					return hres, hedge, "hedge-win"
 				}
 				if hres.ok() {
 					rt.metrics.HedgeMixedDiscards.Add(1)
+					hres.span.SetAttr("reason", "version-mismatch")
+					hres.span.EndOutcome("discarded")
+				} else {
+					hres.settle()
 				}
 				return res, primary, "primary"
 			case <-ctx.Done():
@@ -517,14 +616,19 @@ func (rt *Router) hedgedForward(ctx context.Context, primary, hedge *Peer, body 
 			timerC = nil
 			rt.metrics.Hedges.Add(1)
 			hch = make(chan fwdResult, 1)
-			go func() { hch <- rt.forwardTo(ctx, hedge, body) }()
+			go func() { hch <- rt.forwardTo(ctx, hedge, body, "hedge") }()
 		case hres := <-hch:
 			rt.finish(hedge, hres)
 			if hres.ok() {
 				if hres.version == expect {
 					rt.metrics.HedgeWins.Add(1)
-					// The primary attempt finishes into its buffered
-					// channel; settle its bookkeeping off the hot path.
+					obs.KeepTrace(ctx, obs.FlagHedgeWin)
+					hres.settle()
+					// The hedge answered first: the primary attempt is
+					// abandoned from the request's point of view (first
+					// close wins, so the late transport outcome is kept
+					// only as breaker bookkeeping, off the hot path).
+					psp.EndOutcome("abandoned")
 					go func() { rt.finish(primary, <-pch) }()
 					return hres, hedge, "hedge-win"
 				}
@@ -532,6 +636,10 @@ func (rt *Router) hedgedForward(ctx context.Context, primary, hedge *Peer, body 
 				// reloaded after our last observation): discard the
 				// answer, keep waiting on the primary.
 				rt.metrics.HedgeMixedDiscards.Add(1)
+				hres.span.SetAttr("reason", "version-mismatch")
+				hres.span.EndOutcome("discarded")
+			} else {
+				hres.settle()
 			}
 			hch = nil
 		case <-ctx.Done():
@@ -552,6 +660,11 @@ func (rt *Router) routeOne(ctx context.Context, body []byte, hash uint64) (fwdRe
 			continue
 		}
 		if !p.breaker.Allow() {
+			// A breaker-refused replica is real routing history: keep the
+			// trace and record which peer was skipped.
+			obs.KeepTrace(ctx, obs.FlagPeerBreaker)
+			obs.AddSpan(ctx, "peer:breaker-open", time.Now(), 0,
+				obs.Attr{Key: "peer", Value: p.Addr})
 			continue
 		}
 		cands = append(cands, p)
@@ -577,8 +690,10 @@ func (rt *Router) routeOne(ctx context.Context, body []byte, hash uint64) (fwdRe
 			res, answered, route = rt.hedgedForward(ctx, p, hedge, body)
 		} else {
 			route = "failover"
-			res = rt.forwardTo(ctx, p, body)
+			obs.KeepTrace(ctx, obs.FlagFailover)
+			res = rt.forwardTo(ctx, p, body, "failover")
 			rt.finish(p, res)
+			res.settle()
 		}
 		if res.ok() {
 			if i > 0 {
@@ -670,23 +785,68 @@ func (rt *Router) errorJSON(w http.ResponseWriter, status int, err error) {
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
+// startRequestTrace opens the router's trace for one inbound request,
+// adopting a propagated trace id (anti-loop guarded by HopHeader) the
+// same way a serve node does — a request may arrive via another router.
+func (rt *Router) startRequestTrace(r *http.Request, name string) (context.Context, *obs.Trace) {
+	inbound := r.Header.Get(obs.TraceHeader)
+	hop := r.Header.Get(obs.HopHeader)
+	if hop != "" {
+		if n, err := strconv.Atoi(hop); err != nil || n < 0 || n >= obs.MaxHops {
+			inbound = ""
+		}
+	}
+	ctx, tr := rt.tracer.StartTraceID(r.Context(), name, inbound)
+	if tr != nil && inbound != "" && tr.ID() == inbound {
+		if ps := r.Header.Get(obs.ParentSpanHeader); ps != "" {
+			tr.SetAttr("parent_span", ps)
+		}
+		if hop != "" {
+			tr.SetAttr("hop", hop)
+		}
+	}
+	return ctx, tr
+}
+
 func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		rt.errorJSON(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
 	rt.metrics.Requests.Add(1)
+	start := time.Now()
+	rctx, tr := rt.startRequestTrace(r, "route")
+	defer tr.Finish()
 	body, hash, err := rt.readRequest(w, r)
 	if err != nil {
 		re := err.(*routeError)
 		rt.errorJSON(w, re.status, re.err)
+		rt.slo.Observe(re.status < 500, time.Since(start))
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), rt.opts.RequestTimeout)
+	ctx, cancel := context.WithTimeout(rctx, rt.opts.RequestTimeout)
 	defer cancel()
-	start := time.Now()
+	if tr != nil {
+		w.Header().Set(obs.TraceHeader, tr.ID())
+	}
 	res, peer, route := rt.routeOne(ctx, body, hash)
-	rt.writeRouted(w, res, peer, route, time.Since(start))
+	tr.SetAttr("route", route)
+	if peer != "" {
+		tr.SetAttr("answered_by", peer)
+	}
+	status := res.status
+	if status == 0 {
+		status = http.StatusBadGateway
+	}
+	switch {
+	case status == http.StatusServiceUnavailable:
+		tr.Keep(obs.FlagShed)
+	case status >= 500:
+		tr.Keep(obs.Flag5xx)
+	}
+	elapsed := time.Since(start)
+	rt.slo.Observe(status < 500, elapsed)
+	rt.writeRouted(w, res, peer, route, elapsed)
 }
 
 func (rt *Router) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
@@ -755,7 +915,9 @@ func (rt *Router) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		}(i)
 	}
 	wg.Wait()
-	rt.metrics.RouteLatency.Observe(time.Since(start))
+	elapsed := time.Since(start)
+	rt.metrics.RouteLatency.Observe(elapsed)
+	rt.slo.Observe(true, elapsed)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(serve.BatchResponse{Responses: resps})
 }
@@ -796,6 +958,150 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	rt.metrics.WritePrometheus(w, rt.PeerInfos())
+	rt.slo.WritePrometheus(w)
+}
+
+// handleTrace serves GET /v1/trace/{trace-id}: the router's own span
+// set for the id plus a concurrent fan-out to every peer's
+// /debug/traces ring, stitched into one causally ordered cross-process
+// timeline with unrecoverable holes (dead peer, evicted ring entry)
+// marked as explicit gaps.
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	if id == "" || strings.Contains(id, "/") || !obs.ValidTraceID(id) {
+		rt.errorJSON(w, http.StatusBadRequest, fmt.Errorf("usage: GET /v1/trace/{trace-id}"))
+		return
+	}
+	if rt.tracer == nil {
+		rt.errorJSON(w, http.StatusNotFound, fmt.Errorf("tracing disabled"))
+		return
+	}
+	parts := make([]obs.NodeTrace, 1, len(rt.peers)+1)
+	parts[0] = obs.NodeTrace{Node: rt.Addr()}
+	if recs := rt.tracer.Ring().Snapshot(obs.TraceFilter{ID: id, Limit: 1}); len(recs) > 0 {
+		rec := recs[0]
+		parts[0].Rec = &rec
+	}
+
+	// Every configured peer is asked, dead or not — a peer that answers
+	// its probe as dead may still hold the spans we need, and one that
+	// truly cannot answer becomes a peer-unreachable gap, not an error.
+	addrs := make([]string, 0, len(rt.peers))
+	for a := range rt.peers {
+		addrs = append(addrs, a)
+	}
+	results := make([]obs.NodeTrace, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			results[i] = rt.scrapeTrace(addr, id)
+		}(i, addr)
+	}
+	wg.Wait()
+	parts = append(parts, results...)
+
+	tl := obs.Stitch(id, parts)
+	if len(tl.Spans) == 0 {
+		rt.errorJSON(w, http.StatusNotFound, fmt.Errorf("trace %s not found on any node", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(tl)
+}
+
+// scrapeTrace fetches one peer's retained record for a trace id.
+func (rt *Router) scrapeTrace(addr, id string) obs.NodeTrace {
+	nt := obs.NodeTrace{Node: addr}
+	ctx, cancel := context.WithTimeout(context.Background(), scrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+addr+"/debug/traces?id="+id+"&limit=1", nil)
+	if err != nil {
+		nt.Err = err
+		return nt
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		nt.Err = err
+		return nt
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		nt.Err = fmt.Errorf("status %d", resp.StatusCode)
+		return nt
+	}
+	var env struct {
+		Traces []obs.TraceRecord `json:"traces"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, rt.opts.MaxBodyBytes)).Decode(&env); err != nil {
+		nt.Err = err
+		return nt
+	}
+	if len(env.Traces) > 0 {
+		nt.Rec = &env.Traces[0]
+	}
+	return nt
+}
+
+// scrapeTimeout bounds one federation or trace-stitch scrape: a dead
+// peer costs one second of one goroutine, never the whole response.
+const scrapeTimeout = time.Second
+
+// handleMetricsCluster serves GET /metrics/cluster: every peer's
+// /metrics scraped concurrently, re-labeled with node=<addr> and merged
+// (counters summed, histograms bucket-merged, gauges per-node). A peer
+// that cannot be scraped degrades to a heteromap_federation_stale
+// marker — federation never answers 5xx because one node is down.
+func (rt *Router) handleMetricsCluster(w http.ResponseWriter, _ *http.Request) {
+	addrs := make([]string, 0, len(rt.peers))
+	for a := range rt.peers {
+		addrs = append(addrs, a)
+	}
+	nodes := make([]obs.NodeMetrics, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			nodes[i] = rt.scrapeMetricsNode(addr)
+		}(i, addr)
+	}
+	wg.Wait()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.FederateMetrics(w, nodes)
+}
+
+// scrapeMetricsNode fetches one peer's /metrics page.
+func (rt *Router) scrapeMetricsNode(addr string) obs.NodeMetrics {
+	nm := obs.NodeMetrics{Node: addr}
+	ctx, cancel := context.WithTimeout(context.Background(), scrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/metrics", nil)
+	if err != nil {
+		nm.Err = err
+		return nm
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		nm.Err = err
+		return nm
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, rt.opts.MaxBodyBytes))
+	if err != nil {
+		nm.Err = err
+		return nm
+	}
+	if resp.StatusCode != http.StatusOK {
+		nm.Err = fmt.Errorf("status %d", resp.StatusCode)
+		return nm
+	}
+	nm.Text = string(data)
+	return nm
 }
 
 // clusterChaosRequest is the router's /v1/chaos body; rates in [0,1],

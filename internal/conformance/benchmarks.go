@@ -16,6 +16,7 @@ import (
 	"heteromap/internal/durable"
 	"heteromap/internal/feature"
 	"heteromap/internal/machine"
+	"heteromap/internal/obs"
 	"heteromap/internal/online"
 	"heteromap/internal/predict/dtree"
 	"heteromap/internal/predict/nn"
@@ -81,6 +82,11 @@ func BenchTargets(short bool) []BenchTarget {
 			Name: "serve/obs-overhead",
 			Doc:  "predict e2e with tracing on (ns/op) vs off (untraced_ns/op, overhead_pct)",
 			Run:  benchServeObsOverhead,
+		},
+		{
+			Name: "serve/federation-scrape",
+			Doc:  "one /metrics/cluster federation pass: parse + merge 3 node expositions (counters summed, histograms bucket-merged, node labels)",
+			Run:  benchFederationScrape,
 		},
 		{
 			Name: "train/build-db",
@@ -344,6 +350,44 @@ func benchServeObsOverhead(b *testing.B) {
 	b.ReportMetric(untracedNS, "untraced_ns/op")
 	if untracedNS > 0 {
 		b.ReportMetric((tracedNS-untracedNS)/untracedNS*100, "overhead_pct")
+	}
+}
+
+// benchFederationScrape prices the router-side cost of one
+// /metrics/cluster federation pass with the network peeled off: three
+// realistic node expositions (captured from a warmed serve instance)
+// parsed and merged — counters summed, histogram buckets merged, every
+// series re-labeled with its node — per iteration. The scrape fan-out
+// itself is bounded by the slowest peer, not this merge, so the merge
+// is the part a baseline can hold still.
+func benchFederationScrape(b *testing.B) {
+	ts, bodies, stop := benchServeSetup(b, serve.Options{})
+	defer stop()
+	client := ts.Client()
+	// Populate counters, latency histograms and cache stats so the
+	// captured page has the production families, then scrape it once.
+	for i := range bodies {
+		servePredictOnce(b, client, ts.URL+"/v1/predict", bodies[i])
+	}
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		b.Fatal(err)
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	text := string(page)
+	nodes := []obs.NodeMetrics{
+		{Node: "127.0.0.1:9001", Text: text},
+		{Node: "127.0.0.1:9002", Text: text},
+		{Node: "127.0.0.1:9003", Text: text},
+	}
+	b.SetBytes(int64(3 * len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs.FederateMetrics(io.Discard, nodes)
 	}
 }
 

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NodeMetrics is one peer's /metrics scrape handed to FederateMetrics.
+// A non-nil Err marks the node stale: its text is ignored and the
+// federated exposition carries a heteromap_federation_stale marker for
+// it instead of failing the whole scrape.
+type NodeMetrics struct {
+	Node string
+	Text string
+	Err  error
+}
+
+// promSeries is one parsed exposition sample: name, the raw label body
+// (without braces, "" when unlabeled) and the value.
+type promSeries struct {
+	name   string
+	labels string
+	value  float64
+}
+
+// exposition is one node's parsed /metrics page.
+type exposition struct {
+	types  map[string]string // family → counter|gauge|histogram|untyped
+	helps  map[string]string
+	series []promSeries
+}
+
+// parseExposition parses Prometheus text format 0.0.4 the way this
+// repo emits it: "# TYPE"/"# HELP" comments and "name{labels} value"
+// samples with no timestamps. Unparseable lines are skipped — a
+// federating scrape must not die on one odd series.
+func parseExposition(text string) exposition {
+	ex := exposition{types: map[string]string{}, helps: map[string]string{}}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				ex.types[fields[2]] = fields[3]
+			} else if len(fields) >= 4 && fields[1] == "HELP" {
+				ex.helps[fields[2]] = fields[3]
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		id := line[:sp]
+		s := promSeries{name: id, value: v}
+		if open := strings.IndexByte(id, '{'); open >= 0 {
+			if !strings.HasSuffix(id, "}") {
+				continue
+			}
+			s.name = id[:open]
+			s.labels = id[open+1 : len(id)-1]
+		}
+		ex.series = append(ex.series, s)
+	}
+	return ex
+}
+
+// familyOf maps a series name to its metric family: histogram
+// components (_bucket/_sum/_count) belong to the base name that
+// declared "# TYPE ... histogram".
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if types[base] == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// federatedFamily accumulates one metric family across nodes.
+type federatedFamily struct {
+	name string
+	typ  string
+	help string
+
+	// sumOrder/sums hold the cluster-summed series (counters and
+	// histogram components) keyed by "name{labels}", in first-appearance
+	// order so merged histogram buckets keep their le ordering.
+	sumOrder []string
+	sums     map[string]*promSeries
+
+	// perNode holds each node's series in that node's own order.
+	nodeOrder []string
+	perNode   map[string][]promSeries
+}
+
+// FederateMetrics merges per-node /metrics scrapes into one cluster
+// exposition: every series is re-emitted with a leading node=<addr>
+// label, counters additionally get a cluster-summed series without the
+// node label, histograms get bucket-merged cluster series (buckets,
+// sum and count summed per label set), and gauges (and untyped series
+// like exemplars) stay strictly per-node — summing a gauge across
+// nodes is a lie. Stale nodes contribute only a
+// heteromap_federation_stale{node=...} 1 marker; healthy nodes carry
+// the marker at 0 so coverage is visible.
+func FederateMetrics(w io.Writer, nodes []NodeMetrics) {
+	sorted := make([]NodeMetrics, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+
+	fmt.Fprintf(w, "# HELP heteromap_federation_stale Peers whose /metrics scrape failed this federation pass.\n")
+	fmt.Fprintf(w, "# TYPE heteromap_federation_stale gauge\n")
+	for _, n := range sorted {
+		v := 0
+		if n.Err != nil {
+			v = 1
+		}
+		fmt.Fprintf(w, "heteromap_federation_stale{node=%q} %d\n", n.Node, v)
+	}
+
+	var famOrder []string
+	fams := map[string]*federatedFamily{}
+	for _, n := range sorted {
+		if n.Err != nil {
+			continue
+		}
+		ex := parseExposition(n.Text)
+		for _, s := range ex.series {
+			famName := familyOf(s.name, ex.types)
+			fam := fams[famName]
+			if fam == nil {
+				fam = &federatedFamily{
+					name:    famName,
+					typ:     ex.types[famName],
+					help:    ex.helps[famName],
+					sums:    map[string]*promSeries{},
+					perNode: map[string][]promSeries{},
+				}
+				if fam.typ == "" {
+					fam.typ = "untyped"
+				}
+				fams[famName] = fam
+				famOrder = append(famOrder, famName)
+			}
+			if _, seen := fam.perNode[n.Node]; !seen {
+				fam.nodeOrder = append(fam.nodeOrder, n.Node)
+			}
+			fam.perNode[n.Node] = append(fam.perNode[n.Node], s)
+			if fam.typ == "counter" || fam.typ == "histogram" {
+				key := s.name + "{" + s.labels + "}"
+				if e := fam.sums[key]; e != nil {
+					e.value += s.value
+				} else {
+					fam.sums[key] = &promSeries{name: s.name, labels: s.labels, value: s.value}
+					fam.sumOrder = append(fam.sumOrder, key)
+				}
+			}
+		}
+	}
+
+	for _, famName := range famOrder {
+		fam := fams[famName]
+		if fam.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", fam.name, fam.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.typ)
+		for _, key := range fam.sumOrder {
+			s := fam.sums[key]
+			writeSample(w, s.name, s.labels, s.value)
+		}
+		for _, node := range fam.nodeOrder {
+			for _, s := range fam.perNode[node] {
+				writeSample(w, s.name, nodeLabels(node, s.labels), s.value)
+			}
+		}
+	}
+}
+
+// nodeLabels prefixes a raw label body with node=<addr>.
+func nodeLabels(node, labels string) string {
+	nl := "node=" + strconv.Quote(node)
+	if labels == "" {
+		return nl
+	}
+	return nl + "," + labels
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, strconv.FormatFloat(v, 'g', -1, 64))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}

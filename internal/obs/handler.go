@@ -38,6 +38,7 @@ func (t *Tracer) TracesHandler() http.Handler {
 		}
 		f.Flagged = q.Get("flagged") == "1" || q.Get("error") == "1"
 		f.Model = q.Get("model")
+		f.ID = q.Get("id")
 		if v := q.Get("limit"); v != "" {
 			n, err := strconv.Atoi(v)
 			if err != nil || n < 0 {

@@ -48,6 +48,29 @@ const (
 	FlagCanaryReject
 	// FlagShed marks a trace shed at admission (queue full).
 	FlagShed
+	// FlagFailover marks a trace the router answered from a failover
+	// rung rather than its primary replica.
+	FlagFailover
+	// FlagPeerBreaker marks a trace that touched a peer whose circuit
+	// breaker was open (the peer was skipped or the forward refused).
+	FlagPeerBreaker
+)
+
+// Cross-node propagation headers. The router stamps these on every
+// forward (primary, hedge, failover) so peers join the caller's trace
+// instead of minting their own; serve echoes TraceHeader on responses
+// so clients can correlate.
+const (
+	// TraceHeader carries the trace id across process boundaries.
+	TraceHeader = "X-Heteromap-Trace"
+	// ParentSpanHeader carries the numeric id of the caller's hop span,
+	// so a stitched timeline can parent the peer's root under it.
+	ParentSpanHeader = "X-Heteromap-Parent-Span"
+	// HopHeader counts forwarding hops; peers reject loops past MaxHops.
+	HopHeader = "X-Heteromap-Hop"
+	// MaxHops bounds HopHeader: an inbound request deeper than this is
+	// served with a fresh trace rather than extending a forwarding loop.
+	MaxHops = 8
 )
 
 // flagNames renders the set bits for the JSON trace record.
@@ -66,6 +89,8 @@ func (f Flag) names() []string {
 		{FlagSafeDefault, "safe-default"},
 		{FlagCanaryReject, "canary-reject"},
 		{FlagShed, "shed"},
+		{FlagFailover, "failover"},
+		{FlagPeerBreaker, "peer-breaker"},
 	} {
 		if f&fn.bit != 0 {
 			out = append(out, fn.name)
@@ -209,12 +234,24 @@ type ctxKey struct{}
 // and returns a context carrying it. A nil tracer returns the context
 // unchanged and a nil trace.
 func (t *Tracer) StartTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	return t.StartTraceID(ctx, name, "")
+}
+
+// StartTraceID opens a trace that adopts the caller-provided id — the
+// cross-node propagation entry point: a peer receiving a forwarded
+// request joins the router's trace instead of minting a fresh id, so
+// /v1/trace/{id} can later stitch both processes' span sets into one
+// timeline. An empty id mints one, exactly like StartTrace.
+func (t *Tracer) StartTraceID(ctx context.Context, name, id string) (context.Context, *Trace) {
 	if t == nil {
 		return ctx, nil
 	}
+	if id == "" || !ValidTraceID(id) {
+		id = t.idPrefix + "-" + hexUint(t.idSeq.Add(1))
+	}
 	tr := &Trace{
 		tracer: t,
-		id:     t.idPrefix + "-" + hexUint(t.idSeq.Add(1)),
+		id:     id,
 		name:   name,
 		start:  time.Now(),
 	}
@@ -223,6 +260,25 @@ func (t *Tracer) StartTrace(ctx context.Context, name string) (context.Context, 
 	tr.nextID = 1
 	tr.root = root
 	return context.WithValue(ctx, ctxKey{}, root), tr
+}
+
+// ValidTraceID reports whether id is safe to adopt from the wire:
+// non-empty, bounded, and limited to the hex-and-dash alphabet our own
+// minting uses. Anything else is rejected so a hostile header cannot
+// smuggle arbitrary bytes into logs, rings and stitched timelines.
+func ValidTraceID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // hexUint renders n as lowercase hex without allocation-heavy fmt.
@@ -263,6 +319,21 @@ func (tr *Trace) SetAttr(key, value string) {
 		}
 	}
 	tr.attrs = append(tr.attrs, Attr{key, value})
+}
+
+// Attr returns a trace attribute ("" when unset or nil).
+func (tr *Trace) Attr(key string) string {
+	if tr == nil {
+		return ""
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for i := range tr.attrs {
+		if tr.attrs[i].Key == key {
+			return tr.attrs[i].Value
+		}
+	}
+	return ""
 }
 
 // Keep flags the trace for unconditional retention at Finish.
@@ -444,6 +515,16 @@ func AddSpan(ctx context.Context, name string, start time.Time, d time.Duration,
 	sp.outcome = "ok"
 	sp.attrs = append(sp.attrs, attrs...)
 	tr.mu.Unlock()
+}
+
+// ID returns the span's id within its trace (-1 for nil) — the value a
+// forwarding layer puts in ParentSpanHeader so the peer's span set can
+// be re-parented under this hop when timelines are stitched.
+func (s *Span) ID() int {
+	if s == nil {
+		return -1
+	}
+	return s.id
 }
 
 // SetAttr annotates the span.

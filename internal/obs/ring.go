@@ -116,11 +116,17 @@ type TraceFilter struct {
 	Flagged bool
 	// Model keeps only traces whose "model" attribute equals this.
 	Model string
+	// ID keeps only the trace with exactly this id — the cross-node
+	// stitching fan-out asks every peer's ring for one id.
+	ID string
 	// Limit caps the returned records (newest first); 0 means all.
 	Limit int
 }
 
 func (f TraceFilter) match(rec *TraceRecord) bool {
+	if f.ID != "" && rec.ID != f.ID {
+		return false
+	}
 	if f.MinDuration > 0 && time.Duration(rec.DurationUS*1e3) < f.MinDuration {
 		return false
 	}

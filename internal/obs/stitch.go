@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// NodeTrace is one process's contribution to a stitched timeline: the
+// node's address, its retained TraceRecord for the id (nil when the
+// node had no record — evicted or never seen), and the scrape error
+// when the node could not be asked at all.
+type NodeTrace struct {
+	Node string
+	Rec  *TraceRecord
+	Err  error
+}
+
+// StitchGap marks a hole in a stitched timeline: a peer the origin
+// provably forwarded to whose span set could not be recovered.
+type StitchGap struct {
+	Node string `json:"node"`
+	// Reason is "peer-unreachable" (scrape failed / dead peer),
+	// "trace-evicted" (peer answered but its ring no longer holds the
+	// id) or "peer-missing" (no scrape was attempted).
+	Reason string `json:"reason"`
+}
+
+// StitchedSpan is one span of the merged cross-process timeline. IDs
+// are namespaced "<node>/<local-id>" so span ids from different
+// processes cannot collide; StartUS is the offset from the earliest
+// trace start across all contributing processes.
+type StitchedSpan struct {
+	Node       string            `json:"node"`
+	ID         string            `json:"id"`
+	Parent     string            `json:"parent,omitempty"`
+	Name       string            `json:"name"`
+	StartUS    float64           `json:"start_us"`
+	DurationUS float64           `json:"duration_us"`
+	Outcome    string            `json:"outcome"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// StitchedTimeline is the /v1/trace/{id} response: one causally
+// ordered span list across every process the request touched, with
+// unrecoverable holes marked explicitly rather than silently absent.
+type StitchedTimeline struct {
+	TraceID    string         `json:"trace_id"`
+	Nodes      []string       `json:"nodes"`
+	Flags      []string       `json:"flags,omitempty"`
+	DurationUS float64        `json:"duration_us"`
+	Gaps       []StitchGap    `json:"gaps,omitempty"`
+	Spans      []StitchedSpan `json:"spans"`
+}
+
+// Stitch merges per-process trace records into one causally ordered
+// timeline. The origin process (the one whose record carries no
+// parent_span attribute — the router) anchors the tree; each peer's
+// root is re-parented under the origin hop span named by the peer
+// record's parent_span attribute, which the router propagated in
+// ParentSpanHeader. Spans are emitted parent-before-child and
+// children never start before their parent (small negative clock skew
+// is clamped and recorded as a skew_adjusted_us attribute). Peers the
+// origin forwarded to (peer attributes on its hop spans) that
+// contributed nothing become explicit gaps.
+func Stitch(traceID string, parts []NodeTrace) StitchedTimeline {
+	out := StitchedTimeline{TraceID: traceID}
+	sorted := make([]NodeTrace, len(parts))
+	copy(sorted, parts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+
+	// The origin is the contribution that was not itself forwarded to.
+	var origin *NodeTrace
+	var globalStart time.Time
+	flagSet := map[string]bool{}
+	for i := range sorted {
+		p := &sorted[i]
+		if p.Rec == nil {
+			continue
+		}
+		if globalStart.IsZero() || p.Rec.Start.Before(globalStart) {
+			globalStart = p.Rec.Start
+		}
+		for _, f := range p.Rec.Flags {
+			flagSet[f] = true
+		}
+		if p.Rec.Attrs["parent_span"] == "" && origin == nil {
+			origin = p
+		}
+	}
+
+	spans := map[string]*StitchedSpan{}
+	var order []string // insertion order for deterministic child walk
+	for i := range sorted {
+		p := &sorted[i]
+		if p.Rec == nil {
+			continue
+		}
+		out.Nodes = append(out.Nodes, p.Node)
+		base := float64(p.Rec.Start.Sub(globalStart).Nanoseconds()) / 1e3
+		for _, sr := range p.Rec.Spans {
+			id := p.Node + "/" + strconv.Itoa(sr.ID)
+			parent := ""
+			switch {
+			case sr.Parent >= 0:
+				parent = p.Node + "/" + strconv.Itoa(sr.Parent)
+			case origin != nil && p != origin && p.Rec.Attrs["parent_span"] != "":
+				parent = origin.Node + "/" + p.Rec.Attrs["parent_span"]
+			}
+			spans[id] = &StitchedSpan{
+				Node:       p.Node,
+				ID:         id,
+				Parent:     parent,
+				Name:       sr.Name,
+				StartUS:    base + sr.OffsetUS,
+				DurationUS: sr.DurationUS,
+				Outcome:    sr.Outcome,
+				Attrs:      sr.Attrs,
+			}
+			order = append(order, id)
+		}
+	}
+
+	// Gap detection: every peer the origin's hop spans name must have
+	// contributed a record.
+	if origin != nil && origin.Rec != nil {
+		expected := map[string]bool{}
+		for _, sr := range origin.Rec.Spans {
+			// Only actual forwards ("forward:*" hop spans) promise a
+			// peer-side record; breaker-open and version-skip spans name
+			// peers that were deliberately not contacted.
+			if peer := sr.Attrs["peer"]; peer != "" && strings.HasPrefix(sr.Name, "forward") {
+				expected[peer] = true
+			}
+		}
+		var peers []string
+		for peer := range expected {
+			peers = append(peers, peer)
+		}
+		sort.Strings(peers)
+		for _, peer := range peers {
+			var part *NodeTrace
+			for i := range sorted {
+				if sorted[i].Node == peer {
+					part = &sorted[i]
+					break
+				}
+			}
+			switch {
+			case part == nil:
+				out.Gaps = append(out.Gaps, StitchGap{Node: peer, Reason: "peer-missing"})
+			case part.Err != nil:
+				out.Gaps = append(out.Gaps, StitchGap{Node: peer, Reason: "peer-unreachable"})
+			case part.Rec == nil:
+				out.Gaps = append(out.Gaps, StitchGap{Node: peer, Reason: "trace-evicted"})
+			}
+		}
+	}
+
+	// Causal emission: depth-first from the roots in start order, so a
+	// parent always precedes its children and siblings order by time.
+	children := map[string][]string{}
+	var roots []string
+	for _, id := range order {
+		s := spans[id]
+		if s.Parent != "" {
+			if _, ok := spans[s.Parent]; ok {
+				children[s.Parent] = append(children[s.Parent], id)
+				continue
+			}
+			s.Parent = "" // orphan: parent span not recovered
+		}
+		roots = append(roots, id)
+	}
+	byStart := func(ids []string) {
+		sort.SliceStable(ids, func(i, j int) bool { return spans[ids[i]].StartUS < spans[ids[j]].StartUS })
+	}
+	byStart(roots)
+	var walk func(id string, floor float64)
+	walk = func(id string, floor float64) {
+		s := spans[id]
+		if s.StartUS < floor {
+			skew := floor - s.StartUS
+			s.StartUS = floor
+			if s.Attrs == nil {
+				s.Attrs = map[string]string{}
+			}
+			s.Attrs["skew_adjusted_us"] = strconv.FormatFloat(skew, 'f', 1, 64)
+		}
+		out.Spans = append(out.Spans, *s)
+		if end := s.StartUS + s.DurationUS; end > out.DurationUS {
+			out.DurationUS = end
+		}
+		kids := children[id]
+		byStart(kids)
+		for _, kid := range kids {
+			walk(kid, s.StartUS)
+		}
+	}
+	for _, root := range roots {
+		walk(root, 0)
+	}
+
+	for f := range flagSet {
+		out.Flags = append(out.Flags, f)
+	}
+	sort.Strings(out.Flags)
+	return out
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stitchFixture models a hedged, failed-over request: the router's
+// record holds hop spans naming three peers; one peer contributes its
+// span set, one is unreachable, one evicted the trace.
+func stitchFixture() (string, []NodeTrace) {
+	base := time.Unix(5000, 0)
+	router := &TraceRecord{
+		ID:    "aabbcc-1",
+		Name:  "route",
+		Start: base,
+		Spans: []SpanRecord{
+			{ID: 0, Parent: -1, Name: "route", OffsetUS: 0, DurationUS: 1000, Outcome: "ok"},
+			{ID: 1, Parent: 0, Name: "forward", OffsetUS: 10, DurationUS: 500, Outcome: "ok",
+				Attrs: map[string]string{"peer": "127.0.0.1:9001", "route": "primary"}},
+			{ID: 2, Parent: 0, Name: "forward:hedge", OffsetUS: 200, DurationUS: 300, Outcome: "discarded",
+				Attrs: map[string]string{"peer": "127.0.0.1:9002"}},
+			{ID: 3, Parent: 0, Name: "forward:failover", OffsetUS: 600, DurationUS: 200, Outcome: "ok",
+				Attrs: map[string]string{"peer": "127.0.0.1:9003"}},
+		},
+	}
+	peer := &TraceRecord{
+		ID:    "aabbcc-1",
+		Name:  "predict",
+		Start: base.Add(25 * time.Microsecond),
+		Attrs: map[string]string{"parent_span": "1", "hop": "1"},
+		Spans: []SpanRecord{
+			{ID: 0, Parent: -1, Name: "predict", OffsetUS: 0, DurationUS: 400, Outcome: "ok"},
+			{ID: 1, Parent: 0, Name: "infer", OffsetUS: 100, DurationUS: 200, Outcome: "ok"},
+		},
+	}
+	parts := []NodeTrace{
+		{Node: "127.0.0.1:8100", Rec: router},
+		{Node: "127.0.0.1:9001", Rec: peer},
+		{Node: "127.0.0.1:9002", Err: errors.New("dead")},
+		{Node: "127.0.0.1:9003"}, // answered, but ring evicted the id
+	}
+	return "aabbcc-1", parts
+}
+
+// assertCausal fails unless every span appears after its parent and
+// never starts before it.
+func assertCausal(t *testing.T, tl StitchedTimeline) {
+	t.Helper()
+	pos := map[string]int{}
+	for i, s := range tl.Spans {
+		pos[s.ID] = i
+	}
+	for i, s := range tl.Spans {
+		if s.Parent == "" {
+			continue
+		}
+		pi, ok := pos[s.Parent]
+		if !ok {
+			t.Fatalf("span %s has unknown parent %s", s.ID, s.Parent)
+		}
+		if pi >= i {
+			t.Fatalf("span %s emitted before its parent %s", s.ID, s.Parent)
+		}
+		if s.StartUS < tl.Spans[pi].StartUS {
+			t.Fatalf("span %s starts at %v before parent %s at %v",
+				s.ID, s.StartUS, s.Parent, tl.Spans[pi].StartUS)
+		}
+	}
+}
+
+func TestStitchMergesAcrossProcesses(t *testing.T) {
+	id, parts := stitchFixture()
+	tl := Stitch(id, parts)
+
+	if tl.TraceID != id {
+		t.Fatalf("trace id = %q, want %q", tl.TraceID, id)
+	}
+	if len(tl.Nodes) != 2 {
+		t.Fatalf("nodes = %v, want router + one peer", tl.Nodes)
+	}
+	if len(tl.Spans) != 6 {
+		t.Fatalf("got %d spans, want 6:\n%+v", len(tl.Spans), tl.Spans)
+	}
+	assertCausal(t, tl)
+
+	// The peer's root is re-parented under the router's forward span.
+	var peerRoot *StitchedSpan
+	for i := range tl.Spans {
+		if tl.Spans[i].ID == "127.0.0.1:9001/0" {
+			peerRoot = &tl.Spans[i]
+		}
+	}
+	if peerRoot == nil {
+		t.Fatalf("peer root missing: %+v", tl.Spans)
+	}
+	if peerRoot.Parent != "127.0.0.1:8100/1" {
+		t.Fatalf("peer root parent = %q, want the router hop span", peerRoot.Parent)
+	}
+	// And its clock offset is preserved: 25us after the router start.
+	if peerRoot.StartUS != 25 {
+		t.Fatalf("peer root start = %v, want 25", peerRoot.StartUS)
+	}
+
+	// The discarded hedge hop survives with its outcome.
+	found := false
+	for _, s := range tl.Spans {
+		if s.Name == "forward:hedge" && s.Outcome == "discarded" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("discarded hedge span lost: %+v", tl.Spans)
+	}
+}
+
+func TestStitchMarksGaps(t *testing.T) {
+	id, parts := stitchFixture()
+	tl := Stitch(id, parts)
+	want := map[string]string{
+		"127.0.0.1:9002": "peer-unreachable",
+		"127.0.0.1:9003": "trace-evicted",
+	}
+	if len(tl.Gaps) != len(want) {
+		t.Fatalf("gaps = %+v, want %v", tl.Gaps, want)
+	}
+	for _, g := range tl.Gaps {
+		if want[g.Node] != g.Reason {
+			t.Fatalf("gap %+v, want reason %q", g, want[g.Node])
+		}
+	}
+}
+
+func TestStitchClampsClockSkew(t *testing.T) {
+	id, parts := stitchFixture()
+	// Skew the peer's clock so its spans appear to start before the
+	// router even forwarded: the stitcher must clamp to the parent.
+	parts[1].Rec.Start = parts[0].Rec.Start.Add(-50 * time.Microsecond)
+	tl := Stitch(id, parts)
+	assertCausal(t, tl)
+	for _, s := range tl.Spans {
+		if s.ID == "127.0.0.1:9001/0" {
+			if s.Attrs["skew_adjusted_us"] == "" {
+				t.Fatalf("clamped span not annotated: %+v", s)
+			}
+		}
+	}
+}
+
+func TestStitchSurvivesMissingOrigin(t *testing.T) {
+	id, parts := stitchFixture()
+	// The router's own ring evicted the record: peers still render,
+	// just without cross-process parenting.
+	parts[0].Rec = nil
+	tl := Stitch(id, parts)
+	if len(tl.Spans) != 2 {
+		t.Fatalf("peer spans lost without origin: %+v", tl.Spans)
+	}
+	assertCausal(t, tl)
+	if !strings.HasPrefix(tl.Spans[0].ID, "127.0.0.1:9001/") {
+		t.Fatalf("unexpected span order: %+v", tl.Spans)
+	}
+}

@@ -71,6 +71,11 @@ type BatcherConfig struct {
 	StallTimeout time.Duration
 	// Chaos optionally injects serve-path faults (nil: none).
 	Chaos *fault.ServeInjector
+	// SLOExhausted, when non-nil, reports that the SLO error budget is
+	// fully spent; the batcher then hedges after a quarter of the stage
+	// budget — spending spare capacity to protect the tail before the
+	// availability floor is breached.
+	SLOExhausted func() bool
 }
 
 func (c BatcherConfig) withDefaults() BatcherConfig {
@@ -611,7 +616,13 @@ func (b *Batcher) selectHedged(t *task) (fault.Selection, *Model, bool, []string
 		primaryCh <- primary.SelectCtx(pctx, t.feat)
 	}()
 
-	budget := time.NewTimer(b.cfg.StageBudget)
+	stageBudget := b.cfg.StageBudget
+	if b.cfg.SLOExhausted != nil && b.cfg.SLOExhausted() {
+		// Error budget gone: hedge much earlier. Latency spent on a slow
+		// primary is exactly what the exhausted SLO can no longer afford.
+		stageBudget /= 4
+	}
+	budget := time.NewTimer(stageBudget)
 	select {
 	case sel := <-primaryCh:
 		budget.Stop()
@@ -628,7 +639,7 @@ func (b *Batcher) selectHedged(t *task) (fault.Selection, *Model, bool, []string
 		br.RecordFailure()
 	}
 	events := []string{fmt.Sprintf("hedge: %s over stage budget %v",
-		modelVersionTag(primary), b.cfg.StageBudget)}
+		modelVersionTag(primary), stageBudget)}
 
 	if t.hedge != nil {
 		hctx, hsp := obs.StartSpan(t.ctx, "infer:hedge")

@@ -105,6 +105,12 @@ type Options struct {
 	// obs-overhead benchmark measures this split; production servers
 	// should leave it on).
 	DisableTracing bool
+
+	// SLO tracks availability and p99-latency objectives over the served
+	// traffic and exposes /v1/slo plus the heteromap_slo_* gauges; when
+	// its error budget exhausts, the batcher tightens its hedge budget.
+	// Nil disables SLO tracking.
+	SLO *obs.SLO
 }
 
 func (o Options) withDefaults() Options {
@@ -176,6 +182,7 @@ type Server struct {
 	batcher  *Batcher
 	metrics  *Metrics
 	tracer   *obs.Tracer // nil when tracing is disabled
+	slo      *obs.SLO    // nil when SLO tracking is disabled
 	started  time.Time
 
 	// draining flips on BeginDrain: /healthz reports "draining" so a
@@ -215,9 +222,13 @@ func New(opts Options) *Server {
 			StageBudget:  opts.StageBudget,
 			StallTimeout: opts.StallTimeout,
 			Chaos:        opts.Chaos,
+			// opts.SLO may be nil; the bound method is nil-safe, so the
+			// batcher can always ask whether the error budget is gone.
+			SLOExhausted: opts.SLO.Exhausted,
 		}),
 		metrics: metrics,
 		tracer:  opts.Tracer,
+		slo:     opts.SLO,
 		started: time.Now(),
 	}
 	s.http = &http.Server{Addr: opts.Addr, Handler: s.Handler()}
@@ -261,6 +272,35 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Tracer returns the server's tracer (nil when tracing is disabled).
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
+// SLO returns the server's SLO tracker (nil when disabled).
+func (s *Server) SLO() *obs.SLO { return s.slo }
+
+// startRequestTrace opens the request trace, adopting an inbound
+// X-Heteromap-Trace id when a router forwarded the request — that is
+// what lets /v1/trace/{id} stitch this process's spans into the
+// caller's timeline. The forwarded parent span id and hop count are
+// recorded as trace attributes; a hop count at or past obs.MaxHops
+// refuses adoption so a forwarding loop cannot extend forever.
+func (s *Server) startRequestTrace(r *http.Request, name string) (context.Context, *obs.Trace) {
+	inbound := r.Header.Get(obs.TraceHeader)
+	hop := r.Header.Get(obs.HopHeader)
+	if hop != "" {
+		if n, err := strconv.Atoi(hop); err != nil || n < 0 || n >= obs.MaxHops {
+			inbound = ""
+		}
+	}
+	ctx, tr := s.tracer.StartTraceID(r.Context(), name, inbound)
+	if tr != nil && inbound != "" && tr.ID() == inbound {
+		if ps := r.Header.Get(obs.ParentSpanHeader); ps != "" {
+			tr.SetAttr("parent_span", ps)
+		}
+		if hop != "" {
+			tr.SetAttr("hop", hop)
+		}
+	}
+	return ctx, tr
+}
+
 // Handler returns the API mux (usable under httptest without a socket).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -272,6 +312,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/online", s.handleOnline)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/v1/slo", s.slo.Handler())
 	mux.Handle("/v1/explain/", s.tracer.ExplainHandler("/v1/explain/"))
 	mux.Handle("/debug/traces", s.tracer.TracesHandler())
 	return mux
@@ -616,16 +657,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.InFlight.Add(1)
 	defer s.metrics.InFlight.Add(-1)
-	ctx, tr := s.tracer.StartTrace(r.Context(), "predict")
+	start := time.Now()
+	ctx, tr := s.startRequestTrace(r, "predict")
 	defer tr.Finish()
 	if tr != nil {
-		w.Header().Set("X-Heteromap-Trace", tr.ID())
+		w.Header().Set(obs.TraceHeader, tr.ID())
 	}
 	_, sp := obs.StartSpan(ctx, "decode")
 	var req PredictRequest
 	if status, err := s.decodeJSON(w, r, &req); err != nil {
 		sp.EndErr(err)
 		s.errorJSON(ctx, w, status, err)
+		s.slo.Observe(status < 500, time.Since(start))
 		return
 	}
 	sp.End()
@@ -637,12 +680,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			s.setRetryAfter(w)
 		}
 		s.errorJSON(ctx, w, status, err)
+		s.slo.Observe(status < 500, time.Since(start))
 		return
 	}
 	// The answering model version rides a header so cluster routers can
 	// track peer registry generations without decoding the body.
 	w.Header().Set(VersionHeader, strconv.FormatUint(resp.Version, 10))
 	s.writeJSON(w, http.StatusOK, resp)
+	s.slo.Observe(true, time.Since(start))
 }
 
 // VersionHeader carries the registry version of the model that answered
@@ -699,12 +744,15 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.InFlight.Add(1)
 	defer s.metrics.InFlight.Add(-1)
+	start := time.Now()
 	// One trace covers the whole batch; every item's spans and
-	// provenance records attach to it.
-	tctx, tr := s.tracer.StartTrace(r.Context(), "predict-batch")
+	// provenance records attach to it. The SLO sees the round trip once,
+	// matching how the availability floor counts requests.
+	defer func() { s.slo.Observe(true, time.Since(start)) }()
+	tctx, tr := s.startRequestTrace(r, "predict-batch")
 	defer tr.Finish()
 	if tr != nil {
-		w.Header().Set("X-Heteromap-Trace", tr.ID())
+		w.Header().Set(obs.TraceHeader, tr.ID())
 	}
 	var req BatchRequest
 	if status, err := s.decodeJSON(w, r, &req); err != nil {
@@ -762,7 +810,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	ctx, tr := s.tracer.StartTrace(r.Context(), "reload")
 	defer tr.Finish()
 	if tr != nil {
-		w.Header().Set("X-Heteromap-Trace", tr.ID())
+		w.Header().Set(obs.TraceHeader, tr.ID())
 	}
 	var req reloadRequest
 	if status, err := s.decodeJSON(w, r, &req); err != nil {
@@ -904,6 +952,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.opts.DurableDir != "" {
 		s.writeDurableMetrics(w)
 	}
+	s.slo.WritePrometheus(w)
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
